@@ -1,0 +1,38 @@
+"""Figure 1 — overall single-node performance for the Noh problem.
+
+Regenerates the bar chart of overall runtimes across the seven
+configurations.  Shape assertions: the two flat-MPI bars are the
+shortest, hybrid bars sit roughly 1.65–2.3x above their MPI partners,
+and the GPU bars are the tallest with P100 CUDA worst.
+"""
+
+import pytest
+
+from repro.perfmodel import PAPER_TABLE2, TABLE2_ORDER, format_bars, table2
+
+from .conftest import write_report
+
+
+def test_fig1_overall_bars(benchmark, results_dir):
+    model = benchmark(table2)
+    values = {k: model[k]["overall"] for k in TABLE2_ORDER}
+    paper = {k: PAPER_TABLE2[k]["overall"] for k in TABLE2_ORDER}
+    text = format_bars(
+        "FIG 1: Overall performance, Noh problem, single node (model)",
+        values, paper=paper,
+    )
+
+    # ordering shapes from the paper's bars
+    assert values["skylake_mpi"] == min(values.values())
+    assert values["p100_cuda"] == max(values.values())
+    for cpu in ("skylake", "broadwell"):
+        ratio = values[f"{cpu}_hybrid"] / values[f"{cpu}_mpi"]
+        assert 1.5 < ratio < 2.5
+    assert values["broadwell_mpi"] > values["skylake_mpi"]
+    assert values["v100_cuda"] < values["p100_cuda"]
+
+    # every bar within 25% of the paper's
+    for k in TABLE2_ORDER:
+        assert values[k] / paper[k] == pytest.approx(1.0, abs=0.25)
+
+    write_report(results_dir, "fig1_overall_noh.txt", text)

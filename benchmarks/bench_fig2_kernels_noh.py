@@ -1,0 +1,64 @@
+"""Figure 2 — per-kernel execution times for Noh on a single node.
+
+Fig 2a: the viscosity kernel (the most computationally expensive) —
+hybrid within ~5–15% of flat MPI; GPUs comparable or worse; OpenMP
+offload beats CUDA on the P100.
+
+Fig 2b: the acceleration kernel — its data dependency makes the hybrid
+versions ~2.4x slower than flat MPI, the paper's key diagnosis.
+"""
+
+import pytest
+
+from repro.perfmodel import PAPER_TABLE2, TABLE2_ORDER, format_bars, table2
+
+from .conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def model():
+    return table2()
+
+
+def test_fig2a_viscosity_kernel(benchmark, model, results_dir):
+    values = benchmark(
+        lambda: {k: model[k]["viscosity"] for k in TABLE2_ORDER}
+    )
+    paper = {k: PAPER_TABLE2[k]["viscosity"] for k in TABLE2_ORDER}
+    text = format_bars("FIG 2a: Viscosity kernel, Noh, single node (model)",
+                       values, paper=paper)
+
+    # hybrid close to MPI (the kernel threads well)
+    for cpu in ("skylake", "broadwell"):
+        assert values[f"{cpu}_hybrid"] / values[f"{cpu}_mpi"] < 1.2
+    # CUDA P100 is the worst; offload beats CUDA (register pressure)
+    assert values["p100_cuda"] == max(values.values())
+    assert values["p100_openmp"] < values["p100_cuda"]
+    # V100 CUDA comparable to Skylake MPI (the paper's bars)
+    assert values["v100_cuda"] == pytest.approx(values["skylake_mpi"],
+                                                rel=0.15)
+    for k in TABLE2_ORDER:
+        assert values[k] / paper[k] == pytest.approx(1.0, abs=0.25)
+    write_report(results_dir, "fig2a_viscosity_kernel.txt", text)
+
+
+def test_fig2b_acceleration_kernel(benchmark, model, results_dir):
+    values = benchmark(
+        lambda: {k: model[k]["acceleration"] for k in TABLE2_ORDER}
+    )
+    paper = {k: PAPER_TABLE2[k]["acceleration"] for k in TABLE2_ORDER}
+    text = format_bars(
+        "FIG 2b: Acceleration kernel, Noh, single node (model)",
+        values, paper=paper,
+    )
+
+    # the data dependency: hybrid ~2-3x MPI on both CPUs
+    for cpu in ("skylake", "broadwell"):
+        ratio = values[f"{cpu}_hybrid"] / values[f"{cpu}_mpi"]
+        assert 1.8 < ratio < 3.0
+    # P100 OpenMP is the tallest bar in the paper's Fig 2b
+    assert values["p100_openmp"] == max(values.values())
+    assert values["v100_cuda"] < values["p100_cuda"]
+    for k in TABLE2_ORDER:
+        assert values[k] / paper[k] == pytest.approx(1.0, abs=0.35)
+    write_report(results_dir, "fig2b_acceleration_kernel.txt", text)

@@ -1,0 +1,40 @@
+"""Figure 4 — per-kernel strong scaling for the Sod problem.
+
+Fig 4a (viscosity) and Fig 4b (acceleration): both kernels scale
+superlinearly up to 16 nodes and near-linearly beyond — showing they
+are well parallelised and that their communications (the halo exchange
+and the nodal-sum completion respectively) do not bite at scale.
+"""
+
+import pytest
+
+from repro.perfmodel import format_scaling, scaling_series, speedups
+
+from .conftest import write_report
+
+
+@pytest.mark.parametrize("kernel,figure", [
+    ("viscosity", "fig4a"),
+    ("acceleration", "fig4b"),
+])
+def test_fig4_kernel_scaling(benchmark, results_dir, kernel, figure):
+    series = benchmark(lambda: {
+        "Skylake": scaling_series("skylake_hybrid", kernel=kernel),
+        "Broadwell": scaling_series("broadwell_hybrid", kernel=kernel),
+    })
+    text = format_scaling(
+        f"FIG {figure[-2:]}: {kernel} kernel strong scaling, Sod (model)",
+        series,
+    )
+
+    for name, s in series.items():
+        sp = speedups(s)
+        assert sp["8->16"] > 2.5, (kernel, name)     # superlinear
+        assert 1.5 < sp["16->32"] < 2.7, (kernel, name)
+        assert 1.5 < sp["32->64"] < 2.3, (kernel, name)
+        nodes = sorted(s)
+        assert all(s[b] < s[a] for a, b in zip(nodes, nodes[1:]))
+    for n in sorted(series["Skylake"]):
+        assert series["Broadwell"][n] > series["Skylake"][n]
+
+    write_report(results_dir, f"{figure}_{kernel}_scaling.txt", text)

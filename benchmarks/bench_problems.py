@@ -1,0 +1,49 @@
+"""End-to-end problem benchmarks: short bursts of all four test cases,
+serial and decomposed, with the simulated Typhon layer."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import DistributedHydro
+from repro.problems import load_problem
+
+
+@pytest.mark.parametrize("name,kwargs", [
+    ("sod", dict(nx=100, ny=4)),
+    ("noh", dict(nx=48, ny=48)),
+    ("sedov", dict(nx=48, ny=48)),
+    ("saltzmann", dict(nx=60, ny=6)),
+])
+def test_problem_burst(benchmark, name, kwargs):
+    """20 steps of each bundled problem (fresh state per round)."""
+
+    def burst():
+        hydro = load_problem(name, **kwargs).make_hydro()
+        hydro.run(max_steps=20)
+        return hydro
+
+    hydro = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert hydro.nstep == 20
+    assert np.isfinite(hydro.state.rho).all()
+
+
+def test_sod_ale_burst(benchmark):
+    def burst():
+        hydro = load_problem("sod", nx=100, ny=4, ale_on=True).make_hydro()
+        hydro.run(max_steps=20)
+        return hydro
+
+    hydro = benchmark.pedantic(burst, rounds=3, iterations=1)
+    assert hydro.nstep == 20
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+def test_distributed_sod_burst(benchmark, nranks):
+    def burst():
+        setup = load_problem("sod", nx=64, ny=16)
+        driver = DistributedHydro(setup, nranks)
+        driver.run(max_steps=10)
+        return driver
+
+    driver = benchmark.pedantic(burst, rounds=2, iterations=1)
+    assert driver.nstep == 10

@@ -1,0 +1,75 @@
+"""Microbenchmarks of the ALE remap pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ale.advect_cell import advect_cells, cell_gradients
+from repro.ale.advect_node import advect_momentum
+from repro.ale.driver import AleStep
+from repro.ale.fluxvol import dual_flux_volumes, face_flux_volumes
+from repro.problems import load_problem
+
+N = 128
+
+
+@pytest.fixture(scope="module")
+def ale_setup():
+    """A Sod state mid-run with its Eulerian target mesh."""
+    setup = load_problem("sod", nx=N, ny=N // 8, time_end=0.05)
+    hydro = setup.make_hydro()
+    hydro.run(max_steps=30)
+    state = hydro.state
+    remap = AleStep.from_controls(state, setup.controls, setup.table)
+    return setup, state, remap
+
+
+def test_remap_face_flux_volumes(benchmark, ale_setup):
+    _, state, remap = ale_setup
+    fv, fvb = benchmark(face_flux_volumes, state.mesh, state.x, state.y,
+                        remap.x0, remap.y0)
+    assert fv.shape == (state.mesh.nface,)
+
+
+def test_remap_dual_flux_volumes(benchmark, ale_setup):
+    _, state, remap = ale_setup
+    dfv = benchmark(dual_flux_volumes, state.mesh, state.x, state.y,
+                    remap.x0, remap.y0)
+    assert dfv.shape == (state.mesh.ncell, 4)
+
+
+def test_remap_gradients(benchmark, ale_setup):
+    _, state, _ = ale_setup
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+    gx, gy = benchmark(cell_gradients, state.mesh, xc, yc, state.rho)
+    assert np.isfinite(gx).all()
+
+
+def test_remap_advect_cells(benchmark, ale_setup):
+    _, state, remap = ale_setup
+    fv, _ = face_flux_volumes(state.mesh, state.x, state.y,
+                              remap.x0, remap.y0)
+    mass, energy = benchmark(
+        advect_cells, state.mesh, state.x, state.y, remap.x0, remap.y0,
+        fv, state.cell_mass, state.rho, state.e,
+    )
+    assert mass.sum() == pytest.approx(state.cell_mass.sum(), rel=1e-12)
+
+
+def test_remap_advect_momentum(benchmark, ale_setup):
+    _, state, remap = ale_setup
+    dfv = dual_flux_volumes(state.mesh, state.x, state.y,
+                            remap.x0, remap.y0)
+    u, v, m = benchmark(advect_momentum, state, dfv)
+    assert np.isfinite(u).all()
+
+
+def test_remap_full_alestep(benchmark, ale_setup):
+    _, state, remap = ale_setup
+
+    def run():
+        s = state.copy()
+        remap.apply(s, 1e-4)
+        return s
+
+    s = benchmark(run)
+    assert s.rho.min() > 0

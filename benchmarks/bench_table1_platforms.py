@@ -1,0 +1,28 @@
+"""Table I — the experimental configuration registry.
+
+Regenerates the paper's platform/compiler/flags table from the
+performance model's machine descriptors and checks its contents.
+"""
+
+from repro.perfmodel import PLATFORMS, TABLE2_ORDER, format_table1
+
+from .conftest import write_report
+
+
+def test_table1_platform_registry(benchmark, results_dir):
+    text = benchmark(format_table1)
+    # all five Table I hardware rows present with their compilers
+    assert "Intel Xeon Platinum 8176 'Skylake'" in text
+    assert "Intel Xeon E5-2699 v4 'Broadwell'" in text
+    assert "NVIDIA P100 (OpenMP offload)" in text
+    assert "NVIDIA P100 (CUDA Fortran)" in text
+    assert "NVIDIA V100 (CUDA Fortran)" in text
+    assert "Cray XC50" in text and "SuperMicro 2028GR-TR" in text
+    assert text.count("Cray") >= 3 and "PGI" in text
+    # the compiler flag strings are reproduced verbatim
+    assert "-h cpu=x86-skylake" in PLATFORMS["skylake_mpi"].flags
+    assert "-Mcuda=cc60" in PLATFORMS["p100_cuda"].flags
+    assert "-Mcuda=cc70" in PLATFORMS["v100_cuda"].flags
+    assert "-h accel=nvidia_60" in PLATFORMS["p100_openmp"].flags
+    assert len(TABLE2_ORDER) == 7
+    write_report(results_dir, "table1_platforms.txt", text)

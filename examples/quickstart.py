@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run Sod's shock tube and compare with the exact solution.
+
+The 60-second tour of the public API:
+
+1. build a bundled problem (``load_problem``),
+2. run it with kernel timers attached,
+3. compare the density profile against the exact Riemann solution,
+4. print the BookLeaf-style per-kernel breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analytic import sod_solution
+from repro.output import ascii_plot
+from repro.problems import load_problem
+from repro.utils.timers import TimerRegistry
+
+
+def main() -> None:
+    timers = TimerRegistry()
+    setup = load_problem("sod", nx=200, ny=4, time_end=0.2)
+    hydro = setup.make_hydro(timers=timers)
+    steps = hydro.run()
+
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    rho_exact, _, _ = sod_solution().sample((xc - 0.5) / hydro.time)
+    l1 = np.abs(state.rho - rho_exact).mean()
+
+    print(f"Sod shock tube: {steps} steps to t = {hydro.time:.3f}")
+    print(f"L1 density error vs exact Riemann solution: {l1:.5f}")
+    print(f"conserved mass  = {state.total_mass():.12f}")
+    print(f"total energy    = {state.total_energy():.12f} "
+          f"(drift is round-off only)")
+    print()
+
+    order = np.argsort(xc)
+    print(ascii_plot(
+        xc[order],
+        {"computed": state.rho[order], "x exact": rho_exact[order]},
+        title="density at t = 0.2 (c = computed, x = exact)",
+        xlabel="x",
+    ))
+    print()
+    print("Per-kernel breakdown (BookLeaf timer regions):")
+    print(timers.breakdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Produces text renderings of Table I, Table II (model vs paper with
+ratios), Figures 1, 2a, 2b (bar charts) and Figures 3, 4a, 4b (strong-
+scaling series), plus this implementation's measured Python kernel
+breakdown, writing everything under ``results/``.
+
+This is the scripted equivalent of ``pytest benchmarks/
+--benchmark-only`` without the timing machinery.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from pathlib import Path
+
+from repro.perfmodel import (
+    PAPER_TABLE2,
+    TABLE2_ORDER,
+    format_bars,
+    format_scaling,
+    format_table1,
+    format_table2,
+    measured_weights,
+    scaling_series,
+    table2,
+)
+from repro.perfmodel.kernels import KERNELS, OTHER
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / name).write_text(text + "\n")
+    print(text)
+    print()
+
+
+def main() -> None:
+    emit("table1_platforms.txt", format_table1())
+
+    model = table2()
+    emit("table2_kernel_breakdown.txt", format_table2(model))
+
+    emit("fig1_overall_noh.txt", format_bars(
+        "FIG 1: Overall performance, Noh, single node (model)",
+        {k: model[k]["overall"] for k in TABLE2_ORDER},
+        paper={k: PAPER_TABLE2[k]["overall"] for k in TABLE2_ORDER},
+    ))
+    for kernel, fig in (("viscosity", "fig2a"), ("acceleration", "fig2b")):
+        emit(f"{fig}_{kernel}_kernel.txt", format_bars(
+            f"FIG {fig[-2:]}: {kernel} kernel, Noh, single node (model)",
+            {k: model[k][kernel] for k in TABLE2_ORDER},
+            paper={k: PAPER_TABLE2[k][kernel] for k in TABLE2_ORDER},
+        ))
+
+    emit("fig3_strong_scaling.txt", format_scaling(
+        "FIG 3: Sod strong scaling, hybrid (model)",
+        {"Skylake": scaling_series("skylake_hybrid"),
+         "Broadwell": scaling_series("broadwell_hybrid")},
+    ))
+    for kernel, fig in (("viscosity", "fig4a"), ("acceleration", "fig4b")):
+        emit(f"{fig}_{kernel}_scaling.txt", format_scaling(
+            f"FIG {fig[-2:]}: {kernel} kernel strong scaling (model)",
+            {"Skylake": scaling_series("skylake_hybrid", kernel=kernel),
+             "Broadwell": scaling_series("broadwell_hybrid", kernel=kernel)},
+        ))
+
+    print("measuring this implementation's own kernel breakdown "
+          "(Noh 50x50) ...")
+    weights = measured_weights(nx=50, ny=50, time_end=0.1)
+    total = sum(weights.values())
+    lines = ["Measured Python per-kernel breakdown (Noh 50x50, t=0.1):"]
+    for kernel in KERNELS + [OTHER]:
+        lines.append(f"  {kernel:<14}{weights[kernel]:>9.3f}s "
+                     f"{100 * weights[kernel] / total:>6.1f}%")
+    emit("table2_measured_python.txt", "\n".join(lines))
+    print(f"all reports written to {RESULTS}/")
+
+
+if __name__ == "__main__":
+    main()

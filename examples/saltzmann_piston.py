@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Saltzmann's piston: why hourglass control exists.
+
+The piston problem is 1-D, but BookLeaf runs it on the Dukowicz-Meltz
+skewed mesh to excite hourglass (zero-energy) modes (paper Section
+III-B).  This example runs it twice — with the sub-zonal-pressure +
+filter machinery on and off — showing that the uncontrolled run
+tangles its mesh while the controlled one tracks the exact shock.
+
+Run:  python examples/saltzmann_piston.py
+"""
+
+import numpy as np
+
+from repro.analytic import saltzmann_exact
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError
+
+
+def run_case(label, **kwargs):
+    setup = load_problem("saltzmann", nx=100, ny=10, time_end=0.6, **kwargs)
+    hydro = setup.make_hydro()
+    try:
+        hydro.run()
+        state = hydro.state
+        xc, _ = state.mesh.cell_centroids(state.x, state.y)
+        xs = saltzmann_exact.shock_position(hydro.time)
+        xp = hydro.time
+        behind = (xc > xp + 0.25 * (xs - xp)) & (xc < xp + 0.7 * (xs - xp))
+        front = xc[state.rho > 2.0].max()
+        print(f"{label:<28} completed: shock at x = {front:.3f} "
+              f"(exact {xs:.3f}), post-shock rho = "
+              f"{state.rho[behind].mean():.3f} (exact 4)")
+    except BookLeafError as exc:
+        print(f"{label:<28} FAILED at t = {hydro.time:.3f}: "
+              f"{type(exc).__name__}: {str(exc)[:60]}")
+
+
+def main() -> None:
+    print("Saltzmann piston on the skewed 100x10 mesh, t_end = 0.6")
+    print(f"exact: shock speed 4/3, density jump 4, piston work "
+          f"{saltzmann_exact.post_shock_state()[2] * 0.6 * 0.1:.4f}\n")
+    run_case("hourglass control ON")
+    run_case("sub-zonal pressures only", filter_kappa=0.0)
+    run_case("hourglass control OFF", subzonal_kappa=0.0, filter_kappa=0.0)
+    print("\nthe uncontrolled run demonstrates the zero-energy modes the "
+          "problem was designed to exacerbate")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The Sedov blast wave on a Cartesian mesh: non-mesh-aligned shocks.
+
+BookLeaf runs Sedov on a Cartesian quadrant precisely to test shocks
+that cross the mesh obliquely (paper Section III-B).  This example runs
+the blast, compares the shock radius with the numerically-integrated
+similarity solution (α computed from the ODEs, no magic constants) and
+measures how round the computed front is.
+
+Run:  python examples/sedov_blast.py
+"""
+
+import numpy as np
+
+from repro.analytic import sedov_exact
+from repro.output import ascii_plot
+from repro.problems import load_problem
+
+
+def main() -> None:
+    energy = 0.657
+    setup = load_problem("sedov", nx=64, ny=64, energy=energy, time_end=1.0)
+    print("running Sedov on a 64x64 quadrant to t = 1.0 ...")
+    hydro = setup.run()
+    state = hydro.state
+
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+    r = np.hypot(xc, yc)
+    sim = sedov_exact.similarity(1.4)
+    rs = sedov_exact.shock_radius(hydro.time, energy)
+
+    bins = np.linspace(0.0, 1.2, 49)
+    centres = 0.5 * (bins[:-1] + bins[1:])
+    profile = np.array([
+        state.rho[(r >= a) & (r < b)].mean()
+        if ((r >= a) & (r < b)).any() else np.nan
+        for a, b in zip(bins[:-1], bins[1:])
+    ])
+    rho_exact, _, _ = sim.profiles(centres, hydro.time, energy)
+    valid = np.isfinite(profile)
+    print(ascii_plot(
+        centres[valid],
+        {"computed": profile[valid], "x exact": rho_exact[valid]},
+        title=f"Sedov radial density at t = 1 "
+              f"(alpha = {sim.alpha:.4f}, exact R = {rs:.3f})",
+        xlabel="radius",
+    ))
+
+    peak_r = r[np.argmax(state.rho)]
+    theta = np.arctan2(yc, xc)
+    front = []
+    for lo in np.linspace(0, np.pi / 2 - np.pi / 8, 4):
+        sector = (theta >= lo) & (theta < lo + np.pi / 8) & (state.rho > 2.0)
+        front.append(r[sector].max())
+    print()
+    print(f"shock radius (density peak) : {peak_r:.3f}   exact {rs:.3f}")
+    print(f"front radius by sector      : "
+          + " ".join(f"{f:.3f}" for f in front))
+    roundness = (max(front) - min(front)) / np.mean(front)
+    print(f"front roundness (spread/mean): {roundness:.1%} — the shock is "
+          f"round despite the Cartesian mesh")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — a Python reproduction of BookLeaf.
+
+BookLeaf (Truby et al., IEEE CLUSTER / WRAp 2018) is a 2-D unstructured
+Arbitrary Lagrangian–Eulerian shock-hydrodynamics mini-application from
+the UK Mini-App Consortium.  This package reimplements the full
+mini-app — mesh, staggered compatible Lagrangian scheme, artificial
+viscosity, hourglass control, EoS options, ALE remap, domain
+decomposition with a simulated Typhon communication layer, the four
+bundled test problems — plus the performance-model machinery that
+regenerates the paper's evaluation tables and figures.
+
+Quickstart::
+
+    from repro.problems import load_problem
+
+    hydro = load_problem("sod", nx=200).run()
+    print(hydro.diagnostics())
+"""
+
+from .core import Hydro, HydroControls, HydroState
+from .eos import IdealGas, Jwl, MaterialTable, Tait, Void
+from .mesh import QuadMesh, rect_mesh, saltzmann_mesh
+from .problems import load_problem, problem_names, setup_from_deck
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hydro",
+    "HydroControls",
+    "HydroState",
+    "IdealGas",
+    "Tait",
+    "Jwl",
+    "Void",
+    "MaterialTable",
+    "QuadMesh",
+    "rect_mesh",
+    "saltzmann_mesh",
+    "load_problem",
+    "problem_names",
+    "setup_from_deck",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — the BookLeaf command-line front end."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

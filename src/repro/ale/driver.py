@@ -1,0 +1,149 @@
+"""The ALE step driver — BookLeaf's ``alestep`` (Algorithm 1).
+
+Orchestrates the remap after a Lagrangian step:
+
+    ALEGETMESH  — choose the target mesh (Eulerian or relaxed),
+    ALEGETFVOL  — swept flux volumes for primal faces and dual faces,
+    ALEADVECT   — advect the independent variables (mass, energy,
+                  nodal momentum),
+    ALEUPDATE   — rebuild every dependent variable on the new mesh.
+
+The driver enforces the remap's validity conditions: boundary faces
+must sweep (numerically) zero volume and no face may sweep more than a
+fraction of its adjacent cells' volume — violating either means the
+mesh moved too far between remaps (increase ``ale_every``'s frequency
+or reduce ``ale_relax``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.controls import HydroControls
+from ..core.state import HydroState
+from ..eos.multimaterial import MaterialTable
+from ..utils.errors import BookLeafError
+from ..utils.timers import TimerRegistry
+from .advect_cell import advect_cells
+from .advect_node import advect_momentum
+from .fluxvol import dual_flux_volumes, face_flux_volumes
+from .getmesh import select_target
+
+#: max |flux volume| as a fraction of the smaller adjacent cell volume
+FLUX_VOLUME_LIMIT = 0.45
+
+
+@dataclass
+class AleStep:
+    """A configured remap operator; ``apply`` runs one remap in place."""
+
+    table: MaterialTable
+    mode: str = "eulerian"
+    relax: float = 0.25
+    dencut: float = 0.0
+    #: initial node coordinates (the Eulerian target)
+    x0: np.ndarray = field(default=None)  # type: ignore[assignment]
+    y0: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def from_controls(cls, state: HydroState, controls: HydroControls,
+                      table: MaterialTable) -> "AleStep":
+        return cls(
+            table=table,
+            mode=controls.ale_mode,
+            relax=controls.ale_relax,
+            dencut=controls.dencut,
+            x0=state.x.copy(),
+            y0=state.y.copy(),
+        )
+
+    def apply(self, state: HydroState, dt: float,
+              timers: Optional[TimerRegistry] = None,
+              comms=None) -> bool:
+        """Remap ``state`` onto the target mesh; returns False if the
+        mesh had not moved (nothing to do).
+
+        With a distributed ``comms`` (Eulerian mode only) the ghost
+        kinematics, thermodynamics and reconstruction gradients are
+        refreshed from their owner ranks and the nodal remap sums are
+        completed across ranks, keeping the remap globally conservative.
+        """
+        timers = timers if timers is not None else TimerRegistry(enabled=False)
+        mesh = state.mesh
+        distributed = comms is not None and getattr(comms, "size", 1) > 1
+        if distributed and self.mode != "eulerian":
+            raise BookLeafError(
+                "decomposed remaps support the 'eulerian' mesh mode only "
+                "(relaxation needs neighbour averages across ranks)"
+            )
+
+        if distributed:
+            with timers.region("exchange"):
+                # Ghost node positions moved with u^n during the step;
+                # refresh them (and the dependent volumes) exactly, then
+                # pull the ghosts' post-Lagrangian thermodynamics.
+                comms.exchange_kinematics(state)
+                state.refresh_geometry()
+                comms.exchange_cell_fields(state)
+
+        with timers.region("alegetmesh"):
+            boundary_sides = (comms.physical_boundary_sides(state)
+                              if distributed else None)
+            x_t, y_t = select_target(state, self.mode, self.relax,
+                                     self.x0, self.y0,
+                                     boundary_sides=boundary_sides)
+            moved = max(
+                float(np.abs(x_t - state.x).max()),
+                float(np.abs(y_t - state.y).max()),
+            )
+            if distributed:
+                # The skip decision must be collective: a quiet rank
+                # bailing out while others remap would desynchronise
+                # the barrier sequence.
+                moved = comms.allreduce_max(moved)
+            if moved < 1e-15:
+                return False
+
+        with timers.region("alegetfvol"):
+            fv, fvb = face_flux_volumes(mesh, state.x, state.y, x_t, y_t)
+            scale = float(state.volume.min())
+            if distributed:
+                side_mask = comms.physical_boundary_side_mask(state)
+                fvb_check = fvb[side_mask] if side_mask is not None else fvb
+            else:
+                fvb_check = fvb
+            if fvb_check.size and float(np.abs(fvb_check).max()) > 1e-12 * scale:
+                raise BookLeafError(
+                    "remap target moves the domain boundary "
+                    f"(max boundary sweep {np.abs(fvb_check).max():.3e})"
+                )
+            vmin = np.minimum(state.volume[mesh.face_cells[:, 0]],
+                              state.volume[mesh.face_cells[:, 1]])
+            if fv.size and np.any(np.abs(fv) > FLUX_VOLUME_LIMIT * vmin):
+                worst = int(np.argmax(np.abs(fv) / vmin))
+                raise BookLeafError(
+                    "remap flux volume exceeds "
+                    f"{FLUX_VOLUME_LIMIT:.0%} of a cell volume at face "
+                    f"{worst} — remap more often (ale_every) or relax less"
+                )
+            dual_fv = dual_flux_volumes(mesh, state.x, state.y, x_t, y_t)
+
+        with timers.region("aleadvect"):
+            mass_new, energy_new = advect_cells(
+                mesh, state.x, state.y, x_t, y_t, fv,
+                state.cell_mass, state.rho, state.e,
+                comms=comms if distributed else None,
+            )
+            u_new, v_new, _ = advect_momentum(
+                state, dual_fv, comms=comms if distributed else None
+            )
+
+        with timers.region("aleupdate"):
+            from .update import aleupdate
+
+            aleupdate(state, self.table, x_t, y_t, mass_new, energy_new,
+                      u_new, v_new, self.dencut)
+        return True

@@ -1,0 +1,97 @@
+"""Swept (flux) volumes — BookLeaf's ``alegetfvol``.
+
+The remap moves the mesh from the Lagrangian coordinates to the target
+coordinates; the volume swept by each face is the advection flux volume
+(Benson 1989, as the paper cites).  For a directed face A→B moving to
+A′→B′ the swept volume is the signed shoelace area of the quad
+(A, B, B′, A′); with the face directed as traversed by its *owner*
+cell (CCW), a positive value is volume flowing *out* of the owner.
+
+Two families of faces are needed:
+
+* primal faces (cell sides) — drive the cell-centred advection; the
+  polygon identity ``V_new = V_old − Σ_sides fv`` holds exactly, which
+  the tests check and which makes uniform-flow preservation exact;
+* dual faces (edge-midpoint → cell-centroid segments) — drive the
+  momentum advection on the nodal control volumes; the matching
+  identity relates nodal volume changes to the dual sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..mesh.topology import QuadMesh
+
+
+def sweep_quads(ax0: np.ndarray, ay0: np.ndarray, bx0: np.ndarray,
+                by0: np.ndarray, bx1: np.ndarray, by1: np.ndarray,
+                ax1: np.ndarray, ay1: np.ndarray) -> np.ndarray:
+    """Signed shoelace area of quads (A_old, B_old, B_new, A_new)."""
+    return 0.5 * (
+        (ax0 * by0 - bx0 * ay0)
+        + (bx0 * by1 - bx1 * by0)
+        + (bx1 * ay1 - ax1 * by1)
+        + (ax1 * ay0 - ax0 * ay1)
+    )
+
+
+def face_flux_volumes(mesh: QuadMesh,
+                      x_old: np.ndarray, y_old: np.ndarray,
+                      x_new: np.ndarray, y_new: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Primal flux volumes.
+
+    Returns ``(fv_face, fv_boundary)``:
+
+    * ``fv_face`` (nface,) — swept volume of each interior face,
+      positive for flow out of ``face_cells[:, 0]`` into
+      ``face_cells[:, 1]``;
+    * ``fv_boundary`` (nboundary,) — swept volume of each boundary side
+      (should be exactly zero when the target mesh respects the
+      boundary, and is asserted against in the driver).
+    """
+    n1 = mesh.face_nodes[:, 0]
+    n2 = mesh.face_nodes[:, 1]
+    fv = sweep_quads(
+        x_old[n1], y_old[n1], x_old[n2], y_old[n2],
+        x_new[n2], y_new[n2], x_new[n1], y_new[n1],
+    )
+    bc_cells = mesh.boundary_cells
+    bc_sides = mesh.boundary_sides
+    b1 = mesh.cell_nodes[bc_cells, bc_sides]
+    b2 = mesh.cell_nodes[bc_cells, (bc_sides + 1) % 4]
+    fvb = sweep_quads(
+        x_old[b1], y_old[b1], x_old[b2], y_old[b2],
+        x_new[b2], y_new[b2], x_new[b1], y_new[b1],
+    )
+    return fv, fvb
+
+
+def dual_flux_volumes(mesh: QuadMesh,
+                      x_old: np.ndarray, y_old: np.ndarray,
+                      x_new: np.ndarray, y_new: np.ndarray) -> np.ndarray:
+    """Dual (nodal control volume) flux volumes, shape (ncell, 4).
+
+    Entry (c, k) is the swept volume of the segment from the midpoint
+    of side k of cell c to the centroid of c, positive for flow from
+    node ``cell_nodes[c, k]`` to node ``cell_nodes[c, k+1]`` (the
+    side's two nodes), whose median-dual volumes the segment separates.
+    """
+    def midpoints_centroid(x, y):
+        cx = x[mesh.cell_nodes]
+        cy = y[mesh.cell_nodes]
+        mx = 0.5 * (cx + np.roll(cx, -1, axis=1))
+        my = 0.5 * (cy + np.roll(cy, -1, axis=1))
+        gx = np.broadcast_to(cx.mean(axis=1, keepdims=True), mx.shape)
+        gy = np.broadcast_to(cy.mean(axis=1, keepdims=True), my.shape)
+        return mx, my, gx, gy
+
+    mx0, my0, gx0, gy0 = midpoints_centroid(x_old, y_old)
+    mx1, my1, gx1, gy1 = midpoints_centroid(x_new, y_new)
+    # Directed segment M -> C: traversing it, the subzone of the side's
+    # first node (corner k) lies on the left, so a positive sweep is
+    # flow out of node k's volume into node k+1's.
+    return sweep_quads(mx0, my0, gx0, gy0, gx1, gy1, mx1, my1)

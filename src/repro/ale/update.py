@@ -1,0 +1,40 @@
+"""Dependent-variable update — BookLeaf's ``aleupdate``.
+
+After the independent variables (cell mass, internal energy mass,
+nodal momentum) have been advected onto the target mesh, everything
+derived is rebuilt: coordinates committed, volumes refreshed, density
+and specific energy recomputed, corner masses redistributed by the new
+subzone volume fractions (uniform sub-zonal density — the standard
+post-remap reset), velocities committed with the boundary conditions
+re-applied, and pressure/sound speed re-closed through the EoS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import geometry
+from ..core.density import getrho
+from ..core.state import HydroState
+from ..eos.multimaterial import MaterialTable
+
+
+def aleupdate(state: HydroState, table: MaterialTable,
+              x_new: np.ndarray, y_new: np.ndarray,
+              mass_new: np.ndarray, energy_mass_new: np.ndarray,
+              u_new: np.ndarray, v_new: np.ndarray,
+              dencut: float = 0.0) -> None:
+    """Commit the remapped state in place."""
+    state.x = x_new
+    state.y = y_new
+    _, _, volume, cvol = geometry.getgeom(state.mesh, x_new, y_new)
+    state.volume = volume
+    state.corner_volume = cvol
+    state.cell_mass = mass_new
+    state.rho = getrho(mass_new, volume, dencut)
+    state.e = energy_mass_new / mass_new
+    state.corner_mass = mass_new[:, None] * (cvol / volume[:, None])
+    state.u = u_new
+    state.v = v_new
+    state.bc.apply_velocity(state.u, state.v)
+    state.p, state.cs2 = table.getpc(state.mat, state.rho, state.e)

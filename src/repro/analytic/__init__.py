@@ -1,0 +1,27 @@
+"""Analytic reference solutions for the four bundled test problems.
+
+Exact Riemann solver (Sod), the Noh implosion solution, the numerically
+integrated Sedov-Taylor similarity solution and the Saltzmann piston
+shock.  These provide the quantitative targets for the validation
+tests and the example scripts.
+"""
+
+from . import noh_exact, saltzmann_exact, sedov_exact
+from .riemann import (
+    RiemannSolution,
+    RiemannState,
+    sod_solution,
+    solve_riemann,
+    solve_star,
+)
+
+__all__ = [
+    "RiemannState",
+    "RiemannSolution",
+    "solve_riemann",
+    "solve_star",
+    "sod_solution",
+    "noh_exact",
+    "sedov_exact",
+    "saltzmann_exact",
+]

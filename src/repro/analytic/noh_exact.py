@@ -1,0 +1,47 @@
+"""Exact solution of the Noh implosion (Noh 1987).
+
+Cylindrical (2-D) geometry, unit inward speed, cold unit-density gas.
+With γ the adiabatic index and α = 1 the cylindrical geometry exponent:
+
+* shock position: ``r_s(t) = t (γ − 1)/2``  (= t/3 for γ = 5/3),
+* post-shock (r < r_s): ``ρ = ρ0 ((γ+1)/(γ−1))^{α+1}`` (= 16), ``u = 0``,
+  ``e = u0²/2``, ``p = (γ−1) ρ e``,
+* pre-shock  (r > r_s): ``ρ = ρ0 (1 + u0 t/r)^α``, ``u = −u0``,
+  ``e = 0``, ``p = 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+GAMMA_DEFAULT = 5.0 / 3.0
+
+
+def shock_radius(t: float, gamma: float = GAMMA_DEFAULT, u0: float = 1.0) -> float:
+    """Shock position at time ``t``."""
+    return 0.5 * (gamma - 1.0) * u0 * t
+
+
+def post_shock_density(gamma: float = GAMMA_DEFAULT, rho0: float = 1.0) -> float:
+    """The plateau density (16 for γ = 5/3 in cylindrical geometry)."""
+    return rho0 * ((gamma + 1.0) / (gamma - 1.0)) ** 2
+
+
+def solution(r: np.ndarray, t: float, gamma: float = GAMMA_DEFAULT,
+             rho0: float = 1.0, u0: float = 1.0
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ρ, radial u, e) at radii ``r`` and time ``t``."""
+    r = np.asarray(r, dtype=np.float64)
+    rs = shock_radius(t, gamma, u0)
+    inside = r < rs
+    safe_r = np.maximum(r, 1e-300)
+    rho = np.where(
+        inside,
+        post_shock_density(gamma, rho0),
+        rho0 * (1.0 + u0 * t / safe_r),
+    )
+    u = np.where(inside, 0.0, -u0)
+    e = np.where(inside, 0.5 * u0 * u0, 0.0)
+    return rho, u, e

@@ -1,0 +1,168 @@
+"""Exact Riemann solver for the 1-D Euler equations (ideal gas).
+
+Standard Godunov/Toro construction: Newton iteration on the star-region
+pressure using shock (Rankine–Hugoniot) and rarefaction (isentropic)
+branch functions, then similarity sampling of the full wave fan.  Used
+as the reference for Sod's shock tube and exercised directly by the
+property tests (the solver must reproduce trivial and symmetric cases
+exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..utils.errors import BookLeafError
+
+
+@dataclass(frozen=True)
+class RiemannState:
+    """A primitive-variable gas state (ρ, u, p)."""
+
+    rho: float
+    u: float
+    p: float
+
+    def __post_init__(self):
+        if self.rho <= 0.0:
+            raise BookLeafError(f"Riemann state needs rho > 0, got {self.rho}")
+        if self.p < 0.0:
+            raise BookLeafError(f"Riemann state needs p >= 0, got {self.p}")
+
+    def sound_speed(self, gamma: float) -> float:
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def _branch(p: float, state: RiemannState, gamma: float) -> Tuple[float, float]:
+    """f(p, state) and f'(p, state) for one side of the contact.
+
+    Shock branch for p > p_k, rarefaction branch otherwise (Toro eqs
+    4.6–4.7 and derivatives).
+    """
+    rho_k, p_k = state.rho, state.p
+    c_k = state.sound_speed(gamma)
+    if p > p_k:  # shock
+        a = 2.0 / ((gamma + 1.0) * rho_k)
+        b = (gamma - 1.0) / (gamma + 1.0) * p_k
+        root = np.sqrt(a / (p + b))
+        f = (p - p_k) * root
+        df = root * (1.0 - 0.5 * (p - p_k) / (p + b))
+    else:  # rarefaction
+        f = (2.0 * c_k / (gamma - 1.0)) * (
+            (p / p_k) ** ((gamma - 1.0) / (2.0 * gamma)) - 1.0
+        )
+        df = (1.0 / (rho_k * c_k)) * (p / p_k) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return float(f), float(df)
+
+
+def solve_star(left: RiemannState, right: RiemannState, gamma: float,
+               tol: float = 1.0e-12, max_iter: int = 200
+               ) -> Tuple[float, float]:
+    """Star-region pressure and velocity ``(p*, u*)``.
+
+    Newton–Raphson with a positivity-preserving floor; raises if the
+    states produce vacuum (Δu too large).
+    """
+    c_l = left.sound_speed(gamma)
+    c_r = right.sound_speed(gamma)
+    du = right.u - left.u
+    if (2.0 / (gamma - 1.0)) * (c_l + c_r) <= du:
+        raise BookLeafError("Riemann problem generates vacuum")
+    # Two-rarefaction initial guess is robust for all shipped problems.
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p = (
+        (c_l + c_r - 0.5 * (gamma - 1.0) * du)
+        / (c_l / max(left.p, 1e-300) ** z + c_r / max(right.p, 1e-300) ** z)
+    ) ** (1.0 / z)
+    p = max(p, 1e-14)
+    for _ in range(max_iter):
+        f_l, df_l = _branch(p, left, gamma)
+        f_r, df_r = _branch(p, right, gamma)
+        g = f_l + f_r + du
+        dp = g / (df_l + df_r)
+        p_new = max(p - dp, 1e-14 * p)
+        if abs(p_new - p) <= tol * max(p, p_new):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _branch(p, left, gamma)
+    f_r, _ = _branch(p, right, gamma)
+    u = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+    return float(p), float(u)
+
+
+@dataclass(frozen=True)
+class RiemannSolution:
+    """The self-similar solution; sample with ``xi = (x − x0)/t``."""
+
+    left: RiemannState
+    right: RiemannState
+    gamma: float
+    p_star: float
+    u_star: float
+
+    def sample(self, xi: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Primitive variables (ρ, u, p) on the similarity coordinate."""
+        xi = np.asarray(xi, dtype=np.float64)
+        rho = np.empty_like(xi)
+        u = np.empty_like(xi)
+        p = np.empty_like(xi)
+        g = self.gamma
+        gm1, gp1 = g - 1.0, g + 1.0
+        ps, us = self.p_star, self.u_star
+
+        left_side = xi <= us
+        for side, mask in (("L", left_side), ("R", ~left_side)):
+            if not mask.any():
+                continue
+            state = self.left if side == "L" else self.right
+            sgn = 1.0 if side == "L" else -1.0
+            c_k = state.sound_speed(g)
+            x = xi[mask]
+            if ps > state.p:  # shock on this side
+                ratio = ps / state.p
+                s = state.u - sgn * c_k * np.sqrt(
+                    (gp1 * ratio + gm1) / (2.0 * g)
+                )
+                ahead = sgn * (x - s) < 0.0
+                rho_star = state.rho * (ratio + gm1 / gp1) / (gm1 / gp1 * ratio + 1.0)
+                rho[mask] = np.where(ahead, state.rho, rho_star)
+                u[mask] = np.where(ahead, state.u, us)
+                p[mask] = np.where(ahead, state.p, ps)
+            else:  # rarefaction
+                c_star = c_k * (ps / state.p) ** (gm1 / (2.0 * g))
+                head = state.u - sgn * c_k
+                tail = us - sgn * c_star
+                ahead = sgn * (x - head) < 0.0
+                inside = ~ahead & (sgn * (x - tail) < 0.0)
+                # ahead: undisturbed state; behind tail: star state.
+                rho_fan = state.rho * (
+                    2.0 / gp1 + sgn * gm1 / (gp1 * c_k) * (state.u - x)
+                ) ** (2.0 / gm1)
+                u_fan = 2.0 / gp1 * (sgn * c_k + gm1 / 2.0 * state.u + x)
+                p_fan = state.p * (
+                    2.0 / gp1 + sgn * gm1 / (gp1 * c_k) * (state.u - x)
+                ) ** (2.0 * g / gm1)
+                rho_star = state.rho * (ps / state.p) ** (1.0 / g)
+                rho[mask] = np.where(ahead, state.rho,
+                                     np.where(inside, rho_fan, rho_star))
+                u[mask] = np.where(ahead, state.u, np.where(inside, u_fan, us))
+                p[mask] = np.where(ahead, state.p, np.where(inside, p_fan, ps))
+        return rho, u, p
+
+
+def solve_riemann(left: RiemannState, right: RiemannState,
+                  gamma: float) -> RiemannSolution:
+    """Solve the Riemann problem between ``left`` and ``right``."""
+    p_star, u_star = solve_star(left, right, gamma)
+    return RiemannSolution(left, right, gamma, p_star, u_star)
+
+
+def sod_solution(gamma: float = 1.4) -> RiemannSolution:
+    """The canonical Sod states (ρ, u, p) = (1, 0, 1) | (0.125, 0, 0.1)."""
+    return solve_riemann(
+        RiemannState(1.0, 0.0, 1.0), RiemannState(0.125, 0.0, 0.1), gamma
+    )

@@ -1,0 +1,52 @@
+"""Exact solution of the Saltzmann piston problem.
+
+A piston advancing at speed ``u_p`` into a cold (p ≈ 0) ideal gas
+drives a single strong shock.  The Rankine–Hugoniot relations in the
+strong-shock limit give
+
+    shock speed      D     = u_p (γ+1)/2          (= 4/3 for γ = 5/3)
+    post-shock ρ     ρ1    = ρ0 (γ+1)/(γ−1)       (= 4)
+    post-shock u     u1    = u_p
+    post-shock p     p1    = ρ0 D u_p = ρ0 u_p² (γ+1)/2
+    post-shock e     e1    = u_p²/2
+
+Between the piston face (x = u_p t) and the shock (x = D t) the state
+is uniform; ahead of the shock the gas is undisturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+GAMMA_DEFAULT = 5.0 / 3.0
+
+
+def shock_position(t: float, gamma: float = GAMMA_DEFAULT,
+                   u_p: float = 1.0) -> float:
+    """Shock location at time ``t`` (piston starts at x = 0)."""
+    return 0.5 * (gamma + 1.0) * u_p * t
+
+
+def post_shock_state(gamma: float = GAMMA_DEFAULT, rho0: float = 1.0,
+                     u_p: float = 1.0) -> Tuple[float, float, float, float]:
+    """(ρ1, u1, p1, e1) behind the shock."""
+    rho1 = rho0 * (gamma + 1.0) / (gamma - 1.0)
+    p1 = 0.5 * rho0 * u_p * u_p * (gamma + 1.0)
+    e1 = 0.5 * u_p * u_p
+    return rho1, u_p, p1, e1
+
+
+def solution(x: np.ndarray, t: float, gamma: float = GAMMA_DEFAULT,
+             rho0: float = 1.0, u_p: float = 1.0, e0: float = 0.0
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ρ, u, e) at positions ``x`` (lab frame) and time ``t``."""
+    x = np.asarray(x, dtype=np.float64)
+    xs = shock_position(t, gamma, u_p)
+    rho1, u1, _, e1 = post_shock_state(gamma, rho0, u_p)
+    behind = x < xs
+    rho = np.where(behind, rho1, rho0)
+    u = np.where(behind, u1, 0.0)
+    e = np.where(behind, e1, e0)
+    return rho, u, e

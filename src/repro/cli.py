@@ -1,0 +1,252 @@
+"""Command-line front end — run the mini-app like the Fortran binary.
+
+Usage (installed as ``bookleaf``, or ``python -m repro``)::
+
+    bookleaf run sod.in                 # run a deck file
+    bookleaf run --problem noh --nx 100 # run a bundled problem
+    bookleaf run sod.in --ranks 4       # decomposed (virtual-MPI) run
+    bookleaf decks                      # list bundled decks
+    bookleaf info                       # platform/model registry
+
+Prints the BookLeaf-style per-kernel timer breakdown at the end of
+every run, and optionally a VTK dump and a time-history CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .output.timehist import TimeHistory
+from .output.vtk import write_vtk
+from .problems import deck_path, load_problem, problem_names, setup_from_deck
+from .utils.log import StepLogger
+from .utils.timers import TimerRegistry
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bookleaf",
+        description="BookLeaf reproduction: 2-D unstructured ALE hydro",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a deck or a bundled problem")
+    run.add_argument("deck", nargs="?", help="input deck path")
+    run.add_argument("--problem", choices=problem_names(),
+                     help="bundled problem instead of a deck")
+    run.add_argument("--nx", type=int, help="mesh cells in x")
+    run.add_argument("--ny", type=int, help="mesh cells in y")
+    run.add_argument("--time-end", type=float, dest="time_end")
+    run.add_argument("--ranks", type=int, default=1,
+                     help="virtual MPI ranks (simulated Typhon)")
+    run.add_argument("--partition", choices=("rcb", "spectral"),
+                     default="rcb")
+    run.add_argument("--max-steps", type=int, dest="max_steps")
+    run.add_argument("--log-every", type=int, default=0,
+                     help="print a step banner every N steps")
+    run.add_argument("--vtk", help="write a final-state VTK dump here")
+    run.add_argument("--history", help="write a time-history CSV here")
+
+    sub.add_parser("decks", help="list the bundled input decks")
+    sub.add_parser("info", help="show the modelled platform registry")
+
+    model = sub.add_parser(
+        "model", help="print a modelled table/figure from the paper"
+    )
+    model.add_argument(
+        "report",
+        choices=("table1", "table2", "fig1", "fig2a", "fig2b",
+                 "fig3", "fig4a", "fig4b", "ablations"),
+        help="which evaluation artefact to regenerate",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="run a mesh-convergence ladder against the exact solution",
+    )
+    validate.add_argument("problem", choices=("sod", "noh"),
+                          help="problem with an analytic reference")
+    validate.add_argument("--resolutions", default="25,50,100",
+                          help="comma-separated nx ladder")
+    validate.add_argument("--time-end", type=float, dest="time_end")
+    return parser
+
+
+def _validate(args: argparse.Namespace) -> int:
+    from .validation import (
+        convergence_study,
+        noh_density_error,
+        sod_density_error,
+    )
+
+    resolutions = [int(tok) for tok in args.resolutions.split(",")]
+    kwargs = {}
+    if args.time_end is not None:
+        kwargs["time_end"] = args.time_end
+    if args.problem == "sod":
+        study = convergence_study("sod", resolutions, sod_density_error,
+                                  ny=2, **kwargs)
+    else:
+        study = convergence_study("noh", resolutions, noh_density_error,
+                                  **kwargs)
+    print(study.table())
+    converged = all(b < a for a, b in zip(study.errors, study.errors[1:]))
+    print("converging" if converged else "NOT converging")
+    return 0 if converged else 1
+
+
+def _model_report(which: str) -> str:
+    from .perfmodel import (
+        PAPER_TABLE2,
+        TABLE2_ORDER,
+        format_ablations,
+        format_bars,
+        format_scaling,
+        format_table1,
+        format_table2,
+        scaling_series,
+        table2,
+    )
+
+    if which == "table1":
+        return format_table1()
+    if which == "ablations":
+        return format_ablations()
+    model = table2()
+    if which == "table2":
+        return format_table2(model)
+    if which == "fig1":
+        return format_bars(
+            "FIG 1: Overall performance, Noh, single node (model)",
+            {k: model[k]["overall"] for k in TABLE2_ORDER},
+            paper={k: PAPER_TABLE2[k]["overall"] for k in TABLE2_ORDER},
+        )
+    if which in ("fig2a", "fig2b"):
+        kernel = "viscosity" if which == "fig2a" else "acceleration"
+        return format_bars(
+            f"FIG {which[-2:]}: {kernel} kernel, Noh, single node (model)",
+            {k: model[k][kernel] for k in TABLE2_ORDER},
+            paper={k: PAPER_TABLE2[k][kernel] for k in TABLE2_ORDER},
+        )
+    kernel = None
+    if which == "fig4a":
+        kernel = "viscosity"
+    elif which == "fig4b":
+        kernel = "acceleration"
+    title = (f"FIG {which[-2:]}: "
+             + (f"{kernel} kernel " if kernel else "")
+             + "Sod strong scaling, hybrid (model)")
+    return format_scaling(title, {
+        "Skylake": scaling_series("skylake_hybrid", kernel=kernel),
+        "Broadwell": scaling_series("broadwell_hybrid", kernel=kernel),
+    })
+
+
+def _run(args: argparse.Namespace) -> int:
+    if args.deck and args.problem:
+        print("give either a deck or --problem, not both", file=sys.stderr)
+        return 2
+    if args.deck:
+        setup = setup_from_deck(args.deck)
+        overrides = {}
+        if args.time_end is not None:
+            overrides["time_end"] = args.time_end
+        if overrides:
+            setup.controls = setup.controls.with_(**overrides)
+        if args.nx or args.ny:
+            print("--nx/--ny apply to --problem runs; set them in the deck",
+                  file=sys.stderr)
+            return 2
+    elif args.problem:
+        kwargs = {}
+        if args.nx:
+            kwargs["nx"] = args.nx
+        if args.ny:
+            kwargs["ny"] = args.ny
+        if args.time_end is not None:
+            kwargs["time_end"] = args.time_end
+        setup = load_problem(args.problem, **kwargs)
+    else:
+        print("nothing to run: give a deck path or --problem",
+              file=sys.stderr)
+        return 2
+
+    timers = TimerRegistry()
+    start = time.perf_counter()
+    if args.ranks > 1:
+        from .parallel import DistributedHydro
+
+        driver = DistributedHydro(setup, args.ranks, method=args.partition)
+        driver.run(max_steps=args.max_steps)
+        hydro = driver.hydros[0]
+        timers = driver.merged_timers()
+        final = driver.gather()
+        print(f"ranks: {args.ranks} ({args.partition}); "
+              f"comm: {driver.comm_summary()}")
+    else:
+        hydro = setup.make_hydro(
+            timers=timers, logger=StepLogger(every=args.log_every)
+        )
+        history = TimeHistory(every=max(args.log_every, 1))
+        if args.history:
+            hydro.observers.append(history)
+        hydro.run(max_steps=args.max_steps)
+        final = hydro.state
+        if args.history:
+            history.write_csv(args.history)
+            print(f"wrote time history to {args.history}")
+    wall = time.perf_counter() - start
+
+    print(f"problem {setup.name}: {hydro.nstep} steps to "
+          f"t={hydro.time:.6g} in {wall:.2f}s")
+    print(f"mass={final.total_mass():.9g} "
+          f"total_energy={final.total_energy():.9g} "
+          f"rho_max={float(final.rho.max()):.4g}")
+    print()
+    print(timers.breakdown())
+    if args.vtk:
+        write_vtk(final, args.vtk, title=f"bookleaf {setup.name}")
+        print(f"wrote VTK dump to {args.vtk}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _dispatch(_build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`) — exit quietly
+        # the way well-behaved Unix tools do.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "run":
+        return _run(args)
+    if args.command == "decks":
+        for name in problem_names():
+            print(f"{name:<12} {deck_path(name)}")
+        return 0
+    if args.command == "info":
+        from .perfmodel import format_table1
+
+        print(format_table1())
+        return 0
+    if args.command == "model":
+        print(_model_report(args.report))
+        return 0
+    if args.command == "validate":
+        return _validate(args)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

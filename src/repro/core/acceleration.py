@@ -1,0 +1,56 @@
+"""Nodal acceleration and velocity update — BookLeaf's ``getacc``.
+
+Scatter-assembles the corner forces onto nodes, divides by the nodal
+(corner-sum) mass, applies the kinematic boundary conditions and
+advances the velocity:
+
+    a_n      = (Σ_corners F) / m_n
+    u^{n+1}  = u^n + dt a_n
+    ū        = ½ (u^n + u^{n+1})
+
+The time-centred ū is returned for the mesh move and the compatible
+energy update.  This kernel is the one the paper singles out as having
+a data dependency that defeats OpenMP threading (the scatter-assembly
+race); in numpy the scatter is a ``bincount`` and the whole kernel is
+a few vector operations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .comms import SerialComms
+from .state import HydroState
+
+
+def getacc(state: HydroState, fx: np.ndarray, fy: np.ndarray, dt: float,
+           comms=None
+           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Advance nodal velocities by ``dt`` under corner forces ``fx, fy``.
+
+    Returns ``(u_new, v_new, u_bar, v_bar)``.  The state's velocity
+    arrays are *not* modified — the caller (``lagstep``) commits them,
+    keeping this kernel side-effect free and independently testable.
+
+    With a ``comms`` object, the partial nodal force/mass sums of
+    shared interface nodes are completed across domains before the
+    divide — BookLeaf's second communication point.
+    """
+    if comms is None:
+        comms = SerialComms()
+    node_fx, node_fy, mass = comms.assemble_node_sums(state, fx, fy)
+    # Ghost-only nodes of a decomposed run have zero completed mass
+    # (their sums live on other ranks); guard the divide — their values
+    # are overwritten by the next kinematic exchange.
+    safe_mass = np.where(mass > 0.0, mass, 1.0)
+    ax = np.where(mass > 0.0, node_fx / safe_mass, 0.0)
+    ay = np.where(mass > 0.0, node_fy / safe_mass, 0.0)
+    state.bc.apply_acceleration(ax, ay)
+    u_new = state.u + dt * ax
+    v_new = state.v + dt * ay
+    state.bc.apply_velocity(u_new, v_new)
+    u_bar = 0.5 * (state.u + u_new)
+    v_bar = 0.5 * (state.v + v_new)
+    return u_new, v_new, u_bar, v_bar

@@ -1,0 +1,108 @@
+"""Numerical control parameters (BookLeaf's global constants namelist).
+
+One dataclass holds every tunable of the scheme: timestep safety
+factors, artificial-viscosity coefficients, hourglass-control switches
+and the ALE options.  Defaults follow the BookLeaf reference inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..utils.deck import Deck
+from ..utils.errors import DeckError
+
+
+@dataclass
+class HydroControls:
+    """Every numerical knob of the hydro scheme."""
+
+    # --- time integration -------------------------------------------------
+    time_start: float = 0.0
+    time_end: float = 0.25
+    dt_initial: float = 1.0e-5
+    dt_min: float = 1.0e-12
+    dt_max: float = 1.0e-1
+    dt_growth: float = 1.02      #: max dt ratio between consecutive steps
+    cfl_safety: float = 0.5      #: CFL safety factor (BookLeaf cfl_sf)
+    div_safety: float = 0.25     #: volume-change limiter (BookLeaf div_sf)
+    max_steps: int = 10_000_000
+
+    # --- artificial viscosity (Caramana-Shashkov-Whalen) ------------------
+    cq1: float = 0.5             #: linear coefficient (cl)
+    cq2: float = 0.75            #: quadratic coefficient (cq)
+    use_limiter: bool = True     #: Christiansen limiter on/off
+    #: 'edge' (CSW, the BookLeaf reference form) or 'bulk'
+    #: (von Neumann-Richtmyer cell-centred scalar)
+    viscosity_form: str = "edge"
+
+    # --- hourglass control -------------------------------------------------
+    #: sub-zonal pressure strength (Caramana & Shashkov); 0 disables
+    subzonal_kappa: float = 0.0
+    #: Hancock-style hourglass velocity filter strength; 0 disables
+    filter_kappa: float = 0.0
+
+    # --- cutoffs ------------------------------------------------------------
+    pcut: float = 1.0e-8         #: pressure snap-to-zero threshold
+    ccut: float = 1.0e-9         #: sound-speed^2 floor
+    dencut: float = 1.0e-6       #: density floor guard
+    zcut: float = 1.0e-40        #: generic zero cutoff
+
+    # --- ALE ------------------------------------------------------------
+    ale_on: bool = False
+    #: remap every N Lagrangian steps
+    ale_every: int = 1
+    #: 'eulerian' (back to initial mesh) or 'relax' (Winslow-type smoothing)
+    ale_mode: str = "eulerian"
+    #: under-relaxation factor for 'relax' mode mesh motion
+    ale_relax: float = 0.25
+
+    def validated(self) -> "HydroControls":
+        """Raise :class:`DeckError` on inconsistent settings; returns self."""
+        if self.time_end <= self.time_start:
+            raise DeckError("time_end must exceed time_start")
+        if not (0.0 < self.cfl_safety <= 1.0):
+            raise DeckError(f"cfl_safety must be in (0, 1], got {self.cfl_safety}")
+        if self.dt_initial <= 0.0 or self.dt_min <= 0.0 or self.dt_max <= 0.0:
+            raise DeckError("dt_initial, dt_min, dt_max must be positive")
+        if self.dt_growth < 1.0:
+            raise DeckError("dt_growth must be >= 1")
+        if self.cq1 < 0.0 or self.cq2 < 0.0:
+            raise DeckError("viscosity coefficients must be non-negative")
+        if self.viscosity_form not in ("edge", "bulk"):
+            raise DeckError(
+                f"unknown viscosity_form {self.viscosity_form!r}"
+            )
+        if self.ale_mode not in ("eulerian", "relax"):
+            raise DeckError(f"unknown ale_mode {self.ale_mode!r}")
+        if self.ale_every < 1:
+            raise DeckError("ale_every must be >= 1")
+        return self
+
+    def with_(self, **kwargs) -> "HydroControls":
+        """Functional update (``controls.with_(cfl_safety=0.3)``)."""
+        return replace(self, **kwargs).validated()
+
+
+def controls_from_deck(deck: Deck) -> HydroControls:
+    """Build controls from the ``[CONTROL]`` and ``[ALE]`` deck sections."""
+    control = deck.section("CONTROL")
+    ale = deck.optional("ALE")
+    base = HydroControls()
+    kwargs = {}
+    for key in (
+        "time_start", "time_end", "dt_initial", "dt_min", "dt_max",
+        "dt_growth", "cfl_safety", "div_safety", "max_steps", "cq1", "cq2",
+        "use_limiter", "viscosity_form", "subzonal_kappa", "filter_kappa",
+        "pcut", "ccut", "dencut", "zcut",
+    ):
+        if key in control:
+            kwargs[key] = control.get(key)
+    for key, name in (
+        ("ale_on", "on"), ("ale_every", "every"),
+        ("ale_mode", "mode"), ("ale_relax", "relax"),
+    ):
+        if name in ale:
+            kwargs[key] = ale.get(name)
+    return replace(base, **kwargs).validated()

@@ -1,0 +1,20 @@
+"""Density from mass conservation — BookLeaf's ``getrho``.
+
+During the Lagrangian phase cell masses are constant, so the continuity
+equation is solved exactly by ``ρ = m_c / V_c`` on the moved geometry.
+A density floor (``dencut``) guards against pathological states in
+near-void cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def getrho(cell_mass: np.ndarray, volume: np.ndarray,
+           dencut: float = 0.0) -> np.ndarray:
+    """Cell density from fixed mass and current volume."""
+    rho = cell_mass / volume
+    if dencut > 0.0:
+        np.maximum(rho, dencut, out=rho)
+    return rho

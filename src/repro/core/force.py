@@ -1,0 +1,71 @@
+"""Corner-force assembly — BookLeaf's ``getforce`` kernel.
+
+Everything that accelerates nodes is expressed as *corner forces*: an
+(ncell, 4) pair of arrays giving the force each cell exerts on each of
+its corners.  The compatible discretisation (Barlow 2008; paper Section
+III-A) then uses the same corner forces twice — scattered to nodes for
+the momentum equation (``getacc``) and dotted with nodal velocities for
+the internal-energy equation (``getein``) — which is what makes total
+energy conservation exact to round-off.
+
+Contributions:
+
+* cell pressure:   ``F_i = p ∂V/∂x_i``,
+* artificial viscosity: the edge corner forces computed by ``getq``
+  (a *separate* kernel, as in the paper's Algorithm 1 — ``getq`` is
+  timed on its own and is the dominant cost in Table II),
+* hourglass control: :mod:`repro.core.hourglass` (both remedies
+  optional via the controls).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..mesh.topology import QuadMesh
+from . import geometry, hourglass
+from .controls import HydroControls
+
+
+def pressure_forces(cx: np.ndarray, cy: np.ndarray, p: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Corner forces from a piecewise-constant cell pressure."""
+    dvdx, dvdy = geometry.volume_gradients(cx, cy)
+    return p[:, None] * dvdx, p[:, None] * dvdy
+
+
+def getforce(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
+             u: np.ndarray, v: np.ndarray,
+             p: np.ndarray, rho: np.ndarray, cs2: np.ndarray,
+             fqx: np.ndarray, fqy: np.ndarray,
+             corner_mass: np.ndarray, corner_volume: np.ndarray,
+             volume: np.ndarray,
+             controls: HydroControls
+             ) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble all corner forces at the given geometry and velocities.
+
+    ``fqx, fqy`` are the viscous corner forces from a preceding ``getq``
+    call.  Returns ``(fx, fy)``, each (ncell, 4).
+    """
+    fx, fy = pressure_forces(cx, cy, p)
+    fx += fqx
+    fy += fqy
+
+    if controls.subzonal_kappa > 0.0:
+        sx, sy = hourglass.subzonal_pressure_forces(
+            cx, cy, corner_mass, corner_volume, rho, cs2,
+            controls.subzonal_kappa,
+        )
+        fx += sx
+        fy += sy
+    if controls.filter_kappa > 0.0:
+        cu = u[mesh.cell_nodes]
+        cv = v[mesh.cell_nodes]
+        hx, hy = hourglass.hourglass_filter_forces(
+            cu, cv, rho, cs2, volume, controls.filter_kappa
+        )
+        fx += hx
+        fy += hy
+    return fx, fy

@@ -1,0 +1,70 @@
+"""Hourglass-mode control (paper Section III-A).
+
+A staggered quad mesh supports eight kinematic degrees of freedom but
+the physics only has six; the two spurious "hourglass" (zero-energy)
+modes must be suppressed.  BookLeaf implements both standard remedies
+and so do we:
+
+* **Sub-zonal pressures** (Caramana & Shashkov, JCP 142, 1998): the
+  fixed corner masses define corner densities; when hourglass motion
+  distorts corner volumes at constant cell volume, corner densities
+  deviate from the cell density and the resulting pressure
+  perturbations ``δp_i = κ c_s² (ρ_i^z − ρ_c)`` push back through the
+  subzone volume gradients.  Because each subzone's gradients sum to
+  zero over the cell's nodes, these forces conserve momentum exactly.
+
+* **Hourglass filter** (after Hancock, PISCES 2DELK): a viscous damping
+  force proportional to the hourglass velocity amplitude
+  ``h = ¼ Σ Γ_i u_i`` with the mode vector Γ = (1, −1, 1, −1):
+  ``F_i = −κ ρ c_s sqrt(V) Γ_i h``.  The Γ pattern is orthogonal to
+  translation and linear deformation, so the filter leaves physical
+  motion untouched, conserves momentum (Σ Γ = 0) and strictly
+  dissipates (the work rate is ``−4 κ ρ c_s sqrt(V) |h|² ≤ 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from . import geometry
+
+
+def subzonal_pressure_forces(cx: np.ndarray, cy: np.ndarray,
+                             corner_mass: np.ndarray,
+                             corner_volume: np.ndarray,
+                             rho: np.ndarray, cs2: np.ndarray,
+                             kappa: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Corner forces (ncell, 4) from the sub-zonal pressure deviations."""
+    rho_z = corner_mass / np.maximum(corner_volume, 1e-300)
+    dp = kappa * cs2[:, None] * (rho_z - rho[:, None])   # (ncell, 4) per subzone i
+    gradx, grady = geometry.subzone_volume_gradients(cx, cy)
+    # F_j = Σ_i δp_i ∂V_i/∂x_j  — contract over the subzone axis.
+    fx = np.einsum("ci,cij->cj", dp, gradx)
+    fy = np.einsum("ci,cij->cj", dp, grady)
+    return fx, fy
+
+
+#: the hourglass mode pattern on a quad's corners
+GAMMA = np.array([1.0, -1.0, 1.0, -1.0])
+
+
+def hourglass_filter_forces(cu: np.ndarray, cv: np.ndarray,
+                            rho: np.ndarray, cs2: np.ndarray,
+                            volume: np.ndarray,
+                            kappa: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Hancock-style damping forces (ncell, 4) on the corner velocities."""
+    hu = 0.25 * (cu @ GAMMA)                 # hourglass amplitudes (ncell,)
+    hv = 0.25 * (cv @ GAMMA)
+    coeff = kappa * rho * np.sqrt(cs2) * np.sqrt(np.maximum(volume, 0.0))
+    fx = -(coeff * hu)[:, None] * GAMMA[None, :]
+    fy = -(coeff * hv)[:, None] * GAMMA[None, :]
+    return fx, fy
+
+
+def hourglass_amplitude(cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
+    """Diagnostic |hourglass velocity| per cell (for tests/monitoring)."""
+    hu = 0.25 * (cu @ GAMMA)
+    hv = 0.25 * (cv @ GAMMA)
+    return np.hypot(hu, hv)

@@ -1,0 +1,145 @@
+"""The hydro driver — BookLeaf's main loop (Algorithm 1).
+
+:class:`Hydro` owns a state, a material table and the controls, and
+advances time with the predictor–corrector Lagrangian step plus the
+optional ALE remap:
+
+    loop:
+        dt <- getdt()            (initial dt on the first step)
+        lagstep(dt)
+        if remap due: alestep()
+
+Per-kernel timers accumulate across the run so ``timers.breakdown()``
+prints the Table II-style summary at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..eos.multimaterial import MaterialTable
+from ..utils.log import StepLogger
+from ..utils.timers import TimerRegistry
+from .comms import SerialComms
+from .controls import HydroControls
+from .lagstep import lagstep
+from .state import HydroState
+from .timestep import getdt
+
+
+class Hydro:
+    """Time-marches one hydro problem to completion.
+
+    Parameters
+    ----------
+    state:
+        The initial :class:`HydroState` (consumed and advanced in place).
+    table:
+        Material table providing ``getpc``.
+    controls:
+        Numerical controls, including the ALE options.
+    timers, logger, comms:
+        Optional instrumentation and the communication seam; defaults
+        are serial and quiet.
+    remapper:
+        Optional ALE remap object with an ``apply(state, dt)`` method;
+        constructed automatically from the controls when ``ale_on``.
+    """
+
+    def __init__(self, state: HydroState, table: MaterialTable,
+                 controls: HydroControls,
+                 timers: Optional[TimerRegistry] = None,
+                 logger: Optional[StepLogger] = None,
+                 comms=None,
+                 remapper=None):
+        self.state = state
+        self.table = table
+        self.controls = controls.validated()
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.logger = logger if logger is not None else StepLogger(every=0)
+        self.comms = comms if comms is not None else SerialComms()
+        self.time = controls.time_start
+        self.nstep = 0
+        self.dt = controls.dt_initial
+        self.dt_reason = "initial"
+        self.dt_cell = -1
+        self.gamma = table.gamma_like(state.mat)
+        if remapper is None and controls.ale_on:
+            # Imported here to avoid a core <-> ale import cycle.
+            from ..ale.driver import AleStep
+
+            remapper = AleStep.from_controls(state, controls, table)
+        self.remapper = remapper
+        #: callbacks invoked after every step with (hydro,) — used by
+        #: time-history output and tests
+        self.observers: List[Callable[["Hydro"], None]] = []
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """True once the simulation reached ``time_end``."""
+        eps = 1e-12 * max(1.0, abs(self.controls.time_end))
+        return self.time >= self.controls.time_end - eps
+
+    def step(self) -> float:
+        """Advance one timestep; returns the dt taken."""
+        controls = self.controls
+        if self.nstep == 0:
+            remaining = controls.time_end - self.time
+            self.dt = min(controls.dt_initial, remaining)
+            self.dt_reason, self.dt_cell = "initial", -1
+        else:
+            with self.timers.region("getdt"):
+                self.dt, self.dt_reason, self.dt_cell = getdt(
+                    self.state, controls, self.dt, self.time, comms=self.comms
+                )
+
+        lagstep(
+            self.state, self.table, controls, self.dt, self.timers,
+            self.gamma, comms=self.comms, time=self.time,
+        )
+
+        if (self.remapper is not None
+                and (self.nstep + 1) % controls.ale_every == 0):
+            with self.timers.region("alestep"):
+                self.remapper.apply(self.state, self.dt, self.timers,
+                                    comms=self.comms)
+
+        self.time += self.dt
+        self.nstep += 1
+        self.logger.step(self.nstep, self.time, self.dt,
+                         self.dt_reason, self.dt_cell)
+        for observer in self.observers:
+            observer(self)
+        return self.dt
+
+    def run(self, max_steps: Optional[int] = None) -> int:
+        """March to ``time_end``; returns the number of steps taken."""
+        limit = max_steps if max_steps is not None else self.controls.max_steps
+        start = self.nstep
+        while not self.done():
+            if self.nstep - start >= limit:
+                break
+            self.step()
+        return self.nstep - start
+
+    # ------------------------------------------------------------------
+    def diagnostics(self) -> dict:
+        """Conservation and extrema summary for logging and tests."""
+        state = self.state
+        momentum = state.momentum()
+        return {
+            "time": self.time,
+            "nstep": self.nstep,
+            "dt": self.dt,
+            "mass": state.total_mass(),
+            "internal_energy": state.internal_energy(),
+            "kinetic_energy": state.kinetic_energy(),
+            "total_energy": state.total_energy(),
+            "momentum_x": float(momentum[0]),
+            "momentum_y": float(momentum[1]),
+            "rho_max": float(state.rho.max()),
+            "rho_min": float(state.rho.min()),
+            "p_max": float(state.p.max()),
+        }

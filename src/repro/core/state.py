@@ -1,0 +1,178 @@
+"""The staggered-mesh hydrodynamic state.
+
+BookLeaf's discretisation (paper Section III-A) centres thermodynamic
+variables (ρ, e, p, q, c²) in cells and kinematic variables (x, u) on
+nodes.  Masses are the conserved bookkeeping: a fixed cell mass plus
+fixed corner (sub-zonal) masses during the Lagrangian phase; the nodal
+mass used by the momentum equation is the scatter-sum of the corner
+masses around each node.
+
+:class:`HydroState` owns all of these arrays plus the scatter helper
+(node assembly is the only gather/scatter primitive the kernels need).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..eos.multimaterial import MaterialTable
+from ..mesh.boundary import BoundaryConditions
+from ..mesh.topology import QuadMesh
+from ..utils.errors import MeshError
+from . import geometry
+
+
+@dataclass
+class HydroState:
+    """All evolving fields of one (serial or per-rank) hydro domain."""
+
+    mesh: QuadMesh
+    # nodal kinematics
+    x: np.ndarray
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    # cell thermodynamics
+    rho: np.ndarray
+    e: np.ndarray
+    p: np.ndarray
+    cs2: np.ndarray
+    q: np.ndarray
+    mat: np.ndarray
+    # masses (fixed during the Lagrangian phase)
+    cell_mass: np.ndarray
+    corner_mass: np.ndarray
+    # geometry caches (refreshed by getgeom)
+    volume: np.ndarray
+    corner_volume: np.ndarray
+    bc: BoundaryConditions = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.bc is None:
+            self.bc = BoundaryConditions.free(self.mesh.nnode)
+        nnode, ncell = self.mesh.nnode, self.mesh.ncell
+        for name, arr, size in (
+            ("x", self.x, nnode), ("y", self.y, nnode),
+            ("u", self.u, nnode), ("v", self.v, nnode),
+            ("rho", self.rho, ncell), ("e", self.e, ncell),
+            ("p", self.p, ncell), ("cs2", self.cs2, ncell),
+            ("q", self.q, ncell), ("mat", self.mat, ncell),
+            ("cell_mass", self.cell_mass, ncell),
+            ("volume", self.volume, ncell),
+        ):
+            if arr.shape != (size,):
+                raise MeshError(f"state field {name} has shape {arr.shape}, "
+                                f"expected ({size},)")
+        if self.corner_mass.shape != (ncell, 4):
+            raise MeshError("corner_mass must have shape (ncell, 4)")
+        if self.corner_volume.shape != (ncell, 4):
+            raise MeshError("corner_volume must have shape (ncell, 4)")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_initial(cls, mesh: QuadMesh, table: MaterialTable,
+                     rho: np.ndarray, e: np.ndarray,
+                     mat: Optional[np.ndarray] = None,
+                     u: Optional[np.ndarray] = None,
+                     v: Optional[np.ndarray] = None,
+                     bc: Optional[BoundaryConditions] = None) -> "HydroState":
+        """Build a consistent state from ρ, e (and optional u, v, mat).
+
+        Masses are set from the initial geometry (cell mass = ρV, corner
+        masses = ρ × corner volume, i.e. uniform sub-zonal density), and
+        p/c² are initialised through the EoS.
+        """
+        ncell, nnode = mesh.ncell, mesh.nnode
+        rho = np.ascontiguousarray(rho, dtype=np.float64)
+        e = np.ascontiguousarray(e, dtype=np.float64)
+        mat = (np.zeros(ncell, dtype=np.int64) if mat is None
+               else np.ascontiguousarray(mat, dtype=np.int64))
+        x = mesh.x.copy()
+        y = mesh.y.copy()
+        cx, cy, volume, cvol = geometry.getgeom(mesh, x, y)
+        state = cls(
+            mesh=mesh,
+            x=x, y=y,
+            u=np.zeros(nnode) if u is None else np.ascontiguousarray(u, dtype=np.float64),
+            v=np.zeros(nnode) if v is None else np.ascontiguousarray(v, dtype=np.float64),
+            rho=rho.copy(), e=e.copy(),
+            p=np.zeros(ncell), cs2=np.zeros(ncell), q=np.zeros(ncell),
+            mat=mat,
+            cell_mass=rho * volume,
+            corner_mass=rho[:, None] * cvol,
+            volume=volume,
+            corner_volume=cvol,
+            bc=bc,
+        )
+        state.p, state.cs2 = table.getpc(state.mat, state.rho, state.e)
+        state.bc.apply_velocity(state.u, state.v)
+        return state
+
+    # ------------------------------------------------------------------
+    # scatter / assembly primitives
+    # ------------------------------------------------------------------
+    def scatter_to_nodes(self, corner_field: np.ndarray) -> np.ndarray:
+        """Sum an (ncell, 4) corner field onto nodes -> (nnode,).
+
+        Implemented with ``bincount`` over the flattened connectivity,
+        which is the fastest pure-numpy scatter for repeated use.
+        """
+        return np.bincount(
+            self.mesh.cell_nodes.ravel(),
+            weights=corner_field.ravel(),
+            minlength=self.mesh.nnode,
+        )
+
+    def node_mass(self) -> np.ndarray:
+        """Nodal mass: scatter-sum of corner masses (always > 0)."""
+        return self.scatter_to_nodes(self.corner_mass)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy ``Σ ½ m_n |u_n|²`` on the nodal masses."""
+        mass = self.node_mass()
+        return float(0.5 * np.sum(mass * (self.u ** 2 + self.v ** 2)))
+
+    def internal_energy(self) -> float:
+        """Total internal energy ``Σ m_c e_c``."""
+        return float(np.sum(self.cell_mass * self.e))
+
+    def total_energy(self) -> float:
+        return self.kinetic_energy() + self.internal_energy()
+
+    def total_mass(self) -> float:
+        return float(self.cell_mass.sum())
+
+    def momentum(self) -> np.ndarray:
+        """Total momentum vector on the nodal masses."""
+        mass = self.node_mass()
+        return np.array([np.sum(mass * self.u), np.sum(mass * self.v)])
+
+    def refresh_geometry(self, time: Optional[float] = None) -> None:
+        """Recompute volume caches from the current coordinates."""
+        _, _, self.volume, self.corner_volume = geometry.getgeom(
+            self.mesh, self.x, self.y, time=time
+        )
+
+    def copy(self) -> "HydroState":
+        """Deep copy of all evolving arrays (mesh topology is shared)."""
+        return HydroState(
+            mesh=self.mesh,
+            x=self.x.copy(), y=self.y.copy(),
+            u=self.u.copy(), v=self.v.copy(),
+            rho=self.rho.copy(), e=self.e.copy(), p=self.p.copy(),
+            cs2=self.cs2.copy(), q=self.q.copy(), mat=self.mat.copy(),
+            cell_mass=self.cell_mass.copy(),
+            corner_mass=self.corner_mass.copy(),
+            volume=self.volume.copy(),
+            corner_volume=self.corner_volume.copy(),
+            bc=BoundaryConditions(self.bc.flags.copy(),
+                                  self.bc.ux.copy(), self.bc.uy.copy()),
+        )

@@ -1,0 +1,90 @@
+"""Timestep control — BookLeaf's ``getdt``.
+
+The explicit scheme needs a stable dt each step.  Four constraints
+compete and the reason (plus controlling cell) is reported, exactly as
+the Fortran code prints it:
+
+* ``cfl``    — acoustic CFL: ``dt = f_cfl · min_c l_c / c_eff`` with
+  ``c_eff² = c_s² + 2 q/ρ`` (the viscous correction keeps shocks
+  stable) and ``l_c`` the shortest cell dimension,
+* ``div``    — volume-change limit: ``dt = f_div / max_c |V̇/V|``,
+* ``growth`` — ``dt ≤ growth · dt_prev`` (smooth ramp-up),
+* ``max``    — the absolute cap; plus ``end`` when the remaining time
+  to ``time_end`` is shorter than everything else.
+
+In the distributed code this is the *single global reduction* per step
+the paper mentions: each rank computes its local minimum and the
+reduction takes the global one.  :func:`local_dt_candidates` exposes
+the per-rank part so the parallel driver can do exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..utils.errors import TimestepCollapseError
+from . import geometry
+from .controls import HydroControls
+from .state import HydroState
+
+Candidate = Tuple[float, str, int]
+
+
+def local_dt_candidates(state: HydroState, controls: HydroControls,
+                        mask: Optional[np.ndarray] = None
+                        ) -> List[Candidate]:
+    """CFL and divergence candidates ``(dt, reason, cell)`` for this domain.
+
+    ``mask`` restricts the reductions to owned cells in a decomposed
+    run (ghost cells carry locally-meaningless thermodynamics).
+    """
+    cx, cy = geometry.gather(state.mesh, state.x, state.y)
+    volume = state.volume
+
+    # CFL: l² / c_eff², with the viscous augmentation of the wave speed.
+    l_sq = geometry.cfl_length_sq(cx, cy, volume)
+    c_eff_sq = state.cs2 + 2.0 * state.q / np.maximum(state.rho, controls.dencut)
+    ratio = l_sq / np.maximum(c_eff_sq, controls.ccut)
+    if mask is not None:
+        ratio = np.where(mask, ratio, np.inf)
+    icfl = int(np.argmin(ratio))
+    dt_cfl = controls.cfl_safety * float(np.sqrt(ratio[icfl]))
+
+    # Volume-change rate: V̇ = Σ_i ∇_i V · u_i on current velocities.
+    dvdx, dvdy = geometry.volume_gradients(cx, cy)
+    cu = state.u[state.mesh.cell_nodes]
+    cv = state.v[state.mesh.cell_nodes]
+    vdot = np.einsum("ck,ck->c", dvdx, cu) + np.einsum("ck,ck->c", dvdy, cv)
+    rate = np.abs(vdot) / volume
+    if mask is not None:
+        rate = np.where(mask, rate, 0.0)
+    idiv = int(np.argmax(rate))
+    max_rate = float(rate[idiv])
+    dt_div = controls.div_safety / max_rate if max_rate > controls.zcut else np.inf
+
+    return [(dt_cfl, "cfl", icfl), (dt_div, "div", idiv)]
+
+
+def getdt(state: HydroState, controls: HydroControls,
+          dt_prev: float, time: float, comms=None) -> Candidate:
+    """Choose the next timestep; raises on collapse below ``dt_min``.
+
+    With a ``comms`` object the physics candidates are reduced globally
+    first (the one collective per step), then the deterministic caps
+    (growth/max/end) are applied identically on every domain.
+    """
+    mask = comms.owned_cell_mask(state) if comms is not None else None
+    candidates = local_dt_candidates(state, controls, mask)
+    if comms is not None:
+        candidates = [comms.reduce_dt(candidates)]
+    candidates.append((controls.dt_growth * dt_prev, "growth", -1))
+    candidates.append((controls.dt_max, "max", -1))
+    dt, reason, cell = min(candidates, key=lambda c: c[0])
+    if dt < controls.dt_min:
+        raise TimestepCollapseError(dt, controls.dt_min, cell=cell, time=time)
+    remaining = controls.time_end - time
+    if dt >= remaining:
+        return (remaining, "end", -1)
+    return (dt, reason, cell)

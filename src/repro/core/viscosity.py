@@ -1,0 +1,190 @@
+"""Edge-centred artificial viscosity — BookLeaf's ``getq`` kernel.
+
+Follows Caramana, Shashkov & Whalen (JCP 144, 1998), the form the paper
+cites: for every in-cell edge ``k`` (joining corners ``k`` and ``k+1``)
+with velocity jump ``Δu`` the edge viscous pressure is
+
+    q_k = (1 − ψ_k) ρ |Δu| ( c₂ (γ+1)/4 |Δu| + sqrt( (c₂ (γ+1)/4)² |Δu|²
+                                                     + c₁² c_s² ) )
+
+applied only where the edge is in compression (``Δu·Δx < 0``).  The
+limiter ψ is Christiansen's: the velocity jump is compared with the
+continuation jumps on the logically-parallel edges of the two
+neighbouring cells (upstream and downstream of the edge), switching the
+viscosity off in uniformly-compressing smooth flow and keeping it fully
+on at shocks.  The neighbour lookups are why BookLeaf must halo-exchange
+immediately before this kernel (paper Section IV-A).
+
+The edge force on the two nodes is ``± q_k L_k û`` with ``û = Δu/|Δu|``
+and ``L_k`` the median-mesh arm (centroid to edge midpoint), which
+yields the correct face area for shocks aligned with either mesh
+direction.  The pair of equal-and-opposite forces conserves momentum
+exactly and — through the compatible energy update — converts kinetic
+energy into heat at the rate ``q L |Δu| ≥ 0``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..mesh.topology import QuadMesh
+
+#: velocity-jump magnitude below which an edge is treated as rigid
+DU_CUT = 1.0e-30
+
+
+def _continuation_jumps(mesh: QuadMesh, u: np.ndarray, v: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray, np.ndarray]:
+    """Velocity jumps on the edges continuing each in-cell edge.
+
+    For edge ``k`` of cell ``c`` (from corner ``k`` to ``k+1``):
+
+    * the *backward* continuation lives in the neighbour ``l`` across
+      side ``k−1`` and equals ``u_{l,s_l} − u_{l,s_l+3}`` (``s_l`` the
+      side of ``l`` facing back), ending on our corner ``k``;
+    * the *forward* continuation lives in the neighbour ``r`` across
+      side ``k+1`` and equals ``u_{r,s_r+2} − u_{r,s_r+1}``, starting on
+      our corner ``k+1``.
+
+    Both are oriented to match the direction of edge ``k``.  Returns
+    ``(bx, by, has_b, fx, fy, has_f)`` each of shape (ncell, 4).
+    """
+    nb = mesh.cell_neighbours
+    ns = mesh.neighbour_side
+    cn = mesh.cell_nodes
+
+    lcell = np.roll(nb, 1, axis=1)          # neighbour across side k-1
+    lside = np.roll(ns, 1, axis=1)
+    rcell = np.roll(nb, -1, axis=1)         # neighbour across side k+1
+    rside = np.roll(ns, -1, axis=1)
+    has_b = lcell >= 0
+    has_f = rcell >= 0
+    lc = np.where(has_b, lcell, 0)
+    ls = np.where(has_b, lside, 0)
+    rc = np.where(has_f, rcell, 0)
+    rs = np.where(has_f, rside, 0)
+
+    n_b1 = cn[lc, ls]                        # node at our corner k
+    n_b0 = cn[lc, (ls + 3) % 4]
+    n_f1 = cn[rc, (rs + 2) % 4]
+    n_f0 = cn[rc, (rs + 1) % 4]              # node at our corner k+1
+
+    bx = u[n_b1] - u[n_b0]
+    by = v[n_b1] - v[n_b0]
+    fx = u[n_f1] - u[n_f0]
+    fy = v[n_f1] - v[n_f0]
+    return bx, by, has_b, fx, fy, has_f
+
+
+def christiansen_limiter(mesh: QuadMesh, u: np.ndarray, v: np.ndarray,
+                         dux: np.ndarray, duy: np.ndarray,
+                         dumag_sq: np.ndarray) -> np.ndarray:
+    """Limiter ψ in [0, 1]: 1 in smooth flow (no viscosity), 0 at shocks.
+
+    ψ = max(0, min(½(r_b + r_f), 2 r_b, 2 r_f, 1)) with r the ratios of
+    the continuation jumps projected onto this edge's jump.  Edges whose
+    continuation is missing (mesh boundary) take ψ = 0, keeping full
+    viscosity where shocks meet walls.
+    """
+    bx, by, has_b, fx, fy, has_f = _continuation_jumps(mesh, u, v)
+    denom = np.maximum(dumag_sq, DU_CUT * DU_CUT)
+    rb = (bx * dux + by * duy) / denom
+    rf = (fx * dux + fy * duy) / denom
+    psi = np.minimum(0.5 * (rb + rf), np.minimum(2.0 * rb, 2.0 * rf))
+    psi = np.clip(np.minimum(psi, 1.0), 0.0, 1.0)
+    psi[~(has_b & has_f)] = 0.0
+    return psi
+
+
+def bulk_q(cx: np.ndarray, cy: np.ndarray,
+           u: np.ndarray, v: np.ndarray, cell_nodes: np.ndarray,
+           rho: np.ndarray, cs2: np.ndarray, volume: np.ndarray,
+           cq1: float, cq2: float) -> np.ndarray:
+    """Cell-centred von Neumann–Richtmyer (bulk) viscosity.
+
+    The classical alternative to the edge form:
+
+        q = cq2 ρ (Δ div u)² + cq1 ρ c_s |Δ div u|,   div u < 0 only,
+
+    with Δ = V / longest-side — the shortest cell dimension, the
+    distance over which a compression wave actually crosses the cell
+    (a geometric-mean sqrt(V) badly over-drives high-aspect cells).
+    A scalar cell pressure — it simply augments p in the corner
+    forces, so it cannot damp hourglass or shear modes (why BookLeaf's
+    reference uses the edge form); provided as a design-choice option
+    and used by the viscosity-form ablation tests.
+    """
+    dvdx = 0.5 * (np.roll(cy, -1, axis=1) - np.roll(cy, 1, axis=1))
+    dvdy = 0.5 * (np.roll(cx, 1, axis=1) - np.roll(cx, -1, axis=1))
+    cu = u[cell_nodes]
+    cv = v[cell_nodes]
+    vdot = np.einsum("ck,ck->c", dvdx, cu) + np.einsum("ck,ck->c", dvdy, cv)
+    div_u = vdot / volume
+    compressing = div_u < 0.0
+    ex = np.roll(cx, -1, axis=1) - cx
+    ey = np.roll(cy, -1, axis=1) - cy
+    longest = np.sqrt((ex * ex + ey * ey).max(axis=1))
+    du = (volume / longest) * np.abs(div_u)
+    q = cq2 * rho * du * du + cq1 * rho * np.sqrt(cs2) * du
+    return np.where(compressing, q, 0.0)
+
+
+def getq(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
+         u: np.ndarray, v: np.ndarray,
+         rho: np.ndarray, cs2: np.ndarray, gamma: np.ndarray,
+         cq1: float, cq2: float, use_limiter: bool = True
+         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The viscosity kernel.
+
+    Parameters are the gathered corner coordinates ``cx, cy`` (ncell, 4),
+    nodal velocities, cell density/sound-speed² and the per-cell
+    effective γ for the quadratic coefficient.
+
+    Returns ``(fqx, fqy, q_cell)``: viscous corner forces (ncell, 4) and
+    the cell-averaged viscous pressure used by the timestep control and
+    diagnostics.
+    """
+    cu = u[mesh.cell_nodes]
+    cv = v[mesh.cell_nodes]
+    dux = np.roll(cu, -1, axis=1) - cu      # edge velocity jumps
+    duy = np.roll(cv, -1, axis=1) - cv
+    dxx = np.roll(cx, -1, axis=1) - cx      # edge vectors
+    dxy = np.roll(cy, -1, axis=1) - cy
+    dumag_sq = dux * dux + duy * duy
+    dumag = np.sqrt(dumag_sq)
+    compressing = (dux * dxx + duy * dxy) < 0.0
+    active = compressing & (dumag > DU_CUT)
+
+    if use_limiter:
+        psi = christiansen_limiter(mesh, u, v, dux, duy, dumag_sq)
+    else:
+        psi = np.zeros_like(dumag)
+
+    cquad = cq2 * (gamma[:, None] + 1.0) * 0.25
+    cs = np.sqrt(cs2)[:, None]
+    q_edge = (1.0 - psi) * rho[:, None] * dumag * (
+        cquad * dumag + np.sqrt((cquad * dumag) ** 2 + (cq1 * cs) ** 2)
+    )
+    q_edge = np.where(active, q_edge, 0.0)
+
+    # Median arm: centroid to edge midpoint.
+    gx = cx.mean(axis=1, keepdims=True)
+    gy = cy.mean(axis=1, keepdims=True)
+    mx = 0.5 * (cx + np.roll(cx, -1, axis=1))
+    my = 0.5 * (cy + np.roll(cy, -1, axis=1))
+    arm = np.hypot(mx - gx, my - gy)
+
+    # Unit jump direction (guarded); force ±q L û on the edge's nodes.
+    inv = 1.0 / np.maximum(dumag, DU_CUT)
+    fx_edge = q_edge * arm * dux * inv
+    fy_edge = q_edge * arm * duy * inv
+    # node k gets +f (pushed along Δu, i.e. decelerating node k relative
+    # to k+1), node k+1 gets −f.
+    fqx = fx_edge - np.roll(fx_edge, 1, axis=1)
+    fqy = fy_edge - np.roll(fy_edge, 1, axis=1)
+
+    q_cell = 0.25 * q_edge.sum(axis=1)
+    return fqx, fqy, q_cell

@@ -1,0 +1,24 @@
+"""Equations of state (BookLeaf Section III-A).
+
+Provides the four material closures BookLeaf offers — ideal gas, Tait,
+JWL and void — and the multi-material dispatch table that implements the
+``getpc`` kernel.
+"""
+
+from .base import Eos
+from .ideal import IdealGas
+from .jwl import Jwl
+from .multimaterial import MaterialTable, eos_from_section, material_table_from_deck
+from .tait import Tait
+from .void import Void
+
+__all__ = [
+    "Eos",
+    "IdealGas",
+    "Jwl",
+    "Tait",
+    "Void",
+    "MaterialTable",
+    "eos_from_section",
+    "material_table_from_deck",
+]

@@ -1,0 +1,80 @@
+"""Jones–Wilkins–Lee (JWL) equation of state for detonation products.
+
+    p(ρ, e) = A (1 - ω v0/(R1 v)) exp(-R1 v/v0)
+            + B (1 - ω v0/(R2 v)) exp(-R2 v/v0)
+            + ω ρ e
+
+with ``v = 1/ρ`` the specific volume and ``v0 = 1/ρ0`` the reference
+specific volume of the unreacted explosive.  Writing ``x = ρ0/ρ = v/v0``:
+
+    p = A (1 - ω/(R1 x)) e^{-R1 x} + B (1 - ω/(R2 x)) e^{-R2 x} + ω ρ e
+
+The sound speed follows from the thermodynamic identity
+``c² = ∂p/∂ρ|_e + (p/ρ²) ∂p/∂e|_ρ`` evaluated analytically below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import EosError
+from .base import Eos
+
+
+class Jwl(Eos):
+    """JWL detonation-products EoS (standard five-parameter form)."""
+
+    name = "jwl"
+
+    def __init__(self, rho0: float, a: float, b: float,
+                 r1: float, r2: float, omega: float):
+        if rho0 <= 0.0:
+            raise EosError(f"JWL requires rho0 > 0, got {rho0}")
+        if r1 <= 0.0 or r2 <= 0.0 or omega <= 0.0:
+            raise EosError("JWL requires r1, r2, omega > 0")
+        self.rho0 = float(rho0)
+        self.a = float(a)
+        self.b = float(b)
+        self.r1 = float(r1)
+        self.r2 = float(r2)
+        self.omega = float(omega)
+
+    def _terms(self, rho):
+        """The two exponential terms and x = rho0/rho."""
+        rho = np.maximum(np.asarray(rho, dtype=np.float64), 1e-300)
+        x = self.rho0 / rho
+        t1 = self.a * np.exp(-self.r1 * x)
+        t2 = self.b * np.exp(-self.r2 * x)
+        return x, t1, t2
+
+    def pressure(self, rho, e):
+        x, t1, t2 = self._terms(rho)
+        w = self.omega
+        p_cold = t1 * (1.0 - w / (self.r1 * x)) + t2 * (1.0 - w / (self.r2 * x))
+        return p_cold + w * np.asarray(rho) * np.asarray(e)
+
+    def sound_speed_sq(self, rho, e):
+        rho = np.maximum(np.asarray(rho, dtype=np.float64), 1e-300)
+        x, t1, t2 = self._terms(rho)
+        w = self.omega
+        # dp/drho at constant e.  With x = rho0/rho, dx/drho = -x/rho:
+        #   d/drho [ t_i (1 - w/(r_i x)) ]
+        # = t_i' * (1 - w/(r_i x)) + t_i * w/(r_i x^2) * dx/drho-part
+        # where t_i' = t_i * r_i * x / rho (chain rule through exp).
+        dp_drho = (
+            t1 * (self.r1 * x / rho) * (1.0 - w / (self.r1 * x))
+            - t1 * (w / (self.r1 * x * x)) * (x / rho)
+            + t2 * (self.r2 * x / rho) * (1.0 - w / (self.r2 * x))
+            - t2 * (w / (self.r2 * x * x)) * (x / rho)
+            + w * np.asarray(e)
+        )
+        dp_de = w * rho
+        p = self.pressure(rho, e)
+        cs2 = dp_drho + (p / (rho * rho)) * dp_de
+        return np.maximum(cs2, 0.0)
+
+    def energy_from_pressure(self, rho, p):
+        x, t1, t2 = self._terms(rho)
+        w = self.omega
+        p_cold = t1 * (1.0 - w / (self.r1 * x)) + t2 * (1.0 - w / (self.r2 * x))
+        return (np.asarray(p) - p_cold) / (w * np.asarray(rho, dtype=np.float64))

@@ -1,0 +1,54 @@
+"""Tait (stiffened liquid) equation of state.
+
+BookLeaf's Tait option models nearly-incompressible liquids:
+
+    p  = a1 [ (ρ/ρ0)^a3 - 1 ]          for ρ >= ρ0·cutoff
+    c² = (a1 a3 / ρ0) (ρ/ρ0)^(a3-1)
+
+Internal energy does not enter the pressure (a barotropic fluid), which
+is the classic Tait–Murnaghan form used for water (a1 ≈ 3.31e8, a3 = 7).
+In tension (ρ < ρ0) the pressure goes negative down to the cavitation
+cutoff, below which it is clamped to the cavitation pressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.errors import EosError
+from .base import Eos
+
+
+class Tait(Eos):
+    """Tait–Murnaghan liquid EoS (pressure independent of energy)."""
+
+    name = "tait"
+
+    def __init__(self, rho0: float, a1: float, a3: float,
+                 cavitation_pressure: float = 0.0):
+        if rho0 <= 0.0:
+            raise EosError(f"Tait requires rho0 > 0, got {rho0}")
+        if a1 <= 0.0 or a3 <= 0.0:
+            raise EosError(f"Tait requires a1, a3 > 0, got a1={a1} a3={a3}")
+        self.rho0 = float(rho0)
+        self.a1 = float(a1)
+        self.a3 = float(a3)
+        self.cavitation_pressure = float(cavitation_pressure)
+
+    def pressure(self, rho, e):
+        ratio = np.asarray(rho, dtype=np.float64) / self.rho0
+        p = self.a1 * (ratio ** self.a3 - 1.0)
+        return np.maximum(p, self.cavitation_pressure)
+
+    def sound_speed_sq(self, rho, e):
+        ratio = np.maximum(np.asarray(rho, dtype=np.float64), 1e-300) / self.rho0
+        return (self.a1 * self.a3 / self.rho0) * ratio ** (self.a3 - 1.0)
+
+    def energy_from_pressure(self, rho, p):
+        # Barotropic: energy is decoupled from pressure, so an initial
+        # pressure specification just yields zero internal energy.
+        return np.zeros_like(np.asarray(rho, dtype=np.float64))
+
+    def density_from_pressure(self, p):
+        """Invert ``p(ρ)`` — convenient for constructing initial states."""
+        return self.rho0 * (np.asarray(p) / self.a1 + 1.0) ** (1.0 / self.a3)

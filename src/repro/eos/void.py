@@ -1,0 +1,27 @@
+"""Void (vacuum) pseudo-EoS.
+
+BookLeaf's fourth material option: a region that exerts no pressure.
+The sound speed is zero (the MaterialTable's ``ccut`` floor keeps the
+timestep control finite for void cells).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Eos
+
+
+class Void(Eos):
+    """Zero-pressure, zero-stiffness material."""
+
+    name = "void"
+
+    def pressure(self, rho, e):
+        return np.zeros_like(np.asarray(rho, dtype=np.float64))
+
+    def sound_speed_sq(self, rho, e):
+        return np.zeros_like(np.asarray(rho, dtype=np.float64))
+
+    def energy_from_pressure(self, rho, p):
+        return np.zeros_like(np.asarray(rho, dtype=np.float64))

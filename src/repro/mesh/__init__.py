@@ -1,0 +1,49 @@
+"""Unstructured quadrilateral mesh substrate (BookLeaf Section III-A).
+
+Topology construction and validation, test-problem mesh generators,
+boundary-condition classification and quality metrics.
+"""
+
+from .boundary import FIX_X, FIX_Y, BoundaryConditions, classify_box_boundary
+from .io import read_mesh, write_mesh
+from .generator import (
+    perturbed_mesh,
+    pinwheel_mesh,
+    rect_mesh,
+    saltzmann_mesh,
+    single_cell_mesh,
+)
+from .quality import (
+    aspect_ratio,
+    corner_jacobians,
+    min_edge_length,
+    quality_report,
+    scaled_jacobian,
+)
+from .regions import Region, assign_regions, box, disc, everywhere
+from .topology import QuadMesh
+
+__all__ = [
+    "QuadMesh",
+    "read_mesh",
+    "write_mesh",
+    "Region",
+    "assign_regions",
+    "box",
+    "disc",
+    "everywhere",
+    "rect_mesh",
+    "saltzmann_mesh",
+    "perturbed_mesh",
+    "pinwheel_mesh",
+    "single_cell_mesh",
+    "BoundaryConditions",
+    "classify_box_boundary",
+    "FIX_X",
+    "FIX_Y",
+    "aspect_ratio",
+    "corner_jacobians",
+    "min_edge_length",
+    "quality_report",
+    "scaled_jacobian",
+]

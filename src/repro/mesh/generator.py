@@ -1,0 +1,146 @@
+"""Mesh generators for the bundled test problems.
+
+BookLeaf generates its meshes from region descriptions in the input
+deck.  All four shipped problems use logically-rectangular regions of
+quadrilaterals (stored and solved as fully unstructured meshes — the
+kernels never exploit the structure), with the Saltzmann problem using
+the classic skewed mesh of Dukowicz & Meltz.
+
+Generators return :class:`~repro.mesh.topology.QuadMesh` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from ..utils.errors import MeshError
+from .topology import QuadMesh
+
+
+def _grid_nodes(nx: int, ny: int, extents: Tuple[float, float, float, float]
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    x0, x1, y0, y1 = extents
+    if nx < 1 or ny < 1:
+        raise MeshError(f"need nx, ny >= 1, got {nx}x{ny}")
+    if not (x1 > x0 and y1 > y0):
+        raise MeshError(f"degenerate extents {extents}")
+    xs = np.linspace(x0, x1, nx + 1)
+    ys = np.linspace(y0, y1, ny + 1)
+    gx, gy = np.meshgrid(xs, ys, indexing="xy")
+    return gx.ravel(), gy.ravel()
+
+
+def _grid_cells(nx: int, ny: int) -> np.ndarray:
+    """CCW quads over an (nx+1) x (ny+1) node grid laid out row-major."""
+    j, i = np.meshgrid(np.arange(ny), np.arange(nx), indexing="ij")
+    n0 = j * (nx + 1) + i
+    n1 = n0 + 1
+    n2 = n1 + (nx + 1)
+    n3 = n0 + (nx + 1)
+    return np.stack([n0.ravel(), n1.ravel(), n2.ravel(), n3.ravel()], axis=1)
+
+
+def rect_mesh(nx: int, ny: int,
+              extents: Tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
+              warp: Optional[Callable[[np.ndarray, np.ndarray],
+                                      Tuple[np.ndarray, np.ndarray]]] = None
+              ) -> QuadMesh:
+    """A logically-rectangular quad mesh over ``extents``.
+
+    ``warp(x, y) -> (x', y')`` optionally remaps node coordinates (used
+    for distorted-mesh tests); the warp must preserve orientation.
+    """
+    x, y = _grid_nodes(nx, ny, extents)
+    if warp is not None:
+        x, y = warp(x, y)
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+    return QuadMesh(x, y, _grid_cells(nx, ny))
+
+
+def saltzmann_mesh(nx: int = 100, ny: int = 10,
+                   length: float = 1.0, height: float = 0.1) -> QuadMesh:
+    """The Dukowicz–Meltz skewed piston mesh.
+
+    Interior node lines are sheared sinusoidally:
+
+        x(ξ, η) = ξ + (height − η) · sin(π ξ) ,   y(ξ, η) = η
+
+    so cells are maximally distorted at the lower wall and straight at
+    the upper wall.  This is the standard hourglass-exacerbating mesh
+    for the Saltzmann piston problem (paper Section III-B).
+    """
+
+    def warp(x, y):
+        return x + (height - y) * np.sin(np.pi * x / length), y
+
+    return rect_mesh(nx, ny, (0.0, length, 0.0, height), warp=warp)
+
+
+def perturbed_mesh(nx: int, ny: int,
+                   extents: Tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
+                   amplitude: float = 0.2, seed: int = 0) -> QuadMesh:
+    """A randomly-perturbed rectangular mesh for robustness testing.
+
+    Interior nodes are displaced by ``amplitude`` times the local cell
+    spacing in a uniform random direction.  Boundary nodes stay put so
+    the domain shape (and BC classification) is unchanged.  Amplitudes
+    below ~0.3 keep all cells convex.
+    """
+    if not 0.0 <= amplitude < 0.5:
+        raise MeshError(f"perturbation amplitude must be in [0, 0.5), got {amplitude}")
+    x0, x1, y0, y1 = extents
+    dx = (x1 - x0) / nx
+    dy = (y1 - y0) / ny
+    x, y = _grid_nodes(nx, ny, extents)
+    rng = np.random.default_rng(seed)
+    interior = (
+        (x > x0 + 0.5 * dx) & (x < x1 - 0.5 * dx)
+        & (y > y0 + 0.5 * dy) & (y < y1 - 0.5 * dy)
+    )
+    n = int(interior.sum())
+    x = x.copy()
+    y = y.copy()
+    x[interior] += amplitude * dx * rng.uniform(-1.0, 1.0, size=n)
+    y[interior] += amplitude * dy * rng.uniform(-1.0, 1.0, size=n)
+    return QuadMesh(x, y, _grid_cells(nx, ny))
+
+
+def pinwheel_mesh(nquads: int = 3, radius: float = 1.0) -> QuadMesh:
+    """A disc of ``nquads`` quads sharing one centre node.
+
+    The centre node has valence ``nquads`` (3, 5, 6, ... — anything but
+    the regular 4), which is the defining freedom of an *unstructured*
+    mesh ("the number of cells surrounding a node is arbitrary", paper
+    Section III-A).  Built from a ring of ``2·nquads`` nodes; quad
+    ``k`` is (centre, ring[2k], ring[2k+1], ring[2k+2]).  Used by the
+    tests that prove the kernels never assume 4-valent connectivity.
+    """
+    if nquads < 3:
+        raise MeshError(f"pinwheel needs >= 3 quads, got {nquads}")
+    nring = 2 * nquads
+    angles = np.linspace(0.0, 2.0 * np.pi, nring, endpoint=False)
+    x = np.concatenate([[0.0], radius * np.cos(angles)])
+    y = np.concatenate([[0.0], radius * np.sin(angles)])
+    cells = np.empty((nquads, 4), dtype=np.int64)
+    for k in range(nquads):
+        ring = [2 * k, 2 * k + 1, (2 * k + 2) % nring]
+        cells[k] = [0, 1 + ring[0], 1 + ring[1], 1 + ring[2]]
+    return QuadMesh(x, y, cells)
+
+
+def single_cell_mesh(coords: Optional[np.ndarray] = None) -> QuadMesh:
+    """One quadrilateral — handy for kernel unit tests.
+
+    ``coords`` is an optional (4, 2) CCW vertex array; defaults to the
+    unit square.
+    """
+    if coords is None:
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]])
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape != (4, 2):
+        raise MeshError("single_cell_mesh expects (4, 2) coordinates")
+    return QuadMesh(coords[:, 0], coords[:, 1],
+                    np.array([[0, 1, 2, 3]], dtype=np.int64))

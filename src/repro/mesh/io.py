@@ -1,0 +1,128 @@
+"""Mesh file I/O: a simple text format for unstructured quad meshes.
+
+Lets users bring their own meshes instead of the bundled generators
+(the point of an *unstructured* mini-app).  The format is line-based
+and self-describing::
+
+    # bookleaf-mesh v1
+    nodes <nnode>
+    <x> <y>            (nnode lines)
+    cells <ncell>
+    <n0> <n1> <n2> <n3>   (ncell lines, CCW node indices)
+    [bc <nconstrained>
+    <node> <flags> <ux> <uy>]   (optional constrained-node lines)
+
+Comments (``#``) and blank lines are ignored.  Reading validates the
+mesh through the :class:`~repro.mesh.topology.QuadMesh` constructor,
+so malformed connectivity fails loudly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..utils.errors import MeshError
+from .boundary import BoundaryConditions
+from .topology import QuadMesh
+
+HEADER = "# bookleaf-mesh v1"
+
+
+def write_mesh(path: Union[str, Path], mesh: QuadMesh,
+               bc: Optional[BoundaryConditions] = None) -> Path:
+    """Write a mesh (and optional BCs) to ``path``."""
+    path = Path(path)
+    lines = [HEADER, f"nodes {mesh.nnode}"]
+    lines.extend(f"{x:.17g} {y:.17g}" for x, y in zip(mesh.x, mesh.y))
+    lines.append(f"cells {mesh.ncell}")
+    lines.extend(
+        " ".join(str(int(n)) for n in quad) for quad in mesh.cell_nodes
+    )
+    if bc is not None:
+        constrained = bc.constrained_nodes()
+        lines.append(f"bc {constrained.size}")
+        lines.extend(
+            f"{int(n)} {int(bc.flags[n])} {bc.ux[n]:.17g} {bc.uy[n]:.17g}"
+            for n in constrained
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _tokens(path: Path):
+    """Yield (lineno, token-list) for content lines."""
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#")[0].strip()
+        if line:
+            yield lineno, line.split()
+
+
+def read_mesh(path: Union[str, Path]
+              ) -> Tuple[QuadMesh, BoundaryConditions]:
+    """Read a mesh file; returns ``(mesh, bc)`` (free BCs if absent)."""
+    path = Path(path)
+    if not path.exists():
+        raise MeshError(f"mesh file {path} does not exist")
+    first = path.read_text().lstrip().splitlines()
+    if not first or first[0].strip() != HEADER:
+        raise MeshError(f"{path} is not a '{HEADER}' file")
+
+    stream = _tokens(path)
+    x = y = cell_nodes = None
+    flags = ux = uy = None
+    nnode = 0
+
+    def expect_count(tokens, keyword, lineno):
+        if len(tokens) != 2 or tokens[0] != keyword:
+            raise MeshError(f"{path}:{lineno}: expected '{keyword} <count>'")
+        try:
+            return int(tokens[1])
+        except ValueError:
+            raise MeshError(f"{path}:{lineno}: bad count {tokens[1]!r}")
+
+    try:
+        for lineno, tokens in stream:
+            if tokens[0] == "nodes":
+                nnode = expect_count(tokens, "nodes", lineno)
+                x = np.empty(nnode)
+                y = np.empty(nnode)
+                for i in range(nnode):
+                    _, t = next(stream)
+                    x[i], y[i] = float(t[0]), float(t[1])
+            elif tokens[0] == "cells":
+                ncell = expect_count(tokens, "cells", lineno)
+                cell_nodes = np.empty((ncell, 4), dtype=np.int64)
+                for i in range(ncell):
+                    _, t = next(stream)
+                    cell_nodes[i] = [int(v) for v in t[:4]]
+            elif tokens[0] == "bc":
+                ncon = expect_count(tokens, "bc", lineno)
+                flags = np.zeros(nnode, dtype=np.int8)
+                ux = np.zeros(nnode)
+                uy = np.zeros(nnode)
+                for _ in range(ncon):
+                    _, t = next(stream)
+                    node = int(t[0])
+                    flags[node] = int(t[1])
+                    ux[node] = float(t[2])
+                    uy[node] = float(t[3])
+            else:
+                raise MeshError(
+                    f"{path}:{lineno}: unknown section {tokens[0]!r}"
+                )
+    except StopIteration:
+        raise MeshError(f"{path}: truncated file") from None
+    except (ValueError, IndexError) as exc:
+        raise MeshError(f"{path}: malformed data: {exc}") from exc
+
+    if x is None or cell_nodes is None:
+        raise MeshError(f"{path}: missing 'nodes' or 'cells' section")
+    mesh = QuadMesh(x, y, cell_nodes)
+    if flags is None:
+        bc = BoundaryConditions.free(mesh.nnode)
+    else:
+        bc = BoundaryConditions(flags, ux, uy)
+    return mesh, bc

@@ -1,0 +1,85 @@
+"""Mesh-quality metrics.
+
+Used by the generators' tests, by the ALE mesh-selection step (cells
+below a quality threshold trigger relaxation) and for diagnosing
+tangling failures.  All metrics are vectorised over cells and accept
+moved node coordinates, since quality is interesting *during* a
+Lagrangian calculation, not just at setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .topology import QuadMesh
+
+
+def corner_jacobians(mesh: QuadMesh, x: Optional[np.ndarray] = None,
+                     y: Optional[np.ndarray] = None) -> np.ndarray:
+    """(ncell, 4) corner Jacobians (cross products of adjacent edges).
+
+    Corner ``k``'s Jacobian is ``(P_{k+1}-P_k) x (P_{k-1}-P_k)`` —
+    positive for a locally convex CCW corner.  A non-positive value
+    means the quad is non-convex (or inverted) at that corner.
+    """
+    cx, cy = mesh.gather_cell_coords(x, y)
+    ex_next = np.roll(cx, -1, axis=1) - cx
+    ey_next = np.roll(cy, -1, axis=1) - cy
+    ex_prev = np.roll(cx, 1, axis=1) - cx
+    ey_prev = np.roll(cy, 1, axis=1) - cy
+    return ex_next * ey_prev - ey_next * ex_prev
+
+
+def scaled_jacobian(mesh: QuadMesh, x: Optional[np.ndarray] = None,
+                    y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Minimum corner Jacobian scaled by edge lengths, per cell.
+
+    1.0 for a rectangle; <= 0 for a non-convex or inverted cell.  The
+    classic quad shape metric.
+    """
+    cx, cy = mesh.gather_cell_coords(x, y)
+    ex_next = np.roll(cx, -1, axis=1) - cx
+    ey_next = np.roll(cy, -1, axis=1) - cy
+    ex_prev = np.roll(cx, 1, axis=1) - cx
+    ey_prev = np.roll(cy, 1, axis=1) - cy
+    jac = ex_next * ey_prev - ey_next * ex_prev
+    len_next = np.hypot(ex_next, ey_next)
+    len_prev = np.hypot(ex_prev, ey_prev)
+    denom = np.maximum(len_next * len_prev, 1e-300)
+    return (jac / denom).min(axis=1)
+
+
+def aspect_ratio(mesh: QuadMesh, x: Optional[np.ndarray] = None,
+                 y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Longest edge over shortest edge, per cell (>= 1)."""
+    cx, cy = mesh.gather_cell_coords(x, y)
+    ex = np.roll(cx, -1, axis=1) - cx
+    ey = np.roll(cy, -1, axis=1) - cy
+    lengths = np.hypot(ex, ey)
+    return lengths.max(axis=1) / np.maximum(lengths.min(axis=1), 1e-300)
+
+
+def min_edge_length(mesh: QuadMesh, x: Optional[np.ndarray] = None,
+                    y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Shortest side length per cell (a CFL length scale)."""
+    cx, cy = mesh.gather_cell_coords(x, y)
+    ex = np.roll(cx, -1, axis=1) - cx
+    ey = np.roll(cy, -1, axis=1) - cy
+    return np.hypot(ex, ey).min(axis=1)
+
+
+def quality_report(mesh: QuadMesh, x: Optional[np.ndarray] = None,
+                   y: Optional[np.ndarray] = None) -> str:
+    """One-paragraph text summary of mesh quality."""
+    sj = scaled_jacobian(mesh, x, y)
+    ar = aspect_ratio(mesh, x, y)
+    areas = mesh.cell_areas(x, y)
+    return (
+        f"cells={mesh.ncell} nodes={mesh.nnode}\n"
+        f"scaled jacobian: min={sj.min():.4f} mean={sj.mean():.4f}\n"
+        f"aspect ratio:    max={ar.max():.4f} mean={ar.mean():.4f}\n"
+        f"area:            min={areas.min():.4e} max={areas.max():.4e}\n"
+        f"non-convex cells: {int((sj <= 0).sum())}"
+    )

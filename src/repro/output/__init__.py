@@ -1,0 +1,26 @@
+"""Output facilities: legacy VTK dumps, time-history CSV, ASCII plots."""
+
+from .ascii_plot import ascii_plot
+from .profiles import (
+    Profile,
+    front_position,
+    linear_profile,
+    radial_profile,
+)
+from .restart import checkpoint, read_restart, resume, write_restart
+from .timehist import TimeHistory
+from .vtk import write_vtk
+
+__all__ = [
+    "write_vtk",
+    "TimeHistory",
+    "ascii_plot",
+    "checkpoint",
+    "resume",
+    "read_restart",
+    "write_restart",
+    "Profile",
+    "linear_profile",
+    "radial_profile",
+    "front_position",
+]

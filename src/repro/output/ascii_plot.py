@@ -1,0 +1,52 @@
+"""Terminal line plots for the examples (no plotting dependency).
+
+A minimal scatter/line renderer good enough to eyeball a density
+profile against its analytic solution in a terminal, used by the
+example scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def ascii_plot(x: Sequence[float], series: dict,
+               width: int = 72, height: int = 20,
+               title: str = "", xlabel: str = "") -> str:
+    """Render ``series = {label: y-array}`` against ``x`` as text.
+
+    The first character of each label is used as its marker; later
+    series draw over earlier ones where they collide.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    ys = {k: np.asarray(v, dtype=np.float64) for k, v in series.items()}
+    ymin = min(float(np.nanmin(v)) for v in ys.values())
+    ymax = max(float(np.nanmax(v)) for v in ys.values())
+    if ymax <= ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = float(x.min()), float(x.max())
+    if xmax <= xmin:
+        xmax = xmin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for label, y in ys.items():
+        marker = label[0]
+        cols = np.clip(((x - xmin) / (xmax - xmin) * (width - 1)).round()
+                       .astype(int), 0, width - 1)
+        rows = np.clip(((ymax - y) / (ymax - ymin) * (height - 1)).round()
+                       .astype(int), 0, height - 1)
+        for r, c in zip(rows, cols):
+            grid[r][c] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{ymax:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{ymin:10.3g} +" + "-" * width)
+    lines.append(" " * 12 + f"{xmin:<10.3g}{xlabel:^{max(width - 20, 0)}}"
+                            f"{xmax:>10.3g}")
+    legend = "   ".join(f"{k[0]} = {k}" for k in ys)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Time-history recording (BookLeaf's step diagnostics file).
+
+:class:`TimeHistory` is a :class:`~repro.core.hydro.Hydro` observer
+that records the conservation diagnostics every N steps and can write
+them as CSV — the data behind convergence/conservation plots and the
+regression tests on energy behaviour.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+FIELDS = [
+    "nstep", "time", "dt", "mass", "internal_energy", "kinetic_energy",
+    "total_energy", "momentum_x", "momentum_y", "rho_max", "rho_min",
+    "p_max",
+]
+
+
+@dataclass
+class TimeHistory:
+    """Records ``hydro.diagnostics()`` rows at a fixed step cadence."""
+
+    every: int = 1
+    rows: List[Dict[str, float]] = field(default_factory=list)
+
+    def __call__(self, hydro) -> None:
+        """Observer hook: append a row when the cadence fires."""
+        if self.every <= 0 or hydro.nstep % self.every:
+            return
+        self.rows.append(hydro.diagnostics())
+
+    def column(self, name: str) -> List[float]:
+        """One diagnostic across all recorded rows."""
+        return [row[name] for row in self.rows]
+
+    def write_csv(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=FIELDS)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({k: row[k] for k in FIELDS})
+        return path

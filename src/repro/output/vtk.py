@@ -1,0 +1,65 @@
+"""Legacy-VTK output of the unstructured mesh and fields.
+
+BookLeaf dumps its mesh and cell/node fields for visualisation; we
+write ASCII legacy VTK (``.vtk``) unstructured-grid files readable by
+ParaView/VisIt with no third-party dependency.  Cell fields (ρ, e, p,
+q, material) and node fields (velocity) are written as CELL_DATA and
+POINT_DATA respectively.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..core.state import HydroState
+
+_VTK_QUAD = 9
+
+
+def write_vtk(state: HydroState, path: Union[str, Path],
+              title: str = "bookleaf dump",
+              extra_cell_fields: Optional[Dict[str, np.ndarray]] = None
+              ) -> Path:
+    """Write the state to a legacy VTK file; returns the path."""
+    path = Path(path)
+    mesh = state.mesh
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {mesh.nnode} double",
+    ]
+    for xi, yi in zip(state.x, state.y):
+        lines.append(f"{xi:.12g} {yi:.12g} 0.0")
+    lines.append(f"CELLS {mesh.ncell} {mesh.ncell * 5}")
+    for quad in mesh.cell_nodes:
+        lines.append("4 " + " ".join(str(int(n)) for n in quad))
+    lines.append(f"CELL_TYPES {mesh.ncell}")
+    lines.extend([str(_VTK_QUAD)] * mesh.ncell)
+
+    cell_fields = {
+        "density": state.rho,
+        "internal_energy": state.e,
+        "pressure": state.p,
+        "viscosity": state.q,
+        "material": state.mat.astype(np.float64),
+    }
+    if extra_cell_fields:
+        cell_fields.update(extra_cell_fields)
+    lines.append(f"CELL_DATA {mesh.ncell}")
+    for name, field in cell_fields.items():
+        lines.append(f"SCALARS {name} double 1")
+        lines.append("LOOKUP_TABLE default")
+        lines.extend(f"{v:.12g}" for v in field)
+
+    lines.append(f"POINT_DATA {mesh.nnode}")
+    lines.append("VECTORS velocity double")
+    for ui, vi in zip(state.u, state.v):
+        lines.append(f"{ui:.12g} {vi:.12g} 0.0")
+
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,27 @@
+"""The distributed substrate: decomposition, halos and simulated Typhon.
+
+BookLeaf decomposes its mesh with RCB or METIS, stores ghost layers and
+communicates through the Typhon library over MPI (paper Section III-A).
+This package reproduces all of that with virtual in-process ranks; see
+DESIGN.md for the substitution rationale.
+"""
+
+from .distributed import DistributedHydro
+from .halo import Subdomain, build_subdomains, local_state
+from .partition import edge_cut, imbalance, partition, rcb_partition, spectral_partition
+from .typhon import CommStats, TyphonComms, TyphonContext
+
+__all__ = [
+    "DistributedHydro",
+    "Subdomain",
+    "build_subdomains",
+    "local_state",
+    "partition",
+    "rcb_partition",
+    "spectral_partition",
+    "edge_cut",
+    "imbalance",
+    "CommStats",
+    "TyphonComms",
+    "TyphonContext",
+]

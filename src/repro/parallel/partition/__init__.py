@@ -1,0 +1,24 @@
+"""Domain-decomposition partitioners: RCB and the spectral METIS substitute."""
+
+from .interface import (
+    METHODS,
+    edge_cut,
+    imbalance,
+    interface_nodes,
+    partition,
+    validate_partition,
+)
+from .rcb import rcb_partition
+from .spectral import adjacency_matrix, spectral_partition
+
+__all__ = [
+    "partition",
+    "METHODS",
+    "rcb_partition",
+    "spectral_partition",
+    "adjacency_matrix",
+    "edge_cut",
+    "imbalance",
+    "interface_nodes",
+    "validate_partition",
+]

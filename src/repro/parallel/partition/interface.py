@@ -1,0 +1,67 @@
+"""Common partitioning interface and quality metrics.
+
+``partition(mesh, nparts, method)`` dispatches to RCB (the paper's
+simple strategy) or spectral bisection (the METIS-substitute hypergraph
+strategy) and validates the result.  The metrics quantify what the
+performance model needs: load imbalance and the communication surface
+(edge cut, i.e. halo size).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mesh.topology import QuadMesh
+from ...utils.errors import PartitionError
+from .rcb import rcb_partition
+from .spectral import spectral_partition
+
+METHODS = ("rcb", "spectral")
+
+
+def partition(mesh: QuadMesh, nparts: int, method: str = "rcb") -> np.ndarray:
+    """Partition cells into ``nparts`` parts; returns per-cell part ids."""
+    if method == "rcb":
+        xc, yc = mesh.cell_centroids()
+        part = rcb_partition(xc, yc, nparts)
+    elif method == "spectral":
+        part = spectral_partition(mesh, nparts)
+    else:
+        raise PartitionError(
+            f"unknown partition method {method!r}; available: {METHODS}"
+        )
+    validate_partition(part, nparts)
+    return part
+
+
+def validate_partition(part: np.ndarray, nparts: int) -> None:
+    """Every part id in range and every part non-empty."""
+    if part.min(initial=0) < 0 or part.max(initial=0) >= nparts:
+        raise PartitionError("part ids out of range")
+    counts = np.bincount(part, minlength=nparts)
+    if np.any(counts == 0):
+        empty = np.flatnonzero(counts == 0).tolist()
+        raise PartitionError(f"empty parts: {empty}")
+
+
+def edge_cut(mesh: QuadMesh, part: np.ndarray) -> int:
+    """Number of interior faces whose two cells lie in different parts."""
+    pairs = mesh.cell_adjacency_pairs()
+    return int((part[pairs[:, 0]] != part[pairs[:, 1]]).sum())
+
+
+def imbalance(part: np.ndarray, nparts: int) -> float:
+    """max(part size) / mean(part size) − 1 (0 for perfect balance)."""
+    counts = np.bincount(part, minlength=nparts)
+    return float(counts.max() / counts.mean() - 1.0)
+
+
+def interface_nodes(mesh: QuadMesh, part: np.ndarray) -> np.ndarray:
+    """Global node ids incident to cells of more than one part."""
+    owner_min = np.full(mesh.nnode, np.iinfo(np.int64).max, dtype=np.int64)
+    owner_max = np.full(mesh.nnode, -1, dtype=np.int64)
+    flat_nodes = mesh.cell_nodes.ravel()
+    flat_part = np.repeat(part, 4)
+    np.minimum.at(owner_min, flat_nodes, flat_part)
+    np.maximum.at(owner_max, flat_nodes, flat_part)
+    return np.flatnonzero(owner_min != owner_max)

@@ -1,0 +1,61 @@
+"""Recursive coordinate bisection (RCB) — BookLeaf's simple partitioner.
+
+Cells are split recursively at the weighted median of their centroid
+coordinates along the longest extent of the current group, producing
+``nparts`` compact, balanced parts.  Non-power-of-two part counts are
+handled by splitting each group proportionally (k parts -> k//2 and
+k - k//2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...utils.errors import PartitionError
+
+
+def rcb_partition(xc: np.ndarray, yc: np.ndarray, nparts: int,
+                  weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Partition points (cell centroids) into ``nparts`` parts.
+
+    Returns an integer part id per point.  ``weights`` (default: unit)
+    balances weighted load rather than counts.
+    """
+    xc = np.asarray(xc, dtype=np.float64)
+    yc = np.asarray(yc, dtype=np.float64)
+    n = xc.size
+    if nparts < 1:
+        raise PartitionError(f"nparts must be >= 1, got {nparts}")
+    if nparts > n:
+        raise PartitionError(f"cannot split {n} cells into {nparts} parts")
+    if weights is None:
+        weights = np.ones(n)
+    part = np.zeros(n, dtype=np.int64)
+    _bisect(xc, yc, weights, np.arange(n), nparts, 0, part)
+    return part
+
+
+def _bisect(xc, yc, w, idx, nparts, base, part) -> None:
+    """Assign parts [base, base + nparts) to the cells in ``idx``."""
+    if nparts == 1:
+        part[idx] = base
+        return
+    n_lo = nparts // 2
+    frac = n_lo / nparts
+    x = xc[idx]
+    y = yc[idx]
+    # Split along the longer extent of this group's bounding box.
+    along_x = (x.max() - x.min()) >= (y.max() - y.min())
+    coord = x if along_x else y
+    order = np.argsort(coord, kind="stable")
+    cw = np.cumsum(w[idx][order])
+    target = frac * cw[-1]
+    # Split where the cumulative weight is closest to the target.
+    split = int(np.argmin(np.abs(cw - target))) + 1
+    split = min(max(split, 1), idx.size - 1)
+    lo = idx[order[:split]]
+    hi = idx[order[split:]]
+    _bisect(xc, yc, w, lo, n_lo, base, part)
+    _bisect(xc, yc, w, hi, nparts - n_lo, base + n_lo, part)

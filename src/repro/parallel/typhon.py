@@ -1,0 +1,249 @@
+"""Simulated Typhon — BookLeaf's unstructured-mesh comm library.
+
+The real BookLeaf communicates through Typhon, a thin distributed
+communication library over MPI that provides halo exchanges and
+collectives for unstructured meshes.  MPI is not available in this
+environment, so this module reimplements Typhon's semantics over
+threads in one process: each rank runs the *unchanged* SPMD hydro code
+in its own thread, and the exchange points synchronise through
+barriers and move data by direct array copies between rank states.
+
+Because numpy releases the GIL inside its kernels, the rank threads
+genuinely overlap, but the purpose here is *semantic* fidelity plus
+instrumentation, not speed: every exchange and reduction is counted
+(messages and bytes), giving the performance model measured
+communication volumes exactly where the real mini-app would have
+MPI traffic — two halo exchanges and one global reduction per step
+(paper Section IV-A).
+
+Determinism: partial nodal sums are combined in ascending rank order
+on every rank, so shared interface nodes receive *bit-identical*
+values everywhere and a decomposed run tracks the serial one to
+floating-point round-off only.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.timestep import Candidate
+from ..utils.errors import CommError
+from .halo import Subdomain
+
+_FLOAT_BYTES = 8
+
+
+@dataclass
+class CommStats:
+    """Per-rank traffic counters (the perf model's inputs)."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    halo_exchanges: int = 0
+    reductions: int = 0
+
+    def account(self, nvalues: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nvalues * _FLOAT_BYTES
+
+
+class TyphonContext:
+    """Shared coordination state for all ranks of one run."""
+
+    def __init__(self, subdomains: List[Subdomain]):
+        self.subdomains = subdomains
+        self.size = len(subdomains)
+        self.barrier = threading.Barrier(self.size)
+        #: per-rank published data for the current collective phase
+        self.slots: List[Optional[object]] = [None] * self.size
+        #: per-rank live state references (registered by the driver)
+        self.states: List[Optional[object]] = [None] * self.size
+        self.stats: List[CommStats] = [CommStats() for _ in range(self.size)]
+        self._failure = threading.Event()
+
+    def register_state(self, rank: int, state) -> None:
+        self.states[rank] = state
+
+    def sync(self) -> None:
+        """Barrier with failure propagation: if any rank died, raise."""
+        if self._failure.is_set():
+            raise CommError("a peer rank failed; aborting collective")
+        try:
+            self.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise CommError("a peer rank failed; aborting collective") from None
+
+    def abort(self) -> None:
+        """Mark the run failed and release everyone stuck in a barrier."""
+        self._failure.set()
+        self.barrier.abort()
+
+    def total_stats(self) -> CommStats:
+        total = CommStats()
+        for s in self.stats:
+            total.messages += s.messages
+            total.bytes_sent += s.bytes_sent
+            total.halo_exchanges += s.halo_exchanges
+            total.reductions += s.reductions
+        return total
+
+    def traffic_matrix(self) -> np.ndarray:
+        """(size, size) static bytes-per-step estimate between rank
+        pairs, from the halo schedules: kinematic halo (4 fields) plus
+        nodal-sum completion (3 fields) — the map a communication-
+        topology study would draw."""
+        matrix = np.zeros((self.size, self.size))
+        for sub in self.subdomains:
+            for src, idx in sub.recv_nodes.items():
+                matrix[src, sub.rank] += 4 * idx.size * _FLOAT_BYTES
+            for peer, idx in sub.shared_nodes.items():
+                matrix[peer, sub.rank] += 3 * idx.size * _FLOAT_BYTES
+        return matrix
+
+
+class TyphonComms:
+    """One rank's communication endpoint (plugs into the comms seam)."""
+
+    def __init__(self, ctx: TyphonContext, sub: Subdomain):
+        self.ctx = ctx
+        self.sub = sub
+        self.rank = sub.rank
+        self.size = ctx.size
+        self.stats = ctx.stats[self.rank]
+
+    # ------------------------------------------------------------------
+    # kinematic halo exchange (before the viscosity kernel)
+    # ------------------------------------------------------------------
+    def exchange_kinematics(self, state) -> None:
+        """Refresh ghost-only nodes' x, y, u, v from their owner ranks."""
+        ctx = self.ctx
+        ctx.register_state(self.rank, state)
+        ctx.sync()  # all states published and quiescent at t^n
+        for src_rank, local_idx in self.sub.recv_nodes.items():
+            src_state = ctx.states[src_rank]
+            src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
+            if src_idx.size != local_idx.size:
+                raise CommError(
+                    f"halo schedule mismatch between ranks "
+                    f"{self.rank} and {src_rank}"
+                )
+            state.x[local_idx] = src_state.x[src_idx]
+            state.y[local_idx] = src_state.y[src_idx]
+            state.u[local_idx] = src_state.u[src_idx]
+            state.v[local_idx] = src_state.v[src_idx]
+            # Traffic is charged to the receiving rank's counters
+            # (thread-safe: each rank only writes its own stats).
+            self.stats.account(4 * src_idx.size)
+        self.stats.halo_exchanges += 1
+        ctx.sync()  # copies complete before anyone advances
+
+    # ------------------------------------------------------------------
+    # nodal sum completion (inside the acceleration kernel)
+    # ------------------------------------------------------------------
+    def complete_node_arrays(self, state, *partials: np.ndarray
+                             ) -> Tuple[np.ndarray, ...]:
+        """Complete partial nodal sums across ranks.
+
+        ``partials`` are this rank's per-node partial sums, accumulated
+        from *owned* cells only.  Partials are combined in ascending
+        rank order so every rank computes bit-identical totals for
+        shared nodes.
+        """
+        ctx = self.ctx
+        ctx.slots[self.rank] = tuple(p.copy() for p in partials)
+        ctx.sync()
+        totals = tuple(np.zeros_like(p) for p in partials)
+        ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
+        for r in ranks:
+            if r == self.rank:
+                for total, p in zip(totals, ctx.slots[self.rank]):
+                    total += p
+            else:
+                theirs = ctx.subdomains[r].shared_nodes[self.rank]
+                mine = self.sub.shared_nodes[r]
+                for total, p in zip(totals, ctx.slots[r]):
+                    total[mine] += p[theirs]
+                self.stats.account(len(partials) * mine.size)
+        self.stats.halo_exchanges += 1
+        ctx.sync()  # slots free for reuse
+        return totals
+
+    def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Owned-cell scatter + deterministic cross-rank completion."""
+        owned = self.sub.owned_cell_mask[:, None]
+        node_fx = state.scatter_to_nodes(np.where(owned, fx, 0.0))
+        node_fy = state.scatter_to_nodes(np.where(owned, fy, 0.0))
+        mass = state.scatter_to_nodes(
+            np.where(owned, state.corner_mass, 0.0)
+        )
+        return self.complete_node_arrays(state, node_fx, node_fy, mass)
+
+    # ------------------------------------------------------------------
+    # the single global reduction (getdt)
+    # ------------------------------------------------------------------
+    def reduce_dt(self, candidates: List[Candidate]) -> Candidate:
+        """Global minimum-dt candidate, with the cell id globalised."""
+        dt, reason, cell = min(candidates, key=lambda c: c[0])
+        gcell = int(self.sub.cell_global[cell]) if cell >= 0 else -1
+        ctx = self.ctx
+        ctx.slots[self.rank] = (dt, reason, gcell, self.rank)
+        ctx.sync()
+        best = min(ctx.slots, key=lambda c: (c[0], c[3]))  # type: ignore[index]
+        self.stats.reductions += 1
+        self.stats.account(1)
+        ctx.sync()
+        return (best[0], best[1], best[2])  # type: ignore[index]
+
+    def allreduce_max(self, value: float) -> float:
+        """Global maximum of a scalar across ranks."""
+        ctx = self.ctx
+        ctx.slots[self.rank] = float(value)
+        ctx.sync()
+        result = max(ctx.slots)  # type: ignore[type-var]
+        self.stats.reductions += 1
+        self.stats.account(1)
+        ctx.sync()
+        return float(result)     # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def owned_cell_mask(self, state) -> Optional[np.ndarray]:
+        return self.sub.owned_cell_mask
+
+    # ------------------------------------------------------------------
+    # cell-field halo (the distributed ALE remap)
+    # ------------------------------------------------------------------
+    def exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
+        """Refresh the ghost-cell rows of per-cell arrays from their
+        owner ranks (every rank must pass the same array list)."""
+        ctx = self.ctx
+        ctx.slots[self.rank] = arrays
+        ctx.sync()
+        for src_rank, local_idx in self.sub.recv_cells.items():
+            src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
+            src_arrays = ctx.slots[src_rank]
+            nvalues = 0
+            for mine, theirs in zip(arrays, src_arrays):
+                mine[local_idx] = theirs[src_idx]
+                nvalues += local_idx.size * (
+                    1 if mine.ndim == 1 else mine.shape[1]
+                )
+            self.stats.account(nvalues)
+        self.stats.halo_exchanges += 1
+        ctx.sync()
+
+    def exchange_cell_fields(self, state) -> None:
+        """Refresh ghost thermodynamics and masses before a remap."""
+        self.exchange_cell_arrays(
+            state.rho, state.e, state.cell_mass, state.corner_mass
+        )
+
+    def physical_boundary_sides(self, state) -> Optional[np.ndarray]:
+        return self.sub.physical_boundary_sides()
+
+    def physical_boundary_side_mask(self, state) -> Optional[np.ndarray]:
+        return self.sub.physical_boundary_mask

@@ -1,0 +1,80 @@
+"""The performance model that regenerates the paper's evaluation.
+
+The hardware of Table I (Cray XC50 Skylake/Broadwell nodes, P100/V100
+GPUs) is not available to a Python reproduction, so this package
+substitutes a calibrated analytic model (see DESIGN.md): baseline
+kernel weights anchored to the paper's Skylake-MPI column, with the
+programming-model transformations (Amdahl hybrid fractions, GPU
+efficiency factors, dope-vector/host-side-getdt structural terms,
+cache-driven strong scaling, Typhon traffic) predicting the remaining
+columns and all four figures.
+"""
+
+from .ablation import (
+    dope_vector_ablation,
+    format_ablations,
+    gpu_aware_mpi_ablation,
+    serial_partitioner_ablation,
+)
+from .efficiency import EfficiencyPoint, efficiency_series, format_efficiency
+from .kernels import (
+    GPU_FACTORS,
+    HYBRID_SERIAL_FRACTION,
+    KERNELS,
+    OTHER,
+    PAPER_WEIGHTS,
+    measured_weights,
+    noh_workload,
+    weights_from_timers,
+)
+from .machines import PLATFORMS, TABLE2_ORDER, Platform, table1_rows
+from .model import PAPER_TABLE2, breakdown, kernel_time, table2
+from .report import format_bars, format_scaling, format_table1, format_table2
+from .scaling import (
+    DEFAULT_WORKLOAD,
+    NODE_COUNTS,
+    SodScalingWorkload,
+    cache_penalty,
+    comm_time,
+    node_time,
+    scaling_series,
+    speedups,
+)
+
+__all__ = [
+    "Platform",
+    "PLATFORMS",
+    "TABLE2_ORDER",
+    "table1_rows",
+    "KERNELS",
+    "OTHER",
+    "PAPER_WEIGHTS",
+    "HYBRID_SERIAL_FRACTION",
+    "GPU_FACTORS",
+    "noh_workload",
+    "measured_weights",
+    "weights_from_timers",
+    "kernel_time",
+    "breakdown",
+    "table2",
+    "PAPER_TABLE2",
+    "SodScalingWorkload",
+    "DEFAULT_WORKLOAD",
+    "NODE_COUNTS",
+    "cache_penalty",
+    "comm_time",
+    "node_time",
+    "scaling_series",
+    "speedups",
+    "format_table1",
+    "format_table2",
+    "dope_vector_ablation",
+    "gpu_aware_mpi_ablation",
+    "serial_partitioner_ablation",
+    "format_ablations",
+    "EfficiencyPoint",
+    "efficiency_series",
+    "format_efficiency",
+    "format_bars",
+    "format_scaling",
+]

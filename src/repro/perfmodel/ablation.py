@@ -1,0 +1,189 @@
+"""Ablation studies for the design choices the paper discusses.
+
+Three implementation decisions get quantitative treatment in the paper
+beyond Table II, and each is modelled here so the benchmarks can
+regenerate the claims:
+
+* **Dope-vector elimination** (Section IV-D): CUDA Fortran transfers a
+  72–96-byte dope vector per assumed-size array argument per kernel
+  launch; declaring explicit sizes removed the transfers and improved
+  the viscosity kernel from 4.23 s to 2.2 s on one problem set.
+  :func:`dope_vector_ablation` models the kernel with and without the
+  per-launch transfers.
+* **GPU-aware MPI** (Section IV-C): Typhon is not GPU-aware, so
+  multi-node GPU runs copy whole arrays device↔host around every halo
+  exchange instead of moving only the halo.  :func:`gpu_aware_mpi_ablation`
+  models the per-step exchange cost both ways.
+* **The serial partitioner** (Section V-C): BookLeaf partitions on one
+  rank, so at many hundreds of flat-MPI processes the O(N log N) setup
+  on the root begins to dominate — the paper's stated reason for
+  scaling the *hybrid* configuration.  :func:`serial_partitioner_ablation`
+  models setup-vs-solve fractions across process counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .kernels import PAPER_WEIGHTS
+from .machines import PLATFORMS, Platform
+from .model import DOPE_ARRAYS, LAUNCHES_PER_STEP
+
+
+# ---------------------------------------------------------------------------
+# dope vectors (CUDA Fortran assumed-size arrays)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DopeAblation:
+    """Viscosity kernel time with/without dope-vector transfers."""
+
+    with_dope: float
+    without_dope: float
+
+    @property
+    def improvement(self) -> float:
+        return self.with_dope / self.without_dope
+
+
+#: the paper's anecdote: 4.23 s -> 2.2 s for "one problem set"; the
+#: implied dope time (2.03 s at ~90 us per launch-with-10-arrays)
+#: corresponds to ~11k timesteps of that reduced problem
+PAPER_DOPE_BEFORE = 4.23
+PAPER_DOPE_AFTER = 2.2
+
+
+def dope_vector_ablation(platform_key: str = "p100_cuda",
+                         steps: int = 11_300,
+                         kernel_seconds: float = PAPER_DOPE_AFTER
+                         ) -> DopeAblation:
+    """Model the assumed-size-array fix on the viscosity kernel.
+
+    ``kernel_seconds`` is the pure kernel time of the reduced problem
+    set; the dope cost adds ``dope_cost × n_arrays`` per launch.
+    """
+    platform = PLATFORMS[platform_key]
+    launches = LAUNCHES_PER_STEP["viscosity"] * steps
+    dope = platform.dope_cost * DOPE_ARRAYS["viscosity"] * launches
+    return DopeAblation(
+        with_dope=kernel_seconds + dope,
+        without_dope=kernel_seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# GPU-aware MPI (Typhon's missing feature)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class GpuMpiAblation:
+    """Per-step halo-exchange seconds with and without GPU-aware MPI."""
+
+    non_aware: float
+    aware: float
+
+    @property
+    def overhead(self) -> float:
+        return self.non_aware / self.aware
+
+
+def gpu_aware_mpi_ablation(platform_key: str = "p100_cuda",
+                           ncell: int = 1_000_000,
+                           halo_fraction: float = 0.004,
+                           arrays: int = 4) -> GpuMpiAblation:
+    """Model one timestep's exchange cost on a multi-node GPU run.
+
+    Without GPU-aware MPI the implementation stages *whole arrays*
+    through the host (device→host, exchange, host→device); with it,
+    only the halo itself crosses PCIe/NVLink and the NIC.
+    """
+    platform = PLATFORMS[platform_key]
+    array_bytes = ncell * 8 * arrays
+    halo_bytes = array_bytes * halo_fraction
+    exchanges = 2  # per step (paper Section IV-A)
+    non_aware = exchanges * (
+        2.0 * array_bytes / platform.pcie_bw          # D2H + H2D, full
+        + halo_bytes / platform.net_bw
+    )
+    aware = exchanges * (
+        2.0 * halo_bytes / platform.pcie_bw           # halo only
+        + halo_bytes / platform.net_bw
+    )
+    return GpuMpiAblation(non_aware=non_aware, aware=aware)
+
+
+# ---------------------------------------------------------------------------
+# the serial partitioner at scale
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PartitionerPoint:
+    """Setup vs solve at one process count."""
+
+    processes: int
+    partition_seconds: float
+    solve_seconds: float
+
+    @property
+    def setup_fraction(self) -> float:
+        total = self.partition_seconds + self.solve_seconds
+        return self.partition_seconds / total
+
+
+def serial_partitioner_ablation(ncell: int = 16_000_000,
+                                solve_node_seconds: float = 2434.0,
+                                processes: List[int] = None,
+                                per_cell_cost: float = 2.0e-7
+                                ) -> List[PartitionerPoint]:
+    """Model the serial-partitioner fraction across process counts.
+
+    The partition runs on one rank at O(N log N); the solve strong-
+    scales.  ``solve_node_seconds`` is the single-node solve time
+    (default: the Sod scaling workload on Skylake flat MPI), and
+    56 processes make one node.
+    """
+    if processes is None:
+        processes = [56, 112, 224, 448, 896, 1792]
+    partition = per_cell_cost * ncell * math.log2(max(ncell, 2))
+    points = []
+    for p in processes:
+        nodes = p / 56.0
+        points.append(PartitionerPoint(
+            processes=p,
+            partition_seconds=partition,
+            solve_seconds=solve_node_seconds / nodes,
+        ))
+    return points
+
+
+def format_ablations() -> str:
+    """Text report of all three ablation studies."""
+    lines = ["ABLATIONS: modelled design-choice studies (paper Sections "
+             "IV-C, IV-D, V-C)", ""]
+    dope = dope_vector_ablation()
+    lines.append(
+        f"1. CUDA dope vectors (viscosity kernel, reduced problem set):\n"
+        f"   with transfers  : {dope.with_dope:6.2f} s   (paper 4.23 s)\n"
+        f"   explicit sizes  : {dope.without_dope:6.2f} s   (paper 2.20 s)\n"
+        f"   improvement     : {dope.improvement:6.2f}x  (paper 1.92x)"
+    )
+    gpu = gpu_aware_mpi_ablation()
+    lines.append(
+        f"\n2. GPU-aware MPI (per-step halo exchange, 1M cells):\n"
+        f"   staging whole arrays through the host: "
+        f"{gpu.non_aware * 1e3:7.2f} ms/step\n"
+        f"   GPU-aware (halo only)                : "
+        f"{gpu.aware * 1e3:7.2f} ms/step\n"
+        f"   overhead: {gpu.overhead:.0f}x — why multi-node GPU runs are "
+        f"'currently suboptimal'"
+    )
+    lines.append("\n3. Serial partitioner at scale (Sod workload, flat MPI):")
+    lines.append(f"   {'procs':>8}{'partition(s)':>14}{'solve(s)':>12}"
+                 f"{'setup share':>13}")
+    for pt in serial_partitioner_ablation():
+        lines.append(
+            f"   {pt.processes:>8}{pt.partition_seconds:>14.1f}"
+            f"{pt.solve_seconds:>12.1f}{pt.setup_fraction:>12.1%}"
+        )
+    lines.append("   -> the paper scales the hybrid configuration to keep "
+                 "process counts down")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""The single-node performance model (Table II, Figures 1–2).
+
+``kernel_time(platform, kernel)`` transforms the calibrated baseline
+work weights (:mod:`repro.perfmodel.kernels`) through the platform's
+programming-model physics:
+
+* **mpi** — the baseline: ``t = w / cpu_rate`` (flat MPI parallelises
+  every kernel essentially perfectly on a node).
+* **hybrid** — Amdahl's law per kernel with the fitted serial
+  fractions: the serial part runs on one thread per socket instead of
+  ``T``, so ``t = (w / cpu_rate) · ((1 − s) + s·T)``, plus the OpenMP
+  region fork/join overhead.
+* **cuda** — ``t = w / (gpu_rate · f_k)`` with the per-kernel CUDA
+  factors, plus the dope-vector transfer overhead per launch (paper
+  Section IV-D) — except ``getdt``, which runs on the *host*: a PCIe
+  device→host transfer of the needed arrays every step plus a
+  single-core reduction.
+* **omp_offload** — like cuda with its own factors (no dope vectors,
+  on-device reductions) plus launch overheads.
+
+The absolute scale is calibrated (one work unit = one second of that
+kernel in the paper's Skylake-MPI column); the *transformations* are
+the model's predictive content, and EXPERIMENTS.md compares every
+resulting cell against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .kernels import (
+    CUDA_GETDT_ARRAYS,
+    CUDA_GETDT_HOST_FACTOR,
+    GPU_FACTORS,
+    HYBRID_SERIAL_FRACTION,
+    KERNELS,
+    OTHER,
+    PAPER_WEIGHTS,
+    noh_workload,
+)
+from .machines import PLATFORMS, TABLE2_ORDER, Platform
+
+#: OpenMP parallel regions entered per kernel per step (two predictor/
+#: corrector invocations for most kernels)
+REGIONS_PER_STEP: Dict[str, int] = {
+    "viscosity": 2, "acceleration": 1, "getdt": 1, "getgeom": 2,
+    "getforce": 2, "getpc": 2, OTHER: 2,
+}
+
+#: GPU kernel launches per kernel per step
+LAUNCHES_PER_STEP = REGIONS_PER_STEP
+
+#: assumed-size array arguments per kernel (dope vectors under CUDA)
+DOPE_ARRAYS: Dict[str, int] = {
+    "viscosity": 10, "acceleration": 6, "getdt": 6, "getgeom": 6,
+    "getforce": 8, "getpc": 4, OTHER: 6,
+}
+
+
+def kernel_time(platform: Platform, kernel: str,
+                weights: Optional[Dict[str, float]] = None,
+                workload: Optional[Dict[str, float]] = None) -> float:
+    """Modelled seconds spent in ``kernel`` over the whole Noh run."""
+    weights = weights if weights is not None else PAPER_WEIGHTS
+    workload = workload if workload is not None else noh_workload()
+    w = weights[kernel]
+    steps = workload["steps"]
+    ncell = workload["ncell"]
+
+    if platform.kind == "mpi":
+        return w / platform.cpu_rate
+
+    if platform.kind == "hybrid":
+        threads = platform.cores_per_socket
+        s = HYBRID_SERIAL_FRACTION[kernel]
+        amdahl = (1.0 - s) + s * threads
+        overhead = (platform.omp_region_overhead * REGIONS_PER_STEP[kernel]
+                    * steps)
+        return (w / platform.cpu_rate) * amdahl + overhead
+
+    if platform.kind in ("cuda", "omp_offload"):
+        launches = LAUNCHES_PER_STEP[kernel] * steps
+        if platform.kind == "cuda" and kernel == "getdt":
+            # Host-side time differential kernel (Section IV-D): copy
+            # the needed arrays to the host each step, reduce there.
+            transfer = steps * CUDA_GETDT_ARRAYS * ncell * 8 / platform.pcie_bw
+            host = w * CUDA_GETDT_HOST_FACTOR
+            return transfer + host
+        if platform.kind == "cuda" and kernel == OTHER:
+            # The non-kernel remainder under CUDA is host-bound (setup,
+            # partitioning, the redundant device<->host copies of
+            # Section IV-C) and does not speed up with a faster GPU.
+            return w / GPU_FACTORS["cuda"][OTHER]
+        factor = GPU_FACTORS[platform.kind][kernel]
+        t = w / (platform.gpu_rate * factor)
+        t += platform.launch_overhead * launches
+        if platform.kind == "cuda":
+            t += platform.dope_cost * DOPE_ARRAYS[kernel] * launches
+        return t
+
+    raise ValueError(f"unknown platform kind {platform.kind!r}")
+
+
+def breakdown(platform: Platform,
+              weights: Optional[Dict[str, float]] = None,
+              workload: Optional[Dict[str, float]] = None
+              ) -> Dict[str, float]:
+    """Per-kernel seconds plus ``overall`` for one platform."""
+    result = {
+        k: kernel_time(platform, k, weights, workload)
+        for k in KERNELS + [OTHER]
+    }
+    result["overall"] = sum(result[k] for k in KERNELS + [OTHER])
+    return result
+
+
+def table2(weights: Optional[Dict[str, float]] = None,
+           workload: Optional[Dict[str, float]] = None
+           ) -> Dict[str, Dict[str, float]]:
+    """The full modelled Table II (all seven configurations)."""
+    return {
+        key: breakdown(PLATFORMS[key], weights, workload)
+        for key in TABLE2_ORDER
+    }
+
+
+#: the paper's Table II, for comparison in benchmarks and EXPERIMENTS.md
+PAPER_TABLE2: Dict[str, Dict[str, float]] = {
+    "skylake_mpi": {"overall": 76.068, "viscosity": 46.365,
+                    "acceleration": 6.663, "getdt": 8.880,
+                    "getgeom": 3.396, "getforce": 5.364, "getpc": 1.314},
+    "skylake_hybrid": {"overall": 168.633, "viscosity": 52.913,
+                       "acceleration": 15.923, "getdt": 53.086,
+                       "getgeom": 26.654, "getforce": 4.925, "getpc": 2.054},
+    "broadwell_mpi": {"overall": 108.978, "viscosity": 70.116,
+                      "acceleration": 8.386, "getdt": 11.936,
+                      "getgeom": 4.834, "getforce": 7.348, "getpc": 1.390},
+    "broadwell_hybrid": {"overall": 180.438, "viscosity": 76.387,
+                         "acceleration": 16.142, "getdt": 45.494,
+                         "getgeom": 20.764, "getforce": 6.501,
+                         "getpc": 2.108},
+    "p100_openmp": {"overall": 186.506, "viscosity": 75.873,
+                    "acceleration": 26.806, "getdt": 12.684,
+                    "getgeom": 16.784, "getforce": 40.853, "getpc": 3.608},
+    "p100_cuda": {"overall": 261.183, "viscosity": 97.445,
+                  "acceleration": 21.995, "getdt": 40.433,
+                  "getgeom": 39.448, "getforce": 0.536, "getpc": 17.922},
+    "v100_cuda": {"overall": 191.636, "viscosity": 44.981,
+                  "acceleration": 11.442, "getdt": 44.401,
+                  "getgeom": 14.789, "getforce": 0.651, "getpc": 10.051},
+}

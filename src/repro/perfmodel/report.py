@@ -1,0 +1,88 @@
+"""Formatting helpers that print the paper's tables and figures as text.
+
+Every benchmark target ends by printing one of these reports so running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the paper's
+evaluation section in the terminal: Table I, Table II (model vs paper,
+with ratios), the Figure 1/2 bars and the Figure 3/4 scaling series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .kernels import KERNELS
+from .machines import PLATFORMS, TABLE2_ORDER, table1_rows
+from .model import PAPER_TABLE2
+
+
+def format_table1() -> str:
+    """The experimental-configuration table (paper Table I)."""
+    lines = ["TABLE I: Experimental configuration",
+             f"{'Hardware':<38}{'System':<24}{'Compiler':<10}Flags"]
+    for row in table1_rows():
+        lines.append(
+            f"{row['hardware']:<38}{row['system']:<24}"
+            f"{row['compiler']:<10}{row['flags']}"
+        )
+    return "\n".join(lines)
+
+
+def format_table2(model: Dict[str, Dict[str, float]],
+                  paper: Optional[Dict[str, Dict[str, float]]] = None
+                  ) -> str:
+    """Model (and optionally paper) per-kernel breakdown, Table II layout."""
+    paper = paper if paper is not None else PAPER_TABLE2
+    cols = ["overall"] + KERNELS
+    head = f"{'Hardware':<18}" + "".join(f"{c:>14}" for c in cols)
+    lines = ["TABLE II: Per-kernel breakdown in seconds "
+             "(model / paper / ratio)", head]
+    for key in TABLE2_ORDER:
+        label = PLATFORMS[key].label
+        m = model[key]
+        p = paper.get(key, {})
+        row_m = f"{label:<18}" + "".join(f"{m[c]:>14.3f}" for c in cols)
+        lines.append(row_m)
+        if p:
+            row_p = f"{'  (paper)':<18}" + "".join(
+                f"{p.get(c, float('nan')):>14.3f}" for c in cols
+            )
+            row_r = f"{'  (ratio)':<18}" + "".join(
+                f"{m[c] / p[c]:>14.2f}" if p.get(c) else f"{'-':>14}"
+                for c in cols
+            )
+            lines.append(row_p)
+            lines.append(row_r)
+    return "\n".join(lines)
+
+
+def format_bars(title: str, values: Dict[str, float],
+                paper: Optional[Dict[str, float]] = None,
+                width: int = 48) -> str:
+    """ASCII bar chart in the style of Figures 1 and 2."""
+    lines = [title]
+    peak = max(values.values())
+    for key in TABLE2_ORDER:
+        if key not in values:
+            continue
+        label = PLATFORMS[key].label
+        v = values[key]
+        bar = "#" * max(int(round(width * v / peak)), 1)
+        extra = f"  (paper {paper[key]:.1f}s)" if paper and key in paper else ""
+        lines.append(f"{label:<18}{v:>9.2f}s |{bar}{extra}")
+    return "\n".join(lines)
+
+
+def format_scaling(title: str, series: Dict[str, Dict[int, float]]) -> str:
+    """Text rendering of a strong-scaling figure (Figs 3/4)."""
+    lines = [title]
+    nodes = sorted(next(iter(series.values())))
+    head = f"{'platform':<18}" + "".join(f"{n:>12}" for n in nodes)
+    lines.append(head + f"{'8->16':>10}{'16->32':>10}{'32->64':>10}")
+    for name, s in series.items():
+        vals = "".join(f"{s[n]:>12.1f}" for n in nodes)
+        keys = sorted(s)
+        sp = [s[a] / s[b] for a, b in zip(keys, keys[1:])]
+        sps = "".join(f"{x:>10.2f}" for x in sp)
+        lines.append(f"{name:<18}{vals}{sps}")
+    lines.append("(speedup > 2 between consecutive points = superlinear)")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""BookLeaf's four bundled test problems (paper Section III-B).
+
+Sod's shock tube, the Noh implosion, the Sedov blast wave and
+Saltzmann's piston — each with a programmatic ``setup()`` and an input
+deck under ``repro/problems/decks``.
+"""
+
+from .base import ProblemSetup
+from .registry import (
+    deck_path,
+    load_problem,
+    problem_names,
+    setup_from_deck,
+)
+
+__all__ = [
+    "ProblemSetup",
+    "load_problem",
+    "problem_names",
+    "setup_from_deck",
+    "deck_path",
+]

@@ -1,0 +1,48 @@
+"""Common scaffolding for the bundled test problems.
+
+Every problem module builds a :class:`ProblemSetup`: the initial
+:class:`~repro.core.state.HydroState`, the material table and the
+controls, bundled with metadata (domain extents, a short description)
+and a convenience constructor for the :class:`~repro.core.hydro.Hydro`
+driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.controls import HydroControls
+from ..core.hydro import Hydro
+from ..core.state import HydroState
+from ..eos.multimaterial import MaterialTable
+from ..utils.log import StepLogger
+from ..utils.timers import TimerRegistry
+
+
+@dataclass
+class ProblemSetup:
+    """A ready-to-run problem: state + materials + controls + metadata."""
+
+    name: str
+    state: HydroState
+    table: MaterialTable
+    controls: HydroControls
+    extents: Tuple[float, float, float, float]
+    description: str = ""
+    #: free-form problem parameters recorded for reproducibility
+    params: dict = field(default_factory=dict)
+
+    def make_hydro(self, timers: Optional[TimerRegistry] = None,
+                   logger: Optional[StepLogger] = None,
+                   comms=None) -> Hydro:
+        """Build the serial driver for this problem."""
+        return Hydro(self.state, self.table, self.controls,
+                     timers=timers, logger=logger, comms=comms)
+
+    def run(self, timers: Optional[TimerRegistry] = None,
+            max_steps: Optional[int] = None) -> Hydro:
+        """Convenience: build the driver, run to completion, return it."""
+        hydro = self.make_hydro(timers=timers)
+        hydro.run(max_steps=max_steps)
+        return hydro

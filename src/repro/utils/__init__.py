@@ -1,0 +1,37 @@
+"""Infrastructure shared across the BookLeaf reproduction.
+
+Exposes the deck parser, timer registry, step logger and the exception
+hierarchy.
+"""
+
+from .deck import Deck, Section, parse_deck, read_deck
+from .errors import (
+    BookLeafError,
+    CommError,
+    DeckError,
+    EosError,
+    MeshError,
+    PartitionError,
+    TangledMeshError,
+    TimestepCollapseError,
+)
+from .log import StepLogger
+from .timers import Timer, TimerRegistry
+
+__all__ = [
+    "Deck",
+    "Section",
+    "parse_deck",
+    "read_deck",
+    "BookLeafError",
+    "CommError",
+    "DeckError",
+    "EosError",
+    "MeshError",
+    "PartitionError",
+    "TangledMeshError",
+    "TimestepCollapseError",
+    "StepLogger",
+    "Timer",
+    "TimerRegistry",
+]

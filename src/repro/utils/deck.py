@@ -1,0 +1,155 @@
+"""BookLeaf-style input-deck parser.
+
+The Fortran mini-app reads Fortran namelist control files.  We keep the
+same sectioned shape in a dependency-free format::
+
+    ! comment
+    [CONTROL]
+    time_end   = 0.205
+    dt_initial = 1.0e-5
+    ale        = false
+
+    [MESH]
+    type = rect
+    nx   = 100
+    ny   = 4
+
+    [MATERIAL 1]
+    eos   = ideal
+    gamma = 1.4
+
+Values are parsed into ``bool``/``int``/``float``/``str`` (with bare
+comma-separated lists becoming Python lists).  Repeated sections with an
+index (``[MATERIAL 1]``, ``[MATERIAL 2]``) become entries of
+``deck.indexed("MATERIAL")``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from .errors import DeckError
+
+_SECTION_RE = re.compile(r"^\[\s*([A-Za-z_]+)(?:\s+(\d+))?\s*\]$")
+_BOOLS = {"true": True, ".true.": True, "on": True,
+          "false": False, ".false.": False, "off": False}
+
+
+def _parse_scalar(text: str) -> Any:
+    """Convert one token to bool/int/float, falling back to str."""
+    low = text.lower()
+    if low in _BOOLS:
+        return _BOOLS[low]
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text.replace("d", "e").replace("D", "E"))
+    except ValueError:
+        pass
+    return text.strip("'\"")
+
+
+def _parse_value(text: str) -> Any:
+    if "," in text:
+        return [_parse_scalar(tok.strip()) for tok in text.split(",") if tok.strip()]
+    return _parse_scalar(text.strip())
+
+
+@dataclass
+class Section:
+    """One deck section: a dict of options with typed accessors."""
+
+    name: str
+    index: int = 0
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.options.get(key.lower(), default)
+
+    def require(self, key: str) -> Any:
+        key = key.lower()
+        if key not in self.options:
+            raise DeckError(f"section [{self.name}] is missing required key '{key}'")
+        return self.options[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key.lower() in self.options
+
+
+@dataclass
+class Deck:
+    """A parsed input deck: ordered sections plus indexed lookup."""
+
+    sections: List[Section] = field(default_factory=list)
+    source: str = "<memory>"
+
+    def section(self, name: str) -> Section:
+        """Return the unique section called ``name`` (case-insensitive)."""
+        found = [s for s in self.sections if s.name == name.upper()]
+        if not found:
+            raise DeckError(f"deck {self.source} has no [{name.upper()}] section")
+        if len(found) > 1 and any(s.index for s in found):
+            raise DeckError(
+                f"deck {self.source} has multiple [{name.upper()}] sections; "
+                f"use indexed()"
+            )
+        return found[0]
+
+    def optional(self, name: str) -> Section:
+        """Like :meth:`section` but returns an empty section if absent."""
+        found = [s for s in self.sections if s.name == name.upper()]
+        return found[0] if found else Section(name.upper())
+
+    def indexed(self, name: str) -> List[Section]:
+        """All sections ``[NAME k]`` sorted by index ``k``."""
+        found = [s for s in self.sections if s.name == name.upper()]
+        return sorted(found, key=lambda s: s.index)
+
+    def __contains__(self, name: str) -> bool:
+        return any(s.name == name.upper() for s in self.sections)
+
+
+def parse_deck(text: str, source: str = "<memory>") -> Deck:
+    """Parse deck ``text`` into a :class:`Deck`, validating syntax."""
+    deck = Deck(source=source)
+    current: Union[Section, None] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("!")[0].split("#")[0].strip()
+        if not line:
+            continue
+        match = _SECTION_RE.match(line)
+        if match:
+            name = match.group(1).upper()
+            index = int(match.group(2)) if match.group(2) else 0
+            current = Section(name=name, index=index)
+            deck.sections.append(current)
+            continue
+        if "=" not in line:
+            raise DeckError(f"{source}:{lineno}: expected 'key = value', got {line!r}")
+        if current is None:
+            raise DeckError(f"{source}:{lineno}: option outside any [SECTION]")
+        key, _, value = line.partition("=")
+        key = key.strip().lower()
+        if not key:
+            raise DeckError(f"{source}:{lineno}: empty key")
+        if key in current.options:
+            raise DeckError(
+                f"{source}:{lineno}: duplicate key '{key}' in [{current.name}]"
+            )
+        current.options[key] = _parse_value(value)
+    return deck
+
+
+def read_deck(path: Union[str, Path]) -> Deck:
+    """Read and parse the deck file at ``path``."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise DeckError(f"cannot read deck {path}: {exc}") from exc
+    return parse_deck(text, source=str(path))

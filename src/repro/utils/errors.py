@@ -1,0 +1,66 @@
+"""Exception hierarchy for the BookLeaf reproduction.
+
+BookLeaf (the Fortran mini-app) aborts with an error code and a short
+message (e.g. negative volume detected in ``getgeom``, timestep collapse
+in ``getdt``).  We map those failure modes onto a small exception
+hierarchy so callers can distinguish *user* errors (bad decks, bad
+meshes) from *numerical* failures (tangling, dt collapse).
+"""
+
+from __future__ import annotations
+
+
+class BookLeafError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class DeckError(BookLeafError):
+    """An input deck is malformed or contains inconsistent options."""
+
+
+class MeshError(BookLeafError):
+    """A mesh is topologically or geometrically invalid."""
+
+
+class TangledMeshError(MeshError):
+    """The Lagrangian step produced a non-positive cell or corner volume.
+
+    Carries the indices of the offending cells so drivers can report the
+    location of the failure, as the Fortran code does.
+    """
+
+    def __init__(self, cells, time=None):
+        self.cells = cells
+        self.time = time
+        where = f" at t={time:.6g}" if time is not None else ""
+        super().__init__(f"mesh tangled{where}: non-positive volume in cells {cells}")
+
+
+class TimestepCollapseError(BookLeafError):
+    """The CFL timestep fell below the configured minimum.
+
+    This is BookLeaf's ``dt < dtmin`` abort; it usually indicates an
+    instability or a tangling mesh one step before it goes negative.
+    """
+
+    def __init__(self, dt, dtmin, cell=None, time=None):
+        self.dt = dt
+        self.dtmin = dtmin
+        self.cell = cell
+        self.time = time
+        where = f" (controlling cell {cell})" if cell is not None else ""
+        super().__init__(
+            f"timestep collapse: dt={dt:.6g} < dtmin={dtmin:.6g}{where}"
+        )
+
+
+class EosError(BookLeafError):
+    """An equation-of-state evaluation left the physical regime."""
+
+
+class PartitionError(BookLeafError):
+    """A domain decomposition request could not be satisfied."""
+
+
+class CommError(BookLeafError):
+    """Misuse of the simulated Typhon communication layer."""

@@ -1,0 +1,44 @@
+"""Run logging in the style of BookLeaf's step banner.
+
+BookLeaf prints one line per step (step number, time, dt, controlling
+cell and which constraint chose the timestep).  :class:`StepLogger`
+reproduces that, with a configurable cadence so long runs stay quiet.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+
+@dataclass
+class StepLogger:
+    """Prints a BookLeaf-style per-step banner line.
+
+    Parameters
+    ----------
+    every:
+        Print one line every ``every`` steps (0 silences output).
+    stream:
+        Output stream, defaulting to stdout.
+    """
+
+    every: int = 0
+    stream: Optional[TextIO] = None
+
+    def step(self, nstep: int, time: float, dt: float,
+             control: str = "", cell: int = -1) -> None:
+        if self.every <= 0 or nstep % self.every:
+            return
+        stream = self.stream or sys.stdout
+        where = f" cell={cell}" if cell >= 0 else ""
+        stream.write(
+            f"step {nstep:6d}  t={time:12.6e}  dt={dt:12.6e}  {control}{where}\n"
+        )
+
+    def banner(self, text: str) -> None:
+        if self.every <= 0:
+            return
+        stream = self.stream or sys.stdout
+        stream.write(text.rstrip() + "\n")

@@ -1,0 +1,118 @@
+"""Verification utilities: error norms and mesh-convergence studies.
+
+The tools a downstream user needs to do what tests/integration does by
+hand: run a bundled problem across a resolution ladder, measure error
+norms against the analytic solution and estimate the observed order of
+accuracy.
+
+Example::
+
+    from repro.validation import convergence_study, sod_density_error
+
+    study = convergence_study("sod", (25, 50, 100), sod_density_error)
+    print(study.table())
+    assert study.orders()[-1] > 0.6   # first-order at shocks, as expected
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .analytic import noh_exact, sod_solution
+from .core.hydro import Hydro
+from .problems import load_problem
+
+#: an error functional: finished driver -> scalar error
+ErrorFn = Callable[[Hydro], float]
+
+
+def l1_norm(computed: np.ndarray, exact: np.ndarray) -> float:
+    """Mean absolute error."""
+    return float(np.abs(computed - exact).mean())
+
+
+def l2_norm(computed: np.ndarray, exact: np.ndarray) -> float:
+    """Root-mean-square error."""
+    return float(np.sqrt(((computed - exact) ** 2).mean()))
+
+
+def linf_norm(computed: np.ndarray, exact: np.ndarray) -> float:
+    """Maximum absolute error."""
+    return float(np.abs(computed - exact).max())
+
+
+def sod_density_error(hydro: Hydro, norm=l1_norm) -> float:
+    """Density error of a finished Sod run vs the exact solution."""
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    rho_exact, _, _ = sod_solution().sample((xc - 0.5) / hydro.time)
+    return norm(state.rho, rho_exact)
+
+
+def noh_density_error(hydro: Hydro, norm=l1_norm) -> float:
+    """Density error of a finished Noh run vs the exact solution."""
+    state = hydro.state
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+    r = np.hypot(xc, yc)
+    rho_exact, _, _ = noh_exact.solution(r, hydro.time)
+    return norm(state.rho, rho_exact)
+
+
+@dataclass
+class ConvergenceStudy:
+    """Resolutions, errors and observed orders of one refinement ladder."""
+
+    problem: str
+    resolutions: List[int]
+    errors: List[float]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def orders(self) -> List[float]:
+        """Observed order between consecutive resolutions
+        (assumes each step doubles nx)."""
+        out = []
+        for (n1, e1), (n2, e2) in zip(
+            zip(self.resolutions, self.errors),
+            zip(self.resolutions[1:], self.errors[1:]),
+        ):
+            ratio = n2 / n1
+            out.append(float(np.log(e1 / e2) / np.log(ratio)))
+        return out
+
+    def table(self) -> str:
+        lines = [f"convergence study: {self.problem}",
+                 f"{'nx':>8}{'error':>14}{'order':>9}"]
+        orders = [float("nan")] + self.orders()
+        for nx, err, order in zip(self.resolutions, self.errors, orders):
+            order_s = f"{order:9.2f}" if np.isfinite(order) else " " * 9
+            lines.append(f"{nx:>8}{err:>14.6e}{order_s}")
+        return "\n".join(lines)
+
+
+def convergence_study(problem: str, resolutions: Sequence[int],
+                      error_fn: ErrorFn, **problem_kwargs
+                      ) -> ConvergenceStudy:
+    """Run ``problem`` at each resolution and collect ``error_fn``.
+
+    ``nx`` is swept; other setup arguments pass through unchanged (for
+    square-domain problems pass matching ``ny`` via ``ny_follows=True``,
+    the default, which sets ny = nx unless ny was given explicitly).
+    """
+    ny_follows = problem_kwargs.pop("ny_follows", "ny" not in problem_kwargs)
+    errors = []
+    for nx in resolutions:
+        kwargs = dict(problem_kwargs)
+        kwargs["nx"] = nx
+        if ny_follows:
+            kwargs["ny"] = nx
+        hydro = load_problem(problem, **kwargs).run()
+        errors.append(float(error_fn(hydro)))
+    return ConvergenceStudy(
+        problem=problem,
+        resolutions=list(resolutions),
+        errors=errors,
+        meta=dict(problem_kwargs),
+    )

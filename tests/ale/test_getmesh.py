@@ -1,0 +1,88 @@
+"""Unit tests for the target-mesh selection (alegetmesh)."""
+
+import numpy as np
+import pytest
+
+from repro.ale.getmesh import select_target
+from repro.utils.errors import BookLeafError
+from tests.conftest import make_uniform_state
+from repro.eos import IdealGas, MaterialTable
+from repro.mesh.generator import rect_mesh
+
+
+def _state():
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    return make_uniform_state(rect_mesh(5, 5), table)
+
+
+def test_eulerian_target_is_initial_mesh():
+    state = _state()
+    x0 = state.x.copy()
+    y0 = state.y.copy()
+    # distort interior
+    interior = np.ones(state.mesh.nnode, bool)
+    interior[state.mesh.boundary_nodes()] = False
+    state.x[interior] += 0.02
+    xt, yt = select_target(state, "eulerian", 0.25, x0, y0)
+    np.testing.assert_allclose(xt[interior], x0[interior])
+    np.testing.assert_allclose(yt, y0)
+
+
+def test_relax_moves_towards_neighbour_average():
+    state = _state()
+    mesh = state.mesh
+    interior = np.setdiff1d(np.arange(mesh.nnode), mesh.boundary_nodes())
+    node = interior[0]
+    x_orig = state.x[node]
+    state.x[node] += 0.1    # displaced node
+    xt, yt = select_target(state, "relax", 0.5, state.x, state.y)
+    # relaxation pulls it back towards the neighbour average
+    assert xt[node] < state.x[node]
+    assert xt[node] > x_orig - 0.05
+
+
+def test_relax_zero_factor_is_identity():
+    state = _state()
+    xt, yt = select_target(state, "relax", 0.0, state.x, state.y)
+    np.testing.assert_allclose(xt, state.x)
+    np.testing.assert_allclose(yt, state.y)
+
+
+def test_relax_fixed_point_on_uniform_mesh():
+    state = _state()
+    xt, yt = select_target(state, "relax", 0.5, state.x, state.y)
+    interior = np.setdiff1d(np.arange(state.mesh.nnode),
+                            state.mesh.boundary_nodes())
+    np.testing.assert_allclose(xt[interior], state.x[interior], atol=1e-13)
+
+
+def test_constrained_components_preserved():
+    """Wall nodes keep their fixed coordinate (slide only)."""
+    state = _state()
+    mesh = state.mesh
+    left = np.isclose(mesh.x, 0.0)
+    xt, yt = select_target(state, "relax", 0.9, state.x, state.y)
+    np.testing.assert_array_equal(xt[left], state.x[left])
+
+
+def test_free_boundary_nodes_never_move():
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    state = make_uniform_state(rect_mesh(4, 4), table, walls={})
+    state.bc.flags[:] = 0
+    x0 = state.x.copy()
+    y0 = state.y.copy()
+    b = state.mesh.boundary_nodes()
+    # pretend the mesh moved everywhere
+    state.x += 0.01
+    state.y += 0.01
+    xt, yt = select_target(state, "eulerian", 0.25, x0, y0)
+    np.testing.assert_array_equal(xt[b], state.x[b])
+    np.testing.assert_array_equal(yt[b], state.y[b])
+
+
+def test_unknown_mode_rejected():
+    state = _state()
+    with pytest.raises(BookLeafError, match="unknown ALE"):
+        select_target(state, "banana", 0.25, state.x, state.y)

@@ -1,0 +1,143 @@
+"""Unit tests for the Noh, Sedov and Saltzmann analytic solutions."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import noh_exact, saltzmann_exact, sedov_exact
+
+
+# --------------------------------------------------------------------------
+# Noh
+# --------------------------------------------------------------------------
+def test_noh_shock_speed_third():
+    assert noh_exact.shock_radius(0.6) == pytest.approx(0.2)
+
+
+def test_noh_plateau_sixteen():
+    assert noh_exact.post_shock_density() == pytest.approx(16.0)
+
+
+def test_noh_solution_regions():
+    r = np.array([0.05, 0.5])
+    rho, u, e = noh_exact.solution(r, t=0.6)
+    assert rho[0] == pytest.approx(16.0)
+    assert u[0] == 0.0
+    assert e[0] == pytest.approx(0.5)
+    assert rho[1] == pytest.approx(1.0 + 0.6 / 0.5)
+    assert u[1] == -1.0
+    assert e[1] == 0.0
+
+
+def test_noh_pre_shock_density_limit():
+    """Far from the origin the gas is still at ρ0."""
+    rho, _, _ = noh_exact.solution(np.array([1e6]), t=0.6)
+    assert rho[0] == pytest.approx(1.0, rel=1e-5)
+
+
+def test_noh_gamma_dependence():
+    # gamma = 3: shock speed u0(γ-1)/2 = 1, plateau ((γ+1)/(γ-1))^2 = 4
+    assert noh_exact.shock_radius(1.0, gamma=3.0) == pytest.approx(1.0)
+    assert noh_exact.post_shock_density(gamma=3.0) == pytest.approx(4.0)
+
+
+# --------------------------------------------------------------------------
+# Sedov
+# --------------------------------------------------------------------------
+def test_sedov_alpha_gamma_14():
+    """α ≈ 0.984 for the cylindrical γ = 1.4 blast (textbook value)."""
+    sim = sedov_exact.similarity(1.4)
+    assert sim.alpha == pytest.approx(0.984, abs=0.01)
+
+
+def test_sedov_shock_jump_conditions():
+    sim = sedov_exact.similarity(1.4)
+    assert sim.G[-1] == pytest.approx(6.0, rel=1e-9)       # (γ+1)/(γ−1)
+    assert sim.V[-1] == pytest.approx(2.0 / 2.4, rel=1e-9)  # 2/(γ+1)
+    assert sim.P[-1] == pytest.approx(2.0 / 2.4, rel=1e-9)
+
+
+def test_sedov_density_monotone_inside():
+    sim = sedov_exact.similarity(1.4)
+    assert np.all(np.diff(sim.G) >= -1e-10)
+    assert sim.G[0] < 1e-3 * sim.G[-1]   # evacuated centre
+
+
+def test_sedov_shock_radius_scaling():
+    """R ∝ t^(1/2) in 2-D."""
+    r1 = sedov_exact.shock_radius(1.0, energy=1.0)
+    r2 = sedov_exact.shock_radius(4.0, energy=1.0)
+    assert r2 / r1 == pytest.approx(2.0, rel=1e-12)
+
+
+def test_sedov_shock_radius_energy_scaling():
+    """R ∝ E^(1/4)."""
+    r1 = sedov_exact.shock_radius(1.0, energy=1.0)
+    r2 = sedov_exact.shock_radius(1.0, energy=16.0)
+    assert r2 / r1 == pytest.approx(2.0, rel=1e-12)
+
+
+def test_sedov_profiles_outside_shock_undisturbed():
+    sim = sedov_exact.similarity(1.4)
+    r = np.array([2.0])
+    rho, u, p = sim.profiles(r, t=1.0, energy=1.0)
+    assert rho[0] == 1.0
+    assert u[0] == 0.0
+    assert p[0] == 0.0
+
+
+def test_sedov_energy_integral_consistency():
+    """Integrating the profile energy recovers the input E (within the
+    similarity-grid quadrature error)."""
+    sim = sedov_exact.similarity(1.4)
+    E = 0.7
+    t = 1.0
+    R = sedov_exact.shock_radius(t, energy=E)
+    r = np.linspace(1e-4, R * 0.9999, 4000)
+    rho, u, p = sim.profiles(r, t, energy=E)
+    integrand = (0.5 * rho * u ** 2 + p / 0.4) * 2 * np.pi * r
+    total = np.trapezoid(integrand, r)
+    assert total == pytest.approx(E, rel=2e-2)
+
+
+def test_sedov_caching():
+    a = sedov_exact.similarity(1.4)
+    b = sedov_exact.similarity(1.4)
+    assert a is b
+
+
+# --------------------------------------------------------------------------
+# Saltzmann
+# --------------------------------------------------------------------------
+def test_saltzmann_shock_speed():
+    assert saltzmann_exact.shock_position(0.6) == pytest.approx(0.8)
+
+
+def test_saltzmann_post_shock_state():
+    rho1, u1, p1, e1 = saltzmann_exact.post_shock_state()
+    assert rho1 == pytest.approx(4.0)
+    assert u1 == 1.0
+    assert p1 == pytest.approx(4.0 / 3.0)
+    assert e1 == pytest.approx(0.5)
+
+
+def test_saltzmann_hugoniot_consistency():
+    """Mass and momentum conservation across the modelled shock."""
+    gamma = 5.0 / 3.0
+    rho0, u_p = 1.0, 1.0
+    rho1, u1, p1, e1 = saltzmann_exact.post_shock_state(gamma, rho0, u_p)
+    D = saltzmann_exact.shock_position(1.0, gamma, u_p)
+    # mass: rho0 D = rho1 (D - u1)
+    assert rho0 * D == pytest.approx(rho1 * (D - u1))
+    # momentum: p1 = rho0 D u1
+    assert p1 == pytest.approx(rho0 * D * u1)
+    # energy: e1 = p1/2 (1/rho0 - 1/rho1) across a strong shock
+    assert e1 == pytest.approx(0.5 * p1 * (1 / rho0 - 1 / rho1))
+
+
+def test_saltzmann_solution_regions():
+    x = np.array([0.3, 0.9])
+    rho, u, e = saltzmann_exact.solution(x, t=0.6)
+    assert rho[0] == pytest.approx(4.0)
+    assert u[0] == 1.0
+    assert rho[1] == 1.0
+    assert u[1] == 0.0

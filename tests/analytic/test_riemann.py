@@ -1,0 +1,126 @@
+"""Unit tests for the exact Riemann solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic.riemann import (
+    RiemannState,
+    sod_solution,
+    solve_riemann,
+    solve_star,
+)
+from repro.utils.errors import BookLeafError
+
+
+def test_sod_star_values():
+    """Toro's reference: p* = 0.30313, u* = 0.92745."""
+    sol = sod_solution()
+    assert sol.p_star == pytest.approx(0.30313, abs=2e-5)
+    assert sol.u_star == pytest.approx(0.92745, abs=2e-5)
+
+
+def test_trivial_problem_keeps_state():
+    s = RiemannState(1.0, 0.5, 1.0)
+    sol = solve_riemann(s, s, 1.4)
+    assert sol.p_star == pytest.approx(1.0, rel=1e-10)
+    assert sol.u_star == pytest.approx(0.5, rel=1e-10)
+    rho, u, p = sol.sample(np.linspace(-1, 2, 7))
+    np.testing.assert_allclose(rho, 1.0, rtol=1e-9)
+    np.testing.assert_allclose(u, 0.5, rtol=1e-9)
+
+
+def test_symmetric_collision_stagnates():
+    left = RiemannState(1.0, 2.0, 1.0)
+    right = RiemannState(1.0, -2.0, 1.0)
+    sol = solve_riemann(left, right, 1.4)
+    assert sol.u_star == pytest.approx(0.0, abs=1e-12)
+    assert sol.p_star > 1.0     # two shocks compress
+
+
+def test_symmetric_expansion():
+    left = RiemannState(1.0, -1.0, 1.0)
+    right = RiemannState(1.0, 1.0, 1.0)
+    sol = solve_riemann(left, right, 1.4)
+    assert sol.u_star == pytest.approx(0.0, abs=1e-12)
+    assert sol.p_star < 1.0     # two rarefactions
+
+
+def test_vacuum_detected():
+    left = RiemannState(1.0, -10.0, 0.01)
+    right = RiemannState(1.0, 10.0, 0.01)
+    with pytest.raises(BookLeafError, match="vacuum"):
+        solve_star(left, right, 1.4)
+
+
+def test_sod_sampled_regions():
+    """Check the five Sod regions at t = 0.2 around x0 = 0.5."""
+    sol = sod_solution()
+    t = 0.2
+    xs = np.array([0.05, 0.4, 0.6, 0.75, 0.95])
+    rho, u, p = sol.sample((xs - 0.5) / t)
+    # undisturbed left
+    assert rho[0] == pytest.approx(1.0)
+    # inside rarefaction: between states
+    assert 0.4 < rho[1] < 1.0
+    # left star region (contact left side): rho* ~ 0.42632
+    assert rho[2] == pytest.approx(0.42632, abs=1e-3)
+    # right star region: rho ~ 0.26557
+    assert rho[3] == pytest.approx(0.26557, abs=1e-3)
+    # undisturbed right
+    assert rho[4] == pytest.approx(0.125)
+    np.testing.assert_allclose(p[2], p[3], rtol=1e-10)  # contact: p equal
+    np.testing.assert_allclose(u[2], u[3], rtol=1e-10)
+
+
+def test_sod_shock_position():
+    """The Sod shock speed is ~1.7522."""
+    sol = sod_solution()
+    rho, _, _ = sol.sample(np.array([1.75, 1.76]))
+    assert rho[0] > 0.2     # just behind the shock
+    assert rho[1] == pytest.approx(0.125)  # just ahead
+
+
+def test_pressure_positive_everywhere_sod():
+    sol = sod_solution()
+    _, _, p = sol.sample(np.linspace(-3, 3, 400))
+    assert np.all(p > 0.0)
+
+
+def test_invalid_states_rejected():
+    with pytest.raises(BookLeafError):
+        RiemannState(-1.0, 0.0, 1.0)
+    with pytest.raises(BookLeafError):
+        RiemannState(1.0, 0.0, -1.0)
+
+
+states = st.tuples(
+    st.floats(0.1, 10.0), st.floats(-1.0, 1.0), st.floats(0.1, 10.0)
+)
+
+
+@given(left=states, right=states)
+@settings(max_examples=60, deadline=None)
+def test_star_state_consistency(left, right):
+    """p* solves f_L + f_R + Δu = 0 and is positive."""
+    from repro.analytic.riemann import _branch
+
+    sl = RiemannState(*left)
+    sr = RiemannState(*right)
+    p, u = solve_star(sl, sr, 1.4)
+    assert p > 0.0
+    f_l, _ = _branch(p, sl, 1.4)
+    f_r, _ = _branch(p, sr, 1.4)
+    residual = f_l + f_r + (sr.u - sl.u)
+    assert abs(residual) < 1e-7 * max(1.0, abs(sr.u - sl.u))
+
+
+@given(left=states, right=states)
+@settings(max_examples=40, deadline=None)
+def test_sampling_is_piecewise_physical(left, right):
+    sol = solve_riemann(RiemannState(*left), RiemannState(*right), 1.4)
+    rho, u, p = sol.sample(np.linspace(-5, 5, 101))
+    assert np.all(rho > 0.0)
+    assert np.all(p >= 0.0)
+    assert np.all(np.isfinite(u))

@@ -1,0 +1,63 @@
+"""Shared fixtures for the BookLeaf reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.controls import HydroControls
+from repro.core.state import HydroState
+from repro.eos.ideal import IdealGas
+from repro.eos.multimaterial import MaterialTable
+from repro.mesh.boundary import classify_box_boundary
+from repro.mesh.generator import perturbed_mesh, rect_mesh
+
+
+@pytest.fixture
+def unit_square_mesh():
+    """A 4x4 mesh of the unit square."""
+    return rect_mesh(4, 4)
+
+
+@pytest.fixture
+def tube_mesh():
+    """A 16x2 tube mesh (Sod-like geometry)."""
+    return rect_mesh(16, 2, (0.0, 1.0, 0.0, 0.125))
+
+
+@pytest.fixture
+def wonky_mesh():
+    """A perturbed (genuinely unstructured-geometry) 6x5 mesh."""
+    return perturbed_mesh(6, 5, amplitude=0.25, seed=42)
+
+
+@pytest.fixture
+def ideal_table():
+    """Single ideal-gas material table (gamma = 1.4)."""
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    return table
+
+
+def make_uniform_state(mesh, table, rho=1.0, p=1.0, u=0.0, v=0.0,
+                       extents=(0.0, 1.0, 0.0, 1.0), walls=None):
+    """A uniform-gas state with reflecting box walls."""
+    gas = table.eos[0]
+    rho_arr = np.full(mesh.ncell, rho)
+    e_arr = gas.energy_from_pressure(rho_arr, np.full(mesh.ncell, p))
+    bc = classify_box_boundary(mesh, extents, walls=walls)
+    return HydroState.from_initial(
+        mesh, table, rho_arr, e_arr,
+        u=np.full(mesh.nnode, u), v=np.full(mesh.nnode, v), bc=bc,
+    )
+
+
+@pytest.fixture
+def uniform_state(unit_square_mesh, ideal_table):
+    """Uniform gas at rest on the unit square with wall BCs."""
+    return make_uniform_state(unit_square_mesh, ideal_table)
+
+
+@pytest.fixture
+def controls():
+    return HydroControls(time_end=1.0, dt_initial=1e-4)

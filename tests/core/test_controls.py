@@ -1,0 +1,72 @@
+"""Unit tests for the numerical controls."""
+
+import pytest
+
+from repro.core.controls import HydroControls, controls_from_deck
+from repro.utils.deck import parse_deck
+from repro.utils.errors import DeckError
+
+
+def test_defaults_validate():
+    HydroControls().validated()
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"time_end": -1.0},
+    {"cfl_safety": 0.0},
+    {"cfl_safety": 1.5},
+    {"dt_initial": 0.0},
+    {"dt_growth": 0.5},
+    {"cq1": -1.0},
+    {"ale_mode": "banana"},
+    {"ale_every": 0},
+])
+def test_invalid_controls_rejected(kwargs):
+    with pytest.raises(DeckError):
+        HydroControls(**kwargs).validated()
+
+
+def test_with_returns_new_validated_instance():
+    base = HydroControls()
+    mod = base.with_(cfl_safety=0.3)
+    assert mod.cfl_safety == 0.3
+    assert base.cfl_safety == 0.5
+    with pytest.raises(DeckError):
+        base.with_(cfl_safety=2.0)
+
+
+def test_controls_from_deck():
+    deck = parse_deck("""
+[CONTROL]
+time_end   = 0.7
+dt_initial = 2.0e-5
+cq1        = 0.25
+cfl_safety = 0.4
+
+[ALE]
+on    = true
+every = 3
+mode  = relax
+relax = 0.1
+""")
+    controls = controls_from_deck(deck)
+    assert controls.time_end == pytest.approx(0.7)
+    assert controls.dt_initial == pytest.approx(2e-5)
+    assert controls.cq1 == pytest.approx(0.25)
+    assert controls.cfl_safety == pytest.approx(0.4)
+    assert controls.ale_on is True
+    assert controls.ale_every == 3
+    assert controls.ale_mode == "relax"
+    assert controls.ale_relax == pytest.approx(0.1)
+
+
+def test_controls_from_deck_defaults_for_missing():
+    deck = parse_deck("[CONTROL]\ntime_end = 0.5\n")
+    controls = controls_from_deck(deck)
+    assert controls.cfl_safety == 0.5
+    assert controls.ale_on is False
+
+
+def test_controls_from_deck_requires_control_section():
+    with pytest.raises(DeckError):
+        controls_from_deck(parse_deck("[MESH]\nnx = 2\n"))

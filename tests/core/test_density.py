@@ -1,0 +1,28 @@
+"""Unit tests for the density kernel (getrho)."""
+
+import numpy as np
+
+from repro.core.density import getrho
+
+
+def test_mass_over_volume():
+    rho = getrho(np.array([2.0, 6.0]), np.array([1.0, 3.0]))
+    np.testing.assert_allclose(rho, [2.0, 2.0])
+
+
+def test_dencut_floor():
+    rho = getrho(np.array([1e-12]), np.array([1.0]), dencut=1e-6)
+    assert rho[0] == 1e-6
+
+
+def test_no_floor_by_default():
+    rho = getrho(np.array([1e-12]), np.array([1.0]))
+    assert rho[0] == 1e-12
+
+
+def test_returns_new_array():
+    mass = np.array([1.0])
+    vol = np.array([2.0])
+    rho = getrho(mass, vol)
+    rho[0] = 99.0
+    assert mass[0] == 1.0 and vol[0] == 2.0

@@ -1,0 +1,79 @@
+"""Tests for the energy-budget observer."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy_budget import EnergyBudget
+from repro.problems import load_problem
+
+
+def test_budget_records_every_step():
+    hydro = load_problem("sod", nx=20, ny=2, time_end=1.0).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run(max_steps=5)
+    assert len(budget.rows) == 6       # initial + 5 steps
+    assert budget.rows[0].nstep == 0
+    assert budget.rows[-1].nstep == 5
+
+
+def test_closed_lagrangian_run_conserves_total():
+    hydro = load_problem("sod", nx=50, ny=2, time_end=0.05).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run()
+    scale = abs(budget.rows[0].total)
+    assert abs(budget.d_total) < 1e-12 * scale
+    assert budget.max_step_drift() < 1e-13 * scale
+
+
+def test_sod_converts_internal_to_kinetic():
+    hydro = load_problem("sod", nx=50, ny=2, time_end=0.1).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run()
+    assert budget.d_kinetic > 0.0
+    assert budget.d_internal == pytest.approx(-budget.d_kinetic, rel=1e-10)
+    assert budget.exchanged() >= abs(budget.d_internal)
+
+
+def test_noh_converts_kinetic_to_internal():
+    hydro = load_problem("noh", nx=16, ny=16, time_end=0.1).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run()
+    assert budget.d_kinetic < 0.0      # the implosion shocks KE to heat
+    assert budget.d_internal > 0.0
+
+
+def test_piston_adds_energy():
+    hydro = load_problem("saltzmann", nx=40, ny=4,
+                         time_end=0.2).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run()
+    assert budget.d_total > 0.0        # boundary work flows in
+
+
+def test_ale_run_dissipates_only():
+    """The Eulerian remap may only *lose* total energy (upwind KE
+    dissipation), never create it."""
+    hydro = load_problem("sod", nx=50, ny=2, time_end=0.05,
+                         ale_on=True).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run()
+    scale = abs(budget.rows[0].total)
+    assert budget.d_total <= 1e-12 * scale
+
+
+def test_report_text():
+    hydro = load_problem("sod", nx=10, ny=2, time_end=1.0).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run(max_steps=2)
+    text = budget.report()
+    assert "kinetic" in text and "internal" in text
+    assert "worst single-step drift" in text
+
+
+def test_series_lengths():
+    hydro = load_problem("sod", nx=10, ny=2, time_end=1.0).make_hydro()
+    budget = EnergyBudget.attach(hydro)
+    hydro.run(max_steps=3)
+    series = budget.series()
+    assert len(series["time"]) == 4
+    assert np.all(np.diff(series["time"]) > 0)

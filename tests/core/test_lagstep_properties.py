@@ -1,0 +1,102 @@
+"""Property-based tests: Lagrangian-step invariants on random states.
+
+Hypothesis drives random (but physical) initial conditions and mesh
+shapes through full predictor–corrector steps and asserts the scheme's
+structural invariants: exact mass conservation, round-off energy
+conservation with wall BCs, round-off momentum conservation without
+them, and positivity.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controls import HydroControls
+from repro.core.lagstep import lagstep
+from repro.eos import IdealGas, MaterialTable
+from repro.mesh.generator import perturbed_mesh
+from repro.utils.timers import TimerRegistry
+from tests.conftest import make_uniform_state
+
+
+def _random_state(nx, ny, amplitude, seed, gamma, free=False):
+    table = MaterialTable()
+    table.add(IdealGas(gamma))
+    mesh = perturbed_mesh(nx, ny, amplitude=amplitude, seed=seed)
+    state = make_uniform_state(mesh, table)
+    rng = np.random.default_rng(seed + 1)
+    state.e = state.e * rng.uniform(0.5, 1.5, mesh.ncell)
+    state.p, state.cs2 = table.getpc(state.mat, state.rho, state.e)
+    if free:
+        state.bc.flags[:] = 0
+        state.u = 0.1 * rng.standard_normal(mesh.nnode)
+        state.v = 0.1 * rng.standard_normal(mesh.nnode)
+    return state, table
+
+
+def _advance(state, table, steps=3, dt=5e-4, **controls_kw):
+    controls = HydroControls(**controls_kw)
+    timers = TimerRegistry(enabled=False)
+    gamma = table.gamma_like(state.mat)
+    for _ in range(steps):
+        lagstep(state, table, controls, dt, timers, gamma)
+
+
+dims = st.tuples(st.integers(3, 7), st.integers(3, 7))
+amp = st.floats(0.0, 0.25)
+gammas = st.floats(1.2, 2.5)
+
+
+@given(dims=dims, amplitude=amp, seed=st.integers(0, 500), gamma=gammas)
+@settings(max_examples=25, deadline=None)
+def test_mass_exactly_conserved(dims, amplitude, seed, gamma):
+    state, table = _random_state(*dims, amplitude, seed, gamma)
+    m0 = state.cell_mass.copy()
+    _advance(state, table)
+    np.testing.assert_array_equal(state.cell_mass, m0)
+    np.testing.assert_allclose(state.rho * state.volume, m0, rtol=1e-12)
+
+
+@given(dims=dims, amplitude=amp, seed=st.integers(0, 500), gamma=gammas)
+@settings(max_examples=25, deadline=None)
+def test_total_energy_conserved_with_walls(dims, amplitude, seed, gamma):
+    state, table = _random_state(*dims, amplitude, seed, gamma)
+    e0 = state.total_energy()
+    _advance(state, table)
+    assert state.total_energy() == pytest.approx(e0, rel=1e-11)
+
+
+@given(dims=dims, amplitude=amp, seed=st.integers(0, 500), gamma=gammas)
+@settings(max_examples=25, deadline=None)
+def test_momentum_conserved_without_walls(dims, amplitude, seed, gamma):
+    state, table = _random_state(*dims, amplitude, seed, gamma, free=True)
+    mass_scale = state.total_mass()
+    mom0 = state.momentum()
+    _advance(state, table, dt=2e-4)
+    np.testing.assert_allclose(state.momentum(), mom0,
+                               atol=1e-12 * mass_scale)
+
+
+@given(dims=dims, amplitude=amp, seed=st.integers(0, 500), gamma=gammas,
+       subzonal=st.floats(0.0, 1.0), filt=st.floats(0.0, 0.2))
+@settings(max_examples=20, deadline=None)
+def test_hourglass_controls_preserve_invariants(dims, amplitude, seed,
+                                                gamma, subzonal, filt):
+    """Both hourglass remedies keep conservation intact at any κ."""
+    state, table = _random_state(*dims, amplitude, seed, gamma)
+    e0 = state.total_energy()
+    _advance(state, table, subzonal_kappa=subzonal, filter_kappa=filt)
+    assert state.total_energy() == pytest.approx(e0, rel=1e-10)
+    assert np.all(state.rho > 0.0)
+
+
+@given(dims=dims, seed=st.integers(0, 500), gamma=gammas)
+@settings(max_examples=20, deadline=None)
+def test_positivity_preserved(dims, seed, gamma):
+    state, table = _random_state(*dims, 0.15, seed, gamma, free=True)
+    _advance(state, table, dt=2e-4)
+    assert np.all(state.rho > 0.0)
+    assert np.all(state.volume > 0.0)
+    assert np.all(np.isfinite(state.e))
+    assert np.all(np.isfinite(state.u))

@@ -1,0 +1,104 @@
+"""Unit tests for the HydroState container."""
+
+import numpy as np
+import pytest
+
+from repro.core.state import HydroState
+from repro.eos import IdealGas, MaterialTable
+from repro.mesh.generator import rect_mesh
+from repro.utils.errors import MeshError
+from tests.conftest import make_uniform_state
+
+
+def test_from_initial_masses_consistent(uniform_state):
+    state = uniform_state
+    np.testing.assert_allclose(state.cell_mass, state.rho * state.volume)
+    np.testing.assert_allclose(state.corner_mass.sum(axis=1),
+                               state.cell_mass, rtol=1e-13)
+
+
+def test_from_initial_closes_eos(uniform_state):
+    state = uniform_state
+    np.testing.assert_allclose(state.p, 1.0)
+    np.testing.assert_allclose(state.cs2, 1.4)
+
+
+def test_node_mass_equals_total_mass(uniform_state):
+    state = uniform_state
+    assert state.node_mass().sum() == pytest.approx(state.total_mass())
+
+
+def test_scatter_matches_manual_loop(uniform_state):
+    state = uniform_state
+    mesh = state.mesh
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal((mesh.ncell, 4))
+    fast = state.scatter_to_nodes(field)
+    slow = np.zeros(mesh.nnode)
+    for c in range(mesh.ncell):
+        for k in range(4):
+            slow[mesh.cell_nodes[c, k]] += field[c, k]
+    np.testing.assert_allclose(fast, slow, rtol=1e-13)
+
+
+def test_energy_diagnostics(uniform_state):
+    state = uniform_state
+    assert state.kinetic_energy() == 0.0
+    e_expected = float(np.sum(state.cell_mass * state.e))
+    assert state.internal_energy() == pytest.approx(e_expected)
+    assert state.total_energy() == pytest.approx(e_expected)
+
+
+def test_momentum_diagnostic(uniform_state):
+    state = uniform_state
+    state.u[:] = 2.0
+    state.bc.flags[:] = 0
+    mom = state.momentum()
+    assert mom[0] == pytest.approx(2.0 * state.node_mass().sum())
+    assert mom[1] == 0.0
+
+
+def test_copy_is_deep(uniform_state):
+    state = uniform_state
+    clone = state.copy()
+    clone.rho[:] = 99.0
+    clone.u[:] = 99.0
+    clone.bc.flags[:] = 0
+    assert state.rho[0] == 1.0
+    assert state.u[0] == 0.0
+    assert state.bc.flags.any()
+
+
+def test_shape_validation():
+    mesh = rect_mesh(2, 2)
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    good = make_uniform_state(mesh, table)
+    with pytest.raises(MeshError, match="rho"):
+        HydroState(
+            mesh=mesh, x=good.x, y=good.y, u=good.u, v=good.v,
+            rho=np.ones(3), e=good.e, p=good.p, cs2=good.cs2, q=good.q,
+            mat=good.mat, cell_mass=good.cell_mass,
+            corner_mass=good.corner_mass, volume=good.volume,
+            corner_volume=good.corner_volume, bc=good.bc,
+        )
+
+
+def test_refresh_geometry_updates_volumes(uniform_state):
+    state = uniform_state
+    state.x *= 2.0
+    state.refresh_geometry()
+    assert state.volume.sum() == pytest.approx(2.0)
+
+
+def test_initial_velocity_respects_bcs(unit_square_mesh, ideal_table):
+    """from_initial applies the BC table to the supplied velocities."""
+    from repro.mesh.boundary import classify_box_boundary
+
+    mesh = unit_square_mesh
+    bc = classify_box_boundary(mesh, (0.0, 1.0, 0.0, 1.0))
+    state = HydroState.from_initial(
+        mesh, ideal_table, np.ones(mesh.ncell), np.ones(mesh.ncell),
+        u=np.ones(mesh.nnode), bc=bc,
+    )
+    assert np.all(state.u[np.isclose(mesh.x, 0.0)] == 0.0)

@@ -1,0 +1,106 @@
+"""Unit tests for the timestep control (getdt)."""
+
+import numpy as np
+import pytest
+
+from repro.core.controls import HydroControls
+from repro.core.timestep import getdt, local_dt_candidates
+from repro.utils.errors import TimestepCollapseError
+from tests.conftest import make_uniform_state
+from repro.eos import IdealGas, MaterialTable
+from repro.mesh.generator import rect_mesh
+
+
+def _state(nx=4, ny=4, p=1.0, rho=1.0):
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    return make_uniform_state(rect_mesh(nx, ny), table, rho=rho, p=p)
+
+
+def test_cfl_value_uniform_gas():
+    """dt_cfl = f · dx / c for a square mesh of uniform sound speed."""
+    state = _state(nx=8, ny=8)
+    controls = HydroControls(cfl_safety=0.5)
+    cands = local_dt_candidates(state, controls)
+    dt_cfl, reason, cell = cands[0]
+    c = np.sqrt(1.4 * 1.0 / 1.0)
+    assert reason == "cfl"
+    assert dt_cfl == pytest.approx(0.5 * (1.0 / 8.0) / c, rel=1e-12)
+
+
+def test_cfl_includes_viscous_speed():
+    state = _state()
+    controls = HydroControls()
+    base = local_dt_candidates(state, controls)[0][0]
+    state.q[:] = 10.0
+    with_q = local_dt_candidates(state, controls)[0][0]
+    assert with_q < base
+
+
+def test_divergence_candidate_infinite_at_rest():
+    state = _state()
+    cands = local_dt_candidates(state, HydroControls())
+    assert cands[1][0] == np.inf
+
+
+def test_divergence_limits_fast_compression():
+    state = _state()
+    state.u[:] = -10.0 * (state.x - 0.5)
+    state.v[:] = -10.0 * (state.y - 0.5)
+    controls = HydroControls(div_safety=0.25)
+    dt_div, reason, _ = local_dt_candidates(state, controls)[1]
+    assert reason == "div"
+    # dV/dt / V = div u = -20 -> dt = 0.25/20
+    assert dt_div == pytest.approx(0.25 / 20.0, rel=1e-10)
+
+
+def test_growth_cap():
+    state = _state()
+    controls = HydroControls(dt_growth=1.02, time_end=100.0)
+    dt, reason, cell = getdt(state, controls, dt_prev=1e-6, time=0.0)
+    assert reason == "growth"
+    assert dt == pytest.approx(1.02e-6)
+    assert cell == -1
+
+
+def test_max_cap():
+    state = _state()
+    controls = HydroControls(dt_max=1e-3, dt_growth=1e9, time_end=100.0)
+    dt, reason, _ = getdt(state, controls, dt_prev=1.0, time=0.0)
+    # cfl for this mesh is ~0.1, so dt_max binds first
+    assert reason == "max"
+    assert dt == 1e-3
+
+
+def test_end_of_run_clamp():
+    state = _state()
+    controls = HydroControls(time_end=1.0, dt_max=1.0, dt_growth=1e9)
+    dt, reason, _ = getdt(state, controls, dt_prev=1.0, time=1.0 - 1e-5)
+    assert reason == "end"
+    assert dt == pytest.approx(1e-5)
+
+
+def test_collapse_raises():
+    state = _state()
+    controls = HydroControls(dt_min=1.0, time_end=10.0)
+    with pytest.raises(TimestepCollapseError):
+        getdt(state, controls, dt_prev=1e-9, time=0.0)
+
+
+def test_controlling_cell_identified():
+    state = _state(nx=4, ny=4)
+    # make one cell much hotter -> fastest sound speed -> controls CFL
+    state.cs2[7] = 100.0
+    cands = local_dt_candidates(state, HydroControls())
+    assert cands[0][2] == 7
+
+
+def test_mask_excludes_ghost_cells():
+    state = _state(nx=4, ny=4)
+    state.cs2[3] = 1e6          # would dominate the CFL...
+    mask = np.ones(state.mesh.ncell, dtype=bool)
+    mask[3] = False             # ...but is a ghost cell
+    masked = local_dt_candidates(state, HydroControls(), mask)
+    unmasked = local_dt_candidates(state, HydroControls())
+    assert masked[0][0] > unmasked[0][0]
+    assert masked[0][2] != 3

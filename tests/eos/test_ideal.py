@@ -1,0 +1,62 @@
+"""Unit tests for the ideal-gas EoS."""
+
+import numpy as np
+import pytest
+
+from repro.eos.ideal import IdealGas
+from repro.utils.errors import EosError
+
+
+def test_pressure_formula():
+    gas = IdealGas(1.4)
+    assert gas.pressure(np.array([2.0]), np.array([3.0]))[0] == pytest.approx(
+        0.4 * 2.0 * 3.0
+    )
+
+
+def test_sound_speed_identity():
+    """c² = γ p / ρ for the gamma law."""
+    gas = IdealGas(5.0 / 3.0)
+    rho = np.array([0.5, 2.0, 7.0])
+    e = np.array([1.0, 0.25, 3.0])
+    p = gas.pressure(rho, e)
+    np.testing.assert_allclose(gas.sound_speed_sq(rho, e), gas.gamma * p / rho)
+
+
+def test_cold_gas_has_zero_sound_speed():
+    gas = IdealGas(1.4)
+    assert gas.sound_speed_sq(np.array([1.0]), np.array([0.0]))[0] == 0.0
+
+
+def test_negative_energy_guarded():
+    gas = IdealGas(1.4)
+    assert gas.sound_speed_sq(np.array([1.0]), np.array([-1.0]))[0] == 0.0
+
+
+def test_energy_pressure_roundtrip():
+    gas = IdealGas(1.4)
+    rho = np.array([0.125, 1.0])
+    p = np.array([0.1, 1.0])
+    e = gas.energy_from_pressure(rho, p)
+    np.testing.assert_allclose(gas.pressure(rho, e), p)
+
+
+def test_sod_initial_energies():
+    """The canonical Sod energies: e_L = 2.5, e_R = 2.0."""
+    gas = IdealGas(1.4)
+    e = gas.energy_from_pressure(np.array([1.0, 0.125]), np.array([1.0, 0.1]))
+    np.testing.assert_allclose(e, [2.5, 2.0])
+
+
+@pytest.mark.parametrize("gamma", [1.0, 0.9, -2.0])
+def test_invalid_gamma_rejected(gamma):
+    with pytest.raises(EosError):
+        IdealGas(gamma)
+
+
+def test_vectorised_shapes_preserved():
+    gas = IdealGas(1.4)
+    rho = np.ones((7,))
+    e = np.ones((7,))
+    assert gas.pressure(rho, e).shape == (7,)
+    assert gas.sound_speed_sq(rho, e).shape == (7,)

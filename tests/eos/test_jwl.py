@@ -1,0 +1,75 @@
+"""Unit tests for the JWL detonation-products EoS."""
+
+import numpy as np
+import pytest
+
+from repro.eos.jwl import Jwl
+from repro.utils.errors import EosError
+
+
+@pytest.fixture
+def tnt():
+    """Standard TNT JWL parameters (Mbar-cm-us units scaled to SI-ish)."""
+    return Jwl(rho0=1630.0, a=3.712e11, b=3.231e9, r1=4.15, r2=0.95,
+               omega=0.30)
+
+
+def test_energy_term_linear(tnt):
+    """∂p/∂e = ω ρ exactly."""
+    rho = np.array([1000.0])
+    e1, e2 = np.array([1.0e5]), np.array([2.0e5])
+    dp = tnt.pressure(rho, e2) - tnt.pressure(rho, e1)
+    assert dp[0] == pytest.approx(tnt.omega * 1000.0 * 1.0e5, rel=1e-12)
+
+
+def test_energy_pressure_roundtrip(tnt):
+    rho = np.array([1200.0, 800.0])
+    p = np.array([2.0e9, 5.0e8])
+    e = tnt.energy_from_pressure(rho, p)
+    np.testing.assert_allclose(tnt.pressure(rho, e), p, rtol=1e-12)
+
+
+def test_sound_speed_positive_in_regime(tnt):
+    rho = np.linspace(400.0, 2000.0, 9)
+    e = np.full(9, 4.0e6)
+    c2 = tnt.sound_speed_sq(rho, e)
+    assert np.all(c2 > 0.0)
+
+
+def test_sound_speed_matches_finite_difference(tnt):
+    """c² = dp/dρ|_e + (p/ρ²) dp/de|_ρ — check the analytic derivative."""
+    rho = 1400.0
+    e = 3.0e6
+    h = 1e-4
+    dp_drho = (tnt.pressure(np.array([rho + h]), np.array([e]))[0]
+               - tnt.pressure(np.array([rho - h]), np.array([e]))[0]) / (2 * h)
+    dp_de = tnt.omega * rho
+    p = tnt.pressure(np.array([rho]), np.array([e]))[0]
+    c2_fd = dp_drho + (p / rho ** 2) * dp_de
+    c2 = tnt.sound_speed_sq(np.array([rho]), np.array([e]))[0]
+    assert c2 == pytest.approx(c2_fd, rel=1e-5)
+
+
+def test_expansion_limit_tends_to_ideal(tnt):
+    """At very large expansion the exponentials vanish: p -> ω ρ e."""
+    rho = np.array([1.0])
+    e = np.array([1.0e6])
+    p = tnt.pressure(rho, e)
+    assert p[0] == pytest.approx(tnt.omega * rho[0] * e[0], rel=1e-6)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rho0": 0.0, "a": 1.0, "b": 1.0, "r1": 4.0, "r2": 1.0, "omega": 0.3},
+    {"rho0": 1.0, "a": 1.0, "b": 1.0, "r1": -4.0, "r2": 1.0, "omega": 0.3},
+    {"rho0": 1.0, "a": 1.0, "b": 1.0, "r1": 4.0, "r2": 1.0, "omega": 0.0},
+])
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(EosError):
+        Jwl(**kwargs)
+
+
+def test_vector_shapes(tnt):
+    rho = np.full(5, 1500.0)
+    e = np.full(5, 1.0e6)
+    assert tnt.pressure(rho, e).shape == (5,)
+    assert tnt.sound_speed_sq(rho, e).shape == (5,)

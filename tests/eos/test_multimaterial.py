@@ -1,0 +1,103 @@
+"""Unit tests for the multi-material dispatch table (the getpc kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.eos import IdealGas, MaterialTable, Void
+from repro.eos.multimaterial import eos_from_section, material_table_from_deck
+from repro.utils.deck import parse_deck
+from repro.utils.errors import DeckError, EosError
+
+
+def test_single_material_fast_path():
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    mat = np.zeros(5, dtype=np.int64)
+    rho = np.full(5, 2.0)
+    e = np.full(5, 3.0)
+    p, cs2 = table.getpc(mat, rho, e)
+    np.testing.assert_allclose(p, 0.4 * 2.0 * 3.0)
+    np.testing.assert_allclose(cs2, 1.4 * p / rho)
+
+
+def test_two_materials_dispatch():
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    table.add(Void())
+    mat = np.array([0, 1, 0, 1])
+    rho = np.ones(4)
+    e = np.ones(4)
+    p, cs2 = table.getpc(mat, rho, e)
+    assert p[0] > 0 and p[2] > 0
+    assert p[1] == 0.0 and p[3] == 0.0
+    # void sound speed hits the ccut floor
+    assert cs2[1] == table.ccut
+
+
+def test_pcut_snaps_small_pressures_to_zero():
+    table = MaterialTable(pcut=1.0e-3)
+    table.add(IdealGas(1.4))
+    p, _ = table.getpc(np.zeros(1, dtype=int), np.array([1.0]),
+                       np.array([1.0e-4]))
+    assert p[0] == 0.0
+
+
+def test_ccut_floor_applied():
+    table = MaterialTable(ccut=1e-6)
+    table.add(IdealGas(1.4))
+    _, cs2 = table.getpc(np.zeros(1, dtype=int), np.array([1.0]),
+                         np.array([0.0]))
+    assert cs2[0] == 1e-6
+
+
+def test_out_of_range_material_raises():
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    with pytest.raises(EosError, match="out of range"):
+        table.getpc(np.array([1]), np.ones(1), np.ones(1))
+
+
+def test_empty_table_raises():
+    with pytest.raises(EosError, match="no materials"):
+        MaterialTable().getpc(np.zeros(1, dtype=int), np.ones(1), np.ones(1))
+
+
+def test_gamma_like_defaults():
+    table = MaterialTable()
+    table.add(IdealGas(1.4))
+    table.add(Void())
+    gamma = table.gamma_like(np.array([0, 1]))
+    assert gamma[0] == pytest.approx(1.4)
+    assert gamma[1] == pytest.approx(5.0 / 3.0)  # non-gamma fallback
+
+
+@pytest.mark.parametrize("kind,cls", [
+    ("ideal", "IdealGas"), ("tait", "Tait"), ("jwl", "Jwl"), ("void", "Void"),
+])
+def test_eos_from_section_kinds(kind, cls):
+    eos = eos_from_section({"eos": kind})
+    assert type(eos).__name__ == cls
+
+
+def test_eos_from_section_unknown_kind():
+    with pytest.raises(DeckError, match="unknown eos"):
+        eos_from_section({"eos": "magma"})
+
+
+def test_material_table_from_deck():
+    deck = parse_deck("""
+[MATERIAL 1]
+eos = ideal
+gamma = 1.6
+[MATERIAL 2]
+eos = void
+""")
+    table = material_table_from_deck(deck, pcut=1e-7)
+    assert table.nmat == 2
+    assert table.pcut == 1e-7
+    assert table.eos[0].gamma == pytest.approx(1.6)
+
+
+def test_material_table_from_deck_requires_materials():
+    with pytest.raises(DeckError, match="no \\[MATERIAL\\]"):
+        material_table_from_deck(parse_deck("[CONTROL]\nx=1\n"))

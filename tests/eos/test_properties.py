@@ -1,0 +1,59 @@
+"""Property-based tests on the EoS physical invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eos.ideal import IdealGas
+from repro.eos.tait import Tait
+
+positive = st.floats(min_value=1e-6, max_value=1e6,
+                     allow_nan=False, allow_infinity=False)
+gammas = st.floats(min_value=1.01, max_value=5.0)
+
+
+@given(gamma=gammas, rho=positive, e=positive)
+@settings(max_examples=60, deadline=None)
+def test_ideal_pressure_positive_and_monotone_in_e(gamma, rho, e):
+    gas = IdealGas(gamma)
+    p = gas.pressure(np.array([rho]), np.array([e]))[0]
+    p2 = gas.pressure(np.array([rho]), np.array([2.0 * e]))[0]
+    assert p > 0.0
+    assert p2 > p
+
+
+@given(gamma=gammas, rho=positive, e=positive)
+@settings(max_examples=60, deadline=None)
+def test_ideal_sound_speed_consistent_with_pressure(gamma, rho, e):
+    gas = IdealGas(gamma)
+    p = gas.pressure(np.array([rho]), np.array([e]))[0]
+    c2 = gas.sound_speed_sq(np.array([rho]), np.array([e]))[0]
+    assert c2 == gamma * p / rho or abs(c2 - gamma * p / rho) < 1e-12 * c2
+
+
+@given(gamma=gammas, rho=positive, p=positive)
+@settings(max_examples=60, deadline=None)
+def test_ideal_pressure_energy_inverse(gamma, rho, p):
+    gas = IdealGas(gamma)
+    e = gas.energy_from_pressure(np.array([rho]), np.array([p]))
+    back = gas.pressure(np.array([rho]), e)[0]
+    assert abs(back - p) <= 1e-10 * p
+
+
+@given(rho0=positive, a1=positive,
+       a3=st.floats(min_value=1.0, max_value=10.0),
+       factor=st.floats(min_value=1.0, max_value=1.5))
+@settings(max_examples=60, deadline=None)
+def test_tait_pressure_monotone_in_density(rho0, a1, a3, factor):
+    eos = Tait(rho0=rho0, a1=a1, a3=a3)
+    lo = eos.pressure(np.array([rho0]), np.array([0.0]))[0]
+    hi = eos.pressure(np.array([rho0 * factor]), np.array([0.0]))[0]
+    assert hi >= lo
+
+
+@given(rho0=positive, a1=positive,
+       a3=st.floats(min_value=1.0, max_value=10.0), rho=positive)
+@settings(max_examples=60, deadline=None)
+def test_tait_sound_speed_nonnegative(rho0, a1, a3, rho):
+    eos = Tait(rho0=rho0, a1=a1, a3=a3)
+    assert eos.sound_speed_sq(np.array([rho]), np.array([0.0]))[0] >= 0.0

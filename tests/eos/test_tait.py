@@ -1,0 +1,63 @@
+"""Unit tests for the Tait liquid EoS."""
+
+import numpy as np
+import pytest
+
+from repro.eos.tait import Tait
+from repro.utils.errors import EosError
+
+
+@pytest.fixture
+def water():
+    """Water-like Tait parameters."""
+    return Tait(rho0=1000.0, a1=3.31e8, a3=7.0)
+
+
+def test_reference_density_gives_zero_pressure(water):
+    assert water.pressure(np.array([1000.0]), np.array([0.0]))[0] == 0.0
+
+
+def test_compression_positive_tension_negative(water):
+    p = water.pressure(np.array([1010.0, 990.0]), np.zeros(2))
+    assert p[0] > 0.0
+    assert p[1] < 0.0 or p[1] == water.cavitation_pressure
+
+
+def test_energy_independent(water):
+    rho = np.array([1005.0])
+    p1 = water.pressure(rho, np.array([0.0]))
+    p2 = water.pressure(rho, np.array([1.0e6]))
+    assert p1[0] == p2[0]
+
+
+def test_sound_speed_near_reference(water):
+    """c = sqrt(a1 a3 / rho0) at the reference density (~1522 m/s)."""
+    c2 = water.sound_speed_sq(np.array([1000.0]), np.array([0.0]))[0]
+    assert np.sqrt(c2) == pytest.approx(np.sqrt(3.31e8 * 7 / 1000.0))
+
+
+def test_sound_speed_stiffens_under_compression(water):
+    c2 = water.sound_speed_sq(np.array([1000.0, 1100.0]), np.zeros(2))
+    assert c2[1] > c2[0]
+
+
+def test_cavitation_clamp():
+    eos = Tait(rho0=1.0, a1=1.0, a3=7.0, cavitation_pressure=-0.05)
+    p = eos.pressure(np.array([0.5]), np.array([0.0]))
+    assert p[0] == pytest.approx(-0.05)
+
+
+def test_density_pressure_roundtrip(water):
+    p = np.array([1.0e5, 5.0e6])
+    rho = water.density_from_pressure(p)
+    np.testing.assert_allclose(water.pressure(rho, np.zeros(2)), p)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rho0": -1.0, "a1": 1.0, "a3": 7.0},
+    {"rho0": 1.0, "a1": 0.0, "a3": 7.0},
+    {"rho0": 1.0, "a1": 1.0, "a3": -7.0},
+])
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(EosError):
+        Tait(**kwargs)

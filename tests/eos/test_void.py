@@ -1,0 +1,25 @@
+"""Unit tests for the void pseudo-EoS."""
+
+import numpy as np
+
+from repro.eos.void import Void
+
+
+def test_zero_pressure():
+    void = Void()
+    assert np.all(void.pressure(np.ones(4), np.ones(4)) == 0.0)
+
+
+def test_zero_sound_speed():
+    void = Void()
+    assert np.all(void.sound_speed_sq(np.ones(4), np.ones(4)) == 0.0)
+
+
+def test_energy_inversion_zero():
+    void = Void()
+    assert np.all(void.energy_from_pressure(np.ones(3), np.ones(3)) == 0.0)
+
+
+def test_shapes():
+    void = Void()
+    assert void.pressure(np.ones((6,)), np.ones((6,))).shape == (6,)

@@ -1,0 +1,53 @@
+"""Session-scoped problem runs shared by the validation tests.
+
+Each fixture runs one test problem once at a modest resolution; the
+individual tests then assert different physics features of the same
+solution, keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.problems import load_problem
+
+
+@pytest.fixture(scope="session")
+def sod_run():
+    setup = load_problem("sod", nx=200, ny=4, time_end=0.2)
+    e0 = setup.state.total_energy()
+    m0 = setup.state.total_mass()
+    hydro = setup.run()
+    return hydro, e0, m0
+
+
+@pytest.fixture(scope="session")
+def sod_ale_run():
+    setup = load_problem("sod", nx=200, ny=4, time_end=0.2, ale_on=True)
+    e0 = setup.state.total_energy()
+    m0 = setup.state.total_mass()
+    hydro = setup.run()
+    return hydro, e0, m0
+
+
+@pytest.fixture(scope="session")
+def noh_run():
+    setup = load_problem("noh", nx=40, ny=40, time_end=0.3)
+    e0 = setup.state.total_energy()
+    hydro = setup.run()
+    return hydro, e0
+
+
+@pytest.fixture(scope="session")
+def sedov_run():
+    setup = load_problem("sedov", nx=45, ny=45, time_end=0.8)
+    hydro = setup.run()
+    return hydro, setup.params["energy"]
+
+
+@pytest.fixture(scope="session")
+def saltzmann_run():
+    setup = load_problem("saltzmann", nx=60, ny=6, time_end=0.4)
+    e0 = setup.state.total_energy()
+    hydro = setup.run()
+    return hydro, e0

@@ -1,0 +1,138 @@
+"""Validation of the extension problems (LeBlanc, water-air)."""
+
+import numpy as np
+import pytest
+
+from repro.analytic.riemann import RiemannState, solve_riemann
+from repro.problems import load_problem
+
+
+@pytest.fixture(scope="session")
+def leblanc_run():
+    setup = load_problem("leblanc", nx=180, ny=2, time_end=6.0)
+    e0 = setup.state.total_energy()
+    hydro = setup.run()
+    return hydro, e0
+
+
+@pytest.fixture(scope="session")
+def leblanc_exact():
+    gamma = 5.0 / 3.0
+    left = RiemannState(1.0, 0.0, (gamma - 1.0) * 1.0 * 0.1)
+    right = RiemannState(1.0e-3, 0.0, (gamma - 1.0) * 1.0e-3 * 1.0e-7)
+    return solve_riemann(left, right, gamma)
+
+
+@pytest.fixture(scope="session")
+def water_air_run():
+    setup = load_problem("water_air", nx=200, ny=2)
+    e0 = setup.state.total_energy()
+    m0 = setup.state.total_mass()
+    hydro = setup.run()
+    return hydro, e0, m0
+
+
+# --------------------------------------------------------------------------
+# LeBlanc
+# --------------------------------------------------------------------------
+def test_leblanc_completes_without_collapse(leblanc_run):
+    hydro, _ = leblanc_run
+    assert hydro.done()
+    assert hydro.state.rho.min() > 0.0
+
+
+def test_leblanc_shock_front_position(leblanc_run, leblanc_exact):
+    """The extreme shock lands near the exact front (within ~5%,
+    the known overshoot of compatible-Lagrangian codes on LeBlanc)."""
+    hydro, _ = leblanc_run
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    front = xc[state.rho > 3.0e-3].max()
+    rho_ex, _, _ = leblanc_exact.sample((xc - 3.0) / hydro.time)
+    exact_front = xc[rho_ex > 3.0e-3].max()
+    assert front == pytest.approx(exact_front, rel=0.06)
+
+
+def test_leblanc_density_l1(leblanc_run, leblanc_exact):
+    hydro, _ = leblanc_run
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    rho_ex, _, _ = leblanc_exact.sample((xc - 3.0) / hydro.time)
+    l1 = np.abs(state.rho - rho_ex).mean()
+    assert l1 < 5.0e-3       # mean density scale is ~0.1
+
+
+def test_leblanc_contact_velocity(leblanc_run, leblanc_exact):
+    hydro, _ = leblanc_run
+    state = hydro.state
+    # nodes inside the star region move near u* = 0.622
+    xs = 3.0 + leblanc_exact.u_star * hydro.time
+    star = (state.x > xs - 1.0) & (state.x < xs - 0.2)
+    assert state.u[star].mean() == pytest.approx(leblanc_exact.u_star,
+                                                 rel=0.1)
+
+
+def test_leblanc_conservation(leblanc_run):
+    hydro, e0 = leblanc_run
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-11)
+
+
+# --------------------------------------------------------------------------
+# water-air
+# --------------------------------------------------------------------------
+def test_water_air_completes(water_air_run):
+    hydro, _, _ = water_air_run
+    assert hydro.done()
+
+
+def test_water_air_interface_moves_into_air(water_air_run):
+    hydro, _, _ = water_air_run
+    state = hydro.state
+    # the rightmost water node column started at x = 0.5
+    water_cells = state.mat == 0
+    interface_nodes = np.unique(
+        state.mesh.cell_nodes[water_cells][:, [1, 2]]
+    )
+    x_iface = state.x[interface_nodes].max()
+    assert x_iface > 0.5005
+
+
+def test_water_air_shock_pressure_in_air(water_air_run):
+    """Acoustic estimate: p_contact ≈ p0 + ρ0 c0 u_contact ≈ 1.03e5."""
+    hydro, _, _ = water_air_run
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    air = state.mat == 1
+    shocked = air & (xc < 0.56) & (xc > 0.51)
+    assert state.p[shocked].mean() == pytest.approx(1.03e5, rel=0.05)
+
+
+def test_water_air_air_weakly_compressed(water_air_run):
+    hydro, _, _ = water_air_run
+    state = hydro.state
+    air = state.mat == 1
+    assert 1.2 < state.rho[air].max() < 1.35
+
+
+def test_water_air_water_depressurised_near_interface(water_air_run):
+    hydro, _, _ = water_air_run
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    water = state.mat == 0
+    near = water & (xc > 0.45)
+    assert state.p[near].mean() < 0.1 * 1.0e7
+
+
+def test_water_air_materials_fixed(water_air_run):
+    """Lagrangian: material of every cell is unchanged by the run."""
+    hydro, _, _ = water_air_run
+    state = hydro.state
+    xc0, _ = state.mesh.cell_centroids()   # initial coordinates
+    expected = np.where(xc0 < 0.5, 0, 1)
+    np.testing.assert_array_equal(state.mat, expected)
+
+
+def test_water_air_conservation(water_air_run):
+    hydro, e0, m0 = water_air_run
+    assert hydro.state.total_mass() == pytest.approx(m0, rel=1e-13)
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-9)

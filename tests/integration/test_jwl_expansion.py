@@ -1,0 +1,71 @@
+"""Validation of the JWL detonation-products expansion tube."""
+
+import numpy as np
+import pytest
+
+from repro.output.profiles import front_position, linear_profile
+from repro.problems import load_problem
+
+
+@pytest.fixture(scope="session")
+def jwl_run():
+    setup = load_problem("jwl_expansion", nx=200, ny=2)
+    m0 = setup.state.total_mass()
+    e0 = setup.state.total_energy()
+    hydro = setup.run()
+    return hydro, m0, e0
+
+
+def test_completes(jwl_run):
+    hydro, _, _ = jwl_run
+    assert hydro.done()
+
+
+def test_conservation(jwl_run):
+    hydro, m0, e0 = jwl_run
+    assert hydro.state.total_mass() == pytest.approx(m0, rel=1e-13)
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-11)
+
+
+def test_shock_advances_into_light_products(jwl_run):
+    hydro, _, _ = jwl_run
+    state = hydro.state
+    prof = linear_profile(state, state.rho, nbins=100)
+    front = front_position(prof, threshold=0.12 * 1630.0)
+    assert 0.55 < front < 0.75
+
+
+def test_release_wave_into_dense_products(jwl_run):
+    """The left state decompresses: pressure near the diaphragm is far
+    below the initial ~8 GPa."""
+    hydro, _, _ = jwl_run
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    near = (xc > 0.40) & (xc < 0.48)
+    assert state.p[near].mean() < 0.5 * state.p.max()
+
+
+def test_far_left_still_at_cj_state(jwl_run):
+    hydro, _, _ = jwl_run
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    deep = xc < 0.1
+    np.testing.assert_allclose(state.rho[deep], 1630.0, rtol=0.02)
+    np.testing.assert_allclose(state.u[state.x < 0.1], 0.0, atol=10.0)
+
+
+def test_thermodynamics_stay_physical(jwl_run):
+    """p > 0 and c² > 0 through the whole expansion fan — the regime
+    where a naive JWL implementation goes non-hyperbolic."""
+    hydro, _, _ = jwl_run
+    state = hydro.state
+    assert state.p.min() >= 0.0
+    assert state.cs2.min() > 0.0
+    assert np.isfinite(state.e).all()
+
+
+def test_flow_moves_rightward_only(jwl_run):
+    hydro, _, _ = jwl_run
+    state = hydro.state
+    assert state.u.max() > 500.0       # km/s-scale product velocities
+    assert state.u.min() > -50.0       # nothing streams left

@@ -1,0 +1,93 @@
+"""Validation of the Noh implosion against the exact solution."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import noh_exact
+
+
+def _radial(hydro):
+    state = hydro.state
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+    return np.hypot(xc, yc), state
+
+
+def test_plateau_density_near_sixteen(noh_run):
+    hydro, _ = noh_run
+    r, state = _radial(hydro)
+    rs = noh_exact.shock_radius(hydro.time)
+    plateau = (r > 0.3 * rs) & (r < 0.8 * rs)
+    assert state.rho[plateau].mean() == pytest.approx(16.0, rel=0.08)
+
+
+def test_shock_position(noh_run):
+    hydro, _ = noh_run
+    r, state = _radial(hydro)
+    rs_exact = noh_exact.shock_radius(hydro.time)
+    # radial bin-averaged profile crosses rho = 8 near the shock
+    bins = np.linspace(0, 2.5 * rs_exact, 26)
+    centres = 0.5 * (bins[:-1] + bins[1:])
+    means = np.array([
+        state.rho[(r >= a) & (r < b)].mean() if ((r >= a) & (r < b)).any()
+        else np.nan
+        for a, b in zip(bins[:-1], bins[1:])
+    ])
+    # the shock is the outermost radius where the plateau (> 8) ends —
+    # searching outward avoids the under-dense wall-heated origin cells
+    above = centres[np.nan_to_num(means, nan=0.0) > 8.0]
+    rs_measured = above.max()
+    assert rs_measured == pytest.approx(rs_exact, rel=0.25)
+
+
+def test_post_shock_state_at_rest(noh_run):
+    hydro, _ = noh_run
+    r, state = _radial(hydro)
+    rs = noh_exact.shock_radius(hydro.time)
+    inner_nodes = np.hypot(hydro.state.x, hydro.state.y) < 0.5 * rs
+    speeds = np.hypot(state.u, state.v)[inner_nodes]
+    assert speeds.mean() < 0.12
+
+
+def test_pre_shock_density_profile(noh_run):
+    """Ahead of the shock the converging flow gives ρ = 1 + t/r."""
+    hydro, _ = noh_run
+    r, state = _radial(hydro)
+    rs = noh_exact.shock_radius(hydro.time)
+    outer = (r > 2.5 * rs) & (r < 0.8)
+    rho_ex, _, _ = noh_exact.solution(r[outer], hydro.time)
+    err = np.abs(state.rho[outer] - rho_ex) / rho_ex
+    assert err.mean() < 0.05
+
+
+def test_pre_shock_velocity_still_unit_inward(noh_run):
+    hydro, _ = noh_run
+    state = hydro.state
+    rn = np.hypot(state.x, state.y)
+    outer = (rn > 0.6) & (rn < 0.9)
+    speeds = np.hypot(state.u, state.v)[outer]
+    np.testing.assert_allclose(speeds, 1.0, rtol=0.02)
+
+
+def test_wall_heating_artifact_present(noh_run):
+    """The paper ships Noh precisely for the wall-heating artefact:
+    the origin cells' internal energy overshoots the exact e = 0.5."""
+    hydro, _ = noh_run
+    r, state = _radial(hydro)
+    origin = r < 0.03
+    assert state.e[origin].max() > 0.55
+
+
+def test_energy_conserved(noh_run):
+    hydro, e0 = noh_run
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-11)
+
+
+def test_quadrant_diagonal_symmetry(noh_run):
+    """The x<->y mirror symmetry of the quadrant setup is preserved."""
+    hydro, _ = noh_run
+    state = hydro.state
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+    # cells are the structured grid in row-major order: transpose swap
+    n = int(np.sqrt(state.mesh.ncell))
+    rho = state.rho.reshape(n, n)
+    np.testing.assert_allclose(rho, rho.T, rtol=1e-10)

@@ -1,0 +1,130 @@
+"""Validation of the Sod shock tube against the exact Riemann solution."""
+
+import numpy as np
+import pytest
+
+from repro.analytic import sod_solution
+
+
+def _profile(hydro):
+    state = hydro.state
+    xc, _ = state.mesh.cell_centroids(state.x, state.y)
+    return xc, state
+
+
+def _exact(xc, t):
+    sol = sod_solution()
+    return sol.sample((xc - 0.5) / t)
+
+
+def test_density_l1_error_small(sod_run):
+    hydro, _, _ = sod_run
+    xc, state = _profile(hydro)
+    rho_ex, _, _ = _exact(xc, hydro.time)
+    l1 = np.abs(state.rho - rho_ex).mean()
+    assert l1 < 0.01
+
+
+def test_pressure_l1_error_small(sod_run):
+    hydro, _, _ = sod_run
+    xc, state = _profile(hydro)
+    _, _, p_ex = _exact(xc, hydro.time)
+    assert np.abs(state.p - p_ex).mean() < 0.01
+
+
+def test_shock_position(sod_run):
+    """Shock speed ~1.7522: front near x = 0.8504 at t = 0.2."""
+    hydro, _, _ = sod_run
+    xc, state = _profile(hydro)
+    # last cell (from the right) with rho noticeably above ambient
+    disturbed = xc[state.rho > 0.126 * 1.05]
+    front = disturbed.max()
+    assert front == pytest.approx(0.5 + 1.7522 * hydro.time, abs=0.02)
+
+
+def test_contact_plateau_densities(sod_run):
+    hydro, _, _ = sod_run
+    xc, state = _profile(hydro)
+    t = hydro.time
+    sol = sod_solution()
+    # left of the contact (u* t ≈ 0.185): rho* ≈ 0.42632
+    left_star = (xc > 0.5 + sol.u_star * t - 0.08) & (
+        xc < 0.5 + sol.u_star * t - 0.03)
+    assert state.rho[left_star].mean() == pytest.approx(0.42632, rel=0.03)
+    # between contact and shock: rho ≈ 0.26557
+    right_star = (xc > 0.5 + sol.u_star * t + 0.03) & (xc < 0.82)
+    assert state.rho[right_star].mean() == pytest.approx(0.26557, rel=0.03)
+
+
+def test_solution_stays_one_dimensional(sod_run):
+    """No y-variation develops in the tube."""
+    hydro, _, _ = sod_run
+    state = hydro.state
+    v_max = np.abs(state.v).max()
+    assert v_max < 1e-10
+
+
+def test_density_monotonic_through_rarefaction(sod_run):
+    hydro, _, _ = sod_run
+    xc, state = _profile(hydro)
+    order = np.argsort(xc)
+    in_fan = (xc[order] > 0.3) & (xc[order] < 0.45)
+    rho_fan = state.rho[order][in_fan]
+    diffs = np.diff(rho_fan)
+    assert np.all(diffs < 1e-3)  # decreasing (tiny tolerance for rows)
+
+
+def test_conservation(sod_run):
+    hydro, e0, m0 = sod_run
+    assert hydro.state.total_mass() == pytest.approx(m0, rel=1e-13)
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-12)
+
+
+def test_ale_matches_exact_with_more_diffusion(sod_run, sod_ale_run):
+    """Eulerian (remapped) run is valid but more diffusive than
+    Lagrangian at the same resolution."""
+    lag, _, _ = sod_run
+    ale, e0, m0 = sod_ale_run
+    xc_l, s_l = _profile(lag)
+    xc_a, s_a = _profile(ale)
+    rho_ex_l, _, _ = _exact(xc_l, lag.time)
+    rho_ex_a, _, _ = _exact(xc_a, ale.time)
+    l1_lag = np.abs(s_l.rho - rho_ex_l).mean()
+    l1_ale = np.abs(s_a.rho - rho_ex_a).mean()
+    assert l1_ale < 0.02            # still accurate
+    assert l1_ale > l1_lag          # but more diffusive
+
+
+def test_ale_mesh_returned_to_initial(sod_ale_run):
+    hydro, _, _ = sod_ale_run
+    mesh = hydro.state.mesh
+    np.testing.assert_allclose(hydro.state.x, mesh.x, atol=1e-12)
+    np.testing.assert_allclose(hydro.state.y, mesh.y, atol=1e-12)
+
+
+def test_ale_conservation(sod_ale_run):
+    hydro, e0, m0 = sod_ale_run
+    assert hydro.state.total_mass() == pytest.approx(m0, rel=1e-12)
+    # remap dissipates KE into nothing (upwinding) but total energy
+    # drift must stay small
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=5e-3)
+
+
+def test_ale_density_within_physical_bounds(sod_ale_run):
+    hydro, _, _ = sod_ale_run
+    assert hydro.state.rho.min() >= 0.125 - 1e-9
+    assert hydro.state.rho.max() <= 1.0 + 1e-9
+
+
+def test_lagrangian_convergence_with_resolution():
+    """L1 error decreases under mesh refinement."""
+    from repro.problems import load_problem
+
+    errors = []
+    for nx in (50, 100):
+        hydro = load_problem("sod", nx=nx, ny=2, time_end=0.2).run()
+        state = hydro.state
+        xc, _ = state.mesh.cell_centroids(state.x, state.y)
+        rho_ex, _, _ = _exact(xc, hydro.time)
+        errors.append(np.abs(state.rho - rho_ex).mean())
+    assert errors[1] < 0.7 * errors[0]

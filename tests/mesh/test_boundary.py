@@ -1,0 +1,105 @@
+"""Unit tests for boundary-condition classification and application."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.boundary import (
+    FIX_X,
+    FIX_Y,
+    BoundaryConditions,
+    classify_box_boundary,
+)
+from repro.mesh.generator import rect_mesh
+
+
+def test_box_classification_flags():
+    mesh = rect_mesh(4, 4)
+    bc = classify_box_boundary(mesh, (0.0, 1.0, 0.0, 1.0))
+    left = np.isclose(mesh.x, 0.0)
+    bottom = np.isclose(mesh.y, 0.0)
+    assert np.all(bc.flags[left] & FIX_X)
+    assert np.all(bc.flags[bottom] & FIX_Y)
+    corner = left & bottom
+    assert np.all(bc.flags[corner] == FIX_X | FIX_Y)
+    interior = ~left & ~bottom & ~np.isclose(mesh.x, 1) & ~np.isclose(mesh.y, 1)
+    assert np.all(bc.flags[interior] == 0)
+
+
+def test_partial_walls():
+    mesh = rect_mesh(3, 3)
+    bc = classify_box_boundary(mesh, (0.0, 1.0, 0.0, 1.0),
+                               walls={"left": True})
+    right = np.isclose(mesh.x, 1.0)
+    assert np.all(bc.flags[right] & FIX_X == 0)
+
+
+def test_apply_velocity_zeroes_constrained_components():
+    mesh = rect_mesh(2, 2)
+    bc = classify_box_boundary(mesh, (0.0, 1.0, 0.0, 1.0))
+    u = np.ones(mesh.nnode)
+    v = np.ones(mesh.nnode)
+    bc.apply_velocity(u, v)
+    assert np.all(u[np.isclose(mesh.x, 0.0)] == 0.0)
+    assert np.all(v[np.isclose(mesh.y, 1.0)] == 0.0)
+    # a wall node still slides along its wall
+    left_mid = np.flatnonzero(np.isclose(mesh.x, 0.0)
+                              & np.isclose(mesh.y, 0.5))[0]
+    assert v[left_mid] == 1.0
+
+
+def test_apply_acceleration():
+    bc = BoundaryConditions(np.array([FIX_X, FIX_Y, 0], dtype=np.int8))
+    ax = np.ones(3)
+    ay = np.ones(3)
+    bc.apply_acceleration(ax, ay)
+    assert list(ax) == [0.0, 1.0, 1.0]
+    assert list(ay) == [1.0, 0.0, 1.0]
+
+
+def test_prescribed_piston_velocity():
+    flags = np.array([FIX_X | FIX_Y, 0], dtype=np.int8)
+    ux = np.array([2.5, 0.0])
+    bc = BoundaryConditions(flags, ux, np.zeros(2))
+    u = np.zeros(2)
+    v = np.ones(2)
+    bc.apply_velocity(u, v)
+    assert u[0] == 2.5
+    assert v[0] == 0.0
+    assert u[1] == 0.0 and v[1] == 1.0
+
+
+def test_free_factory():
+    bc = BoundaryConditions.free(5)
+    assert bc.constrained_nodes().size == 0
+
+
+def test_constrained_nodes():
+    bc = BoundaryConditions(np.array([0, FIX_X, 0, FIX_Y], dtype=np.int8))
+    np.testing.assert_array_equal(bc.constrained_nodes(), [1, 3])
+
+
+def test_subset():
+    bc = BoundaryConditions(np.array([FIX_X, 0, FIX_Y], dtype=np.int8),
+                            np.array([1.0, 0.0, 0.0]),
+                            np.array([0.0, 0.0, 2.0]))
+    sub = bc.subset(np.array([2, 0]))
+    assert list(sub.flags) == [FIX_Y, FIX_X]
+    assert sub.uy[0] == 2.0
+    assert sub.ux[1] == 1.0
+
+
+def test_tolerance_scales_with_extent():
+    mesh = rect_mesh(2, 2, (0.0, 1000.0, 0.0, 1000.0))
+    bc = classify_box_boundary(mesh, (0.0, 1000.0, 0.0, 1000.0))
+    assert np.any(bc.flags & FIX_X)
+
+
+def test_moved_wall_nodes_stay_classified():
+    """Classification is by initial coords and is applied every step."""
+    mesh = rect_mesh(2, 2)
+    bc = classify_box_boundary(mesh, (0.0, 1.0, 0.0, 1.0))
+    u = np.full(mesh.nnode, 3.0)
+    v = np.full(mesh.nnode, 3.0)
+    bc.apply_velocity(u, v)
+    # left wall x never moves because u is forced to the wall value
+    assert np.all(u[np.isclose(mesh.x, 0.0)] == 0.0)

@@ -1,0 +1,102 @@
+"""Unit tests for the mesh generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generator import (
+    perturbed_mesh,
+    rect_mesh,
+    saltzmann_mesh,
+    single_cell_mesh,
+)
+from repro.mesh.quality import scaled_jacobian
+from repro.utils.errors import MeshError
+
+
+def test_rect_mesh_extents():
+    mesh = rect_mesh(5, 3, (-1.0, 2.0, 0.5, 1.5))
+    assert mesh.x.min() == pytest.approx(-1.0)
+    assert mesh.x.max() == pytest.approx(2.0)
+    assert mesh.y.min() == pytest.approx(0.5)
+    assert mesh.y.max() == pytest.approx(1.5)
+
+
+def test_rect_mesh_total_area():
+    mesh = rect_mesh(7, 4, (0.0, 2.0, 0.0, 0.5))
+    assert mesh.cell_areas().sum() == pytest.approx(1.0)
+
+
+def test_rect_mesh_warp_applied():
+    mesh = rect_mesh(4, 4, warp=lambda x, y: (2.0 * x, y))
+    assert mesh.x.max() == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("nx,ny", [(0, 3), (3, 0), (-1, 2)])
+def test_rect_mesh_bad_counts(nx, ny):
+    with pytest.raises(MeshError):
+        rect_mesh(nx, ny)
+
+
+def test_rect_mesh_degenerate_extents():
+    with pytest.raises(MeshError, match="degenerate"):
+        rect_mesh(2, 2, (0.0, 0.0, 0.0, 1.0))
+
+
+def test_saltzmann_mesh_shape():
+    mesh = saltzmann_mesh(100, 10)
+    assert mesh.ncell == 1000
+    # walls stay straight
+    assert np.isclose(mesh.x[np.isclose(mesh.y, 0.1)],  # top row is unwarped
+                      np.linspace(0, 1, 101)).all()
+    # area preserved by the shear
+    assert mesh.cell_areas().sum() == pytest.approx(0.1)
+
+
+def test_saltzmann_mesh_is_skewed_but_valid():
+    mesh = saltzmann_mesh(100, 10)
+    sj = scaled_jacobian(mesh)
+    assert sj.min() < 0.9       # strongly distorted...
+    assert mesh.cell_areas().min() > 0.0  # ...but not inverted
+
+
+def test_saltzmann_left_wall_straight():
+    mesh = saltzmann_mesh(50, 5)
+    left = np.isclose(mesh.x, 0.0, atol=1e-12)
+    assert left.sum() == 6
+
+
+def test_perturbed_mesh_keeps_boundary():
+    mesh = perturbed_mesh(6, 6, amplitude=0.3, seed=1)
+    b = mesh.boundary_nodes()
+    on_box = (
+        np.isclose(mesh.x[b], 0) | np.isclose(mesh.x[b], 1)
+        | np.isclose(mesh.y[b], 0) | np.isclose(mesh.y[b], 1)
+    )
+    assert on_box.all()
+
+
+def test_perturbed_mesh_reproducible():
+    a = perturbed_mesh(5, 5, seed=7)
+    b = perturbed_mesh(5, 5, seed=7)
+    np.testing.assert_array_equal(a.x, b.x)
+
+
+def test_perturbed_mesh_amplitude_guard():
+    with pytest.raises(MeshError, match="amplitude"):
+        perturbed_mesh(4, 4, amplitude=0.6)
+
+
+def test_single_cell_default_unit_square():
+    mesh = single_cell_mesh()
+    assert mesh.cell_areas()[0] == pytest.approx(1.0)
+
+
+def test_single_cell_custom_coords():
+    coords = np.array([[0.0, 0.0], [2.0, 0.0], [2.0, 1.0], [0.0, 1.0]])
+    mesh = single_cell_mesh(coords)
+    assert mesh.cell_areas()[0] == pytest.approx(2.0)
+
+
+def test_single_cell_bad_shape():
+    with pytest.raises(MeshError, match="\\(4, 2\\)"):
+        single_cell_mesh(np.zeros((3, 2)))

@@ -1,0 +1,64 @@
+"""Unit tests for the mesh-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generator import rect_mesh, saltzmann_mesh, single_cell_mesh
+from repro.mesh.quality import (
+    aspect_ratio,
+    corner_jacobians,
+    min_edge_length,
+    quality_report,
+    scaled_jacobian,
+)
+
+
+def test_unit_square_perfect_quality():
+    mesh = single_cell_mesh()
+    assert scaled_jacobian(mesh)[0] == pytest.approx(1.0)
+    assert aspect_ratio(mesh)[0] == pytest.approx(1.0)
+    np.testing.assert_allclose(corner_jacobians(mesh), 1.0)
+
+
+def test_rectangle_aspect_ratio():
+    mesh = single_cell_mesh(np.array([[0, 0], [3, 0], [3, 1], [0, 1]],
+                                     dtype=float))
+    assert aspect_ratio(mesh)[0] == pytest.approx(3.0)
+    assert scaled_jacobian(mesh)[0] == pytest.approx(1.0)
+
+
+def test_min_edge_length():
+    mesh = rect_mesh(4, 2, (0.0, 1.0, 0.0, 0.1))
+    np.testing.assert_allclose(min_edge_length(mesh), 0.05)
+
+
+def test_nonconvex_cell_negative_jacobian():
+    coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.4, 0.4], [0.0, 1.0]])
+    mesh = single_cell_mesh(coords)
+    assert scaled_jacobian(mesh)[0] <= 0.0
+    assert corner_jacobians(mesh).min() < 0.0
+
+
+def test_moved_coordinates_override():
+    mesh = single_cell_mesh()
+    x = mesh.x * 2.0
+    assert aspect_ratio(mesh, x, mesh.y)[0] == pytest.approx(2.0)
+
+
+def test_saltzmann_stretch_increases_towards_bottom():
+    """The sinusoidal shear stretches cells most at the lower wall
+    (the x-displacement amplitude is (height − y)), so the spread of
+    aspect ratios is widest in the bottom row."""
+    mesh = saltzmann_mesh(40, 8)
+    ar = aspect_ratio(mesh)
+    _, yc = mesh.cell_centroids()
+    bottom_spread = ar[yc < 0.02].max() - ar[yc < 0.02].min()
+    top_spread = ar[yc > 0.08].max() - ar[yc > 0.08].min()
+    assert bottom_spread > top_spread
+
+
+def test_quality_report_text():
+    mesh = rect_mesh(3, 3)
+    text = quality_report(mesh)
+    assert "cells=9" in text
+    assert "non-convex cells: 0" in text

@@ -1,0 +1,117 @@
+"""Unit tests for region-based problem setup."""
+
+import numpy as np
+import pytest
+
+from repro.eos import IdealGas, MaterialTable, Tait, Void
+from repro.mesh.generator import rect_mesh
+from repro.mesh.regions import Region, assign_regions, box, disc, everywhere
+from repro.utils.errors import MeshError
+
+
+@pytest.fixture
+def table():
+    t = MaterialTable()
+    t.add(IdealGas(1.4))
+    t.add(Void())
+    return t
+
+
+def test_everywhere_predicate():
+    xc = np.array([0.0, 5.0])
+    assert everywhere(xc, xc).all()
+
+
+def test_box_predicate_half_open():
+    xc = np.array([0.0, 0.5, 0.99, 1.0])
+    yc = np.zeros(4)
+    np.testing.assert_array_equal(box(0.0, 1.0)(xc, yc),
+                                  [True, True, True, False])
+
+
+def test_disc_predicate():
+    xc = np.array([0.0, 0.2, 0.4])
+    yc = np.zeros(3)
+    np.testing.assert_array_equal(disc(0.0, 0.0, 0.3)(xc, yc),
+                                  [True, True, False])
+
+
+def test_assign_two_regions(table):
+    mesh = rect_mesh(4, 4)
+    regions = [
+        Region(where=everywhere, material=0, rho=1.0, p=1.0, name="bg"),
+        Region(where=box(0.5, 2.0), material=1, rho=0.5, e=0.0,
+               name="void"),
+    ]
+    mat, rho, e, u, v = assign_regions(mesh, table, regions)
+    xc, _ = mesh.cell_centroids()
+    right = xc > 0.5
+    np.testing.assert_array_equal(mat[right], 1)
+    np.testing.assert_array_equal(mat[~right], 0)
+    np.testing.assert_allclose(rho[right], 0.5)
+    np.testing.assert_allclose(rho[~right], 1.0)
+    # pressure inverted through the ideal gas: e = p/((γ-1)ρ) = 2.5
+    np.testing.assert_allclose(e[~right], 2.5)
+
+
+def test_later_region_overrides(table):
+    mesh = rect_mesh(4, 4)
+    regions = [
+        Region(where=everywhere, material=0, rho=1.0, e=1.0),
+        Region(where=everywhere, material=1, rho=2.0, e=0.0),
+    ]
+    mat, rho, _, _, _ = assign_regions(mesh, table, regions)
+    assert np.all(mat == 1)
+    assert np.all(rho == 2.0)
+
+
+def test_region_velocity_painted_on_nodes(table):
+    mesh = rect_mesh(4, 2)
+    regions = [
+        Region(where=everywhere, material=0, rho=1.0, e=1.0, u=3.0, v=-1.0),
+    ]
+    _, _, _, u, v = assign_regions(mesh, table, regions)
+    np.testing.assert_allclose(u, 3.0)
+    np.testing.assert_allclose(v, -1.0)
+
+
+def test_uncovered_cells_rejected(table):
+    mesh = rect_mesh(4, 4)
+    regions = [Region(where=box(-1.0, 0.5), material=0, rho=1.0, e=1.0)]
+    with pytest.raises(MeshError, match="not covered"):
+        assign_regions(mesh, table, regions)
+
+
+def test_unknown_material_rejected(table):
+    mesh = rect_mesh(2, 2)
+    regions = [Region(where=everywhere, material=7, rho=1.0, e=1.0)]
+    with pytest.raises(MeshError, match="material 7"):
+        assign_regions(mesh, table, regions)
+
+
+def test_region_needs_exactly_one_of_e_p():
+    with pytest.raises(MeshError, match="exactly one"):
+        Region(where=everywhere, material=0, rho=1.0)
+    with pytest.raises(MeshError, match="exactly one"):
+        Region(where=everywhere, material=0, rho=1.0, e=1.0, p=1.0)
+
+
+def test_region_positive_density():
+    with pytest.raises(MeshError, match="positive"):
+        Region(where=everywhere, material=0, rho=-1.0, e=1.0)
+
+
+def test_no_regions_rejected(table):
+    with pytest.raises(MeshError, match="no regions"):
+        assign_regions(rect_mesh(2, 2), table, [])
+
+
+def test_tait_pressure_inversion_in_region():
+    table = MaterialTable()
+    water = Tait(rho0=1000.0, a1=3.31e8, a3=7.0)
+    table.add(water)
+    mesh = rect_mesh(2, 2)
+    regions = [Region(where=everywhere, material=0, rho=1000.0, p=1e6)]
+    _, _, e, _, _ = assign_regions(mesh, table, regions)
+    # Tait is barotropic: inverted energy is zero
+    np.testing.assert_allclose(e, 0.0)

@@ -1,0 +1,183 @@
+"""Unit tests for the unstructured mesh topology."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generator import rect_mesh, single_cell_mesh
+from repro.mesh.topology import QuadMesh
+from repro.utils.errors import MeshError
+
+
+def test_counts_rect():
+    mesh = rect_mesh(4, 3)
+    assert mesh.ncell == 12
+    assert mesh.nnode == 20
+    # interior faces: vertical (3 per row x 3 rows) + horizontal (4 x 2)
+    assert mesh.nface == 3 * 3 + 4 * 2
+
+
+def test_single_cell_has_no_neighbours():
+    mesh = single_cell_mesh()
+    assert np.all(mesh.cell_neighbours == -1)
+    assert mesh.nface == 0
+    assert mesh.boundary_cells.size == 4
+
+
+def test_neighbours_mutual(wonky_mesh):
+    nb = wonky_mesh.cell_neighbours
+    ns = wonky_mesh.neighbour_side
+    for c in range(wonky_mesh.ncell):
+        for k in range(4):
+            n = nb[c, k]
+            if n < 0:
+                continue
+            back = ns[c, k]
+            assert nb[n, back] == c
+            assert ns[n, back] == k
+
+
+def test_shared_side_nodes_match(wonky_mesh):
+    cn = wonky_mesh.cell_nodes
+    nb = wonky_mesh.cell_neighbours
+    ns = wonky_mesh.neighbour_side
+    for c in range(wonky_mesh.ncell):
+        for k in range(4):
+            n = nb[c, k]
+            if n < 0:
+                continue
+            mine = {cn[c, k], cn[c, (k + 1) % 4]}
+            theirs = {cn[n, ns[c, k]], cn[n, (ns[c, k] + 1) % 4]}
+            assert mine == theirs
+
+
+def test_neighbour_traverses_shared_side_reversed(wonky_mesh):
+    """CCW orientation: the neighbour traverses the shared side backwards."""
+    cn = wonky_mesh.cell_nodes
+    nb = wonky_mesh.cell_neighbours
+    ns = wonky_mesh.neighbour_side
+    c, k = np.argwhere(nb >= 0)[0]
+    n, s = nb[c, k], ns[c, k]
+    assert cn[c, k] == cn[n, (s + 1) % 4]
+    assert cn[c, (k + 1) % 4] == cn[n, s]
+
+
+def test_node_cell_csr_covers_every_corner(wonky_mesh):
+    mesh = wonky_mesh
+    total = mesh.node_cell_offsets[-1]
+    assert total == 4 * mesh.ncell
+    # every (cell, corner) pair appears exactly once
+    seen = set()
+    for node in range(mesh.nnode):
+        lo, hi = mesh.node_cell_offsets[node], mesh.node_cell_offsets[node + 1]
+        for c, k in zip(mesh.node_cell_cells[lo:hi],
+                        mesh.node_cell_corner[lo:hi]):
+            assert mesh.cell_nodes[c, k] == node
+            seen.add((int(c), int(k)))
+    assert len(seen) == 4 * mesh.ncell
+
+
+def test_node_degree_rect_interior_is_four():
+    mesh = rect_mesh(4, 4)
+    deg = mesh.node_degree()
+    interior = np.setdiff1d(np.arange(mesh.nnode), mesh.boundary_nodes())
+    assert np.all(deg[interior] == 4)
+    assert deg.min() == 1  # corners
+
+
+def test_boundary_nodes_rect():
+    mesh = rect_mesh(3, 3, (0.0, 1.0, 0.0, 1.0))
+    b = mesh.boundary_nodes()
+    on_edge = (
+        np.isclose(mesh.x, 0) | np.isclose(mesh.x, 1)
+        | np.isclose(mesh.y, 0) | np.isclose(mesh.y, 1)
+    )
+    np.testing.assert_array_equal(np.sort(b), np.flatnonzero(on_edge))
+
+
+def test_cell_areas_rect():
+    mesh = rect_mesh(5, 2, (0.0, 1.0, 0.0, 0.5))
+    np.testing.assert_allclose(mesh.cell_areas(), (1 / 5) * (0.25))
+
+
+def test_cell_centroids_rect():
+    mesh = rect_mesh(2, 1, (0.0, 2.0, 0.0, 1.0))
+    xc, yc = mesh.cell_centroids()
+    np.testing.assert_allclose(np.sort(xc), [0.5, 1.5])
+    np.testing.assert_allclose(yc, 0.5)
+
+
+def test_face_nodes_belong_to_left_cell(wonky_mesh):
+    mesh = wonky_mesh
+    for f in range(mesh.nface):
+        c0 = mesh.face_cells[f, 0]
+        s0 = mesh.face_sides[f, 0]
+        assert mesh.face_nodes[f, 0] == mesh.cell_nodes[c0, s0]
+        assert mesh.face_nodes[f, 1] == mesh.cell_nodes[c0, (s0 + 1) % 4]
+
+
+def test_cells_around_node(unit_square_mesh):
+    mesh = unit_square_mesh
+    # a central node of the 4x4 mesh touches 4 cells
+    centre = np.argmin((mesh.x - 0.5) ** 2 + (mesh.y - 0.5) ** 2)
+    assert mesh.cells_around_node(int(centre)).size == 4
+
+
+def test_cw_cell_rejected():
+    coords = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 1.0], [1.0, 0.0]])
+    with pytest.raises(MeshError, match="non-positive"):
+        single_cell_mesh(coords)
+
+
+def test_repeated_node_rejected():
+    x = np.array([0.0, 1.0, 1.0])
+    y = np.array([0.0, 0.0, 1.0])
+    cn = np.array([[0, 1, 2, 2]])
+    with pytest.raises(MeshError, match="repeated nodes"):
+        QuadMesh(x, y, cn)
+
+
+def test_out_of_range_index_rejected():
+    x = np.array([0.0, 1.0, 1.0, 0.0])
+    y = np.array([0.0, 0.0, 1.0, 1.0])
+    with pytest.raises(MeshError, match="out of range"):
+        QuadMesh(x, y, np.array([[0, 1, 2, 7]]))
+
+
+def test_non_manifold_rejected():
+    """Three cells sharing one side is not a valid 2-D mesh."""
+    x = np.array([0.0, 1.0, 1.0, 0.0, 2.0, -1.0, 0.5])
+    y = np.array([0.0, 0.0, 1.0, 1.0, 0.5, 0.5, -1.0])
+    cells = np.array([
+        [0, 1, 2, 3],
+        [1, 0, 6, 4],   # shares side (0,1)
+        [0, 1, 4, 5],   # also shares side (0,1) -> non-manifold
+    ])
+    with pytest.raises(MeshError, match="non-manifold"):
+        QuadMesh(x, y, cells)
+
+
+def test_empty_mesh_rejected():
+    with pytest.raises(MeshError, match="no cells"):
+        QuadMesh(np.array([0.0]), np.array([0.0]),
+                 np.empty((0, 4), dtype=np.int64))
+
+
+def test_mismatched_coordinate_shapes_rejected():
+    with pytest.raises(MeshError, match="equal length"):
+        QuadMesh(np.zeros(4), np.zeros(5), np.array([[0, 1, 2, 3]]))
+
+
+def test_adjacency_pairs_unique_and_complete(unit_square_mesh):
+    pairs = unit_square_mesh.cell_adjacency_pairs()
+    assert pairs.shape == (unit_square_mesh.nface, 2)
+    keys = {tuple(sorted(p)) for p in pairs}
+    assert len(keys) == unit_square_mesh.nface
+
+
+def test_mixed_structured_unstructured_node_degree():
+    """The perturbed mesh keeps rect topology: interior degree 4."""
+    from repro.mesh.generator import perturbed_mesh
+
+    mesh = perturbed_mesh(5, 5, amplitude=0.3, seed=3)
+    interior = np.setdiff1d(np.arange(mesh.nnode), mesh.boundary_nodes())
+    assert np.all(mesh.node_degree()[interior] == 4)

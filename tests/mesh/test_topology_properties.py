@@ -1,0 +1,62 @@
+"""Property-based tests: topology invariants on random valid meshes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.generator import perturbed_mesh, rect_mesh
+
+mesh_dims = st.tuples(st.integers(1, 9), st.integers(1, 9))
+
+
+@given(dims=mesh_dims)
+@settings(max_examples=40, deadline=None)
+def test_euler_characteristic(dims):
+    """V − E + F = 1 for a simply-connected planar quad mesh."""
+    nx, ny = dims
+    mesh = rect_mesh(nx, ny)
+    n_edges = mesh.nface + mesh.boundary_cells.size
+    assert mesh.nnode - n_edges + mesh.ncell == 1
+
+
+@given(dims=mesh_dims)
+@settings(max_examples=40, deadline=None)
+def test_sides_partition_into_faces_and_boundary(dims):
+    nx, ny = dims
+    mesh = rect_mesh(nx, ny)
+    assert 2 * mesh.nface + mesh.boundary_cells.size == 4 * mesh.ncell
+
+
+@given(dims=mesh_dims, seed=st.integers(0, 1000),
+       amplitude=st.floats(0.0, 0.3))
+@settings(max_examples=30, deadline=None)
+def test_perturbed_mesh_validates_and_conserves_area(dims, seed, amplitude):
+    nx, ny = dims
+    mesh = perturbed_mesh(nx, ny, amplitude=amplitude, seed=seed)
+    # QuadMesh.validate ran in the constructor; also, moving interior
+    # nodes cannot change the total area of the fixed outer boundary.
+    assert mesh.cell_areas().sum() == np.float64(1.0) or abs(
+        mesh.cell_areas().sum() - 1.0) < 1e-12
+
+
+@given(dims=mesh_dims)
+@settings(max_examples=40, deadline=None)
+def test_node_degrees_sum_to_corner_count(dims):
+    nx, ny = dims
+    mesh = rect_mesh(nx, ny)
+    assert mesh.node_degree().sum() == 4 * mesh.ncell
+
+
+@given(dims=mesh_dims)
+@settings(max_examples=40, deadline=None)
+def test_boundary_sides_form_closed_loop(dims):
+    """Every boundary node has exactly two incident boundary sides."""
+    nx, ny = dims
+    mesh = rect_mesh(nx, ny)
+    n0 = mesh.cell_nodes[mesh.boundary_cells, mesh.boundary_sides]
+    n1 = mesh.cell_nodes[mesh.boundary_cells, (mesh.boundary_sides + 1) % 4]
+    counts = np.bincount(np.concatenate([n0, n1]), minlength=mesh.nnode)
+    boundary = mesh.boundary_nodes()
+    assert np.all(counts[boundary] == 2)
+    interior = np.setdiff1d(np.arange(mesh.nnode), boundary)
+    assert np.all(counts[interior] == 0)

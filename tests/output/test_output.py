@@ -1,0 +1,87 @@
+"""Unit tests for the VTK/time-history/ASCII output facilities."""
+
+import numpy as np
+import pytest
+
+from repro.output import TimeHistory, ascii_plot, write_vtk
+from repro.problems import load_problem
+
+
+@pytest.fixture
+def small_run():
+    hydro = load_problem("sod", nx=8, ny=2, time_end=1.0).make_hydro()
+    hydro.run(max_steps=3)
+    return hydro
+
+
+def test_vtk_structure(tmp_path, small_run):
+    path = write_vtk(small_run.state, tmp_path / "dump.vtk", title="t")
+    text = path.read_text()
+    mesh = small_run.state.mesh
+    assert text.startswith("# vtk DataFile Version 3.0")
+    assert f"POINTS {mesh.nnode} double" in text
+    assert f"CELLS {mesh.ncell} {mesh.ncell * 5}" in text
+    assert f"CELL_DATA {mesh.ncell}" in text
+    assert "SCALARS density double 1" in text
+    assert "VECTORS velocity double" in text
+
+
+def test_vtk_cell_types_are_quads(tmp_path, small_run):
+    path = write_vtk(small_run.state, tmp_path / "dump.vtk")
+    lines = path.read_text().splitlines()
+    i = lines.index(f"CELL_TYPES {small_run.state.mesh.ncell}")
+    types = lines[i + 1: i + 1 + small_run.state.mesh.ncell]
+    assert set(types) == {"9"}
+
+
+def test_vtk_extra_fields(tmp_path, small_run):
+    extra = {"flag": np.arange(small_run.state.mesh.ncell, dtype=float)}
+    path = write_vtk(small_run.state, tmp_path / "dump.vtk",
+                     extra_cell_fields=extra)
+    assert "SCALARS flag double 1" in path.read_text()
+
+
+def test_timehistory_records_every_step(small_run):
+    hist = TimeHistory(every=1)
+    hydro = load_problem("sod", nx=8, ny=2, time_end=1.0).make_hydro()
+    hydro.observers.append(hist)
+    hydro.run(max_steps=4)
+    assert len(hist.rows) == 4
+    assert hist.column("nstep") == [1, 2, 3, 4]
+    times = hist.column("time")
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+def test_timehistory_cadence():
+    hist = TimeHistory(every=2)
+    hydro = load_problem("sod", nx=8, ny=2, time_end=1.0).make_hydro()
+    hydro.observers.append(hist)
+    hydro.run(max_steps=5)
+    assert [r["nstep"] for r in hist.rows] == [2, 4]
+
+
+def test_timehistory_csv(tmp_path):
+    hist = TimeHistory(every=1)
+    hydro = load_problem("sod", nx=8, ny=2, time_end=1.0).make_hydro()
+    hydro.observers.append(hist)
+    hydro.run(max_steps=2)
+    path = hist.write_csv(tmp_path / "hist.csv")
+    lines = path.read_text().strip().splitlines()
+    assert lines[0].startswith("nstep,time,dt,mass")
+    assert len(lines) == 3
+
+
+def test_ascii_plot_renders_series():
+    x = np.linspace(0, 1, 50)
+    text = ascii_plot(x, {"sim": np.sin(x), "exact": np.cos(x)},
+                      title="demo", xlabel="x")
+    assert "demo" in text
+    assert "s = sim" in text and "e = exact" in text
+    body = "\n".join(text.splitlines()[2:-3])
+    assert "s" in body and "e" in body
+
+
+def test_ascii_plot_flat_series_no_crash():
+    x = np.linspace(0, 1, 10)
+    text = ascii_plot(x, {"flat": np.ones(10)})
+    assert "f" in text

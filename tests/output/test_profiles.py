@@ -1,0 +1,101 @@
+"""Tests for the profile-extraction utilities."""
+
+import numpy as np
+import pytest
+
+from repro.output.profiles import (
+    Profile,
+    front_position,
+    linear_profile,
+    radial_profile,
+)
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError
+
+
+@pytest.fixture(scope="module")
+def sod_state():
+    hydro = load_problem("sod", nx=100, ny=4, time_end=0.1).run()
+    return hydro
+
+
+@pytest.fixture(scope="module")
+def noh_state():
+    hydro = load_problem("noh", nx=24, ny=24, time_end=0.15).run()
+    return hydro
+
+
+def test_linear_profile_covers_domain(sod_state):
+    state = sod_state.state
+    prof = linear_profile(state, state.rho, nbins=25)
+    assert prof.valid().all()
+    assert prof.count.sum() == state.mesh.ncell
+    assert prof.centres[0] < 0.1 and prof.centres[-1] > 0.9
+
+
+def test_linear_profile_endpoints_match_states(sod_state):
+    state = sod_state.state
+    prof = linear_profile(state, state.rho, nbins=25)
+    assert prof.mean[0] == pytest.approx(1.0, rel=1e-6)
+    assert prof.mean[-1] == pytest.approx(0.125, rel=1e-6)
+
+
+def test_profile_min_max_bracket_mean(sod_state):
+    state = sod_state.state
+    prof = linear_profile(state, state.rho, nbins=20)
+    ok = prof.valid()
+    assert np.all(prof.minimum[ok] <= prof.mean[ok] + 1e-14)
+    assert np.all(prof.maximum[ok] >= prof.mean[ok] - 1e-14)
+
+
+def test_profile_interp(sod_state):
+    state = sod_state.state
+    prof = linear_profile(state, state.rho, nbins=25)
+    assert prof.interp(np.array([0.05]))[0] == pytest.approx(1.0, rel=1e-6)
+
+
+def test_radial_profile_monotone_count(noh_state):
+    state = noh_state.state
+    prof = radial_profile(state, state.rho, nbins=20, r_max=0.9)
+    # annulus area grows with radius inside the quadrant
+    inner = prof.count[2:8]
+    assert inner[-1] > inner[0]
+
+
+def test_front_position_sod(sod_state):
+    """The shock front from the right: ~0.5 + 1.7522 t."""
+    state = sod_state.state
+    prof = linear_profile(state, state.rho, nbins=100)
+    front = front_position(prof, threshold=0.14)
+    assert front == pytest.approx(0.5 + 1.7522 * sod_state.time, abs=0.03)
+
+
+def test_front_position_noh(noh_state):
+    state = noh_state.state
+    prof = radial_profile(state, state.rho, nbins=40, r_max=0.6)
+    front = front_position(prof, threshold=8.0)
+    assert front == pytest.approx(noh_state.time / 3.0, rel=0.35)
+
+
+def test_front_position_never_crossed(sod_state):
+    prof = linear_profile(sod_state.state, sod_state.state.rho, nbins=10)
+    with pytest.raises(BookLeafError, match="threshold"):
+        front_position(prof, threshold=99.0)
+
+
+def test_empty_bins_marked_invalid():
+    prof = Profile(
+        centres=np.array([0.5, 1.5]),
+        mean=np.array([1.0, 0.0]),
+        count=np.array([3, 0]),
+        minimum=np.array([1.0, np.nan]),
+        maximum=np.array([1.0, np.nan]),
+    )
+    np.testing.assert_array_equal(prof.valid(), [True, False])
+
+
+def test_bad_bins_rejected(sod_state):
+    from repro.output.profiles import _bin_field
+
+    with pytest.raises(BookLeafError, match="bin edges"):
+        _bin_field(np.array([0.0]), np.array([1.0]), np.array([0.0]))

@@ -1,0 +1,101 @@
+"""Tests for checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.output.restart import (
+    checkpoint,
+    read_restart,
+    resume,
+    write_restart,
+)
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError
+
+
+@pytest.fixture
+def mid_run():
+    setup = load_problem("sod", nx=30, ny=2, time_end=0.05)
+    hydro = setup.make_hydro()
+    hydro.run(max_steps=10)
+    return setup, hydro
+
+
+def test_roundtrip_bit_exact(tmp_path, mid_run):
+    _, hydro = mid_run
+    path = checkpoint(hydro, tmp_path / "chk.npz")
+    state, time, nstep, dt = read_restart(path)
+    assert time == hydro.time
+    assert nstep == hydro.nstep
+    assert dt == hydro.dt
+    for name in ("x", "y", "u", "v", "rho", "e", "p", "cs2", "q",
+                 "cell_mass", "corner_mass", "volume", "corner_volume"):
+        np.testing.assert_array_equal(getattr(state, name),
+                                      getattr(hydro.state, name))
+    np.testing.assert_array_equal(state.mat, hydro.state.mat)
+    np.testing.assert_array_equal(state.bc.flags, hydro.state.bc.flags)
+
+
+def test_resumed_run_matches_uninterrupted(tmp_path):
+    """Checkpoint at step 10, resume, run to the end: identical to an
+    uninterrupted run (bit-for-bit)."""
+    straight = load_problem("sod", nx=30, ny=2, time_end=0.05).make_hydro()
+    straight.run()
+
+    setup = load_problem("sod", nx=30, ny=2, time_end=0.05)
+    first = setup.make_hydro()
+    first.run(max_steps=10)
+    path = checkpoint(first, tmp_path / "chk.npz")
+
+    resumed = resume(path, setup.table, setup.controls)
+    resumed.run()
+
+    assert resumed.nstep == straight.nstep
+    assert resumed.time == straight.time
+    np.testing.assert_array_equal(resumed.state.rho, straight.state.rho)
+    np.testing.assert_array_equal(resumed.state.u, straight.state.u)
+    np.testing.assert_array_equal(resumed.state.x, straight.state.x)
+
+
+def test_restart_preserves_bcs_functionally(tmp_path, mid_run):
+    setup, hydro = mid_run
+    path = checkpoint(hydro, tmp_path / "chk.npz")
+    resumed = resume(path, setup.table, setup.controls)
+    resumed.step()
+    mesh = resumed.state.mesh
+    left = np.isclose(mesh.x, 0.0)
+    assert np.all(resumed.state.u[left] == 0.0)
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(BookLeafError, match="cannot read"):
+        read_restart(tmp_path / "nope.npz")
+
+
+def test_wrong_version_rejected(tmp_path, mid_run):
+    _, hydro = mid_run
+    path = write_restart(tmp_path / "chk.npz", hydro.state)
+    data = dict(np.load(path))
+    data["version"] = np.int64(99)
+    np.savez_compressed(path, **data)
+    with pytest.raises(BookLeafError, match="format version"):
+        read_restart(path)
+
+
+def test_tampered_dump_rejected(tmp_path, mid_run):
+    _, hydro = mid_run
+    path = write_restart(tmp_path / "chk.npz", hydro.state)
+    data = dict(np.load(path))
+    data["mat"] = data["mat"] + 0       # copy
+    data["mat"][0] = 1 - data["mat"][0]  # flip a material index
+    np.savez_compressed(path, **data)
+    with pytest.raises(BookLeafError, match="fingerprint"):
+        read_restart(path)
+
+
+def test_fresh_state_checkpoint(tmp_path):
+    setup = load_problem("noh", nx=8, ny=8)
+    path = write_restart(tmp_path / "t0.npz", setup.state)
+    state, time, nstep, dt = read_restart(path)
+    assert time == 0.0 and nstep == 0
+    np.testing.assert_array_equal(state.rho, setup.state.rho)

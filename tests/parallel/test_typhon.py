@@ -1,0 +1,153 @@
+"""Unit tests of the simulated Typhon primitives (two live ranks)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.halo import build_subdomains, local_state
+from repro.parallel.partition import partition
+from repro.parallel.typhon import TyphonComms, TyphonContext
+from repro.problems import load_problem
+from repro.utils.errors import CommError
+
+
+@pytest.fixture
+def two_ranks():
+    """Two subdomains of a Sod setup with live states and endpoints."""
+    setup = load_problem("sod", nx=16, ny=4)
+    mesh = setup.state.mesh
+    part = partition(mesh, 2, "rcb")
+    subs = build_subdomains(mesh, part, 2)
+    ctx = TyphonContext(subs)
+    states = [local_state(sub, setup.state) for sub in subs]
+    comms = [TyphonComms(ctx, sub) for sub in subs]
+    for r, state in enumerate(states):
+        ctx.register_state(r, state)
+    return ctx, subs, states, comms
+
+
+def _run_spmd(fns):
+    """Run one callable per rank on its own thread; re-raise failures."""
+    errors = []
+
+    def wrap(fn):
+        def inner():
+            try:
+                fn()
+            except BaseException as exc:   # noqa: BLE001
+                errors.append(exc)
+        return inner
+
+    threads = [threading.Thread(target=wrap(fn)) for fn in fns]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_exchange_kinematics_moves_ghost_data(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    # poison rank 0's ghost-only nodes, then exchange
+    ghost = subs[0].recv_nodes[1]
+    states[0].u[ghost] = -99.0
+    _run_spmd([
+        lambda: comms[0].exchange_kinematics(states[0]),
+        lambda: comms[1].exchange_kinematics(states[1]),
+    ])
+    src = subs[1].send_nodes[0]
+    np.testing.assert_array_equal(states[0].u[ghost], states[1].u[src])
+    assert not np.any(states[0].u[ghost] == -99.0)
+
+
+def test_complete_node_arrays_sums_across_ranks(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    results = {}
+
+    def work(r):
+        partial = np.ones(subs[r].mesh.nnode) * (r + 1)
+        results[r] = comms[r].complete_node_arrays(states[r], partial)[0]
+
+    _run_spmd([lambda: work(0), lambda: work(1)])
+    # shared nodes got 1 + 2 = 3 on both ranks; private nodes keep own
+    mine0 = subs[0].shared_nodes[1]
+    mine1 = subs[1].shared_nodes[0]
+    np.testing.assert_array_equal(results[0][mine0], 3.0)
+    np.testing.assert_array_equal(results[1][mine1], 3.0)
+    private0 = np.setdiff1d(np.arange(subs[0].mesh.nnode), mine0)
+    np.testing.assert_array_equal(results[0][private0], 1.0)
+
+
+def test_exchange_cell_arrays_refreshes_ghosts(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    arrays = [np.full(sub.cell_global.size, float(r * 10))
+              for r, sub in enumerate(subs)]
+    _run_spmd([
+        lambda: comms[0].exchange_cell_arrays(arrays[0]),
+        lambda: comms[1].exchange_cell_arrays(arrays[1]),
+    ])
+    ghosts0 = subs[0].recv_cells[1]
+    np.testing.assert_array_equal(arrays[0][ghosts0], 10.0)
+    owned0 = np.flatnonzero(subs[0].owned_cell_mask)
+    np.testing.assert_array_equal(arrays[0][owned0], 0.0)
+
+
+def test_allreduce_max(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    results = {}
+    _run_spmd([
+        lambda: results.update(a=comms[0].allreduce_max(1.5)),
+        lambda: results.update(b=comms[1].allreduce_max(7.25)),
+    ])
+    assert results["a"] == 7.25
+    assert results["b"] == 7.25
+
+
+def test_reduce_dt_globalises_cell_index(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    results = {}
+    _run_spmd([
+        lambda: results.update(a=comms[0].reduce_dt([(0.5, "cfl", 3)])),
+        lambda: results.update(b=comms[1].reduce_dt([(0.2, "div", 5)])),
+    ])
+    expect_cell = int(subs[1].cell_global[5])
+    assert results["a"] == (0.2, "div", expect_cell)
+    assert results["b"] == results["a"]
+
+
+def test_abort_breaks_peer_out_of_collective(two_ranks):
+    ctx, subs, states, comms = two_ranks
+
+    def failing():
+        ctx.abort()
+
+    def waiting():
+        with pytest.raises(CommError):
+            comms[1].allreduce_max(1.0)
+
+    _run_spmd([failing, waiting])
+
+
+def test_traffic_matrix_symmetric_pairs(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    matrix = ctx.traffic_matrix()
+    assert matrix.shape == (2, 2)
+    assert matrix[0, 1] > 0 and matrix[1, 0] > 0
+    assert matrix[0, 0] == 0 and matrix[1, 1] == 0
+    # the shared-node completion part is symmetric by construction
+    shared_bytes = 3 * subs[0].shared_nodes[1].size * 8
+    assert matrix[0, 1] >= shared_bytes
+    assert matrix[1, 0] >= shared_bytes
+
+
+def test_stats_accumulate(two_ranks):
+    ctx, subs, states, comms = two_ranks
+    _run_spmd([
+        lambda: comms[0].exchange_kinematics(states[0]),
+        lambda: comms[1].exchange_kinematics(states[1]),
+    ])
+    total = ctx.total_stats()
+    assert total.halo_exchanges == 2
+    assert total.bytes_sent > 0

@@ -1,0 +1,60 @@
+"""Unit tests for the ablation studies."""
+
+import pytest
+
+from repro.perfmodel.ablation import (
+    PAPER_DOPE_AFTER,
+    PAPER_DOPE_BEFORE,
+    dope_vector_ablation,
+    format_ablations,
+    gpu_aware_mpi_ablation,
+    serial_partitioner_ablation,
+)
+
+
+def test_dope_improvement_matches_paper_anecdote():
+    dope = dope_vector_ablation()
+    paper = PAPER_DOPE_BEFORE / PAPER_DOPE_AFTER
+    assert dope.improvement == pytest.approx(paper, rel=0.15)
+
+
+def test_dope_scales_with_steps():
+    short = dope_vector_ablation(steps=1000)
+    long = dope_vector_ablation(steps=20_000)
+    assert long.with_dope - long.without_dope > (
+        short.with_dope - short.without_dope
+    )
+
+
+def test_gpu_mpi_overhead_order_of_magnitude():
+    gpu = gpu_aware_mpi_ablation()
+    assert gpu.overhead > 10.0
+    assert gpu.aware < gpu.non_aware
+
+
+def test_gpu_mpi_overhead_grows_with_problem_size():
+    small = gpu_aware_mpi_ablation(ncell=100_000)
+    big = gpu_aware_mpi_ablation(ncell=4_000_000)
+    assert big.non_aware > small.non_aware
+
+
+def test_partitioner_fraction_monotone():
+    points = serial_partitioner_ablation()
+    fractions = [p.setup_fraction for p in points]
+    assert all(b > a for a, b in zip(fractions, fractions[1:]))
+    assert fractions[0] < 0.10      # negligible on one node
+    assert fractions[-1] > 0.45     # dominating at ~1800 processes
+
+
+def test_partitioner_constant_partition_time():
+    points = serial_partitioner_ablation()
+    times = {p.partition_seconds for p in points}
+    assert len(times) == 1          # serial: does not scale
+
+
+def test_format_ablations_report():
+    text = format_ablations()
+    assert "dope" in text.lower()
+    assert "GPU-aware" in text
+    assert "partitioner" in text.lower()
+    assert "paper 1.92x" in text

@@ -1,0 +1,60 @@
+"""Tests for the scaling-efficiency analysis."""
+
+import pytest
+
+from repro.perfmodel.efficiency import (
+    efficiency_series,
+    format_efficiency,
+)
+
+
+@pytest.fixture(scope="module")
+def skylake():
+    return efficiency_series("skylake_hybrid")
+
+
+def test_baseline_point(skylake):
+    base = skylake[0]
+    assert base.nodes == 8
+    assert base.speedup == 1.0
+    assert base.efficiency == 1.0
+    assert base.karp_flatt is None
+
+
+def test_superlinear_efficiency_at_sixteen(skylake):
+    """Efficiency > 1 between 8 and 16 nodes — the cache effect."""
+    point16 = next(p for p in skylake if p.nodes == 16)
+    assert point16.efficiency > 1.2
+
+
+def test_negative_karp_flatt_in_superlinear_regime(skylake):
+    point16 = next(p for p in skylake if p.nodes == 16)
+    assert point16.karp_flatt < 0.0
+
+
+def test_karp_flatt_never_positive_and_decaying(skylake):
+    """No positive serial fraction ever emerges (BookLeaf's 'very few
+    communications' conclusion), and the superlinear residual decays
+    towards scale (the baseline's cache penalty washes out)."""
+    point16 = next(p for p in skylake if p.nodes == 16)
+    point64 = next(p for p in skylake if p.nodes == 64)
+    assert point64.karp_flatt < 0.02
+    assert abs(point64.karp_flatt) < abs(point16.karp_flatt)
+
+
+def test_speedups_monotone(skylake):
+    speeds = [p.speedup for p in skylake]
+    assert all(b > a for a, b in zip(speeds, speeds[1:]))
+
+
+def test_kernel_series_supported():
+    points = efficiency_series("skylake_hybrid", kernel="viscosity")
+    assert len(points) == 4
+    assert points[1].efficiency > 1.0
+
+
+def test_format_report():
+    text = format_efficiency()
+    assert "Karp-Flatt" in text
+    assert "skylake_hybrid" in text and "broadwell_hybrid" in text
+    assert "superlinear" in text

@@ -1,0 +1,95 @@
+"""Tests for the platform registry, report formatting and measured weights."""
+
+import pytest
+
+from repro.perfmodel import (
+    KERNELS,
+    PLATFORMS,
+    TABLE2_ORDER,
+    format_bars,
+    format_scaling,
+    format_table1,
+    format_table2,
+    scaling_series,
+    table1_rows,
+    table2,
+    weights_from_timers,
+)
+from repro.utils.timers import TimerRegistry
+
+
+def test_seven_configurations_registered():
+    assert len(TABLE2_ORDER) == 7
+    assert set(TABLE2_ORDER) <= set(PLATFORMS)
+
+
+def test_platform_kinds():
+    kinds = {PLATFORMS[k].kind for k in TABLE2_ORDER}
+    assert kinds == {"mpi", "hybrid", "cuda", "omp_offload"}
+
+
+def test_table1_matches_paper_rows():
+    """Table I has five distinct hardware/system rows."""
+    rows = table1_rows()
+    assert len(rows) == 5
+    hardware = " ".join(r["hardware"] for r in rows)
+    assert "Skylake" in hardware and "Broadwell" in hardware
+    assert "P100" in hardware and "V100" in hardware
+    compilers = {r["compiler"] for r in rows}
+    assert compilers == {"Cray", "PGI"}
+
+
+def test_table1_formatting():
+    text = format_table1()
+    assert "TABLE I" in text
+    assert "Cray XC50" in text
+    assert "-Mcuda=cc70" in text
+
+
+def test_table2_formatting_contains_model_paper_ratio():
+    text = format_table2(table2())
+    assert "TABLE II" in text
+    assert "(paper)" in text and "(ratio)" in text
+    assert "Skylake MPI" in text and "V100 CUDA" in text
+
+
+def test_bars_formatting():
+    model = table2()
+    values = {k: model[k]["overall"] for k in TABLE2_ORDER}
+    text = format_bars("FIG 1", values)
+    assert "FIG 1" in text
+    assert text.count("|") == 7
+    assert "#" in text
+
+
+def test_scaling_formatting():
+    series = {"skylake": scaling_series("skylake_hybrid")}
+    text = format_scaling("FIG 3", series)
+    assert "8->16" in text
+    assert "superlinear" in text
+
+
+def test_weights_from_timers_maps_kernel_names():
+    timers = TimerRegistry()
+    timers.get("getq").add(4.0)
+    timers.get("getacc").add(1.0)
+    timers.get("getdt").add(0.5)
+    weights = weights_from_timers(timers, total=6.0)
+    assert weights["viscosity"] == 4.0
+    assert weights["acceleration"] == 1.0
+    assert weights["other"] == pytest.approx(0.5)
+    assert set(weights) == set(KERNELS) | {"other"}
+
+
+def test_measured_weights_from_real_run():
+    """An instrumented Noh run produces a full weight vector with the
+    viscosity kernel dominant — the paper's own headline shape.  The
+    mesh must be large enough that vectorised kernel work (not per-call
+    overhead, which wanders with machine load) dominates the timings."""
+    from repro.perfmodel import measured_weights
+
+    weights = measured_weights(nx=64, ny=64, time_end=0.02)
+    assert all(v >= 0.0 for v in weights.values())
+    assert weights["viscosity"] == max(
+        weights[k] for k in KERNELS
+    )

@@ -1,0 +1,146 @@
+"""Tests that the performance model reproduces the paper's Table II
+*shapes*: who wins, by roughly what factor, and the per-kernel
+inversions the paper diagnoses."""
+
+import pytest
+
+from repro.perfmodel import (
+    KERNELS,
+    PAPER_TABLE2,
+    PAPER_WEIGHTS,
+    TABLE2_ORDER,
+    breakdown,
+    kernel_time,
+    table2,
+)
+from repro.perfmodel.machines import PLATFORMS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return table2()
+
+
+def test_every_platform_and_kernel_present(model):
+    assert set(model) == set(TABLE2_ORDER)
+    for row in model.values():
+        for k in KERNELS + ["overall", "other"]:
+            assert row[k] >= 0.0
+
+
+def test_baseline_column_reproduced_exactly(model):
+    """The Skylake MPI column is the calibration anchor."""
+    for k in KERNELS + ["overall"]:
+        assert model["skylake_mpi"][k] == pytest.approx(
+            PAPER_TABLE2["skylake_mpi"][k], rel=1e-6
+        )
+
+
+def test_flat_mpi_beats_hybrid_on_both_cpus(model):
+    assert model["skylake_mpi"]["overall"] < model["skylake_hybrid"]["overall"]
+    assert (model["broadwell_mpi"]["overall"]
+            < model["broadwell_hybrid"]["overall"])
+
+
+def test_hybrid_slowdown_factor_matches_paper(model):
+    """Paper: Skylake hybrid/MPI = 2.22x; model within 15%."""
+    ratio_model = (model["skylake_hybrid"]["overall"]
+                   / model["skylake_mpi"]["overall"])
+    ratio_paper = 168.633 / 76.068
+    assert ratio_model == pytest.approx(ratio_paper, rel=0.15)
+
+
+def test_viscosity_hybrid_within_fifteen_percent_of_mpi(model):
+    """Paper Section V-B: the viscosity kernel threads well."""
+    for cpu in ("skylake", "broadwell"):
+        ratio = (model[f"{cpu}_hybrid"]["viscosity"]
+                 / model[f"{cpu}_mpi"]["viscosity"])
+        assert ratio < 1.2
+
+
+def test_getdt_dominates_hybrid_blowup(model):
+    """The expanded MINVAL/MINLOC loops: getdt inflates > 4x hybrid."""
+    for cpu in ("skylake", "broadwell"):
+        ratio = (model[f"{cpu}_hybrid"]["getdt"]
+                 / model[f"{cpu}_mpi"]["getdt"])
+        assert ratio > 4.0
+
+
+def test_acceleration_data_dependency_penalty(model):
+    """Acceleration roughly doubles under OpenMP threading."""
+    ratio = (model["skylake_hybrid"]["acceleration"]
+             / model["skylake_mpi"]["acceleration"])
+    assert 1.8 < ratio < 3.0
+
+
+def test_gpus_slower_than_cpu_mpi_overall(model):
+    for gpu in ("p100_openmp", "p100_cuda", "v100_cuda"):
+        assert model[gpu]["overall"] > model["skylake_mpi"]["overall"]
+
+
+def test_openmp_offload_beats_cuda_on_p100(model):
+    assert model["p100_openmp"]["overall"] < model["p100_cuda"]["overall"]
+
+
+def test_v100_beats_p100_under_cuda(model):
+    assert model["v100_cuda"]["overall"] < model["p100_cuda"]["overall"]
+
+
+def test_viscosity_better_under_offload_than_cuda(model):
+    """Paper: better register utilisation under OpenMP offload."""
+    assert model["p100_openmp"]["viscosity"] < model["p100_cuda"]["viscosity"]
+
+
+def test_cuda_getforce_essentially_free(model):
+    """The streaming getforce flies under CUDA (0.5s in the paper)."""
+    assert model["p100_cuda"]["getforce"] < 2.0
+    assert model["p100_cuda"]["getforce"] < 0.1 * model["p100_openmp"]["getforce"]
+
+
+def test_cuda_getdt_hostside_penalty(model):
+    """Host-side dt + PCIe transfers: CUDA getdt ≫ offload getdt."""
+    assert model["p100_cuda"]["getdt"] > 2.5 * model["p100_openmp"]["getdt"]
+
+
+def test_broadwell_prediction_within_band(model):
+    """The Broadwell columns are predictions; every kernel within 50%
+    and the overall within 20% of the paper."""
+    for key in ("broadwell_mpi", "broadwell_hybrid"):
+        for k in KERNELS + ["overall"]:
+            ratio = model[key][k] / PAPER_TABLE2[key][k]
+            assert 0.5 < ratio < 1.5, (key, k, ratio)
+        overall = model[key]["overall"] / PAPER_TABLE2[key]["overall"]
+        assert 0.8 < overall < 1.2
+
+
+def test_v100_prediction_within_band(model):
+    for k in KERNELS:
+        ratio = model["v100_cuda"][k] / PAPER_TABLE2["v100_cuda"][k]
+        assert 0.4 < ratio < 1.6, (k, ratio)
+    overall = model["v100_cuda"]["overall"] / PAPER_TABLE2["v100_cuda"]["overall"]
+    assert 0.75 < overall < 1.25
+
+
+def test_viscosity_share_dominant_on_cpu(model):
+    """Viscosity is ~60-70% of the flat-MPI runtime (Table II)."""
+    share = model["skylake_mpi"]["viscosity"] / model["skylake_mpi"]["overall"]
+    assert 0.55 < share < 0.72
+
+
+def test_kernel_time_rejects_unknown_kind():
+    import dataclasses
+
+    weird = dataclasses.replace(PLATFORMS["skylake_mpi"], kind="quantum")
+    with pytest.raises(ValueError, match="unknown platform kind"):
+        kernel_time(weird, "viscosity")
+
+
+def test_breakdown_sums_to_overall(model):
+    for key in TABLE2_ORDER:
+        row = breakdown(PLATFORMS[key])
+        total = sum(row[k] for k in KERNELS + ["other"])
+        assert row["overall"] == pytest.approx(total)
+
+
+def test_paper_weights_sum_to_overall():
+    assert sum(PAPER_WEIGHTS.values()) == pytest.approx(76.068)

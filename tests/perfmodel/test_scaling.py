@@ -1,0 +1,98 @@
+"""Tests for the strong-scaling model (Figs 3-4 shapes)."""
+
+import pytest
+
+from repro.perfmodel import (
+    NODE_COUNTS,
+    cache_penalty,
+    comm_time,
+    node_time,
+    scaling_series,
+    speedups,
+)
+from repro.perfmodel.machines import PLATFORMS
+
+
+@pytest.fixture(scope="module")
+def skylake():
+    return scaling_series("skylake_hybrid")
+
+
+@pytest.fixture(scope="module")
+def broadwell():
+    return scaling_series("broadwell_hybrid")
+
+
+def test_node_counts_default(skylake):
+    assert sorted(skylake) == NODE_COUNTS
+
+
+def test_monotone_decreasing(skylake, broadwell):
+    for series in (skylake, broadwell):
+        values = [series[n] for n in sorted(series)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+
+def test_superlinear_eight_to_sixteen(skylake, broadwell):
+    """The paper's headline: superlinear speedup between 8 and 16."""
+    assert speedups(skylake)["8->16"] > 2.5
+    assert speedups(broadwell)["8->16"] > 2.5
+
+
+def test_near_linear_beyond_sixteen(skylake, broadwell):
+    for series in (skylake, broadwell):
+        s = speedups(series)
+        assert 1.6 < s["16->32"] < 2.6
+        assert 1.6 < s["32->64"] < 2.3
+
+
+def test_broadwell_above_skylake_everywhere(skylake, broadwell):
+    for n in NODE_COUNTS:
+        assert broadwell[n] > skylake[n]
+
+
+def test_curve_shape_portable_across_generations(skylake, broadwell):
+    """Paper Section V-C: the scaling curve shape matches across CPU
+    generations — consecutive speedups within 20% of each other."""
+    s_sky = speedups(skylake)
+    s_bdw = speedups(broadwell)
+    for key in s_sky:
+        assert s_bdw[key] == pytest.approx(s_sky[key], rel=0.2)
+
+
+@pytest.mark.parametrize("kernel", ["viscosity", "acceleration"])
+def test_kernels_scale_like_overall(kernel, skylake):
+    series = scaling_series("skylake_hybrid", kernel=kernel)
+    s = speedups(series)
+    assert s["8->16"] > 2.5
+    assert 1.5 < s["16->32"] < 2.7
+    # and the kernels are well below the overall
+    for n in NODE_COUNTS:
+        assert series[n] < skylake[n]
+
+
+def test_cache_penalty_monotone_in_nodes():
+    plat = PLATFORMS["skylake_hybrid"]
+    penalties = [cache_penalty(plat, n) for n in NODE_COUNTS]
+    assert all(b <= a for a, b in zip(penalties, penalties[1:]))
+    assert penalties[0] > 1.5     # out of cache at 8 nodes
+    assert penalties[-1] < 1.1    # resident at 64
+
+
+def test_comm_time_small_fraction():
+    """BookLeaf communicates very little — comm is < 10% even at 64."""
+    plat_key = "skylake_hybrid"
+    t64 = node_time(plat_key, 64)
+    c64 = comm_time(PLATFORMS[plat_key], 64)
+    assert c64 / t64 < 0.10
+
+
+def test_comm_time_grows_slowly_with_nodes():
+    plat = PLATFORMS["skylake_hybrid"]
+    assert comm_time(plat, 64) < 4.0 * comm_time(plat, 8)
+
+
+def test_kernel_comm_share_only_for_communicating_kernels():
+    quiet = node_time("skylake_hybrid", 64, kernel="getpc")
+    base = node_time("skylake_hybrid", 64, kernel="viscosity")
+    assert quiet < base

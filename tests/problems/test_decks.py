@@ -1,0 +1,94 @@
+"""Tests for deck-driven problem construction and the bundled decks."""
+
+import numpy as np
+import pytest
+
+from repro.problems import deck_path, problem_names, setup_from_deck
+from repro.utils.deck import parse_deck
+from repro.utils.errors import DeckError
+
+
+@pytest.mark.parametrize("name", ["sod", "noh", "sedov", "saltzmann"])
+def test_bundled_decks_load(name):
+    setup = setup_from_deck(deck_path(name))
+    assert setup.name == name
+    assert setup.state.mesh.ncell > 0
+
+
+def test_bundled_ale_deck():
+    setup = setup_from_deck(deck_path("sod_ale"))
+    assert setup.controls.ale_on is True
+    assert setup.controls.ale_mode == "eulerian"
+
+
+def test_deck_mesh_overrides():
+    deck = parse_deck("""
+[CONTROL]
+problem = sod
+[MESH]
+nx = 12
+ny = 3
+""")
+    setup = setup_from_deck(deck)
+    assert setup.state.mesh.ncell == 36
+
+
+def test_deck_control_tuning_applies():
+    deck = parse_deck("""
+[CONTROL]
+problem    = sod
+time_end   = 0.05
+cfl_safety = 0.31
+cq2        = 0.5
+""")
+    setup = setup_from_deck(deck)
+    assert setup.controls.time_end == pytest.approx(0.05)
+    assert setup.controls.cfl_safety == pytest.approx(0.31)
+    assert setup.controls.cq2 == pytest.approx(0.5)
+
+
+def test_deck_problem_defaults_kept_when_not_tuned():
+    """Saltzmann's default hourglass controls survive a plain deck."""
+    deck = parse_deck("[CONTROL]\nproblem = saltzmann\n")
+    setup = setup_from_deck(deck)
+    assert setup.controls.subzonal_kappa > 0.0
+
+
+def test_deck_problem_section_keys_validated():
+    deck = parse_deck("""
+[CONTROL]
+problem = sod
+[PROBLEM]
+blастradius = 3
+""")
+    with pytest.raises(DeckError, match="not understood"):
+        setup_from_deck(deck)
+
+
+def test_deck_requires_problem_key():
+    with pytest.raises(DeckError, match="problem"):
+        setup_from_deck(parse_deck("[CONTROL]\ntime_end = 1.0\n"))
+
+
+def test_deck_unknown_problem():
+    with pytest.raises(DeckError, match="unknown problem"):
+        setup_from_deck(parse_deck("[CONTROL]\nproblem = vortex\n"))
+
+
+def test_deck_problem_params_forwarded():
+    deck = parse_deck("""
+[CONTROL]
+problem = sedov
+[PROBLEM]
+energy = 2.0
+""")
+    setup = setup_from_deck(deck)
+    assert setup.params["energy"] == pytest.approx(2.0)
+
+
+def test_bundled_decks_runnable_briefly():
+    setup = setup_from_deck(deck_path("sod"))
+    hydro = setup.make_hydro()
+    hydro.run(max_steps=2)
+    assert hydro.nstep == 2
+    assert np.isfinite(hydro.state.rho).all()

@@ -1,0 +1,136 @@
+"""Unit tests for the bundled problem setups."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.boundary import FIX_X, FIX_Y
+from repro.problems import load_problem, problem_names
+from repro.problems.sod import DIAPHRAGM, P_L, P_R, RHO_L, RHO_R
+from repro.utils.errors import DeckError
+
+
+def test_registry_names():
+    assert problem_names() == [
+        "jwl_expansion", "leblanc", "noh", "saltzmann", "sedov", "sod",
+        "water_air",
+    ]
+
+
+def test_unknown_problem_rejected():
+    with pytest.raises(DeckError, match="unknown problem"):
+        load_problem("kelvin-helmholtz")
+
+
+@pytest.mark.parametrize("name", ["sod", "noh", "sedov", "saltzmann"])
+def test_every_problem_constructs_consistent_state(name):
+    setup = load_problem(name, nx=10, ny=10 if name != "saltzmann" else 4)
+    state = setup.state
+    assert state.rho.min() > 0.0
+    assert np.all(np.isfinite(state.e))
+    np.testing.assert_allclose(state.cell_mass, state.rho * state.volume,
+                               rtol=1e-13)
+    assert setup.controls.time_end > 0.0
+    assert setup.name == name
+
+
+def test_sod_initial_fields():
+    setup = load_problem("sod", nx=20, ny=2)
+    xc, _ = setup.state.mesh.cell_centroids()
+    left = xc < DIAPHRAGM
+    np.testing.assert_allclose(setup.state.rho[left], RHO_L)
+    np.testing.assert_allclose(setup.state.rho[~left], RHO_R)
+    np.testing.assert_allclose(setup.state.p[left], P_L)
+    np.testing.assert_allclose(setup.state.p[~left], P_R)
+    assert np.all(setup.state.u == 0.0)
+
+
+def test_sod_walls_reflect_everywhere():
+    setup = load_problem("sod", nx=8, ny=2)
+    mesh = setup.state.mesh
+    flags = setup.state.bc.flags
+    assert np.all(flags[np.isclose(mesh.x, 0.0)] & FIX_X)
+    assert np.all(flags[np.isclose(mesh.x, 1.0)] & FIX_X)
+    assert np.all(flags[np.isclose(mesh.y, 0.0)] & FIX_Y)
+
+
+def test_noh_velocity_radially_inward():
+    setup = load_problem("noh", nx=8, ny=8)
+    state = setup.state
+    mesh = state.mesh
+    r = np.hypot(mesh.x, mesh.y)
+    inner = r > 0
+    # unit speed except at the origin, after BC application the axis
+    # nodes keep only their tangential (inward) component
+    speeds = np.hypot(state.u, state.v)
+    free = state.bc.flags == 0
+    np.testing.assert_allclose(speeds[inner & free], 1.0, rtol=1e-12)
+    origin = np.flatnonzero(r == 0)[0]
+    assert speeds[origin] == 0.0
+
+
+def test_noh_axis_symmetry_bcs_only():
+    setup = load_problem("noh", nx=6, ny=6)
+    mesh = setup.state.mesh
+    flags = setup.state.bc.flags
+    assert np.all(flags[np.isclose(mesh.x, 0.0)] & FIX_X)
+    assert np.all(flags[np.isclose(mesh.y, 0.0)] & FIX_Y)
+    # outer boundary is free
+    outer = np.isclose(mesh.x, 1.0) & ~np.isclose(mesh.y, 0.0)
+    assert np.all(flags[outer] == 0)
+
+
+def test_sedov_energy_deposit():
+    setup = load_problem("sedov", nx=12, ny=12, energy=0.8)
+    state = setup.state
+    xc, yc = state.mesh.cell_centroids()
+    origin = np.argmin(xc ** 2 + yc ** 2)
+    assert state.e[origin] > 1.0
+    # total deposited internal energy = quadrant share of the blast
+    total = state.internal_energy()
+    assert total == pytest.approx(0.8 / 4.0, rel=1e-6)
+
+
+def test_sedov_background_cold():
+    setup = load_problem("sedov", nx=12, ny=12)
+    state = setup.state
+    assert np.median(state.e) == pytest.approx(1e-9)
+
+
+def test_saltzmann_piston_nodes_prescribed():
+    setup = load_problem("saltzmann", nx=20, ny=4)
+    state = setup.state
+    mesh = state.mesh
+    piston = np.isclose(mesh.x, 0.0)
+    assert np.all(state.u[piston] == 1.0)
+    assert np.all(state.v[piston] == 0.0)
+    assert np.all(state.bc.flags[piston] == (FIX_X | FIX_Y))
+
+
+def test_saltzmann_uses_skewed_mesh():
+    setup = load_problem("saltzmann", nx=20, ny=4)
+    mesh = setup.state.mesh
+    # interior columns are displaced sinusoidally
+    assert np.abs(mesh.x - np.round(mesh.x * 20) / 20).max() > 0.01
+
+
+def test_saltzmann_hourglass_controls_on_by_default():
+    setup = load_problem("saltzmann")
+    assert setup.controls.subzonal_kappa > 0.0
+    assert setup.controls.filter_kappa > 0.0
+
+
+def test_control_overrides_forwarded():
+    setup = load_problem("sod", nx=4, ny=2, cfl_safety=0.3, cq1=0.1)
+    assert setup.controls.cfl_safety == 0.3
+    assert setup.controls.cq1 == 0.1
+
+
+def test_params_recorded():
+    setup = load_problem("noh", nx=7, ny=7, time_end=0.1)
+    assert setup.params["nx"] == 7
+    assert setup.params["time_end"] == 0.1
+
+
+def test_run_helper():
+    hydro = load_problem("sod", nx=8, ny=2, time_end=1.0).run(max_steps=2)
+    assert hydro.nstep == 2

@@ -1,0 +1,106 @@
+"""Tests for the command-line front end."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.problems import deck_path
+
+
+def test_decks_listing(capsys):
+    assert main(["decks"]) == 0
+    out = capsys.readouterr().out
+    for name in ("sod", "noh", "sedov", "saltzmann"):
+        assert name in out
+
+
+def test_info_prints_table1(capsys):
+    assert main(["info"]) == 0
+    assert "TABLE I" in capsys.readouterr().out
+
+
+def test_run_problem(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "12", "--ny", "2",
+               "--time-end", "0.01"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "problem sod" in out
+    assert "getq" in out        # timer breakdown printed
+
+
+def test_run_deck(capsys):
+    rc = main(["run", str(deck_path("sod")), "--time-end", "0.005"])
+    assert rc == 0
+    assert "problem sod" in capsys.readouterr().out
+
+
+def test_run_deck_and_problem_conflict(capsys):
+    rc = main(["run", str(deck_path("sod")), "--problem", "noh"])
+    assert rc == 2
+
+
+def test_run_nothing(capsys):
+    assert main(["run"]) == 2
+
+
+def test_run_nx_with_deck_rejected(capsys):
+    rc = main(["run", str(deck_path("sod")), "--nx", "10"])
+    assert rc == 2
+
+
+def test_run_max_steps(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "10", "--ny", "2",
+               "--max-steps", "3"])
+    assert rc == 0
+    assert "3 steps" in capsys.readouterr().out
+
+
+def test_run_writes_vtk_and_history(tmp_path, capsys):
+    vtk = tmp_path / "out.vtk"
+    hist = tmp_path / "hist.csv"
+    rc = main(["run", "--problem", "sod", "--nx", "10", "--ny", "2",
+               "--max-steps", "2", "--log-every", "1",
+               "--vtk", str(vtk), "--history", str(hist)])
+    assert rc == 0
+    assert vtk.exists()
+    assert hist.exists()
+    assert hist.read_text().count("\n") >= 2
+
+
+@pytest.mark.parametrize("report,needle", [
+    ("table1", "TABLE I"),
+    ("table2", "TABLE II"),
+    ("fig1", "FIG 1"),
+    ("fig2a", "viscosity"),
+    ("fig2b", "acceleration"),
+    ("fig3", "8->16"),
+    ("fig4a", "viscosity"),
+    ("fig4b", "acceleration"),
+    ("ablations", "ABLATIONS"),
+])
+def test_model_reports(capsys, report, needle):
+    assert main(["model", report]) == 0
+    assert needle in capsys.readouterr().out
+
+
+def test_validate_sod(capsys):
+    rc = main(["validate", "sod", "--resolutions", "16,32",
+               "--time-end", "0.05"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "convergence study: sod" in out
+    assert "converging" in out
+
+
+def test_validate_bad_problem():
+    with pytest.raises(SystemExit):
+        main(["validate", "sedov"])
+
+
+def test_run_distributed(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+               "--max-steps", "3", "--ranks", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ranks: 2" in out
+    assert "comm:" in out

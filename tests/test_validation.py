@@ -1,0 +1,60 @@
+"""Tests for the verification utilities."""
+
+import numpy as np
+import pytest
+
+from repro.validation import (
+    ConvergenceStudy,
+    convergence_study,
+    l1_norm,
+    l2_norm,
+    linf_norm,
+    noh_density_error,
+    sod_density_error,
+)
+
+
+def test_norms():
+    a = np.array([1.0, 2.0, 3.0])
+    b = np.array([1.0, 0.0, 3.0])
+    assert l1_norm(a, b) == pytest.approx(2.0 / 3.0)
+    assert l2_norm(a, b) == pytest.approx(np.sqrt(4.0 / 3.0))
+    assert linf_norm(a, b) == 2.0
+
+
+def test_orders_computation():
+    study = ConvergenceStudy("demo", [10, 20, 40], [4.0, 1.0, 0.25])
+    np.testing.assert_allclose(study.orders(), [2.0, 2.0])
+
+
+def test_table_format():
+    study = ConvergenceStudy("demo", [10, 20], [1.0, 0.5])
+    text = study.table()
+    assert "demo" in text
+    assert "1.00" in text          # the observed order column
+
+
+def test_sod_convergence_study_runs():
+    study = convergence_study(
+        "sod", (25, 50), sod_density_error, ny=2, time_end=0.1,
+    )
+    assert len(study.errors) == 2
+    assert study.errors[1] < study.errors[0]
+    # shock-dominated solutions converge at first order or a bit below
+    assert 0.4 < study.orders()[0] < 1.6
+
+
+def test_noh_error_functional():
+    from repro.problems import load_problem
+
+    hydro = load_problem("noh", nx=16, ny=16, time_end=0.1).run()
+    err = noh_density_error(hydro)
+    assert 0.0 < err < 2.0
+
+
+def test_ny_follows_nx_for_square_problems():
+    study = convergence_study(
+        "noh", (8,), noh_density_error, time_end=0.02,
+    )
+    assert study.resolutions == [8]
+    assert len(study.errors) == 1

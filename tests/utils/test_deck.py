@@ -1,0 +1,141 @@
+"""Unit tests for the input-deck parser."""
+
+import pytest
+
+from repro.utils.deck import Deck, parse_deck, read_deck
+from repro.utils.errors import DeckError
+
+GOOD = """
+! a comment line
+[CONTROL]
+time_end   = 0.25          ! trailing comment
+dt_initial = 1.0e-5
+ale        = true
+name       = sod
+
+[MESH]
+nx = 100
+ny = 4
+
+[MATERIAL 1]
+eos   = ideal
+gamma = 1.4
+
+[MATERIAL 2]
+eos = void
+"""
+
+
+def test_sections_parsed():
+    deck = parse_deck(GOOD)
+    assert {s.name for s in deck.sections} == {"CONTROL", "MESH", "MATERIAL"}
+
+
+def test_scalar_types():
+    deck = parse_deck(GOOD)
+    control = deck.section("CONTROL")
+    assert control.get("time_end") == pytest.approx(0.25)
+    assert control.get("dt_initial") == pytest.approx(1.0e-5)
+    assert control.get("ale") is True
+    assert control.get("name") == "sod"
+    assert isinstance(deck.section("MESH").get("nx"), int)
+
+
+def test_fortran_style_booleans():
+    deck = parse_deck("[A]\nx = .true.\ny = .false.\nz = off\n")
+    sec = deck.section("A")
+    assert sec.get("x") is True
+    assert sec.get("y") is False
+    assert sec.get("z") is False
+
+
+def test_fortran_double_precision_literal():
+    deck = parse_deck("[A]\nx = 1.5d-3\n")
+    assert deck.section("A").get("x") == pytest.approx(1.5e-3)
+
+
+def test_comma_list():
+    deck = parse_deck("[A]\nxs = 1, 2.5, foo\n")
+    assert deck.section("A").get("xs") == [1, 2.5, "foo"]
+
+
+def test_indexed_sections_sorted():
+    deck = parse_deck(GOOD)
+    mats = deck.indexed("MATERIAL")
+    assert [m.index for m in mats] == [1, 2]
+    assert mats[0].get("eos") == "ideal"
+    assert mats[1].get("eos") == "void"
+
+
+def test_case_insensitive_lookup():
+    deck = parse_deck(GOOD)
+    assert deck.section("control").get("TIME_END") == pytest.approx(0.25)
+
+
+def test_contains():
+    deck = parse_deck(GOOD)
+    assert "MESH" in deck
+    assert "NOPE" not in deck
+    assert "nx" in deck.section("MESH")
+    assert "nz" not in deck.section("MESH")
+
+
+def test_optional_missing_section_is_empty():
+    deck = parse_deck(GOOD)
+    assert deck.optional("ALE").get("on", False) is False
+
+
+def test_require_missing_key_raises():
+    deck = parse_deck(GOOD)
+    with pytest.raises(DeckError, match="missing required key"):
+        deck.section("MESH").require("nz")
+
+
+def test_missing_section_raises():
+    with pytest.raises(DeckError, match="no \\[NOPE\\]"):
+        parse_deck(GOOD).section("NOPE")
+
+
+def test_option_outside_section_raises():
+    with pytest.raises(DeckError, match="outside any"):
+        parse_deck("x = 1\n")
+
+
+def test_garbage_line_raises_with_lineno():
+    with pytest.raises(DeckError, match=":2:"):
+        parse_deck("[A]\nthis is not an assignment\n")
+
+
+def test_duplicate_key_raises():
+    with pytest.raises(DeckError, match="duplicate key"):
+        parse_deck("[A]\nx = 1\nx = 2\n")
+
+
+def test_empty_key_raises():
+    with pytest.raises(DeckError, match="empty key"):
+        parse_deck("[A]\n = 2\n")
+
+
+def test_hash_comments_stripped():
+    deck = parse_deck("[A]\nx = 3 # comment\n# whole line\n")
+    assert deck.section("A").get("x") == 3
+
+
+def test_read_deck_missing_file_raises(tmp_path):
+    with pytest.raises(DeckError, match="cannot read deck"):
+        read_deck(tmp_path / "nope.in")
+
+
+def test_read_deck_roundtrip(tmp_path):
+    path = tmp_path / "t.in"
+    path.write_text(GOOD)
+    deck = read_deck(path)
+    assert isinstance(deck, Deck)
+    assert deck.source == str(path)
+    assert deck.section("MESH").get("ny") == 4
+
+
+def test_quoted_strings_unquoted():
+    deck = parse_deck("[A]\nname = 'hello'\nother = \"world\"\n")
+    assert deck.section("A").get("name") == "hello"
+    assert deck.section("A").get("other") == "world"

@@ -1,0 +1,48 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.errors import (
+    BookLeafError,
+    DeckError,
+    MeshError,
+    TangledMeshError,
+    TimestepCollapseError,
+)
+
+
+def test_hierarchy():
+    assert issubclass(DeckError, BookLeafError)
+    assert issubclass(MeshError, BookLeafError)
+    assert issubclass(TangledMeshError, MeshError)
+    assert issubclass(TimestepCollapseError, BookLeafError)
+
+
+def test_tangled_mesh_carries_cells_and_time():
+    err = TangledMeshError([3, 7], time=0.125)
+    assert err.cells == [3, 7]
+    assert err.time == 0.125
+    assert "0.125" in str(err)
+    assert "[3, 7]" in str(err)
+
+
+def test_tangled_mesh_without_time():
+    err = TangledMeshError([1])
+    assert "at t=" not in str(err)
+
+
+def test_timestep_collapse_message():
+    err = TimestepCollapseError(1e-15, 1e-12, cell=42, time=0.5)
+    assert err.dt == 1e-15
+    assert err.dtmin == 1e-12
+    assert "42" in str(err)
+
+
+def test_timestep_collapse_without_cell():
+    err = TimestepCollapseError(1e-15, 1e-12)
+    assert "controlling cell" not in str(err)
+
+
+def test_catchable_as_bookleaf_error():
+    with pytest.raises(BookLeafError):
+        raise TangledMeshError([0])

@@ -1,0 +1,45 @@
+"""Unit tests for the step logger."""
+
+import io
+
+from repro.utils.log import StepLogger
+
+
+def test_silent_by_default():
+    stream = io.StringIO()
+    log = StepLogger(every=0, stream=stream)
+    log.step(1, 0.1, 1e-3)
+    log.banner("hello")
+    assert stream.getvalue() == ""
+
+
+def test_cadence():
+    stream = io.StringIO()
+    log = StepLogger(every=2, stream=stream)
+    for n in range(1, 5):
+        log.step(n, 0.1 * n, 1e-3)
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("step      2")
+
+
+def test_step_line_contents():
+    stream = io.StringIO()
+    log = StepLogger(every=1, stream=stream)
+    log.step(7, 0.125, 2.5e-4, control="cfl", cell=99)
+    out = stream.getvalue()
+    assert "cfl" in out and "cell=99" in out and "1.25" in out
+
+
+def test_negative_cell_omitted():
+    stream = io.StringIO()
+    log = StepLogger(every=1, stream=stream)
+    log.step(1, 0.0, 1e-5, control="initial", cell=-1)
+    assert "cell=" not in stream.getvalue()
+
+
+def test_banner():
+    stream = io.StringIO()
+    log = StepLogger(every=1, stream=stream)
+    log.banner("BookLeaf run\n")
+    assert stream.getvalue() == "BookLeaf run\n"

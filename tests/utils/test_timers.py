@@ -1,0 +1,89 @@
+"""Unit tests for the kernel timer registry."""
+
+import time
+
+from repro.utils.timers import TimerRegistry
+
+
+def test_region_accumulates_time_and_calls():
+    reg = TimerRegistry()
+    for _ in range(3):
+        with reg.region("k"):
+            time.sleep(0.001)
+    assert reg.calls("k") == 3
+    assert reg.seconds("k") >= 0.003
+
+
+def test_unknown_timer_reads_zero():
+    reg = TimerRegistry()
+    assert reg.seconds("nope") == 0.0
+    assert reg.calls("nope") == 0
+
+
+def test_disabled_registry_records_nothing():
+    reg = TimerRegistry(enabled=False)
+    with reg.region("k"):
+        pass
+    assert reg.calls("k") == 0
+    assert reg.total() == 0.0
+
+
+def test_region_records_even_on_exception():
+    reg = TimerRegistry()
+    try:
+        with reg.region("k"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    assert reg.calls("k") == 1
+
+
+def test_total_sums_all_timers():
+    reg = TimerRegistry()
+    reg.get("a").add(1.0)
+    reg.get("b").add(2.0)
+    assert reg.total() == 3.0
+
+
+def test_merge_accumulates():
+    a = TimerRegistry()
+    b = TimerRegistry()
+    a.get("k").add(1.0)
+    b.get("k").add(2.0)
+    b.get("only_b").add(0.5)
+    a.merge(b)
+    assert a.seconds("k") == 3.0
+    assert a.seconds("only_b") == 0.5
+    assert a.calls("k") == 2
+
+
+def test_reset_clears():
+    reg = TimerRegistry()
+    reg.get("k").add(1.0)
+    reg.reset()
+    assert reg.total() == 0.0
+
+
+def test_breakdown_contains_rows_and_total():
+    reg = TimerRegistry()
+    reg.get("getq").add(2.0)
+    reg.get("getacc").add(1.0)
+    text = reg.breakdown()
+    assert "getq" in text and "getacc" in text and "total" in text
+    # sorted by time: getq first
+    assert text.index("getq") < text.index("getacc")
+
+
+def test_breakdown_with_explicit_kernel_order():
+    reg = TimerRegistry()
+    reg.get("b").add(5.0)
+    reg.get("a").add(1.0)
+    text = reg.breakdown(kernels=["a", "b"])
+    assert text.index("a") < text.index("b")
+
+
+def test_breakdown_skips_missing_kernels():
+    reg = TimerRegistry()
+    reg.get("a").add(1.0)
+    text = reg.breakdown(kernels=["a", "missing"])
+    assert "missing" not in text
