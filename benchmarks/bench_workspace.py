@@ -1,0 +1,140 @@
+"""Hot-loop regression bench — planned/arena ``lagstep`` vs allocating.
+
+Times the fused Lagrangian step (the paper's whole Algorithm 1 body)
+on a ladder of Noh meshes, twice per rung: the historical
+allocate-per-call path, and the :mod:`repro.perf` path (precomputed
+:class:`~repro.perf.plans.MeshPlans` + :class:`~repro.perf.workspace.Workspace`
+arena).  Writes ``BENCH_hotloop.json`` at the repository root so CI can
+track the speedup; the guarded claim is a ≥ 1.2× speedup on the
+64×64-and-up rungs.
+
+Run standalone (``python benchmarks/bench_workspace.py [nx ...]``) or
+through the bench harness (``pytest benchmarks/bench_workspace.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.hydro import Hydro
+from repro.core.lagstep import lagstep
+from repro.perf import MeshPlans, Workspace
+from repro.problems import noh
+from repro.utils.timers import TimerRegistry
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_LADDER = (32, 64, 96)
+#: rungs the ≥ 1.2× acceptance bar applies to (ncell ≥ 64×64)
+GUARDED_FROM = 64
+MIN_SPEEDUP = 1.2
+
+
+def _prepare(nx: int, warmup_steps: int = 5):
+    """A Noh run advanced past start-up, plus its plans/workspace."""
+    setup = noh.setup(nx=nx, ny=nx)
+    plans = MeshPlans(setup.state.mesh)
+    ws = Workspace()
+    hydro = Hydro(setup.state, setup.table, setup.controls,
+                  plans=plans, workspace=ws)
+    for _ in range(warmup_steps):
+        hydro.step()
+    return hydro, plans, ws
+
+
+def time_hotloop(nx: int, steps: int = 30, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` per-step seconds for both lagstep variants."""
+    hydro, plans, ws = _prepare(nx)
+    timers = TimerRegistry(enabled=False)
+    # A stable fixed dt (the developed flow's own dt, halved for margin
+    # so the repeated steps cannot tangle the mesh mid-measurement).
+    dt = 0.5 * hydro.dt
+    results = {}
+    for label, kwargs in (
+        ("plain", {}),
+        ("planned", {"plans": plans, "ws": ws}),
+    ):
+        best = float("inf")
+        for _ in range(repeats):
+            state = hydro.state.copy()
+            t0 = time.perf_counter()
+            for _ in range(steps):
+                lagstep(state, hydro.table, hydro.controls, dt, timers,
+                        hydro.gamma, time=hydro.time, **kwargs)
+            best = min(best, (time.perf_counter() - t0) / steps)
+        results[label] = best
+    return {
+        "nx": nx,
+        "ncell": nx * nx,
+        "steps": steps,
+        "repeats": repeats,
+        "t_plain": results["plain"],
+        "t_planned": results["planned"],
+        "speedup": results["plain"] / results["planned"],
+    }
+
+
+def run_ladder(ladder=DEFAULT_LADDER, steps: int = 30) -> dict:
+    rungs = [time_hotloop(nx, steps=steps) for nx in ladder]
+    report = {
+        "bench": "noh-lagstep-hotloop",
+        "description": ("per-step seconds of the fused Lagrangian step, "
+                        "allocate-per-call vs MeshPlans+Workspace arena"),
+        "min_speedup_required": MIN_SPEEDUP,
+        "guarded_from_nx": GUARDED_FROM,
+        "rungs": rungs,
+    }
+    return report
+
+
+def write_report(report: dict, path: Path = ROOT / "BENCH_hotloop.json") -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: dict) -> str:
+    lines = [f"{'nx':>5}{'ncell':>9}{'plain ms':>11}{'planned ms':>12}"
+             f"{'speedup':>9}"]
+    for r in report["rungs"]:
+        lines.append(
+            f"{r['nx']:>5}{r['ncell']:>9}{1e3 * r['t_plain']:>11.3f}"
+            f"{1e3 * r['t_planned']:>12.3f}{r['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# bench-harness entry point
+# ----------------------------------------------------------------------
+def test_hotloop_speedup(results_dir):
+    report = run_ladder()
+    write_report(report)
+    text = format_report(report)
+    (results_dir / "hotloop.txt").write_text(text + "\n")
+    print()
+    print(text)
+    for r in report["rungs"]:
+        if r["nx"] >= GUARDED_FROM:
+            assert r["speedup"] >= MIN_SPEEDUP, (
+                f"hot-loop speedup regressed at nx={r['nx']}: "
+                f"{r['speedup']:.2f}x < {MIN_SPEEDUP}x"
+            )
+
+
+def main(argv) -> int:
+    ladder = tuple(int(a) for a in argv[1:]) or DEFAULT_LADDER
+    report = run_ladder(ladder)
+    write_report(report)
+    print(format_report(report))
+    guarded = [r for r in report["rungs"] if r["nx"] >= GUARDED_FROM]
+    ok = all(r["speedup"] >= MIN_SPEEDUP for r in guarded)
+    verdict = ("no guarded rungs in ladder" if not guarded
+               else f"guarded rungs {'pass' if ok else 'FAIL'}")
+    print(f"\nwrote {ROOT / 'BENCH_hotloop.json'}"
+          f" — {verdict} (>= {MIN_SPEEDUP}x from nx={GUARDED_FROM})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

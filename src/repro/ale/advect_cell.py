@@ -25,6 +25,7 @@ from typing import Tuple
 import numpy as np
 
 from ..mesh.topology import QuadMesh
+from ..perf.workspace import Workspace, scratch
 from .limiters import barth_jespersen
 
 _TINY = 1.0e-300
@@ -112,7 +113,8 @@ def advect_cells(mesh: QuadMesh,
                  x_new: np.ndarray, y_new: np.ndarray,
                  fv: np.ndarray,
                  cell_mass: np.ndarray, rho: np.ndarray, e: np.ndarray,
-                 comms=None) -> Tuple[np.ndarray, np.ndarray]:
+                 comms=None,
+                 ws: "Workspace" = None) -> Tuple[np.ndarray, np.ndarray]:
     """Advect mass and internal energy through the flux volumes.
 
     Returns ``(mass_new, energy_mass_new)`` where the second array is
@@ -125,8 +127,12 @@ def advect_cells(mesh: QuadMesh,
     both sides of an interface face compute the identical donor
     reconstruction and conservation stays exact globally.
     """
-    cx = x_old[mesh.cell_nodes].mean(axis=1)
-    cy = y_old[mesh.cell_nodes].mean(axis=1)
+    w = scratch(ws)
+    g = w.array("ale.ac.gather", (mesh.ncell, 4))
+    cx = np.mean(np.take(x_old, mesh.cell_nodes, out=g, mode="clip"), axis=1,
+                 out=w.array("ale.ac.cx", mesh.ncell))
+    cy = np.mean(np.take(y_old, mesh.cell_nodes, out=g, mode="clip"), axis=1,
+                 out=w.array("ale.ac.cy", mesh.ncell))
     sx, sy = swept_centroids(mesh, x_old, y_old, x_new, y_new)
 
     grx, gry = cell_gradients(mesh, cx, cy, rho)

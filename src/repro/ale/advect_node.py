@@ -34,6 +34,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.state import HydroState
+from ..perf.workspace import Workspace, scratch
 from ..utils.errors import BookLeafError
 
 
@@ -47,7 +48,8 @@ def _masked_scatter(state: HydroState, corner_field: np.ndarray,
 
 
 def advect_momentum(state: HydroState, dual_fv: np.ndarray,
-                    comms=None
+                    comms=None,
+                    ws: Optional[Workspace] = None
                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Advect nodal momentum through the dual flux volumes.
 
@@ -57,15 +59,20 @@ def advect_momentum(state: HydroState, dual_fv: np.ndarray,
     ``(u_new, v_new, node_mass_star)``.
     """
     mesh = state.mesh
+    w = scratch(ws)
     owned = comms.owned_cell_mask(state) if comms is not None else None
 
     # Base nodal volume/mass/momentum as completed corner sums.
     node_vol = _masked_scatter(state, state.corner_volume, owned)
     node_mass = _masked_scatter(state, state.corner_mass, owned)
-    cu = state.u[mesh.cell_nodes]
-    cv = state.v[mesh.cell_nodes]
-    mom_x = _masked_scatter(state, state.corner_mass * cu, owned)
-    mom_y = _masked_scatter(state, state.corner_mass * cv, owned)
+    cu = np.take(state.u, mesh.cell_nodes,
+                 out=w.array("ale.am.cu", (mesh.ncell, 4)), mode="clip")
+    cv = np.take(state.v, mesh.cell_nodes,
+                 out=w.array("ale.am.cv", (mesh.ncell, 4)), mode="clip")
+    cu *= state.corner_mass
+    cv *= state.corner_mass
+    mom_x = _masked_scatter(state, cu, owned)
+    mom_y = _masked_scatter(state, cv, owned)
     if comms is not None:
         node_vol, node_mass, mom_x, mom_y = comms.complete_node_arrays(
             state, node_vol, node_mass, mom_x, mom_y

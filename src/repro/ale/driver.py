@@ -62,7 +62,7 @@ class AleStep:
 
     def apply(self, state: HydroState, dt: float,
               timers: Optional[TimerRegistry] = None,
-              comms=None) -> bool:
+              comms=None, ws=None) -> bool:
         """Remap ``state`` onto the target mesh; returns False if the
         mesh had not moved (nothing to do).
 
@@ -108,7 +108,8 @@ class AleStep:
                 return False
 
         with timers.region("alegetfvol"):
-            fv, fvb = face_flux_volumes(mesh, state.x, state.y, x_t, y_t)
+            fv, fvb = face_flux_volumes(mesh, state.x, state.y, x_t, y_t,
+                                        ws=ws)
             scale = float(state.volume.min())
             if distributed:
                 side_mask = comms.physical_boundary_side_mask(state)
@@ -129,16 +130,17 @@ class AleStep:
                     f"{FLUX_VOLUME_LIMIT:.0%} of a cell volume at face "
                     f"{worst} — remap more often (ale_every) or relax less"
                 )
-            dual_fv = dual_flux_volumes(mesh, state.x, state.y, x_t, y_t)
+            dual_fv = dual_flux_volumes(mesh, state.x, state.y, x_t, y_t,
+                                        ws=ws)
 
         with timers.region("aleadvect"):
             mass_new, energy_new = advect_cells(
                 mesh, state.x, state.y, x_t, y_t, fv,
                 state.cell_mass, state.rho, state.e,
-                comms=comms if distributed else None,
+                comms=comms if distributed else None, ws=ws,
             )
             u_new, v_new, _ = advect_momentum(
-                state, dual_fv, comms=comms if distributed else None
+                state, dual_fv, comms=comms if distributed else None, ws=ws,
             )
 
         with timers.region("aleupdate"):

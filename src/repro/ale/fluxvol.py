@@ -15,32 +15,56 @@ Two families of faces are needed:
 * dual faces (edge-midpoint → cell-centroid segments) — drive the
   momentum advection on the nodal control volumes; the matching
   identity relates nodal volume changes to the dual sweeps.
+
+All kernels accept an optional workspace so a periodic remap reuses its
+buffers; without one the behaviour is the historical allocate-per-call.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..mesh.topology import QuadMesh
+from ..perf.plans import roll_next
+from ..perf.workspace import Workspace, scratch
 
 
 def sweep_quads(ax0: np.ndarray, ay0: np.ndarray, bx0: np.ndarray,
                 by0: np.ndarray, bx1: np.ndarray, by1: np.ndarray,
-                ax1: np.ndarray, ay1: np.ndarray) -> np.ndarray:
+                ax1: np.ndarray, ay1: np.ndarray,
+                out: Optional[np.ndarray] = None,
+                ws: Optional[Workspace] = None) -> np.ndarray:
     """Signed shoelace area of quads (A_old, B_old, B_new, A_new)."""
-    return 0.5 * (
-        (ax0 * by0 - bx0 * ay0)
-        + (bx0 * by1 - bx1 * by0)
-        + (bx1 * ay1 - ax1 * by1)
-        + (ax1 * ay0 - ax0 * ay1)
-    )
+    w = scratch(ws)
+    if out is None:
+        out = np.empty(ax0.shape)
+    t1 = w.array("ale.sweep.t1", ax0.shape)
+    t2 = w.array("ale.sweep.t2", ax0.shape)
+    np.multiply(ax0, by0, out=out)          # ax0·by0 − bx0·ay0
+    np.multiply(bx0, ay0, out=t1)
+    out -= t1
+    np.multiply(bx0, by1, out=t1)           # bx0·by1 − bx1·by0
+    np.multiply(bx1, by0, out=t2)
+    t1 -= t2
+    out += t1
+    np.multiply(bx1, ay1, out=t1)           # bx1·ay1 − ax1·by1
+    np.multiply(ax1, by1, out=t2)
+    t1 -= t2
+    out += t1
+    np.multiply(ax1, ay0, out=t1)           # ax1·ay0 − ax0·ay1
+    np.multiply(ax0, ay1, out=t2)
+    t1 -= t2
+    out += t1
+    out *= 0.5
+    return out
 
 
 def face_flux_volumes(mesh: QuadMesh,
                       x_old: np.ndarray, y_old: np.ndarray,
-                      x_new: np.ndarray, y_new: np.ndarray
+                      x_new: np.ndarray, y_new: np.ndarray,
+                      ws: Optional[Workspace] = None
                       ) -> Tuple[np.ndarray, np.ndarray]:
     """Primal flux volumes.
 
@@ -53,12 +77,26 @@ def face_flux_volumes(mesh: QuadMesh,
       (should be exactly zero when the target mesh respects the
       boundary, and is asserted against in the driver).
     """
+    w = scratch(ws)
     n1 = mesh.face_nodes[:, 0]
     n2 = mesh.face_nodes[:, 1]
-    fv = sweep_quads(
-        x_old[n1], y_old[n1], x_old[n2], y_old[n2],
-        x_new[n2], y_new[n2], x_new[n1], y_new[n1],
-    )
+    if ws is not None:
+        g = [w.array(f"ale.fv.g{i}", n1.shape) for i in range(8)]
+        np.take(x_old, n1, out=g[0], mode="clip")
+        np.take(y_old, n1, out=g[1], mode="clip")
+        np.take(x_old, n2, out=g[2], mode="clip")
+        np.take(y_old, n2, out=g[3], mode="clip")
+        np.take(x_new, n2, out=g[4], mode="clip")
+        np.take(y_new, n2, out=g[5], mode="clip")
+        np.take(x_new, n1, out=g[6], mode="clip")
+        np.take(y_new, n1, out=g[7], mode="clip")
+        fv = sweep_quads(*g, out=w.array("ale.fv.fv", n1.shape), ws=ws)
+    else:
+        fv = sweep_quads(
+            x_old[n1], y_old[n1], x_old[n2], y_old[n2],
+            x_new[n2], y_new[n2], x_new[n1], y_new[n1],
+        )
+    # Boundary sides are a small set; the gathers stay as allocations.
     bc_cells = mesh.boundary_cells
     bc_sides = mesh.boundary_sides
     b1 = mesh.cell_nodes[bc_cells, bc_sides]
@@ -66,13 +104,15 @@ def face_flux_volumes(mesh: QuadMesh,
     fvb = sweep_quads(
         x_old[b1], y_old[b1], x_old[b2], y_old[b2],
         x_new[b2], y_new[b2], x_new[b1], y_new[b1],
+        out=None if ws is None else w.array("ale.fv.fvb", b1.shape),
     )
     return fv, fvb
 
 
 def dual_flux_volumes(mesh: QuadMesh,
                       x_old: np.ndarray, y_old: np.ndarray,
-                      x_new: np.ndarray, y_new: np.ndarray) -> np.ndarray:
+                      x_new: np.ndarray, y_new: np.ndarray,
+                      ws: Optional[Workspace] = None) -> np.ndarray:
     """Dual (nodal control volume) flux volumes, shape (ncell, 4).
 
     Entry (c, k) is the swept volume of the segment from the midpoint
@@ -80,18 +120,34 @@ def dual_flux_volumes(mesh: QuadMesh,
     node ``cell_nodes[c, k]`` to node ``cell_nodes[c, k+1]`` (the
     side's two nodes), whose median-dual volumes the segment separates.
     """
-    def midpoints_centroid(x, y):
-        cx = x[mesh.cell_nodes]
-        cy = y[mesh.cell_nodes]
-        mx = 0.5 * (cx + np.roll(cx, -1, axis=1))
-        my = 0.5 * (cy + np.roll(cy, -1, axis=1))
-        gx = np.broadcast_to(cx.mean(axis=1, keepdims=True), mx.shape)
-        gy = np.broadcast_to(cy.mean(axis=1, keepdims=True), my.shape)
-        return mx, my, gx, gy
+    w = scratch(ws)
+    shape = (mesh.ncell, 4)
 
-    mx0, my0, gx0, gy0 = midpoints_centroid(x_old, y_old)
-    mx1, my1, gx1, gy1 = midpoints_centroid(x_new, y_new)
+    def midpoints_centroid(x, y, tag):
+        cx = w.array(f"ale.dfv.cx{tag}", shape)
+        cy = w.array(f"ale.dfv.cy{tag}", shape)
+        np.take(x, mesh.cell_nodes, out=cx, mode="clip")
+        np.take(y, mesh.cell_nodes, out=cy, mode="clip")
+        mx = w.array(f"ale.dfv.mx{tag}", shape)
+        my = w.array(f"ale.dfv.my{tag}", shape)
+        roll_next(cx, out=mx)
+        mx += cx
+        mx *= 0.5
+        roll_next(cy, out=my)
+        my += cy
+        my *= 0.5
+        gx = w.array(f"ale.dfv.gx{tag}", (mesh.ncell, 1))
+        gy = w.array(f"ale.dfv.gy{tag}", (mesh.ncell, 1))
+        np.mean(cx, axis=1, keepdims=True, out=gx)
+        np.mean(cy, axis=1, keepdims=True, out=gy)
+        return (mx, my, np.broadcast_to(gx, shape), np.broadcast_to(gy, shape))
+
+    mx0, my0, gx0, gy0 = midpoints_centroid(x_old, y_old, "0")
+    mx1, my1, gx1, gy1 = midpoints_centroid(x_new, y_new, "1")
     # Directed segment M -> C: traversing it, the subzone of the side's
     # first node (corner k) lies on the left, so a positive sweep is
     # flow out of node k's volume into node k+1's.
-    return sweep_quads(mx0, my0, gx0, gy0, gx1, gy1, mx1, my1)
+    return sweep_quads(
+        mx0, my0, gx0, gy0, gx1, gy1, mx1, my1,
+        out=None if ws is None else w.array("ale.dfv.fv", shape), ws=ws,
+    )

@@ -34,6 +34,7 @@ def aleupdate(state: HydroState, table: MaterialTable,
     state.rho = getrho(mass_new, volume, dencut)
     state.e = energy_mass_new / mass_new
     state.corner_mass = mass_new[:, None] * (cvol / volume[:, None])
+    state.invalidate_node_mass()
     state.u = u_new
     state.v = v_new
     state.bc.apply_velocity(state.u, state.v)

@@ -13,20 +13,32 @@ energy update.  This kernel is the one the paper singles out as having
 a data dependency that defeats OpenMP threading (the scatter-assembly
 race); in numpy the scatter is a ``bincount`` and the whole kernel is
 a few vector operations.
+
+With a :class:`~repro.perf.plans.MeshPlans` (serial runs only — the
+distributed path completes its partial sums through the comms seam and
+must not take this shortcut) the force scatter uses the precomputed
+``reduceat`` plan and the nodal mass comes from the state's cache; a
+:class:`~repro.perf.workspace.Workspace` supplies every buffer, so
+repeat calls allocate nothing.  The returned arrays then live in the
+arena (``acc.*``) — the caller commits them by copy.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..perf.plans import MeshPlans
+from ..perf.workspace import Workspace, scratch
 from .comms import SerialComms
 from .state import HydroState
 
 
 def getacc(state: HydroState, fx: np.ndarray, fy: np.ndarray, dt: float,
-           comms=None
+           comms=None,
+           plans: Optional[MeshPlans] = None,
+           ws: Optional[Workspace] = None
            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Advance nodal velocities by ``dt`` under corner forces ``fx, fy``.
 
@@ -36,21 +48,67 @@ def getacc(state: HydroState, fx: np.ndarray, fy: np.ndarray, dt: float,
 
     With a ``comms`` object, the partial nodal force/mass sums of
     shared interface nodes are completed across domains before the
-    divide — BookLeaf's second communication point.
+    divide — BookLeaf's second communication point.  ``plans`` may only
+    be passed for single-domain runs.
     """
-    if comms is None:
-        comms = SerialComms()
-    node_fx, node_fy, mass = comms.assemble_node_sums(state, fx, fy)
+    if plans is None and ws is None:
+        if comms is None:
+            comms = SerialComms()
+        node_fx, node_fy, mass = comms.assemble_node_sums(state, fx, fy)
+        safe_mass = np.where(mass > 0.0, mass, 1.0)
+        ax = np.where(mass > 0.0, node_fx / safe_mass, 0.0)
+        ay = np.where(mass > 0.0, node_fy / safe_mass, 0.0)
+        state.bc.apply_acceleration(ax, ay)
+        u_new = state.u + dt * ax
+        v_new = state.v + dt * ay
+        state.bc.apply_velocity(u_new, v_new)
+        u_bar = 0.5 * (state.u + u_new)
+        v_bar = 0.5 * (state.v + v_new)
+        return u_new, v_new, u_bar, v_bar
+    w = scratch(ws)
+    nnode = state.mesh.nnode
+    borrowed_sums = None
+    if plans is not None:
+        work = w.borrow(plans.scatter_work_shape)
+        node_fx = plans.scatter_to_nodes(
+            fx, out=w.borrow(nnode), work=work)
+        node_fy = plans.scatter_to_nodes(
+            fy, out=w.borrow(nnode), work=work)
+        borrowed_sums = (work, node_fx, node_fy)
+        mass = state.node_mass(plans=plans)
+    else:
+        if comms is None:
+            comms = SerialComms()
+        node_fx, node_fy, mass = comms.assemble_node_sums(state, fx, fy)
     # Ghost-only nodes of a decomposed run have zero completed mass
     # (their sums live on other ranks); guard the divide — their values
     # are overwritten by the next kinematic exchange.
-    safe_mass = np.where(mass > 0.0, mass, 1.0)
-    ax = np.where(mass > 0.0, node_fx / safe_mass, 0.0)
-    ay = np.where(mass > 0.0, node_fy / safe_mass, 0.0)
+    massless = w.borrow(nnode, dtype=bool)
+    np.less_equal(mass, 0.0, out=massless)
+    safe_mass = w.borrow(nnode)
+    np.copyto(safe_mass, mass)
+    np.copyto(safe_mass, 1.0, where=massless)
+    ax = w.borrow(nnode)
+    ay = w.borrow(nnode)
+    np.divide(node_fx, safe_mass, out=ax)
+    np.copyto(ax, 0.0, where=massless)
+    np.divide(node_fy, safe_mass, out=ay)
+    np.copyto(ay, 0.0, where=massless)
+    if borrowed_sums is not None:
+        w.release(*borrowed_sums)
     state.bc.apply_acceleration(ax, ay)
-    u_new = state.u + dt * ax
-    v_new = state.v + dt * ay
+    u_new = w.array("acc.unew", nnode)
+    v_new = w.array("acc.vnew", nnode)
+    np.multiply(ax, dt, out=u_new)
+    u_new += state.u
+    np.multiply(ay, dt, out=v_new)
+    v_new += state.v
+    w.release(massless, safe_mass, ax, ay)
     state.bc.apply_velocity(u_new, v_new)
-    u_bar = 0.5 * (state.u + u_new)
-    v_bar = 0.5 * (state.v + v_new)
+    u_bar = w.array("acc.ubar", nnode)
+    v_bar = w.array("acc.vbar", nnode)
+    np.add(state.u, u_new, out=u_bar)
+    u_bar *= 0.5
+    np.add(state.v, v_new, out=v_bar)
+    v_bar *= 0.5
     return u_new, v_new, u_bar, v_bar

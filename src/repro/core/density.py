@@ -8,13 +8,16 @@ near-void cells.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 
 def getrho(cell_mass: np.ndarray, volume: np.ndarray,
-           dencut: float = 0.0) -> np.ndarray:
+           dencut: float = 0.0,
+           out: Optional[np.ndarray] = None) -> np.ndarray:
     """Cell density from fixed mass and current volume."""
-    rho = cell_mass / volume
+    rho = np.divide(cell_mass, volume, out=out)
     if dencut > 0.0:
         np.maximum(rho, dencut, out=rho)
     return rho

@@ -15,19 +15,51 @@ strictly dissipative by construction, so shocks heat the gas correctly.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from ..perf.workspace import Workspace
 from .state import HydroState
 
 
 def getein(state: HydroState, fx: np.ndarray, fy: np.ndarray,
-           u: np.ndarray, v: np.ndarray, dt: float) -> np.ndarray:
+           u: np.ndarray, v: np.ndarray, dt: float,
+           ws: Optional[Workspace] = None,
+           out: Optional[np.ndarray] = None) -> np.ndarray:
     """Return the updated specific internal energy after time ``dt``.
 
     ``u, v`` must be the velocities consistent with the force
     evaluation: u^n for the predictor half-step, ū for the corrector.
+    ``out`` may alias ``state.e`` (the work term is fully accumulated
+    before the subtraction).
     """
-    cu = u[state.mesh.cell_nodes]
-    cv = v[state.mesh.cell_nodes]
-    work = np.einsum("ck,ck->c", fx, cu) + np.einsum("ck,ck->c", fy, cv)
-    return state.e - dt * work / state.cell_mass
+    mesh = state.mesh
+    if ws is None:
+        cu = u[mesh.cell_nodes]
+        cv = v[mesh.cell_nodes]
+        work = (np.einsum("ck,ck->c", fx, cu)
+                + np.einsum("ck,ck->c", fy, cv))
+        result = state.e - dt * work / state.cell_mass
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+    w = ws
+    cu = w.borrow((mesh.ncell, 4))
+    cv = w.borrow((mesh.ncell, 4))
+    np.take(u, mesh.cell_nodes, out=cu, mode="clip")
+    np.take(v, mesh.cell_nodes, out=cv, mode="clip")
+    work = w.borrow(mesh.ncell)
+    t = w.borrow(mesh.ncell)
+    np.einsum("ck,ck->c", fx, cu, out=work)
+    np.einsum("ck,ck->c", fy, cv, out=t)
+    work += t
+    work *= dt
+    work /= state.cell_mass
+    if out is None:
+        out = state.e - work
+    else:
+        np.subtract(state.e, work, out=out)
+    w.release(cu, cv, work, t)
+    return out

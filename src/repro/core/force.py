@@ -13,59 +13,98 @@ Contributions:
 * cell pressure:   ``F_i = p ∂V/∂x_i``,
 * artificial viscosity: the edge corner forces computed by ``getq``
   (a *separate* kernel, as in the paper's Algorithm 1 — ``getq`` is
-  timed on its own and is the dominant cost in Table II),
+  timed on its own and is the dominant cost in Table II).  A ``None``
+  pair means "no viscous corner forces" (the bulk-viscosity form folds
+  its q into the cell pressure instead) and skips the add entirely,
 * hourglass control: :mod:`repro.core.hourglass` (both remedies
   optional via the controls).
+
+With a :class:`~repro.perf.workspace.Workspace` the assembled forces
+live in arena buffers (``force.fx``/``force.fy``) and every hourglass
+temporary comes from the arena too, so repeat calls allocate nothing.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..mesh.topology import QuadMesh
+from ..perf.plans import spread_corners
+from ..perf.workspace import Workspace
 from . import geometry, hourglass
 from .controls import HydroControls
 
 
-def pressure_forces(cx: np.ndarray, cy: np.ndarray, p: np.ndarray
+def pressure_forces(cx: np.ndarray, cy: np.ndarray, p: np.ndarray,
+                    out: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                    ws: Optional[Workspace] = None
                     ) -> Tuple[np.ndarray, np.ndarray]:
     """Corner forces from a piecewise-constant cell pressure."""
-    dvdx, dvdy = geometry.volume_gradients(cx, cy)
-    return p[:, None] * dvdx, p[:, None] * dvdy
+    if ws is None and out is None:
+        dvdx, dvdy = geometry.volume_gradients(cx, cy)
+        return p[:, None] * dvdx, p[:, None] * dvdy
+    fx, fy = geometry.volume_gradients(cx, cy, out=out, ws=ws)
+    if ws is not None:
+        sp = ws.borrow(fx.shape)
+        spread_corners(p, sp)
+        fx *= sp
+        fy *= sp
+        ws.release(sp)
+    else:
+        fx *= p[:, None]
+        fy *= p[:, None]
+    return fx, fy
 
 
 def getforce(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
              u: np.ndarray, v: np.ndarray,
              p: np.ndarray, rho: np.ndarray, cs2: np.ndarray,
-             fqx: np.ndarray, fqy: np.ndarray,
+             fqx: Optional[np.ndarray], fqy: Optional[np.ndarray],
              corner_mass: np.ndarray, corner_volume: np.ndarray,
              volume: np.ndarray,
-             controls: HydroControls
+             controls: HydroControls,
+             ws: Optional[Workspace] = None
              ) -> Tuple[np.ndarray, np.ndarray]:
     """Assemble all corner forces at the given geometry and velocities.
 
     ``fqx, fqy`` are the viscous corner forces from a preceding ``getq``
-    call.  Returns ``(fx, fy)``, each (ncell, 4).
+    call, or ``None`` when the viscosity contributes no corner forces
+    (the bulk form).  Returns ``(fx, fy)``, each (ncell, 4).
     """
-    fx, fy = pressure_forces(cx, cy, p)
-    fx += fqx
-    fy += fqy
+    out = None
+    if ws is not None:
+        out = (ws.array("force.fx", (mesh.ncell, 4)),
+               ws.array("force.fy", (mesh.ncell, 4)))
+    fx, fy = pressure_forces(cx, cy, p, out=out, ws=ws)
+    if fqx is not None:
+        fx += fqx
+        fy += fqy
 
     if controls.subzonal_kappa > 0.0:
         sx, sy = hourglass.subzonal_pressure_forces(
             cx, cy, corner_mass, corner_volume, rho, cs2,
-            controls.subzonal_kappa,
+            controls.subzonal_kappa, ws=ws,
         )
         fx += sx
         fy += sy
+        if ws is not None:
+            ws.release(sx, sy)
     if controls.filter_kappa > 0.0:
-        cu = u[mesh.cell_nodes]
-        cv = v[mesh.cell_nodes]
+        if ws is not None:
+            cu = ws.borrow((mesh.ncell, 4))
+            cv = ws.borrow((mesh.ncell, 4))
+            np.take(u, mesh.cell_nodes, out=cu, mode="clip")
+            np.take(v, mesh.cell_nodes, out=cv, mode="clip")
+        else:
+            cu = u[mesh.cell_nodes]
+            cv = v[mesh.cell_nodes]
         hx, hy = hourglass.hourglass_filter_forces(
-            cu, cv, rho, cs2, volume, controls.filter_kappa
+            cu, cv, rho, cs2, volume, controls.filter_kappa, ws=ws
         )
         fx += hx
         fy += hy
+        if ws is not None:
+            ws.release(cu, cv, hx, hy)
     return fx, fy

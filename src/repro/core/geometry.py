@@ -16,6 +16,16 @@ Definitions (corner index arithmetic is mod 4):
   hourglass forces (each subzone's gradients sum to zero over the four
   nodes, so those forces conserve momentum exactly),
 * the CFL length scale (shortest cell dimension).
+
+Every kernel has two code paths.  Without a workspace it runs the
+historical vectorised expressions exactly as first written (temporaries
+allocated per call — the baseline the perf harness times against).
+With a :class:`~repro.perf.workspace.Workspace` all temporaries come
+from the arena, results land in caller-provided buffers and corner
+rolls go through :func:`repro.perf.plans.roll_next`/``roll_prev``
+(strided column copies — bit-for-bit equal to ``np.roll`` but faster
+and with ``out=`` support).  The two paths perform the same floating
+operations in the same association, so their results are bit-identical.
 """
 
 from __future__ import annotations
@@ -25,24 +35,56 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..mesh.topology import QuadMesh
+from ..perf.plans import roll_next, roll_prev, spread_corners
+from ..perf.workspace import Workspace
 from ..utils.errors import TangledMeshError
 
 
-def gather(mesh: QuadMesh, x: np.ndarray, y: np.ndarray
+def gather(mesh: QuadMesh, x: np.ndarray, y: np.ndarray,
+           out: Optional[Tuple[np.ndarray, np.ndarray]] = None
            ) -> Tuple[np.ndarray, np.ndarray]:
     """(ncell, 4) corner coordinates from nodal arrays."""
-    return x[mesh.cell_nodes], y[mesh.cell_nodes]
+    if out is None:
+        return x[mesh.cell_nodes], y[mesh.cell_nodes]
+    cx, cy = out
+    np.take(x, mesh.cell_nodes, out=cx, mode="clip")
+    np.take(y, mesh.cell_nodes, out=cy, mode="clip")
+    return cx, cy
 
 
-def cell_volumes(cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+def cell_volumes(cx: np.ndarray, cy: np.ndarray,
+                 out: Optional[np.ndarray] = None,
+                 ws: Optional[Workspace] = None) -> np.ndarray:
     """Signed cell volumes (areas) via the shoelace formula."""
-    return 0.5 * (
-        (cx[:, 2] - cx[:, 0]) * (cy[:, 3] - cy[:, 1])
-        + (cx[:, 1] - cx[:, 3]) * (cy[:, 2] - cy[:, 0])
-    )
+    if ws is None:
+        result = 0.5 * (
+            (cx[:, 2] - cx[:, 0]) * (cy[:, 3] - cy[:, 1])
+            + (cx[:, 1] - cx[:, 3]) * (cy[:, 2] - cy[:, 0])
+        )
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+    n = cx.shape[0]
+    if out is None:
+        out = np.empty(n)
+    t1 = ws.borrow(n)
+    t2 = ws.borrow(n)
+    np.subtract(cx[:, 2], cx[:, 0], out=t1)
+    np.subtract(cy[:, 3], cy[:, 1], out=t2)
+    np.multiply(t1, t2, out=out)
+    np.subtract(cx[:, 1], cx[:, 3], out=t1)
+    np.subtract(cy[:, 2], cy[:, 0], out=t2)
+    np.multiply(t1, t2, out=t1)
+    out += t1
+    out *= 0.5
+    ws.release(t1, t2)
+    return out
 
 
-def volume_gradients(cx: np.ndarray, cy: np.ndarray
+def volume_gradients(cx: np.ndarray, cy: np.ndarray,
+                     out: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+                     ws: Optional[Workspace] = None
                      ) -> Tuple[np.ndarray, np.ndarray]:
     """``(∂V/∂x_i, ∂V/∂y_i)`` per corner, each (ncell, 4).
 
@@ -50,8 +92,26 @@ def volume_gradients(cx: np.ndarray, cy: np.ndarray
     The four gradients of a cell sum to zero (translation invariance),
     which is what makes the pressure corner forces conserve momentum.
     """
-    dvdx = 0.5 * (np.roll(cy, -1, axis=1) - np.roll(cy, 1, axis=1))
-    dvdy = 0.5 * (np.roll(cx, 1, axis=1) - np.roll(cx, -1, axis=1))
+    if ws is None and out is None:
+        dvdx = 0.5 * (np.roll(cy, -1, axis=1) - np.roll(cy, 1, axis=1))
+        dvdy = 0.5 * (np.roll(cx, 1, axis=1) - np.roll(cx, -1, axis=1))
+        return dvdx, dvdy
+    if out is None:
+        dvdx = np.empty_like(cx)
+        dvdy = np.empty_like(cy)
+    else:
+        dvdx, dvdy = out
+    t = ws.borrow(cx.shape) if ws is not None else np.empty_like(cx)
+    roll_next(cy, out=dvdx)
+    roll_prev(cy, out=t)
+    dvdx -= t
+    dvdx *= 0.5
+    roll_prev(cx, out=dvdy)
+    roll_next(cx, out=t)
+    dvdy -= t
+    dvdy *= 0.5
+    if ws is not None:
+        ws.release(t)
     return dvdx, dvdy
 
 
@@ -68,29 +128,83 @@ def _quad_partials(ax, ay, bx, by, cx_, cy_, dx, dy):
     )
 
 
-def corner_volumes(cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+def corner_volumes(cx: np.ndarray, cy: np.ndarray,
+                   out: Optional[np.ndarray] = None,
+                   ws: Optional[Workspace] = None) -> np.ndarray:
     """(ncell, 4) median-decomposition subzone volumes.
 
     Subzone ``i`` is the quad (P_i, M_i, C, M_{i−1}); the four subzones
     tile the cell, so they sum to the shoelace cell volume exactly
     (an identity the tests check to round-off).
     """
-    mx = 0.5 * (cx + np.roll(cx, -1, axis=1))   # M_i midpoints
-    my = 0.5 * (cy + np.roll(cy, -1, axis=1))
-    gx = cx.mean(axis=1, keepdims=True)         # centroid
-    gy = cy.mean(axis=1, keepdims=True)
-    ax, ay = cx, cy                             # A = P_i
-    bx, by = mx, my                             # B = M_i
-    dx, dy = np.roll(mx, 1, axis=1), np.roll(my, 1, axis=1)  # D = M_{i-1}
-    return 0.5 * (
-        (ax * by - bx * ay)
-        + (bx * gy - gx * by)
-        + (gx * dy - dx * gy)
-        + (dx * ay - ax * dy)
-    )
+    if ws is None:
+        mx = 0.5 * (cx + np.roll(cx, -1, axis=1))   # M_i midpoints
+        my = 0.5 * (cy + np.roll(cy, -1, axis=1))
+        gx = cx.mean(axis=1, keepdims=True)         # centroid
+        gy = cy.mean(axis=1, keepdims=True)
+        ax, ay = cx, cy                             # A = P_i
+        bx, by = mx, my                             # B = M_i
+        dx, dy = np.roll(mx, 1, axis=1), np.roll(my, 1, axis=1)  # D = M_{i-1}
+        result = 0.5 * (
+            (ax * by - bx * ay)
+            + (bx * gy - gx * by)
+            + (gx * dy - dx * gy)
+            + (dx * ay - ax * dy)
+        )
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+    n = cx.shape[0]
+    if out is None:
+        out = np.empty_like(cx)
+    mx = ws.borrow(cx.shape)                 # M_i midpoints
+    my = ws.borrow(cx.shape)
+    roll_next(cx, out=mx)
+    mx += cx
+    mx *= 0.5
+    roll_next(cy, out=my)
+    my += cy
+    my *= 0.5
+    g1 = ws.borrow(n)
+    gx = ws.borrow(cx.shape)                 # centroid, spread per corner
+    gy = ws.borrow(cx.shape)
+    np.mean(cx, axis=1, out=g1)
+    spread_corners(g1, gx)
+    np.mean(cy, axis=1, out=g1)
+    spread_corners(g1, gy)
+    ws.release(g1)
+    dx = ws.borrow(cx.shape)                 # D = M_{i-1}
+    dy = ws.borrow(cx.shape)
+    roll_prev(mx, out=dx)
+    roll_prev(my, out=dy)
+    # A = P_i = (cx, cy), B = M_i = (mx, my); shoelace of (A, B, C, D).
+    t1 = ws.borrow(cx.shape)
+    t2 = ws.borrow(cx.shape)
+    np.multiply(cx, my, out=out)            # ax·by − bx·ay
+    np.multiply(mx, cy, out=t1)
+    out -= t1
+    np.multiply(mx, gy, out=t1)             # bx·gy − gx·by
+    np.multiply(gx, my, out=t2)
+    t1 -= t2
+    out += t1
+    np.multiply(gx, dy, out=t1)             # gx·dy − dx·gy
+    np.multiply(dx, gy, out=t2)
+    t1 -= t2
+    out += t1
+    np.multiply(dx, cy, out=t1)             # dx·ay − ax·dy
+    np.multiply(cx, dy, out=t2)
+    t1 -= t2
+    out += t1
+    out *= 0.5
+    ws.release(mx, my, gx, gy, dx, dy, t1, t2)
+    return out
 
 
-def subzone_volume_gradients(cx: np.ndarray, cy: np.ndarray
+def subzone_volume_gradients(cx: np.ndarray, cy: np.ndarray,
+                             out: Optional[Tuple[np.ndarray,
+                                                 np.ndarray]] = None,
+                             ws: Optional[Workspace] = None
                              ) -> Tuple[np.ndarray, np.ndarray]:
     """``∂V_subzone_i/∂x_j`` for all corner pairs (i, j).
 
@@ -102,61 +216,188 @@ def subzone_volume_gradients(cx: np.ndarray, cy: np.ndarray
     recovers the cell volume gradient — both identities are tested.
     """
     ncell = cx.shape[0]
-    mx = 0.5 * (cx + np.roll(cx, -1, axis=1))
-    my = 0.5 * (cy + np.roll(cy, -1, axis=1))
-    gx = np.broadcast_to(cx.mean(axis=1, keepdims=True), cx.shape)
-    gy = np.broadcast_to(cy.mean(axis=1, keepdims=True), cy.shape)
-    ax, ay = cx, cy
-    bx, by = mx, my
-    dx, dy = np.roll(mx, 1, axis=1), np.roll(my, 1, axis=1)
-    (gAx, gAy), (gBx, gBy), (gCx, gCy), (gDx, gDy) = _quad_partials(
-        ax, ay, bx, by, gx, gy, dx, dy
-    )
-    gradx = np.zeros((ncell, 4, 4))
-    grady = np.zeros((ncell, 4, 4))
+    if ws is None:
+        mx = 0.5 * (cx + np.roll(cx, -1, axis=1))
+        my = 0.5 * (cy + np.roll(cy, -1, axis=1))
+        gx = np.broadcast_to(cx.mean(axis=1, keepdims=True), cx.shape)
+        gy = np.broadcast_to(cy.mean(axis=1, keepdims=True), cy.shape)
+        ax, ay = cx, cy
+        bx, by = mx, my
+        dx, dy = np.roll(mx, 1, axis=1), np.roll(my, 1, axis=1)
+        (gAx, gAy), (gBx, gBy), (gCx, gCy), (gDx, gDy) = _quad_partials(
+            ax, ay, bx, by, gx, gy, dx, dy
+        )
+        if out is None:
+            gradx = np.zeros((ncell, 4, 4))
+            grady = np.zeros((ncell, 4, 4))
+        else:
+            gradx, grady = out
+        idx = np.arange(4)
+        nxt = (idx + 1) % 4
+        prv = (idx - 1) % 4
+        # j == i: A fully + half of both midpoints + quarter of centroid.
+        gradx[:, idx, idx] = gAx + 0.5 * (gBx + gDx) + 0.25 * gCx
+        grady[:, idx, idx] = gAy + 0.5 * (gBy + gDy) + 0.25 * gCy
+        # j == i+1: half of M_i + quarter of centroid.
+        gradx[:, idx, nxt] = 0.5 * gBx + 0.25 * gCx
+        grady[:, idx, nxt] = 0.5 * gBy + 0.25 * gCy
+        # j == i-1: half of M_{i-1} + quarter of centroid.
+        gradx[:, idx, prv] = 0.5 * gDx + 0.25 * gCx
+        grady[:, idx, prv] = 0.5 * gDy + 0.25 * gCy
+        # j == i+2: quarter of centroid only.
+        opp = (idx + 2) % 4
+        gradx[:, idx, opp] = 0.25 * gCx
+        grady[:, idx, opp] = 0.25 * gCy
+        return gradx, grady
+
+    shape = cx.shape
+    mx = ws.borrow(shape)
+    my = ws.borrow(shape)
+    roll_next(cx, out=mx)
+    mx += cx
+    mx *= 0.5
+    roll_next(cy, out=my)
+    my += cy
+    my *= 0.5
+    g1 = ws.borrow(ncell)
+    gx = ws.borrow(shape)
+    gy = ws.borrow(shape)
+    np.mean(cx, axis=1, out=g1)
+    spread_corners(g1, gx)
+    np.mean(cy, axis=1, out=g1)
+    spread_corners(g1, gy)
+    ws.release(g1)
+    dx = ws.borrow(shape)
+    dy = ws.borrow(shape)
+    roll_prev(mx, out=dx)
+    roll_prev(my, out=dy)
+
+    # Shoelace partials of quad (A=P_i, B=M_i, C=centroid, D=M_{i-1})
+    # w.r.t. each vertex: gA = ½(B−D)⊥, gB = ½(C−A)⊥, gC = ½(D−B)⊥,
+    # gD = ½(A−C)⊥ (with (x, y)⊥ = (y, −x)).
+    gAx = ws.borrow(shape)
+    gAy = ws.borrow(shape)
+    np.subtract(my, dy, out=gAx)
+    gAx *= 0.5
+    np.subtract(dx, mx, out=gAy)
+    gAy *= 0.5
+    gBx = ws.borrow(shape)
+    gBy = ws.borrow(shape)
+    np.subtract(gy, cy, out=gBx)
+    gBx *= 0.5
+    np.subtract(cx, gx, out=gBy)
+    gBy *= 0.5
+    gCx = ws.borrow(shape)
+    gCy = ws.borrow(shape)
+    np.subtract(dy, my, out=gCx)
+    gCx *= 0.5
+    np.subtract(mx, dx, out=gCy)
+    gCy *= 0.5
+    gDx = ws.borrow(shape)
+    gDy = ws.borrow(shape)
+    np.subtract(cy, gy, out=gDx)
+    gDx *= 0.5
+    np.subtract(gx, cx, out=gDy)
+    gDy *= 0.5
+    ws.release(mx, my, gx, gy, dx, dy)
+
+    if out is None:
+        gradx = np.empty((ncell, 4, 4))
+        grady = np.empty((ncell, 4, 4))
+    else:
+        gradx, grady = out
+    t1 = ws.borrow(shape)
+    t2 = ws.borrow(shape)
     idx = np.arange(4)
     nxt = (idx + 1) % 4
     prv = (idx - 1) % 4
-    # j == i: A fully + half of both midpoints + quarter of centroid.
-    gradx[:, idx, idx] = gAx + 0.5 * (gBx + gDx) + 0.25 * gCx
-    grady[:, idx, idx] = gAy + 0.5 * (gBy + gDy) + 0.25 * gCy
-    # j == i+1: half of M_i + quarter of centroid.
-    gradx[:, idx, nxt] = 0.5 * gBx + 0.25 * gCx
-    grady[:, idx, nxt] = 0.5 * gBy + 0.25 * gCy
-    # j == i-1: half of M_{i-1} + quarter of centroid.
-    gradx[:, idx, prv] = 0.5 * gDx + 0.25 * gCx
-    grady[:, idx, prv] = 0.5 * gDy + 0.25 * gCy
-    # j == i+2: quarter of centroid only.
     opp = (idx + 2) % 4
-    gradx[:, idx, opp] = 0.25 * gCx
-    grady[:, idx, opp] = 0.25 * gCy
+
+    def fill(grad, gA, gB, gC, gD, t1=t1, t2=t2):
+        # j == i: A fully + half of both midpoints + quarter of centroid
+        # — accumulated as (gA + ½(gB+gD)) + ¼gC, the same association
+        # as the unbuffered expression (bit-identical results).
+        np.add(gB, gD, out=t1)
+        t1 *= 0.5
+        t1 += gA
+        np.multiply(gC, 0.25, out=t2)
+        t1 += t2
+        grad[:, idx, idx] = t1
+        # j == i+1: half of M_i + quarter of centroid.
+        np.multiply(gB, 0.5, out=t1)
+        t1 += t2
+        grad[:, idx, nxt] = t1
+        # j == i-1: half of M_{i-1} + quarter of centroid.
+        np.multiply(gD, 0.5, out=t1)
+        t1 += t2
+        grad[:, idx, prv] = t1
+        # j == i+2: quarter of centroid only.
+        grad[:, idx, opp] = t2
+
+    fill(gradx, gAx, gBx, gCx, gDx)
+    fill(grady, gAy, gBy, gCy, gDy)
+    ws.release(gAx, gAy, gBx, gBy, gCx, gCy, gDx, gDy, t1, t2)
     return gradx, grady
 
 
 def cfl_length_sq(cx: np.ndarray, cy: np.ndarray,
-                  volume: Optional[np.ndarray] = None) -> np.ndarray:
+                  volume: Optional[np.ndarray] = None,
+                  out: Optional[np.ndarray] = None,
+                  ws: Optional[Workspace] = None) -> np.ndarray:
     """Squared CFL length scale per cell: (V / longest side)².
 
     For a rectangle this is the shorter side — the distance a sound
     wave must cross — and it degrades correctly for skewed cells.
     """
+    if ws is None:
+        if volume is None:
+            volume = cell_volumes(cx, cy)
+        ex = np.roll(cx, -1, axis=1) - cx
+        ey = np.roll(cy, -1, axis=1) - cy
+        longest_sq = (ex * ex + ey * ey).max(axis=1)
+        result = volume * volume / np.maximum(longest_sq, 1e-300)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
     if volume is None:
-        volume = cell_volumes(cx, cy)
-    ex = np.roll(cx, -1, axis=1) - cx
-    ey = np.roll(cy, -1, axis=1) - cy
-    longest_sq = (ex * ex + ey * ey).max(axis=1)
-    return volume * volume / np.maximum(longest_sq, 1e-300)
+        volume = cell_volumes(cx, cy, ws=ws)
+    ex = ws.borrow(cx.shape)
+    ey = ws.borrow(cx.shape)
+    roll_next(cx, out=ex)
+    ex -= cx
+    roll_next(cy, out=ey)
+    ey -= cy
+    ex *= ex
+    ey *= ey
+    ex += ey
+    if out is None:
+        out = np.empty(cx.shape[0])
+    np.max(ex, axis=1, out=out)             # longest side²
+    np.maximum(out, 1e-300, out=out)
+    t = ws.borrow(cx.shape[0])
+    np.multiply(volume, volume, out=t)
+    np.divide(t, out, out=out)
+    ws.release(ex, ey, t)
+    return out
 
 
 def check_volumes(volume: np.ndarray, time: Optional[float] = None,
                   what: str = "cell",
-                  mask: Optional[np.ndarray] = None) -> None:
+                  mask: Optional[np.ndarray] = None,
+                  ws: Optional[Workspace] = None) -> None:
     """Raise :class:`TangledMeshError` if any volume is non-positive.
 
     ``mask`` (per-cell boolean) restricts the check to owned cells in a
     decomposed run; ghost-cell geometry is not locally authoritative.
     """
-    bad = volume <= 0.0
+    if ws is None:
+        borrowed = None
+        bad = volume <= 0.0
+    else:
+        borrowed = ws.borrow(volume.shape, dtype=bool)
+        bad = borrowed
+        np.less_equal(volume, 0.0, out=bad)
     if mask is not None:
         bad = bad & (mask[:, None] if volume.ndim > 1 else mask)
     if bad.any():
@@ -165,11 +406,15 @@ def check_volumes(volume: np.ndarray, time: Optional[float] = None,
         else:
             cells = np.flatnonzero(bad)[:10]
         raise TangledMeshError(cells.tolist(), time=time)
+    if borrowed is not None:
+        ws.release(borrowed)
 
 
 def getgeom(mesh: QuadMesh, x: np.ndarray, y: np.ndarray,
             time: Optional[float] = None,
-            check_mask: Optional[np.ndarray] = None
+            check_mask: Optional[np.ndarray] = None,
+            ws: Optional[Workspace] = None,
+            tag: str = ""
             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """The ``getgeom`` kernel: gather coordinates and compute volumes.
 
@@ -178,7 +423,22 @@ def getgeom(mesh: QuadMesh, x: np.ndarray, y: np.ndarray,
     the same failure detection the Fortran code performs.  In a
     decomposed run ``check_mask`` restricts the failure check to owned
     cells.
+
+    With a workspace all four results live in arena buffers named by
+    ``tag`` — callers that hold results across a later ``getgeom`` call
+    on the same workspace must use distinct tags.
     """
+    if ws is not None:
+        cx = ws.array(f"geom.gg.cx.{tag}", (mesh.ncell, 4))
+        cy = ws.array(f"geom.gg.cy.{tag}", (mesh.ncell, 4))
+        volume = ws.array(f"geom.gg.vol.{tag}", mesh.ncell)
+        cvol = ws.array(f"geom.gg.cvol.{tag}", (mesh.ncell, 4))
+        gather(mesh, x, y, out=(cx, cy))
+        cell_volumes(cx, cy, out=volume, ws=ws)
+        check_volumes(volume, time=time, mask=check_mask, ws=ws)
+        corner_volumes(cx, cy, out=cvol, ws=ws)
+        check_volumes(cvol, time=time, what="corner", mask=check_mask, ws=ws)
+        return cx, cy, volume, cvol
     cx, cy = gather(mesh, x, y)
     volume = cell_volumes(cx, cy)
     check_volumes(volume, time=time, mask=check_mask)

@@ -24,10 +24,12 @@ and so do we:
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from ..perf.plans import spread_corners
+from ..perf.workspace import Workspace
 from . import geometry
 
 
@@ -35,14 +37,42 @@ def subzonal_pressure_forces(cx: np.ndarray, cy: np.ndarray,
                              corner_mass: np.ndarray,
                              corner_volume: np.ndarray,
                              rho: np.ndarray, cs2: np.ndarray,
-                             kappa: float) -> Tuple[np.ndarray, np.ndarray]:
+                             kappa: float,
+                             ws: Optional[Workspace] = None
+                             ) -> Tuple[np.ndarray, np.ndarray]:
     """Corner forces (ncell, 4) from the sub-zonal pressure deviations."""
-    rho_z = corner_mass / np.maximum(corner_volume, 1e-300)
-    dp = kappa * cs2[:, None] * (rho_z - rho[:, None])   # (ncell, 4) per subzone i
-    gradx, grady = geometry.subzone_volume_gradients(cx, cy)
+    if ws is None:
+        rho_z = corner_mass / np.maximum(corner_volume, 1e-300)
+        dp = kappa * cs2[:, None] * (rho_z - rho[:, None])
+        gradx, grady = geometry.subzone_volume_gradients(cx, cy)
+        # F_j = Σ_i δp_i ∂V_i/∂x_j  — contract over the subzone axis.
+        fx = np.einsum("ci,cij->cj", dp, gradx)
+        fy = np.einsum("ci,cij->cj", dp, grady)
+        return fx, fy
+    w = ws
+    ncell = cx.shape[0]
+    # δp_i = κ c_s² (ρ_i^z − ρ_c) with ρ_i^z the corner density.
+    dp = w.borrow(cx.shape)
+    np.maximum(corner_volume, 1e-300, out=dp)
+    np.divide(corner_mass, dp, out=dp)
+    sp = w.borrow(cx.shape)
+    spread_corners(rho, sp)
+    dp -= sp
+    tk = w.borrow(ncell)
+    np.multiply(cs2, kappa, out=tk)
+    spread_corners(tk, sp)
+    dp *= sp
+    w.release(sp)
+    gradx, grady = geometry.subzone_volume_gradients(
+        cx, cy,
+        out=(w.borrow((ncell, 4, 4)), w.borrow((ncell, 4, 4))),
+        ws=ws,
+    )
     # F_j = Σ_i δp_i ∂V_i/∂x_j  — contract over the subzone axis.
-    fx = np.einsum("ci,cij->cj", dp, gradx)
-    fy = np.einsum("ci,cij->cj", dp, grady)
+    # The returned forces are borrowed buffers; the caller releases them.
+    fx = np.einsum("ci,cij->cj", dp, gradx, out=w.borrow(cx.shape))
+    fy = np.einsum("ci,cij->cj", dp, grady, out=w.borrow(cx.shape))
+    w.release(dp, tk, gradx, grady)
     return fx, fy
 
 
@@ -53,13 +83,49 @@ GAMMA = np.array([1.0, -1.0, 1.0, -1.0])
 def hourglass_filter_forces(cu: np.ndarray, cv: np.ndarray,
                             rho: np.ndarray, cs2: np.ndarray,
                             volume: np.ndarray,
-                            kappa: float) -> Tuple[np.ndarray, np.ndarray]:
+                            kappa: float,
+                            ws: Optional[Workspace] = None
+                            ) -> Tuple[np.ndarray, np.ndarray]:
     """Hancock-style damping forces (ncell, 4) on the corner velocities."""
-    hu = 0.25 * (cu @ GAMMA)                 # hourglass amplitudes (ncell,)
-    hv = 0.25 * (cv @ GAMMA)
-    coeff = kappa * rho * np.sqrt(cs2) * np.sqrt(np.maximum(volume, 0.0))
-    fx = -(coeff * hu)[:, None] * GAMMA[None, :]
-    fy = -(coeff * hv)[:, None] * GAMMA[None, :]
+    if ws is None:
+        hu = 0.25 * (cu @ GAMMA)             # hourglass amplitudes (ncell,)
+        hv = 0.25 * (cv @ GAMMA)
+        coeff = (kappa * rho * np.sqrt(cs2)
+                 * np.sqrt(np.maximum(volume, 0.0)))
+        fx = -(coeff * hu)[:, None] * GAMMA[None, :]
+        fy = -(coeff * hv)[:, None] * GAMMA[None, :]
+        return fx, fy
+    w = ws
+    ncell = cu.shape[0]
+    hu = w.borrow(ncell)                     # hourglass amplitudes (ncell,)
+    hv = w.borrow(ncell)
+    np.matmul(cu, GAMMA, out=hu)
+    hu *= 0.25
+    np.matmul(cv, GAMMA, out=hv)
+    hv *= 0.25
+    coeff = w.borrow(ncell)
+    t = w.borrow(ncell)
+    np.multiply(rho, kappa, out=coeff)
+    np.sqrt(cs2, out=t)
+    coeff *= t
+    np.maximum(volume, 0.0, out=t)
+    np.sqrt(t, out=t)
+    coeff *= t
+    hu *= coeff
+    np.negative(hu, out=hu)
+    hv *= coeff
+    np.negative(hv, out=hv)
+    # The returned forces are borrowed buffers; the caller releases them.
+    # Outer product with Γ as 4 scalar column scalings (the broadcast
+    # form would hit numpy's buffered-iterator allocation).
+    fx = w.borrow(cu.shape)
+    fy = w.borrow(cu.shape)
+    spread_corners(hu, fx)
+    spread_corners(hv, fy)
+    for k in range(4):
+        fx[:, k] *= GAMMA[k]
+        fy[:, k] *= GAMMA[k]
+    w.release(hu, hv, coeff, t)
     return fx, fy
 
 

@@ -46,6 +46,12 @@ class Hydro:
     remapper:
         Optional ALE remap object with an ``apply(state, dt)`` method;
         constructed automatically from the controls when ``ale_on``.
+    plans, workspace:
+        Optional :class:`~repro.perf.plans.MeshPlans` and
+        :class:`~repro.perf.workspace.Workspace` threaded through every
+        ``lagstep`` so the steady-state loop reuses arena buffers
+        instead of allocating.  Defaults (``None``) keep the historical
+        allocate-per-call behaviour.
     """
 
     def __init__(self, state: HydroState, table: MaterialTable,
@@ -53,7 +59,9 @@ class Hydro:
                  timers: Optional[TimerRegistry] = None,
                  logger: Optional[StepLogger] = None,
                  comms=None,
-                 remapper=None):
+                 remapper=None,
+                 plans=None,
+                 workspace=None):
         self.state = state
         self.table = table
         self.controls = controls.validated()
@@ -72,6 +80,8 @@ class Hydro:
 
             remapper = AleStep.from_controls(state, controls, table)
         self.remapper = remapper
+        self.plans = plans
+        self.workspace = workspace
         #: callbacks invoked after every step with (hydro,) — used by
         #: time-history output and tests
         self.observers: List[Callable[["Hydro"], None]] = []
@@ -98,13 +108,18 @@ class Hydro:
         lagstep(
             self.state, self.table, controls, self.dt, self.timers,
             self.gamma, comms=self.comms, time=self.time,
+            plans=self.plans, ws=self.workspace,
         )
 
         if (self.remapper is not None
                 and (self.nstep + 1) % controls.ale_every == 0):
             with self.timers.region("alestep"):
-                self.remapper.apply(self.state, self.dt, self.timers,
-                                    comms=self.comms)
+                if self.workspace is not None:
+                    self.remapper.apply(self.state, self.dt, self.timers,
+                                        comms=self.comms, ws=self.workspace)
+                else:
+                    self.remapper.apply(self.state, self.dt, self.timers,
+                                        comms=self.comms)
 
         self.time += self.dt
         self.nstep += 1

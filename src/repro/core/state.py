@@ -49,6 +49,10 @@ class HydroState:
     volume: np.ndarray
     corner_volume: np.ndarray
     bc: BoundaryConditions = field(default=None)  # type: ignore[assignment]
+    # cached nodal mass — valid while corner_mass is unchanged, i.e. for
+    # the whole Lagrangian phase; the ALE update invalidates it.
+    _node_mass: Optional[np.ndarray] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.bc is None:
@@ -128,9 +132,26 @@ class HydroState:
             minlength=self.mesh.nnode,
         )
 
-    def node_mass(self) -> np.ndarray:
-        """Nodal mass: scatter-sum of corner masses (always > 0)."""
-        return self.scatter_to_nodes(self.corner_mass)
+    def node_mass(self, plans=None) -> np.ndarray:
+        """Nodal mass: scatter-sum of corner masses (always > 0).
+
+        Corner masses are fixed during the Lagrangian phase, so the sum
+        is computed once and cached until :meth:`invalidate_node_mass`
+        (called by the ALE update, which rewrites the corner masses).
+        The returned array is shared — callers must treat it read-only.
+        An optional :class:`~repro.perf.plans.MeshPlans` provides the
+        scatter for the (rare) cache-miss computation.
+        """
+        if self._node_mass is None:
+            if plans is not None:
+                self._node_mass = plans.scatter_to_nodes(self.corner_mass)
+            else:
+                self._node_mass = self.scatter_to_nodes(self.corner_mass)
+        return self._node_mass
+
+    def invalidate_node_mass(self) -> None:
+        """Drop the cached nodal mass (call after changing corner_mass)."""
+        self._node_mass = None
 
     # ------------------------------------------------------------------
     # diagnostics

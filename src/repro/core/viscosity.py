@@ -21,88 +21,118 @@ yields the correct face area for shocks aligned with either mesh
 direction.  The pair of equal-and-opposite forces conserves momentum
 exactly and — through the compatible energy update — converts kinetic
 energy into heat at the rate ``q L |Δu| ≥ 0``.
+
+This is the hottest kernel of the mini-app (Table II), so it takes the
+full performance treatment: a :class:`~repro.perf.plans.MeshPlans`
+supplies the limiter's static neighbour-node indices (hoisted out of
+the per-step path), and a :class:`~repro.perf.workspace.Workspace`
+supplies every temporary, making repeat calls allocation-free.  Without
+a workspace the historical allocate-per-call expressions run unchanged;
+both paths perform the same floating operations in the same
+association, so their results are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..mesh.topology import QuadMesh
+from ..perf.plans import (MeshPlans, limiter_indices, roll_next, roll_prev,
+                          spread_corners)
+from ..perf.workspace import Workspace
 
 #: velocity-jump magnitude below which an edge is treated as rigid
 DU_CUT = 1.0e-30
 
 
-def _continuation_jumps(mesh: QuadMesh, u: np.ndarray, v: np.ndarray
-                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
-                                   np.ndarray, np.ndarray, np.ndarray]:
-    """Velocity jumps on the edges continuing each in-cell edge.
-
-    For edge ``k`` of cell ``c`` (from corner ``k`` to ``k+1``):
-
-    * the *backward* continuation lives in the neighbour ``l`` across
-      side ``k−1`` and equals ``u_{l,s_l} − u_{l,s_l+3}`` (``s_l`` the
-      side of ``l`` facing back), ending on our corner ``k``;
-    * the *forward* continuation lives in the neighbour ``r`` across
-      side ``k+1`` and equals ``u_{r,s_r+2} − u_{r,s_r+1}``, starting on
-      our corner ``k+1``.
-
-    Both are oriented to match the direction of edge ``k``.  Returns
-    ``(bx, by, has_b, fx, fy, has_f)`` each of shape (ncell, 4).
-    """
-    nb = mesh.cell_neighbours
-    ns = mesh.neighbour_side
-    cn = mesh.cell_nodes
-
-    lcell = np.roll(nb, 1, axis=1)          # neighbour across side k-1
-    lside = np.roll(ns, 1, axis=1)
-    rcell = np.roll(nb, -1, axis=1)         # neighbour across side k+1
-    rside = np.roll(ns, -1, axis=1)
-    has_b = lcell >= 0
-    has_f = rcell >= 0
-    lc = np.where(has_b, lcell, 0)
-    ls = np.where(has_b, lside, 0)
-    rc = np.where(has_f, rcell, 0)
-    rs = np.where(has_f, rside, 0)
-
-    n_b1 = cn[lc, ls]                        # node at our corner k
-    n_b0 = cn[lc, (ls + 3) % 4]
-    n_f1 = cn[rc, (rs + 2) % 4]
-    n_f0 = cn[rc, (rs + 1) % 4]              # node at our corner k+1
-
-    bx = u[n_b1] - u[n_b0]
-    by = v[n_b1] - v[n_b0]
-    fx = u[n_f1] - u[n_f0]
-    fy = v[n_f1] - v[n_f0]
-    return bx, by, has_b, fx, fy, has_f
-
-
 def christiansen_limiter(mesh: QuadMesh, u: np.ndarray, v: np.ndarray,
                          dux: np.ndarray, duy: np.ndarray,
-                         dumag_sq: np.ndarray) -> np.ndarray:
+                         dumag_sq: np.ndarray,
+                         plans: Optional[MeshPlans] = None,
+                         ws: Optional[Workspace] = None) -> np.ndarray:
     """Limiter ψ in [0, 1]: 1 in smooth flow (no viscosity), 0 at shocks.
 
     ψ = max(0, min(½(r_b + r_f), 2 r_b, 2 r_f, 1)) with r the ratios of
     the continuation jumps projected onto this edge's jump.  Edges whose
     continuation is missing (mesh boundary) take ψ = 0, keeping full
     viscosity where shocks meet walls.
+
+    The continuation-edge node indices depend only on connectivity; a
+    ``plans`` object supplies them precomputed, otherwise they are
+    rebuilt on the fly (the historical behaviour).
     """
-    bx, by, has_b, fx, fy, has_f = _continuation_jumps(mesh, u, v)
-    denom = np.maximum(dumag_sq, DU_CUT * DU_CUT)
-    rb = (bx * dux + by * duy) / denom
-    rf = (fx * dux + fy * duy) / denom
-    psi = np.minimum(0.5 * (rb + rf), np.minimum(2.0 * rb, 2.0 * rf))
-    psi = np.clip(np.minimum(psi, 1.0), 0.0, 1.0)
-    psi[~(has_b & has_f)] = 0.0
+    if plans is not None:
+        n_b1, n_b0 = plans.lim_n_b1, plans.lim_n_b0
+        n_f1, n_f0 = plans.lim_n_f1, plans.lim_n_f0
+        off = plans.lim_off
+    else:
+        n_b1, n_b0, n_f1, n_f0, off = limiter_indices(mesh)
+    if ws is None:
+        bx = u[n_b1] - u[n_b0]
+        by = v[n_b1] - v[n_b0]
+        fx = u[n_f1] - u[n_f0]
+        fy = v[n_f1] - v[n_f0]
+        denom = np.maximum(dumag_sq, DU_CUT * DU_CUT)
+        rb = (bx * dux + by * duy) / denom
+        rf = (fx * dux + fy * duy) / denom
+        psi = np.minimum(0.5 * (rb + rf), np.minimum(2.0 * rb, 2.0 * rf))
+        psi = np.clip(np.minimum(psi, 1.0), 0.0, 1.0)
+        psi[off] = 0.0
+        return psi
+    shape = dux.shape
+    t = ws.borrow(shape)
+    bx = ws.borrow(shape)                    # backward continuation jump
+    np.take(u, n_b1, out=bx, mode="clip")
+    np.take(u, n_b0, out=t, mode="clip")
+    bx -= t
+    by = ws.borrow(shape)
+    np.take(v, n_b1, out=by, mode="clip")
+    np.take(v, n_b0, out=t, mode="clip")
+    by -= t
+    fx = ws.borrow(shape)                    # forward continuation jump
+    np.take(u, n_f1, out=fx, mode="clip")
+    np.take(u, n_f0, out=t, mode="clip")
+    fx -= t
+    fy = ws.borrow(shape)
+    np.take(v, n_f1, out=fy, mode="clip")
+    np.take(v, n_f0, out=t, mode="clip")
+    fy -= t
+
+    denom = ws.borrow(shape)
+    np.maximum(dumag_sq, DU_CUT * DU_CUT, out=denom)
+    rb = bx                                  # reuse: projected ratios
+    np.multiply(bx, dux, out=rb)
+    np.multiply(by, duy, out=t)
+    rb += t
+    rb /= denom
+    rf = fx
+    np.multiply(fx, dux, out=rf)
+    np.multiply(fy, duy, out=t)
+    rf += t
+    rf /= denom
+
+    psi = ws.borrow(shape)                   # released by the caller
+    np.add(rb, rf, out=psi)                  # ½(r_b + r_f)
+    psi *= 0.5
+    np.multiply(rb, 2.0, out=rb)
+    np.multiply(rf, 2.0, out=rf)
+    np.minimum(rb, rf, out=t)
+    np.minimum(psi, t, out=psi)
+    np.minimum(psi, 1.0, out=psi)
+    np.clip(psi, 0.0, 1.0, out=psi)
+    np.copyto(psi, 0.0, where=off)
+    ws.release(t, bx, by, fx, fy, denom)
     return psi
 
 
 def bulk_q(cx: np.ndarray, cy: np.ndarray,
            u: np.ndarray, v: np.ndarray, cell_nodes: np.ndarray,
            rho: np.ndarray, cs2: np.ndarray, volume: np.ndarray,
-           cq1: float, cq2: float) -> np.ndarray:
+           cq1: float, cq2: float,
+           ws: Optional[Workspace] = None,
+           out: Optional[np.ndarray] = None) -> np.ndarray:
     """Cell-centred von Neumann–Richtmyer (bulk) viscosity.
 
     The classical alternative to the edge form:
@@ -117,36 +147,90 @@ def bulk_q(cx: np.ndarray, cy: np.ndarray,
     reference uses the edge form); provided as a design-choice option
     and used by the viscosity-form ablation tests.
     """
-    dvdx = 0.5 * (np.roll(cy, -1, axis=1) - np.roll(cy, 1, axis=1))
-    dvdy = 0.5 * (np.roll(cx, 1, axis=1) - np.roll(cx, -1, axis=1))
-    cu = u[cell_nodes]
-    cv = v[cell_nodes]
-    vdot = np.einsum("ck,ck->c", dvdx, cu) + np.einsum("ck,ck->c", dvdy, cv)
-    div_u = vdot / volume
-    compressing = div_u < 0.0
-    ex = np.roll(cx, -1, axis=1) - cx
-    ey = np.roll(cy, -1, axis=1) - cy
-    longest = np.sqrt((ex * ex + ey * ey).max(axis=1))
-    du = (volume / longest) * np.abs(div_u)
-    q = cq2 * rho * du * du + cq1 * rho * np.sqrt(cs2) * du
-    return np.where(compressing, q, 0.0)
+    if ws is None:
+        dvdx = 0.5 * (np.roll(cy, -1, axis=1) - np.roll(cy, 1, axis=1))
+        dvdy = 0.5 * (np.roll(cx, 1, axis=1) - np.roll(cx, -1, axis=1))
+        cu = u[cell_nodes]
+        cv = v[cell_nodes]
+        vdot = (np.einsum("ck,ck->c", dvdx, cu)
+                + np.einsum("ck,ck->c", dvdy, cv))
+        div_u = vdot / volume
+        compressing = div_u < 0.0
+        ex = np.roll(cx, -1, axis=1) - cx
+        ey = np.roll(cy, -1, axis=1) - cy
+        longest = np.sqrt((ex * ex + ey * ey).max(axis=1))
+        du = (volume / longest) * np.abs(div_u)
+        q = cq2 * rho * du * du + cq1 * rho * np.sqrt(cs2) * du
+        result = np.where(compressing, q, 0.0)
+        if out is None:
+            return result
+        np.copyto(out, result)
+        return out
+    ncell = cx.shape[0]
+    dvdx = ws.borrow(cx.shape)
+    dvdy = ws.borrow(cx.shape)
+    t4 = ws.borrow(cx.shape)
+    roll_next(cy, out=dvdx)
+    roll_prev(cy, out=t4)
+    dvdx -= t4
+    dvdx *= 0.5
+    roll_prev(cx, out=dvdy)
+    roll_next(cx, out=t4)
+    dvdy -= t4
+    dvdy *= 0.5
+    cu = ws.borrow(cx.shape)
+    cv = ws.borrow(cx.shape)
+    np.take(u, cell_nodes, out=cu, mode="clip")
+    np.take(v, cell_nodes, out=cv, mode="clip")
+    div_u = ws.borrow(ncell)
+    t = ws.borrow(ncell)
+    np.einsum("ck,ck->c", dvdx, cu, out=div_u)
+    np.einsum("ck,ck->c", dvdy, cv, out=t)
+    div_u += t
+    div_u /= volume
+    ws.release(cu, cv)
+    compressing = ws.borrow(ncell, dtype=bool)
+    np.less(div_u, 0.0, out=compressing)
+    ex = dvdx                                # reuse for edge vectors
+    ey = dvdy
+    roll_next(cx, out=ex)
+    ex -= cx
+    roll_next(cy, out=ey)
+    ey -= cy
+    ex *= ex
+    ey *= ey
+    ex += ey
+    longest = t
+    np.max(ex, axis=1, out=longest)
+    np.sqrt(longest, out=longest)
+    du = ws.borrow(ncell)
+    np.divide(volume, longest, out=du)
+    np.abs(div_u, out=div_u)
+    du *= div_u
+    if out is None:
+        out = np.empty(ncell)
+    # q = cq2 ρ du² + cq1 ρ c_s du, only where compressing.
+    np.multiply(rho, cq2, out=out)
+    out *= du
+    out *= du
+    cs = t
+    np.sqrt(cs2, out=cs)
+    cs *= rho
+    cs *= cq1
+    cs *= du
+    out += cs
+    np.copyto(out, 0.0, where=~compressing)
+    ws.release(dvdx, dvdy, t4, div_u, t, du, compressing)
+    return out
 
 
-def getq(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
-         u: np.ndarray, v: np.ndarray,
-         rho: np.ndarray, cs2: np.ndarray, gamma: np.ndarray,
-         cq1: float, cq2: float, use_limiter: bool = True
-         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """The viscosity kernel.
-
-    Parameters are the gathered corner coordinates ``cx, cy`` (ncell, 4),
-    nodal velocities, cell density/sound-speed² and the per-cell
-    effective γ for the quadratic coefficient.
-
-    Returns ``(fqx, fqy, q_cell)``: viscous corner forces (ncell, 4) and
-    the cell-averaged viscous pressure used by the timestep control and
-    diagnostics.
-    """
+def _getq_plain(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
+                u: np.ndarray, v: np.ndarray,
+                rho: np.ndarray, cs2: np.ndarray, gamma: np.ndarray,
+                cq1: float, cq2: float, use_limiter: bool,
+                plans: Optional[MeshPlans]
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The historical allocate-per-call ``getq`` body."""
     cu = u[mesh.cell_nodes]
     cv = v[mesh.cell_nodes]
     dux = np.roll(cu, -1, axis=1) - cu      # edge velocity jumps
@@ -159,7 +243,8 @@ def getq(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
     active = compressing & (dumag > DU_CUT)
 
     if use_limiter:
-        psi = christiansen_limiter(mesh, u, v, dux, duy, dumag_sq)
+        psi = christiansen_limiter(mesh, u, v, dux, duy, dumag_sq,
+                                   plans=plans)
     else:
         psi = np.zeros_like(dumag)
 
@@ -187,4 +272,153 @@ def getq(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
     fqy = fy_edge - np.roll(fy_edge, 1, axis=1)
 
     q_cell = 0.25 * q_edge.sum(axis=1)
+    return fqx, fqy, q_cell
+
+
+def getq(mesh: QuadMesh, cx: np.ndarray, cy: np.ndarray,
+         u: np.ndarray, v: np.ndarray,
+         rho: np.ndarray, cs2: np.ndarray, gamma: np.ndarray,
+         cq1: float, cq2: float, use_limiter: bool = True,
+         plans: Optional[MeshPlans] = None,
+         ws: Optional[Workspace] = None
+         ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The viscosity kernel.
+
+    Parameters are the gathered corner coordinates ``cx, cy`` (ncell, 4),
+    nodal velocities, cell density/sound-speed² and the per-cell
+    effective γ for the quadratic coefficient.
+
+    Returns ``(fqx, fqy, q_cell)``: viscous corner forces (ncell, 4) and
+    the cell-averaged viscous pressure used by the timestep control and
+    diagnostics.  With a workspace the three results live in arena
+    buffers (``getq.*``) that the next ``getq`` call reuses.
+    """
+    if ws is None:
+        return _getq_plain(mesh, cx, cy, u, v, rho, cs2, gamma,
+                           cq1, cq2, use_limiter, plans)
+    ncell = mesh.ncell
+    shape = (ncell, 4)
+    cu = ws.borrow(shape)
+    cv = ws.borrow(shape)
+    np.take(u, mesh.cell_nodes, out=cu, mode="clip")
+    np.take(v, mesh.cell_nodes, out=cv, mode="clip")
+    dux = ws.borrow(shape)                   # edge velocity jumps
+    duy = ws.borrow(shape)
+    roll_next(cu, out=dux)
+    dux -= cu
+    roll_next(cv, out=duy)
+    duy -= cv
+    ws.release(cu, cv)
+    dxx = ws.borrow(shape)                   # edge vectors
+    dxy = ws.borrow(shape)
+    roll_next(cx, out=dxx)
+    dxx -= cx
+    roll_next(cy, out=dxy)
+    dxy -= cy
+    t = ws.borrow(shape)
+    dumag_sq = ws.borrow(shape)
+    np.multiply(dux, dux, out=dumag_sq)
+    np.multiply(duy, duy, out=t)
+    dumag_sq += t
+    dumag = ws.borrow(shape)
+    np.sqrt(dumag_sq, out=dumag)
+    # Compression test Δu·Δx < 0, and the rigid-edge cut.
+    np.multiply(dux, dxx, out=t)
+    np.multiply(duy, dxy, out=dxx)           # dxx consumed; reuse
+    t += dxx
+    active = ws.borrow(shape, dtype=bool)
+    tb = ws.borrow(shape, dtype=bool)
+    np.less(t, 0.0, out=active)
+    np.greater(dumag, DU_CUT, out=tb)
+    active &= tb
+    ws.release(dxx, dxy, t)
+
+    if use_limiter:
+        psi = christiansen_limiter(mesh, u, v, dux, duy, dumag_sq,
+                                   plans=plans, ws=ws)
+    else:
+        psi = ws.borrow(shape)
+        psi.fill(0.0)
+    ws.release(dumag_sq)
+
+    # q_edge = (1−ψ) ρ |Δu| (c₂' |Δu| + sqrt((c₂' |Δu|)² + (c₁ c_s)²)).
+    cquad = ws.borrow(ncell)
+    np.add(gamma, 1.0, out=cquad)
+    cquad *= cq2
+    cquad *= 0.25
+    cs = ws.borrow(ncell)
+    np.sqrt(cs2, out=cs)
+    sp = ws.borrow(shape)                    # spread per-cell operands
+    i1 = ws.borrow(shape)                    # c₂' |Δu|
+    spread_corners(cquad, sp)
+    np.multiply(dumag, sp, out=i1)
+    i2 = ws.borrow(shape)
+    np.multiply(i1, i1, out=i2)
+    tq = ws.borrow(ncell)                    # (c₁ c_s)²
+    np.multiply(cs, cq1, out=tq)
+    tq *= tq
+    spread_corners(tq, sp)
+    i2 += sp
+    np.sqrt(i2, out=i2)
+    i2 += i1
+    q_edge = ws.borrow(shape)
+    np.subtract(1.0, psi, out=q_edge)
+    spread_corners(rho, sp)
+    q_edge *= sp
+    q_edge *= dumag
+    q_edge *= i2
+    np.logical_not(active, out=tb)
+    np.copyto(q_edge, 0.0, where=tb)
+    ws.release(psi, cquad, cs, i1, i2, tq, active, tb)
+
+    # Median arm: centroid to edge midpoint.
+    gx = ws.borrow(ncell)
+    gy = ws.borrow(ncell)
+    np.mean(cx, axis=1, out=gx)
+    np.mean(cy, axis=1, out=gy)
+    mx = ws.borrow(shape)
+    my = ws.borrow(shape)
+    roll_next(cx, out=mx)
+    mx += cx
+    mx *= 0.5
+    roll_next(cy, out=my)
+    my += cy
+    my *= 0.5
+    spread_corners(gx, sp)
+    mx -= sp
+    spread_corners(gy, sp)
+    my -= sp
+    arm = ws.borrow(shape)
+    np.hypot(mx, my, out=arm)
+    ws.release(gx, gy, mx, my, sp)
+
+    # Unit jump direction (guarded); force ±q L û on the edge's nodes.
+    # Association matches the unbuffered ((q·L)·Δu)·inv so the two
+    # paths stay bit-identical.
+    inv = ws.borrow(shape)
+    np.maximum(dumag, DU_CUT, out=inv)
+    np.divide(1.0, inv, out=inv)
+    qarm = arm                               # reuse: q L
+    np.multiply(q_edge, arm, out=qarm)
+    fx_edge = ws.borrow(shape)
+    np.multiply(qarm, dux, out=fx_edge)
+    fx_edge *= inv
+    fy_edge = ws.borrow(shape)
+    np.multiply(qarm, duy, out=fy_edge)
+    fy_edge *= inv
+    ws.release(qarm, inv, dux, duy, dumag)
+    # node k gets +f (pushed along Δu, i.e. decelerating node k relative
+    # to k+1), node k+1 gets −f.
+    fqx = ws.array("getq.fqx", shape)
+    roll_prev(fx_edge, out=fqx)
+    np.subtract(fx_edge, fqx, out=fqx)
+    fqy = ws.array("getq.fqy", shape)
+    roll_prev(fy_edge, out=fqy)
+    np.subtract(fy_edge, fqy, out=fqy)
+    ws.release(fx_edge, fy_edge)
+
+    q_cell = ws.array("getq.qcell", ncell)
+    np.sum(q_edge, axis=1, out=q_cell)
+    q_cell *= 0.25
+    ws.release(q_edge)
     return fqx, fqy, q_cell

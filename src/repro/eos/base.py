@@ -36,6 +36,19 @@ class Eos(abc.ABC):
         ``c² = ∂p/∂ρ + (p/ρ²) ∂p/∂e`` evaluated pointwise.
         """
 
+    def pressure_into(self, rho: np.ndarray, e: np.ndarray,
+                      out: np.ndarray) -> np.ndarray:
+        """Pressure written into ``out``.  Subclasses may override with
+        an allocation-free implementation; the default just copies."""
+        out[...] = self.pressure(rho, e)
+        return out
+
+    def sound_speed_sq_into(self, rho: np.ndarray, e: np.ndarray,
+                            out: np.ndarray) -> np.ndarray:
+        """Sound speed² written into ``out`` (see :meth:`pressure_into`)."""
+        out[...] = self.sound_speed_sq(rho, e)
+        return out
+
     def energy_from_pressure(self, rho: np.ndarray, p: np.ndarray) -> np.ndarray:
         """Invert ``p(ρ, e)`` for ``e`` — used by problem setups that
         specify initial pressure rather than energy.  Optional."""

@@ -30,6 +30,16 @@ class IdealGas(Eos):
         # rather than NaN (the MaterialTable applies the ccut floor).
         return self.gamma * (self.gamma - 1.0) * np.maximum(e, 0.0)
 
+    def pressure_into(self, rho, e, out):
+        np.multiply(rho, self.gamma - 1.0, out=out)
+        out *= e
+        return out
+
+    def sound_speed_sq_into(self, rho, e, out):
+        np.maximum(e, 0.0, out=out)
+        out *= self.gamma * (self.gamma - 1.0)
+        return out
+
     def energy_from_pressure(self, rho, p):
         rho = np.asarray(rho, dtype=np.float64)
         return p / ((self.gamma - 1.0) * rho)

@@ -55,23 +55,29 @@ class MaterialTable:
                 f"min={mat.min()} max={mat.max()}"
             )
 
-    def getpc(self, mat: np.ndarray, rho: np.ndarray,
-              e: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def getpc(self, mat: np.ndarray, rho: np.ndarray, e: np.ndarray,
+              out: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+              ws=None) -> Tuple[np.ndarray, np.ndarray]:
         """Evaluate pressure and sound-speed² for every cell.
 
         This is BookLeaf's ``getpc`` kernel: one EoS call per material
         over the cells of that material, then the global cutoffs.
+        ``out`` receives ``(p, cs2)`` (they must not alias the inputs);
+        a workspace makes the single-material path allocation-free.
         """
         mat = np.asarray(mat)
         rho = np.asarray(rho, dtype=np.float64)
         e = np.asarray(e, dtype=np.float64)
         self._check(mat)
-        p = np.empty_like(rho)
-        cs2 = np.empty_like(rho)
+        if out is None:
+            p = np.empty_like(rho)
+            cs2 = np.empty_like(rho)
+        else:
+            p, cs2 = out
         if self.nmat == 1:
             # Fast path: single material, no mask gathers.
-            p[:] = self.eos[0].pressure(rho, e)
-            cs2[:] = self.eos[0].sound_speed_sq(rho, e)
+            self.eos[0].pressure_into(rho, e, p)
+            self.eos[0].sound_speed_sq_into(rho, e, cs2)
         else:
             for imat, eos in enumerate(self.eos):
                 sel = mat == imat
@@ -79,7 +85,14 @@ class MaterialTable:
                     continue
                 p[sel] = eos.pressure(rho[sel], e[sel])
                 cs2[sel] = eos.sound_speed_sq(rho[sel], e[sel])
-        np.copyto(p, 0.0, where=np.abs(p) < self.pcut)
+        if ws is not None:
+            t = ws.array("getpc.absp", p.shape)
+            small = ws.array("getpc.small", p.shape, dtype=bool)
+            np.abs(p, out=t)
+            np.less(t, self.pcut, out=small)
+            np.copyto(p, 0.0, where=small)
+        else:
+            np.copyto(p, 0.0, where=np.abs(p) < self.pcut)
         np.maximum(cs2, self.ccut, out=cs2)
         return p, cs2
 

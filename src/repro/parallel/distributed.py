@@ -122,6 +122,7 @@ class DistributedHydro:
             node_filled[take] = True
         if not node_filled.all():
             raise BookLeafError("gather left nodes unfilled")
+        out.invalidate_node_mass()
         return out
 
     def merged_timers(self) -> TimerRegistry:

@@ -1,0 +1,27 @@
+"""Performance subsystem: precomputed mesh plans and buffer arenas.
+
+The Fortran BookLeaf pays its connectivity-derived costs once, at
+setup; a naive numpy port re-pays them every step as hidden
+allocations: ``np.roll`` temporaries in the geometry and viscosity
+kernels, ``.ravel()`` copies feeding ``bincount`` scatters, throwaway
+work arrays in every kernel of the predictor/corrector loop.  This
+package removes those per-step costs without touching the numerics:
+
+* :class:`~repro.perf.plans.MeshPlans` — per-mesh index structures
+  built once (rolled-corner fancy-index columns, a sort-once CSR
+  scatter plan driving ``np.add.reduceat``, the static neighbour
+  indices of the Christiansen limiter);
+* :class:`~repro.perf.workspace.Workspace` — a preallocated buffer
+  arena keyed by ``(name, shape, dtype)`` that the hot kernels draw
+  their temporaries from, so the steady-state Lagrangian loop performs
+  no large allocations after the first step.
+
+Both are *optional* everywhere: every kernel accepts ``plans=None,
+ws=None`` and falls back to the historical allocate-per-call behaviour,
+so the serial and distributed paths run unchanged without them.
+"""
+
+from .plans import MeshPlans, roll_next, roll_prev
+from .workspace import Workspace, scratch
+
+__all__ = ["MeshPlans", "Workspace", "roll_next", "roll_prev", "scratch"]

@@ -9,15 +9,23 @@ reports.  This module provides the same facility:
 * :func:`TimerRegistry.region` — a context manager charging wall time to
   a region,
 * call counting, so the performance model can be driven by *measured*
-  kernel-invocation counts rather than assumptions.
+  kernel-invocation counts rather than assumptions,
+* an optional ``tracemalloc``-backed allocation counter
+  (``trace_allocations=True``), which charges the *net* allocated bytes
+  and the peak allocation observed inside each region — the
+  observability half of the allocation-free-hot-loop work: the
+  workspace tests assert that a planned ``lagstep`` stops allocating.
 
 Timers are cheap (one ``perf_counter`` pair per region entry) and can be
-disabled wholesale for benchmarking the raw kernels.
+disabled wholesale for benchmarking the raw kernels.  Allocation tracing
+is *not* cheap (tracemalloc intercepts every allocation) — enable it for
+diagnosis and tests, never for benchmark timing runs.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -25,15 +33,28 @@ from typing import Dict, Iterator, List, Optional
 
 @dataclass
 class Timer:
-    """A single accumulating timer: total seconds and invocation count."""
+    """A single accumulating timer: total seconds and invocation count.
+
+    When allocation tracing is enabled, ``alloc_bytes`` accumulates the
+    net bytes allocated inside the region across calls (allocations
+    minus frees — steady-state buffer reuse nets to ~zero) and
+    ``alloc_peak`` holds the largest single-call peak allocation.
+    """
 
     name: str
     seconds: float = 0.0
     calls: int = 0
+    alloc_bytes: int = 0
+    alloc_peak: int = 0
 
     def add(self, dt: float) -> None:
         self.seconds += dt
         self.calls += 1
+
+    def add_alloc(self, net: int, peak: int) -> None:
+        self.alloc_bytes += net
+        if peak > self.alloc_peak:
+            self.alloc_peak = peak
 
 
 @dataclass
@@ -42,10 +63,13 @@ class TimerRegistry:
 
     The registry is hierarchical only by naming convention (BookLeaf uses
     flat names, so do we).  ``enabled=False`` turns every region into a
-    no-op with near-zero overhead.
+    no-op with near-zero overhead.  ``trace_allocations=True`` starts
+    ``tracemalloc`` on first use and charges per-region allocation
+    deltas; nested regions attribute peaks to the innermost region.
     """
 
     enabled: bool = True
+    trace_allocations: bool = False
     timers: Dict[str, Timer] = field(default_factory=dict)
 
     def get(self, name: str) -> Timer:
@@ -62,11 +86,23 @@ class TimerRegistry:
             yield
             return
         timer = self.get(name)
+        tracing = self.trace_allocations
+        if tracing:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+            tracemalloc.reset_peak()
+            size0, _ = tracemalloc.get_traced_memory()
         start = time.perf_counter()
         try:
             yield
         finally:
             timer.add(time.perf_counter() - start)
+            if tracing and tracemalloc.is_tracing():
+                size1, peak = tracemalloc.get_traced_memory()
+                timer.add_alloc(size1 - size0, peak - size0)
+                # Re-arm the peak so an enclosing region's remainder is
+                # measured on its own, not against this region's peak.
+                tracemalloc.reset_peak()
 
     def seconds(self, name: str) -> float:
         timer = self.timers.get(name)
@@ -75,6 +111,14 @@ class TimerRegistry:
     def calls(self, name: str) -> int:
         timer = self.timers.get(name)
         return 0 if timer is None else timer.calls
+
+    def alloc_bytes(self, name: str) -> int:
+        timer = self.timers.get(name)
+        return 0 if timer is None else timer.alloc_bytes
+
+    def alloc_peak(self, name: str) -> int:
+        timer = self.timers.get(name)
+        return 0 if timer is None else timer.alloc_peak
 
     def total(self) -> float:
         return sum(t.seconds for t in self.timers.values())
@@ -89,25 +133,37 @@ class TimerRegistry:
             mine = self.get(name)
             mine.seconds += timer.seconds
             mine.calls += timer.calls
+            mine.alloc_bytes += timer.alloc_bytes
+            if timer.alloc_peak > mine.alloc_peak:
+                mine.alloc_peak = timer.alloc_peak
 
     def breakdown(self, kernels: Optional[List[str]] = None) -> str:
         """Format a BookLeaf-style per-kernel breakdown table.
 
         ``kernels`` restricts and orders the rows; by default all timers
-        are shown sorted by accumulated time (descending).
+        are shown sorted by accumulated time (descending).  When
+        allocation tracing was on, an allocations column (net bytes +
+        worst single-call peak) extends the Table II format.
         """
         names = kernels if kernels is not None else sorted(
             self.timers, key=lambda n: -self.timers[n].seconds
         )
         total = self.total()
-        lines = [f"{'kernel':<16}{'seconds':>12}{'calls':>10}{'share':>9}"]
+        traced = any(t.alloc_bytes or t.alloc_peak
+                     for t in self.timers.values())
+        header = f"{'kernel':<16}{'seconds':>12}{'calls':>10}{'share':>9}"
+        if traced:
+            header += f"{'net alloc':>14}{'peak':>12}"
+        lines = [header]
         for name in names:
             timer = self.timers.get(name)
             if timer is None:
                 continue
             share = 100.0 * timer.seconds / total if total > 0 else 0.0
-            lines.append(
-                f"{name:<16}{timer.seconds:>12.4f}{timer.calls:>10d}{share:>8.1f}%"
-            )
+            row = (f"{name:<16}{timer.seconds:>12.4f}"
+                   f"{timer.calls:>10d}{share:>8.1f}%")
+            if traced:
+                row += f"{timer.alloc_bytes:>14d}{timer.alloc_peak:>12d}"
+            lines.append(row)
         lines.append(f"{'total':<16}{total:>12.4f}")
         return "\n".join(lines)

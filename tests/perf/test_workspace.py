@@ -1,0 +1,180 @@
+"""Workspace arena tests: reuse, bit-identical results, no-growth,
+and the no-large-allocation guarantee of the warm hot loop.
+
+The contract being pinned: threading ``MeshPlans`` + ``Workspace``
+through ``lagstep`` changes *where* the intermediates live, never the
+floating-point operations — so the planned run is bit-identical to the
+historical allocate-per-call path — and once the loop is warm the arena
+stops growing and every kernel's transient allocation collapses from
+mesh-scale to nodal-scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.hydro import Hydro
+from repro.perf.plans import MeshPlans
+from repro.perf.workspace import Workspace, scratch
+from repro.problems import noh
+from repro.utils.timers import TimerRegistry
+
+#: lagstep phases instrumented by TimerRegistry
+LAG_KERNELS = ("exchange", "getq", "getforce", "getgeom",
+               "getrho", "getein", "getpc", "getacc")
+
+STATE_FIELDS = ("x", "y", "u", "v", "rho", "e", "p", "q", "cs2",
+                "volume", "corner_volume")
+
+
+def _run_noh(nx, steps, plans=False, workspace=None, timers=None):
+    setup = noh.setup(nx=nx, ny=nx)
+    hydro = Hydro(
+        setup.state, setup.table, setup.controls,
+        timers=timers,
+        plans=MeshPlans(setup.state.mesh) if plans else None,
+        workspace=workspace,
+    )
+    for _ in range(steps):
+        hydro.step()
+    return hydro
+
+
+def _assert_states_identical(a, b):
+    for name in STATE_FIELDS:
+        fa, fb = getattr(a, name), getattr(b, name)
+        assert np.array_equal(fa, fb), f"field {name} differs"
+
+
+# ----------------------------------------------------------------------
+# arena unit behaviour
+# ----------------------------------------------------------------------
+def test_named_buffers_are_reused():
+    ws = Workspace()
+    a = ws.array("t", (8, 4))
+    b = ws.array("t", (8, 4))
+    assert a is b
+    assert ws.misses == 1 and ws.hits == 1
+    # A different shape under the same name is a different buffer.
+    c = ws.array("t", (4, 4))
+    assert c is not a
+    assert len(ws) == 2
+
+
+def test_zeros_refills_every_request():
+    ws = Workspace()
+    z = ws.zeros("z", 5)
+    z[:] = 3.0
+    assert np.array_equal(ws.zeros("z", 5), np.zeros(5))
+
+
+def test_borrow_release_is_lifo_per_shape():
+    ws = Workspace()
+    a = ws.borrow((10, 4))
+    b = ws.borrow((10, 4))
+    assert a is not b
+    assert ws.misses == 2
+    ws.release(a, b)
+    # Most-recently-released comes back first (cache-hot).
+    assert ws.borrow((10, 4)) is b
+    assert ws.borrow((10, 4)) is a
+    assert ws.hits == 2
+    # Distinct shapes and dtypes pool separately.
+    i = ws.borrow((10, 4), dtype=np.int64)
+    assert i.dtype == np.int64 and i is not a and i is not b
+
+
+def test_borrowed_buffers_count_in_len_and_nbytes():
+    ws = Workspace()
+    a = ws.borrow(100)
+    assert len(ws) == 1
+    assert ws.nbytes() == a.nbytes
+    ws.release(a)
+    # Released buffers stay owned by the arena.
+    assert len(ws) == 1 and ws.nbytes() == a.nbytes
+    ws.borrow(100)                     # served from the free-list
+    assert len(ws) == 1
+    ws.clear()
+    assert len(ws) == 0 and ws.nbytes() == 0
+
+
+def test_scratch_fallback_allocates_fresh():
+    alloc = scratch(None)
+    a = alloc.array("t", (3, 4))
+    assert alloc.array("t", (3, 4)) is not a
+    b = alloc.borrow((3, 4))
+    alloc.release(b)                   # no-op
+    assert alloc.borrow((3, 4)) is not b
+    ws = Workspace()
+    assert scratch(ws) is ws
+
+
+# ----------------------------------------------------------------------
+# lagstep equivalence and steady state
+# ----------------------------------------------------------------------
+def test_workspace_run_bit_identical_to_plain():
+    plain = _run_noh(nx=12, steps=3)
+    ws_only = _run_noh(nx=12, steps=3, workspace=Workspace())
+    planned = _run_noh(nx=12, steps=3, plans=True, workspace=Workspace())
+    assert ws_only.dt == plain.dt and planned.dt == plain.dt
+    _assert_states_identical(ws_only.state, plain.state)
+    _assert_states_identical(planned.state, plain.state)
+
+
+def test_arena_stops_growing_after_first_step():
+    setup = noh.setup(nx=10, ny=10)
+    ws = Workspace()
+    hydro = Hydro(setup.state, setup.table, setup.controls,
+                  plans=MeshPlans(setup.state.mesh), workspace=ws)
+    hydro.step()
+    buffers, held = len(ws), ws.nbytes()
+    misses = ws.misses
+    assert buffers > 0
+    for _ in range(4):
+        hydro.step()
+    assert len(ws) == buffers, "arena allocated new buffers when warm"
+    assert ws.nbytes() == held
+    assert ws.misses == misses, "warm requests missed the arena"
+    assert ws.hits > misses
+
+
+def test_warm_loop_has_no_large_allocations():
+    """Transient allocation per warm kernel call: nodal-scale with the
+    arena (the structured scatter's internal window-add buffer), versus
+    mesh-scale — hundreds of KB at this size — without it."""
+    nx, warm, measured = 32, 2, 2
+
+    def measure(plans, workspace):
+        timers = TimerRegistry(trace_allocations=True)
+        setup = noh.setup(nx=nx, ny=nx)
+        hydro = Hydro(
+            setup.state, setup.table, setup.controls, timers=timers,
+            plans=MeshPlans(setup.state.mesh) if plans else None,
+            workspace=workspace,
+        )
+        for _ in range(warm):
+            hydro.step()
+        timers.reset()
+        for _ in range(measured):
+            hydro.step()
+        return max(timers.alloc_peak(k) for k in LAG_KERNELS)
+
+    planned_peak = measure(plans=True, workspace=Workspace())
+    plain_peak = measure(plans=False, workspace=None)
+    assert planned_peak < 64 * 1024, (
+        f"warm planned lagstep peaked at {planned_peak} B/call")
+    assert planned_peak * 4 < plain_peak, (
+        f"planned peak {planned_peak} B not clearly below "
+        f"plain peak {plain_peak} B")
+
+
+def test_node_mass_cache_reused_and_invalidated():
+    setup = noh.setup(nx=6, ny=6)
+    state = setup.state
+    m1 = state.node_mass()
+    assert state.node_mass() is m1
+    expected = state.scatter_to_nodes(state.corner_mass)
+    assert np.array_equal(m1, expected)
+    state.invalidate_node_mass()
+    m2 = state.node_mass(plans=MeshPlans(state.mesh))
+    assert m2 is not m1
+    assert np.array_equal(m2, expected)
