@@ -105,6 +105,9 @@ class AleStep:
                 # the barrier sequence.
                 moved = comms.allreduce_max(moved)
             if moved < 1e-15:
+                # Marker (not a span): the remap was due but the mesh
+                # had not moved — visible in traces as an instant event.
+                timers.trace_instant("ale.skip", args={"moved": moved})
                 return False
 
         with timers.region("alegetfvol"):

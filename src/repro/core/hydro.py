@@ -42,7 +42,9 @@ class Hydro:
         Numerical controls, including the ALE options.
     timers, logger, comms:
         Optional instrumentation and the communication seam; defaults
-        are serial and quiet.
+        are serial and quiet.  Attaching a telemetry tracer to
+        ``timers`` (``timers.tracer = Tracer()``) additionally records
+        the run → step → phase → kernel span hierarchy.
     remapper:
         Optional ALE remap object with an ``apply(state, dt)`` method;
         constructed automatically from the controls when ``ale_on``.
@@ -94,6 +96,15 @@ class Hydro:
 
     def step(self) -> float:
         """Advance one timestep; returns the dt taken."""
+        with self.timers.trace_span(f"step {self.nstep}",
+                                    cat="step") as span:
+            dt = self._step_impl()
+            if span is not None:
+                span.args.update(n=self.nstep, t=self.time, dt=self.dt,
+                                 dt_reason=self.dt_reason)
+        return dt
+
+    def _step_impl(self) -> float:
         controls = self.controls
         if self.nstep == 0:
             remaining = controls.time_end - self.time
@@ -105,15 +116,16 @@ class Hydro:
                     self.state, controls, self.dt, self.time, comms=self.comms
                 )
 
-        lagstep(
-            self.state, self.table, controls, self.dt, self.timers,
-            self.gamma, comms=self.comms, time=self.time,
-            plans=self.plans, ws=self.workspace,
-        )
+        with self.timers.trace_span("lagstep", cat="phase"):
+            lagstep(
+                self.state, self.table, controls, self.dt, self.timers,
+                self.gamma, comms=self.comms, time=self.time,
+                plans=self.plans, ws=self.workspace,
+            )
 
         if (self.remapper is not None
                 and (self.nstep + 1) % controls.ale_every == 0):
-            with self.timers.region("alestep"):
+            with self.timers.region("alestep", cat="phase"):
                 if self.workspace is not None:
                     self.remapper.apply(self.state, self.dt, self.timers,
                                         comms=self.comms, ws=self.workspace)
@@ -133,10 +145,13 @@ class Hydro:
         """March to ``time_end``; returns the number of steps taken."""
         limit = max_steps if max_steps is not None else self.controls.max_steps
         start = self.nstep
-        while not self.done():
-            if self.nstep - start >= limit:
-                break
-            self.step()
+        with self.timers.trace_span("run", cat="run") as span:
+            while not self.done():
+                if self.nstep - start >= limit:
+                    break
+                self.step()
+            if span is not None:
+                span.args.update(steps=self.nstep - start, t_end=self.time)
         return self.nstep - start
 
     # ------------------------------------------------------------------

@@ -32,10 +32,16 @@ from .typhon import TyphonComms, TyphonContext
 
 
 class DistributedHydro:
-    """Decomposed mini-app run over virtual ranks."""
+    """Decomposed mini-app run over virtual ranks.
+
+    Pass ``trace=True`` to give every rank thread its own
+    :class:`~repro.telemetry.spans.Tracer` (sharing one clock epoch so
+    the per-rank streams line up);  :meth:`merged_spans` then returns
+    the deterministically merged stream for the Chrome-trace writer.
+    """
 
     def __init__(self, setup: ProblemSetup, nranks: int,
-                 method: str = "rcb"):
+                 method: str = "rcb", trace: bool = False):
         if setup.controls.ale_on and setup.controls.ale_mode != "eulerian":
             raise BookLeafError(
                 "decomposed runs support Lagrangian and Eulerian-remap "
@@ -49,14 +55,25 @@ class DistributedHydro:
             self.global_mesh, self.part, nranks
         )
         self.context = TyphonContext(self.subdomains)
+        self.tracers = []
+        if trace:
+            from ..telemetry.spans import Tracer
+            import time
+
+            epoch = time.perf_counter_ns()
+            self.tracers = [Tracer(rank=r, epoch_ns=epoch)
+                            for r in range(nranks)]
         self.hydros: List[Hydro] = []
         for sub in self.subdomains:
             state = local_state(sub, setup.state)
-            comms = TyphonComms(self.context, sub)
+            tracer = self.tracers[sub.rank] if self.tracers else None
+            comms = TyphonComms(self.context, sub, tracer=tracer)
             self.context.register_state(sub.rank, state)
+            timers = TimerRegistry()
+            timers.tracer = tracer
             self.hydros.append(Hydro(
                 state, setup.table, setup.controls,
-                timers=TimerRegistry(), comms=comms,
+                timers=timers, comms=comms,
             ))
 
     # ------------------------------------------------------------------
@@ -131,6 +148,17 @@ class DistributedHydro:
         for hydro in self.hydros:
             merged.merge(hydro.timers)
         return merged
+
+    def merged_spans(self) -> list:
+        """All ranks' trace spans, merged deterministically (ascending
+        rank order, per-rank recording order preserved)."""
+        from ..telemetry.spans import merge_spans
+
+        return merge_spans(self.tracers)
+
+    def per_rank_comm(self) -> List[dict]:
+        """Every rank's Typhon counters in rank order (report input)."""
+        return self.context.per_rank_stats()
 
     def comm_summary(self) -> dict:
         """Traffic totals for the whole run (perf-model inputs)."""

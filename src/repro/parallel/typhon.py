@@ -25,6 +25,7 @@ floating-point round-off only.
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -35,6 +36,9 @@ from ..utils.errors import CommError
 from .halo import Subdomain
 
 _FLOAT_BYTES = 8
+
+#: shared no-op context for untraced comm calls (stateless, reusable)
+_NULL_SPAN = nullcontext()
 
 
 @dataclass
@@ -49,6 +53,15 @@ class CommStats:
     def account(self, nvalues: int) -> None:
         self.messages += 1
         self.bytes_sent += nvalues * _FLOAT_BYTES
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters (the run report's ``comm`` entries)."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes_sent,
+            "halo_exchanges": self.halo_exchanges,
+            "reductions": self.reductions,
+        }
 
 
 class TyphonContext:
@@ -91,6 +104,11 @@ class TyphonContext:
             total.reductions += s.reductions
         return total
 
+    def per_rank_stats(self) -> List[dict]:
+        """Every rank's counters in ascending rank order (deterministic
+        — each rank only ever writes its own :class:`CommStats`)."""
+        return [s.as_dict() for s in self.stats]
+
     def traffic_matrix(self) -> np.ndarray:
         """(size, size) static bytes-per-step estimate between rank
         pairs, from the halo schedules: kinematic halo (4 fields) plus
@@ -108,18 +126,33 @@ class TyphonContext:
 class TyphonComms:
     """One rank's communication endpoint (plugs into the comms seam)."""
 
-    def __init__(self, ctx: TyphonContext, sub: Subdomain):
+    def __init__(self, ctx: TyphonContext, sub: Subdomain, tracer=None):
         self.ctx = ctx
         self.sub = sub
         self.rank = sub.rank
         self.size = ctx.size
         self.stats = ctx.stats[self.rank]
+        #: optional :class:`~repro.telemetry.spans.Tracer`; when set,
+        #: every exchange/reduction records a ``comm`` span on this
+        #: rank's stream (the span covers the barrier waits too — in a
+        #: trace, load imbalance shows up as long comm spans)
+        self.tracer = tracer
+
+    def _span(self, name: str):
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return _NULL_SPAN
+        return tracer.span(name, cat="comm")
 
     # ------------------------------------------------------------------
     # kinematic halo exchange (before the viscosity kernel)
     # ------------------------------------------------------------------
     def exchange_kinematics(self, state) -> None:
         """Refresh ghost-only nodes' x, y, u, v from their owner ranks."""
+        with self._span("typhon.exchange_kinematics"):
+            self._exchange_kinematics(state)
+
+    def _exchange_kinematics(self, state) -> None:
         ctx = self.ctx
         ctx.register_state(self.rank, state)
         ctx.sync()  # all states published and quiescent at t^n
@@ -153,6 +186,11 @@ class TyphonComms:
         rank order so every rank computes bit-identical totals for
         shared nodes.
         """
+        with self._span("typhon.complete_node_arrays"):
+            return self._complete_node_arrays(state, *partials)
+
+    def _complete_node_arrays(self, state, *partials: np.ndarray
+                              ) -> Tuple[np.ndarray, ...]:
         ctx = self.ctx
         ctx.slots[self.rank] = tuple(p.copy() for p in partials)
         ctx.sync()
@@ -188,6 +226,10 @@ class TyphonComms:
     # ------------------------------------------------------------------
     def reduce_dt(self, candidates: List[Candidate]) -> Candidate:
         """Global minimum-dt candidate, with the cell id globalised."""
+        with self._span("typhon.reduce_dt"):
+            return self._reduce_dt(candidates)
+
+    def _reduce_dt(self, candidates: List[Candidate]) -> Candidate:
         dt, reason, cell = min(candidates, key=lambda c: c[0])
         gcell = int(self.sub.cell_global[cell]) if cell >= 0 else -1
         ctx = self.ctx
@@ -201,6 +243,10 @@ class TyphonComms:
 
     def allreduce_max(self, value: float) -> float:
         """Global maximum of a scalar across ranks."""
+        with self._span("typhon.allreduce_max"):
+            return self._allreduce_max(value)
+
+    def _allreduce_max(self, value: float) -> float:
         ctx = self.ctx
         ctx.slots[self.rank] = float(value)
         ctx.sync()
@@ -220,6 +266,10 @@ class TyphonComms:
     def exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
         """Refresh the ghost-cell rows of per-cell arrays from their
         owner ranks (every rank must pass the same array list)."""
+        with self._span("typhon.exchange_cell_arrays"):
+            self._exchange_cell_arrays(*arrays)
+
+    def _exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
         ctx = self.ctx
         ctx.slots[self.rank] = arrays
         ctx.sync()

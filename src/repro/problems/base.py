@@ -33,6 +33,21 @@ class ProblemSetup:
     #: free-form problem parameters recorded for reproducibility
     params: dict = field(default_factory=dict)
 
+    def describe(self) -> dict:
+        """JSON-ready configuration snapshot (the run report's
+        ``problem`` section: name, mesh size, params, every control)."""
+        from dataclasses import asdict
+
+        return {
+            "name": self.name,
+            "description": self.description,
+            "extents": list(self.extents),
+            "ncell": int(self.state.mesh.ncell),
+            "nnode": int(self.state.mesh.nnode),
+            "params": dict(self.params),
+            "controls": asdict(self.controls),
+        }
+
     def make_hydro(self, timers: Optional[TimerRegistry] = None,
                    logger: Optional[StepLogger] = None,
                    comms=None) -> Hydro:

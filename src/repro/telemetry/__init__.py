@@ -1,0 +1,37 @@
+"""Run telemetry — hierarchical trace spans, run reports, Chrome traces.
+
+The paper's whole evaluation is a per-kernel time breakdown plus
+communication-volume accounting (Table II, Figures 1-4).  This package
+turns the repository's ad-hoc instrumentation — :class:`TimerRegistry`
+accumulators and Typhon's :class:`CommStats` counters — into first-class
+observability artefacts:
+
+* :class:`~repro.telemetry.spans.Tracer` / :class:`~repro.telemetry.spans.Span`
+  — hierarchical trace spans (run → step → phase → kernel) recorded
+  with monotonic clocks, one tracer per rank, merged deterministically,
+* :mod:`repro.telemetry.report` — the schema-versioned JSON run report
+  (``bookleaf run --report out.json``),
+* :mod:`repro.telemetry.trace` — the Chrome trace-event file loadable
+  in Perfetto (``bookleaf run --trace out.trace.json``),
+* :mod:`repro.telemetry.table2` — the measured-vs-modeled Table II
+  (``bookleaf model table2-measured``).
+
+Telemetry is off by default and adds nothing to the hot loop beyond a
+``tracer is None`` check per timer region; see docs/OBSERVABILITY.md.
+"""
+
+from .report import (  # noqa: F401
+    SCHEMA_VERSION,
+    StepSeries,
+    build_report,
+    schema_shape,
+    validate_report,
+    write_report,
+)
+from .spans import Span, Tracer, merge_spans  # noqa: F401
+from .table2 import (  # noqa: F401
+    format_measured_vs_modeled,
+    measured_vs_modeled,
+    update_experiments,
+)
+from .trace import trace_events, validate_trace, write_trace  # noqa: F401

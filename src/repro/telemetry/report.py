@@ -1,0 +1,191 @@
+"""The schema-versioned JSON run report (``bookleaf run --report``).
+
+One run produces one report: the problem configuration, per-kernel
+seconds/calls/allocation counters (the measured Table II column), the
+Typhon communication counters (total and per rank, in rank order) and
+a per-step time series.  The report is the machine-readable companion
+to the human breakdown the CLI prints — the artefact every perf PR
+regresses against.
+
+The schema is versioned and *pinned by a golden test*
+(``tests/telemetry/test_report.py``): changing the shape of the report
+— adding, removing or retyping a field — requires bumping
+:data:`SCHEMA_VERSION` and regenerating the golden shape file, which
+makes schema drift an explicit, reviewed event rather than an
+accident.  docs/OBSERVABILITY.md carries the annotated example.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..utils.timers import TimerRegistry
+
+#: bump when (and only when) the report shape changes; the golden test
+#: pins shape + version together
+SCHEMA_VERSION = 1
+
+GENERATOR = "repro.telemetry"
+
+#: counters every comm entry carries (total and per-rank alike)
+COMM_FIELDS = ("messages", "bytes", "halo_exchanges", "reductions")
+
+#: fields of one step record in the time series
+STEP_FIELDS = ("nstep", "time", "dt", "dt_reason", "wall_seconds")
+
+
+class StepSeries:
+    """Hydro observer recording the step-loop time series.
+
+    Appends one record per step: step number, simulated time, the dt
+    taken (and why), and the wall-clock seconds the step cost
+    (measured between observer invocations with a monotonic clock).
+    """
+
+    def __init__(self) -> None:
+        self.rows: List[dict] = []
+        self._last_ns = time.perf_counter_ns()
+
+    def __call__(self, hydro) -> None:
+        now = time.perf_counter_ns()
+        self.rows.append({
+            "nstep": hydro.nstep,
+            "time": hydro.time,
+            "dt": hydro.dt,
+            "dt_reason": hydro.dt_reason,
+            "wall_seconds": (now - self._last_ns) * 1e-9,
+        })
+        self._last_ns = now
+
+
+def _kernel_entry(timer) -> dict:
+    return {
+        "seconds": timer.seconds,
+        "calls": timer.calls,
+        "alloc_bytes": timer.alloc_bytes,
+        "alloc_peak": timer.alloc_peak,
+    }
+
+
+def build_report(problem: dict, timers: TimerRegistry, *,
+                 steps: int, time_reached: float, wall_seconds: float,
+                 ranks: int = 1, partition: Optional[str] = None,
+                 comm_total: Optional[dict] = None,
+                 comm_per_rank: Optional[List[dict]] = None,
+                 step_series: Optional[StepSeries] = None) -> dict:
+    """Assemble the run report dict (see module docstring for shape).
+
+    Serial runs pass no comm counters and get an all-zero total with an
+    empty per-rank list — the schema is identical either way, so report
+    consumers need no serial/distributed special case.
+    """
+    if comm_total is None:
+        comm_total = {k: 0 for k in COMM_FIELDS}
+    comm_total = {k: int(comm_total.get(k, 0)) for k in COMM_FIELDS}
+    per_rank = [
+        {k: int(entry.get(k, 0)) for k in COMM_FIELDS}
+        for entry in (comm_per_rank or [])
+    ]
+    kernels = {
+        name: _kernel_entry(timer)
+        for name, timer in sorted(timers.timers.items())
+    }
+    series = [dict(row) for row in step_series.rows] if step_series else []
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generator": GENERATOR,
+        "problem": problem,
+        "run": {
+            "ranks": int(ranks),
+            "partition": partition if ranks > 1 else None,
+            "steps": int(steps),
+            "time": float(time_reached),
+            "wall_seconds": float(wall_seconds),
+        },
+        "kernels": kernels,
+        "comm": {"total": comm_total, "per_rank": per_rank},
+        "steps": series,
+    }
+
+
+def write_report(report: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# schema validation + the golden shape
+# ----------------------------------------------------------------------
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` on any report that violates the schema."""
+    def need(cond: bool, msg: str) -> None:
+        if not cond:
+            raise ValueError(f"invalid run report: {msg}")
+
+    need(isinstance(report, dict), "not a dict")
+    need(report.get("schema_version") == SCHEMA_VERSION,
+         f"schema_version != {SCHEMA_VERSION}")
+    need(report.get("generator") == GENERATOR, "unknown generator")
+    for key in ("problem", "run", "kernels", "comm", "steps"):
+        need(key in report, f"missing top-level key {key!r}")
+    run = report["run"]
+    for key in ("ranks", "steps"):
+        need(isinstance(run.get(key), int), f"run.{key} not an int")
+    for key in ("time", "wall_seconds"):
+        need(isinstance(run.get(key), (int, float)),
+             f"run.{key} not a number")
+    for name, entry in report["kernels"].items():
+        for key in ("seconds", "calls", "alloc_bytes", "alloc_peak"):
+            need(isinstance(entry.get(key), (int, float)),
+                 f"kernels[{name!r}].{key} not a number")
+    comm = report["comm"]
+    need(isinstance(comm.get("per_rank"), list), "comm.per_rank not a list")
+    for entry in [comm["total"]] + comm["per_rank"]:
+        for key in COMM_FIELDS:
+            need(isinstance(entry.get(key), int),
+                 f"comm counter {key!r} not an int")
+    if run["ranks"] > 1:
+        need(len(comm["per_rank"]) == run["ranks"],
+             "comm.per_rank length != ranks")
+    for row in report["steps"]:
+        for key in STEP_FIELDS:
+            need(key in row, f"step record missing {key!r}")
+
+
+#: dict paths whose *keys* are data (kernel names, problem params) —
+#: their shape collapses to one representative "*" entry, so adding a
+#: timer region is not a schema change but retyping a field is
+_WILDCARD_PATHS = frozenset({("kernels",), ("problem", "params")})
+
+
+def schema_shape(value, _path: tuple = ()):
+    """Canonical shape of a report: dict keys mapped to value *types*.
+
+    Lists collapse to the shape of their first element and wildcard
+    maps (kernels, problem params) to one ``"*"`` entry, so two reports
+    from different runs have equal shapes unless the schema itself
+    changed.  Used by the golden-file test.
+    """
+    if isinstance(value, dict):
+        if _path in _WILDCARD_PATHS:
+            if not value:
+                return {}
+            first = sorted(value)[0]
+            return {"*": schema_shape(value[first], _path + ("*",))}
+        return {k: schema_shape(v, _path + (k,))
+                for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        return [schema_shape(value[0], _path + ("[]",))] if value else []
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if value is None:
+        return "null"
+    return type(value).__name__

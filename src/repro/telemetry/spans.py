@@ -1,0 +1,166 @@
+"""Hierarchical trace spans over monotonic clocks.
+
+A :class:`Span` is one timed interval of the run — the whole run, one
+timestep, one phase (``lagstep``/``alestep``) or one kernel region —
+with its start and duration in nanoseconds since the tracer's *epoch*
+(a ``perf_counter_ns`` origin shared by every rank of a run, so the
+per-rank streams line up on one time axis).  Spans nest: the ``depth``
+field records how many spans were open on the same tracer when this
+one began, which is enough to rebuild the tree (within one rank, spans
+form a properly bracketed sequence).
+
+A :class:`Tracer` records spans for one rank.  It is deliberately
+append-only and thread-local by construction — the distributed driver
+gives each rank thread its own tracer and merges the streams with
+:func:`merge_spans` in ascending rank order, so the merged stream is
+deterministic run-to-run (same span names, categories, counts and
+order; only the clock values vary).
+
+When ``trace_allocations`` is on (and ``tracemalloc`` is tracing),
+every span also carries the net bytes allocated inside it — the same
+counter the :class:`~repro.utils.timers.TimerRegistry` accumulates per
+region, but per *instance* rather than per name.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: the span categories, outermost first — the hierarchy levels of the
+#: run → step → phase → kernel span model (plus ``comm`` for the
+#: Typhon exchange/reduction spans nested inside kernels)
+CATEGORIES = ("run", "step", "phase", "kernel", "comm")
+
+
+@dataclass
+class Span:
+    """One timed interval: name, category, rank, clocks, nesting depth."""
+
+    name: str
+    cat: str
+    rank: int
+    t0_ns: int              #: start, ns since the tracer's epoch
+    dur_ns: int = -1        #: -1 while the span is still open
+    depth: int = 0          #: spans open on this tracer when this began
+    args: Dict[str, object] = field(default_factory=dict)
+    alloc_bytes: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "cat": self.cat,
+            "rank": self.rank,
+            "t0_ns": self.t0_ns,
+            "dur_ns": self.dur_ns,
+            "depth": self.depth,
+        }
+        if self.args:
+            out["args"] = dict(self.args)
+        if self.alloc_bytes is not None:
+            out["alloc_bytes"] = self.alloc_bytes
+        return out
+
+
+class Tracer:
+    """Append-only span recorder for one rank.
+
+    Parameters
+    ----------
+    rank:
+        Rank id stamped on every span (the Chrome-trace ``tid``).
+    epoch_ns:
+        Shared ``perf_counter_ns`` origin.  Every rank of a distributed
+        run must receive the *same* epoch so the streams align; the
+        default (``None``) takes the construction instant.
+    trace_allocations:
+        Record per-span net allocated bytes (requires ``tracemalloc``
+        to be running — the timer registry starts it).
+    """
+
+    def __init__(self, rank: int = 0, epoch_ns: Optional[int] = None,
+                 trace_allocations: bool = False):
+        self.rank = rank
+        self.enabled = True
+        self.epoch_ns = (time.perf_counter_ns()
+                         if epoch_ns is None else epoch_ns)
+        self.trace_allocations = trace_allocations
+        self.spans: List[Span] = []
+        self._open: List[Span] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return len(self._open)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "kernel",
+             args: Optional[dict] = None) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block.
+
+        The yielded :class:`Span` is live — callers may fill ``args``
+        (e.g. the dt a step settled on) before the block closes.
+        """
+        if not self.enabled:
+            yield Span(name, cat, self.rank, 0)
+            return
+        alloc0 = None
+        if self.trace_allocations and tracemalloc.is_tracing():
+            alloc0, _ = tracemalloc.get_traced_memory()
+        span = Span(name, cat, self.rank,
+                    time.perf_counter_ns() - self.epoch_ns,
+                    depth=len(self._open),
+                    args=dict(args) if args else {})
+        self.spans.append(span)
+        self._open.append(span)
+        try:
+            yield span
+        finally:
+            span.dur_ns = (time.perf_counter_ns() - self.epoch_ns
+                           - span.t0_ns)
+            if alloc0 is not None and tracemalloc.is_tracing():
+                alloc1, _ = tracemalloc.get_traced_memory()
+                span.alloc_bytes = alloc1 - alloc0
+            self._open.pop()
+
+    def record(self, name: str, cat: str, t0_ns_abs: int, dur_ns: int,
+               alloc_bytes: Optional[int] = None,
+               args: Optional[dict] = None) -> None:
+        """Record an already-measured interval (the timer-region hook:
+        the registry measured the clocks itself and hands them over so
+        the region body pays for exactly one clock pair)."""
+        self.spans.append(Span(
+            name, cat, self.rank, t0_ns_abs - self.epoch_ns, dur_ns,
+            depth=len(self._open), args=dict(args) if args else {},
+            alloc_bytes=alloc_bytes,
+        ))
+
+    def instant(self, name: str, cat: str = "phase",
+                args: Optional[dict] = None) -> None:
+        """Record a zero-duration marker event (e.g. a skipped remap)."""
+        if not self.enabled:
+            return
+        self.spans.append(Span(
+            name, cat, self.rank,
+            time.perf_counter_ns() - self.epoch_ns, 0,
+            depth=len(self._open), args=dict(args) if args else {},
+        ))
+
+
+def merge_spans(tracers: List[Tracer]) -> List[Span]:
+    """Merge per-rank span streams into one deterministic stream.
+
+    Concatenates in ascending rank order, preserving each rank's
+    recording order — *not* by timestamp, which would make the merged
+    order vary run-to-run with scheduling noise.  Two runs of the same
+    problem produce streams with identical (name, cat, rank, depth)
+    sequences; only the clock values differ.
+    """
+    ordered = sorted(tracers, key=lambda t: t.rank)
+    merged: List[Span] = []
+    for tracer in ordered:
+        merged.extend(tracer.spans)
+    return merged

@@ -10,6 +10,12 @@ reports.  This module provides the same facility:
   a region,
 * call counting, so the performance model can be driven by *measured*
   kernel-invocation counts rather than assumptions,
+* an optional :class:`~repro.telemetry.spans.Tracer` hook
+  (``registry.tracer = Tracer(...)``): every region entry is then also
+  recorded as an individual trace span, which is how the telemetry
+  layer (docs/OBSERVABILITY.md) sees the kernels without any change to
+  the kernel call sites — the cost when no tracer is attached is one
+  ``is None`` check per region,
 * an optional ``tracemalloc``-backed allocation counter
   (``trace_allocations=True``), which charges the *net* allocated bytes
   and the peak allocation observed inside each region — the
@@ -26,7 +32,7 @@ from __future__ import annotations
 
 import time
 import tracemalloc
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -71,6 +77,9 @@ class TimerRegistry:
     enabled: bool = True
     trace_allocations: bool = False
     timers: Dict[str, Timer] = field(default_factory=dict)
+    #: optional :class:`~repro.telemetry.spans.Tracer`; when attached,
+    #: every region entry is also recorded as one trace span
+    tracer: Optional[object] = None
 
     def get(self, name: str) -> Timer:
         timer = self.timers.get(name)
@@ -80,29 +89,61 @@ class TimerRegistry:
         return timer
 
     @contextmanager
-    def region(self, name: str) -> Iterator[None]:
-        """Charge the wall time spent inside the ``with`` block to ``name``."""
+    def region(self, name: str, cat: str = "kernel") -> Iterator[None]:
+        """Charge the wall time spent inside the ``with`` block to ``name``.
+
+        ``cat`` is only meaningful when a tracer is attached: it sets
+        the recorded span's category (the ``alestep`` region is a
+        *phase* in the span hierarchy, the rest are kernels).
+        """
         if not self.enabled:
             yield
             return
         timer = self.get(name)
         tracing = self.trace_allocations
+        tracer = self.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
         if tracing:
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
             tracemalloc.reset_peak()
             size0, _ = tracemalloc.get_traced_memory()
-        start = time.perf_counter()
+        start_ns = time.perf_counter_ns()
         try:
             yield
         finally:
-            timer.add(time.perf_counter() - start)
+            dur_ns = time.perf_counter_ns() - start_ns
+            timer.add(dur_ns * 1e-9)
+            net = None
             if tracing and tracemalloc.is_tracing():
                 size1, peak = tracemalloc.get_traced_memory()
-                timer.add_alloc(size1 - size0, peak - size0)
+                net = size1 - size0
+                timer.add_alloc(net, peak - size0)
                 # Re-arm the peak so an enclosing region's remainder is
                 # measured on its own, not against this region's peak.
                 tracemalloc.reset_peak()
+            if tracer is not None:
+                tracer.record(name, cat, start_ns, dur_ns,
+                              alloc_bytes=net)
+
+    def trace_span(self, name: str, cat: str = "phase",
+                   args: Optional[dict] = None):
+        """A tracer span *without* a timer — the structural levels of
+        the span hierarchy (run, step, lagstep) that must not double-
+        charge the kernel accumulators.  A shared no-op context when no
+        tracer is attached, so untraced runs pay nothing."""
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return nullcontext()
+        return tracer.span(name, cat, args)
+
+    def trace_instant(self, name: str, cat: str = "phase",
+                      args: Optional[dict] = None) -> None:
+        """Record a zero-duration marker event on the attached tracer."""
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.instant(name, cat, args)
 
     def seconds(self, name: str) -> float:
         timer = self.timers.get(name)

@@ -1,0 +1,104 @@
+"""Tracer/span mechanics: nesting, clocks, the timer-region hook."""
+
+import tracemalloc
+
+from repro.telemetry import Span, Tracer, merge_spans
+from repro.utils.timers import TimerRegistry
+
+
+def test_span_nesting_depth_and_clocks():
+    tracer = Tracer()
+    with tracer.span("run", cat="run"):
+        with tracer.span("step 0", cat="step"):
+            with tracer.span("getq"):
+                pass
+    names = [(s.name, s.cat, s.depth) for s in tracer.spans]
+    assert names == [("run", "run", 0), ("step 0", "step", 1),
+                     ("getq", "kernel", 2)]
+    run, step, getq = tracer.spans
+    for span in tracer.spans:
+        assert span.t0_ns >= 0 and span.dur_ns >= 0
+    # children lie within their parents' intervals
+    assert run.t0_ns <= step.t0_ns
+    assert step.t0_ns + step.dur_ns <= run.t0_ns + run.dur_ns
+    assert getq.t0_ns + getq.dur_ns <= step.t0_ns + step.dur_ns
+
+
+def test_span_args_filled_inside_block():
+    tracer = Tracer()
+    with tracer.span("step 3", cat="step") as span:
+        span.args["dt"] = 0.5
+    assert tracer.spans[0].args == {"dt": 0.5}
+    assert "args" in tracer.spans[0].as_dict()
+
+
+def test_instant_marker_has_zero_duration():
+    tracer = Tracer()
+    tracer.instant("ale.skip", args={"moved": 0.0})
+    (span,) = tracer.spans
+    assert span.dur_ns == 0 and span.args == {"moved": 0.0}
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer()
+    tracer.enabled = False
+    with tracer.span("x"):
+        pass
+    tracer.instant("y")
+    assert tracer.spans == []
+
+
+def test_timer_region_records_spans_when_tracer_attached():
+    timers = TimerRegistry()
+    timers.tracer = Tracer()
+    with timers.region("getq"):
+        pass
+    with timers.region("alestep", cat="phase"):
+        pass
+    spans = timers.tracer.spans
+    assert [(s.name, s.cat) for s in spans] == [
+        ("getq", "kernel"), ("alestep", "phase")]
+    # timer accumulators agree with the span durations
+    assert abs(timers.seconds("getq") - spans[0].dur_ns * 1e-9) < 1e-9
+
+
+def test_timer_region_without_tracer_unchanged():
+    timers = TimerRegistry()
+    with timers.region("getq"):
+        pass
+    assert timers.calls("getq") == 1
+
+
+def test_trace_span_helper_noop_without_tracer():
+    timers = TimerRegistry()
+    with timers.trace_span("lagstep") as span:
+        assert span is None
+    timers.trace_instant("marker")   # must not raise
+
+
+def test_region_span_carries_alloc_bytes():
+    timers = TimerRegistry(trace_allocations=True)
+    timers.tracer = Tracer()
+    with timers.region("alloc"):
+        blob = bytearray(256 * 1024)  # noqa: F841
+        del blob
+    (span,) = timers.tracer.spans
+    assert span.alloc_bytes is not None
+    tracemalloc.stop()
+
+
+def test_merge_spans_ascending_rank_order():
+    a, b = Tracer(rank=1, epoch_ns=0), Tracer(rank=0, epoch_ns=0)
+    with a.span("x"):
+        pass
+    with b.span("y"):
+        pass
+    merged = merge_spans([a, b])
+    assert [(s.rank, s.name) for s in merged] == [(0, "y"), (1, "x")]
+
+
+def test_span_as_dict_roundtrips_fields():
+    span = Span("getq", "kernel", 2, 10, 5, depth=3, alloc_bytes=64)
+    d = span.as_dict()
+    assert d == {"name": "getq", "cat": "kernel", "rank": 2,
+                 "t0_ns": 10, "dur_ns": 5, "depth": 3, "alloc_bytes": 64}

@@ -1,0 +1,73 @@
+"""Measured-vs-modeled Table II and the EXPERIMENTS.md regeneration."""
+
+import pytest
+
+from repro.perfmodel.kernels import KERNELS
+from repro.telemetry import (
+    format_measured_vs_modeled,
+    measured_vs_modeled,
+    update_experiments,
+)
+from repro.telemetry.table2 import BEGIN_MARK, END_MARK, experiments_block
+
+
+@pytest.fixture(scope="module")
+def result():
+    return measured_vs_modeled(nx=16, max_steps=20)
+
+
+def test_rows_cover_table2_kernels(result):
+    kernels = [row["kernel"] for row in result["rows"]]
+    assert kernels == KERNELS + ["other"]
+    for row in result["rows"]:
+        assert row["measured_seconds"] >= 0
+        assert 0 <= row["measured_share"] <= 1
+        assert 0 <= row["model_share"] <= 1
+
+
+def test_shares_sum_to_one(result):
+    assert sum(r["measured_share"] for r in result["rows"]) == pytest.approx(1)
+    assert sum(r["model_share"] for r in result["rows"]) == pytest.approx(1)
+
+
+def test_model_column_is_paper_calibrated(result):
+    # the modelled baseline is anchored to the paper's Table II column 1
+    assert result["model_overall"] == pytest.approx(76.068, rel=1e-3)
+
+
+def test_formatting_text_and_markdown(result):
+    text = format_measured_vs_modeled(result)
+    assert "viscosity" in text and "overall" in text
+    md = format_measured_vs_modeled(result, markdown=True)
+    assert md.startswith("| kernel |")
+    assert "|---|---|---|---|---|" in md
+
+
+def test_update_experiments_replaces_marked_block(result, tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text(
+        f"# Experiments\n\nintro\n\n{BEGIN_MARK}\nstale\n{END_MARK}\n\ntail\n"
+    )
+    update_experiments(result, path)
+    text = path.read_text()
+    assert "stale" not in text
+    assert "| viscosity |" in text
+    assert text.startswith("# Experiments")
+    assert text.rstrip().endswith("tail")
+    # idempotent: a second regeneration still finds exactly one block
+    update_experiments(result, path)
+    assert path.read_text().count(BEGIN_MARK) == 1
+
+
+def test_update_experiments_requires_markers(result, tmp_path):
+    path = tmp_path / "EXPERIMENTS.md"
+    path.write_text("no markers here\n")
+    with pytest.raises(ValueError):
+        update_experiments(result, path)
+
+
+def test_experiments_block_states_measured_vs_modeled(result):
+    block = experiments_block(result)
+    assert "wall clock" in block
+    assert "analytic model" in block
+    assert block.startswith(BEGIN_MARK) and block.endswith(END_MARK)

@@ -104,3 +104,64 @@ def test_run_distributed(capsys):
     out = capsys.readouterr().out
     assert "ranks: 2" in out
     assert "comm:" in out
+
+
+def test_run_distributed_summary_includes_comm_totals(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+               "--max-steps", "3", "--ranks", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "halo exchanges" in out
+    assert "reductions" in out
+    assert "bytes" in out
+
+
+def test_run_report_and_trace_serial(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_report, validate_trace
+
+    report = tmp_path / "r.json"
+    trace = tmp_path / "t.trace.json"
+    rc = main(["run", "--problem", "noh", "--nx", "12", "--ny", "12",
+               "--max-steps", "4", "--report", str(report),
+               "--trace", str(trace)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote run report" in out and "wrote Chrome trace" in out
+    rep = json.loads(report.read_text())
+    validate_report(rep)
+    assert rep["run"]["ranks"] == 1
+    assert len(rep["steps"]) == 4
+    validate_trace(json.loads(trace.read_text()))
+
+
+def test_run_report_and_trace_distributed(tmp_path, capsys):
+    import json
+
+    from repro.telemetry import validate_report, validate_trace
+
+    report = tmp_path / "r.json"
+    trace = tmp_path / "t.trace.json"
+    rc = main(["run", "--problem", "noh", "--nx", "16", "--ny", "16",
+               "--max-steps", "4", "--ranks", "2",
+               "--report", str(report), "--trace", str(trace)])
+    assert rc == 0
+    rep = json.loads(report.read_text())
+    validate_report(rep)
+    assert rep["run"]["ranks"] == 2
+    assert rep["run"]["partition"] == "rcb"
+    per_rank = rep["comm"]["per_rank"]
+    assert len(per_rank) == 2
+    assert all(e["messages"] > 0 and e["bytes"] > 0 for e in per_rank)
+    tr = json.loads(trace.read_text())
+    validate_trace(tr)
+    assert {e["tid"] for e in tr["traceEvents"]} == {0, 1}
+
+
+def test_model_table2_measured(capsys):
+    rc = main(["model", "table2-measured", "--nx", "12", "--steps", "10"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "viscosity" in out
+    assert "measured" in out and "model" in out

@@ -1,0 +1,45 @@
+"""Tier-1 guard: no dangling relative links in the documentation.
+
+Runs the same checks as ``tools/check_links.py`` (which CI also
+invokes standalone) so a broken README/docs link fails the test suite,
+not just the CI lint step.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_links",
+    Path(__file__).parent.parent / "tools" / "check_links.py",
+)
+check_links = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("check_links", check_links)
+_SPEC.loader.exec_module(check_links)
+
+
+def test_docs_exist():
+    names = {p.name for p in check_links.doc_files()}
+    for expected in ("README.md", "EXPERIMENTS.md", "DESIGN.md",
+                     "OBSERVABILITY.md", "PERFORMANCE.md", "NUMERICS.md"):
+        assert expected in names
+
+
+@pytest.mark.parametrize(
+    "path", check_links.doc_files(),
+    ids=lambda p: str(p.relative_to(check_links.ROOT)),
+)
+def test_no_broken_relative_links(path):
+    broken = check_links.check_file(path)
+    assert not broken, f"broken links in {path.name}: {broken}"
+
+
+def test_checker_catches_a_broken_link(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [the plan](does/not/exist.md) and "
+                   "[fine](https://example.com)\n")
+    broken = check_links.check_file(bad)
+    assert len(broken) == 1
+    assert broken[0][0] == "does/not/exist.md"

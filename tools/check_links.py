@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's documentation.
+
+Scans every tracked markdown file (repo root, docs/, tests/ goldens
+aside) for inline links and reference definitions, and verifies that
+each *relative* target resolves to an existing file or directory.
+External links (http/https/mailto) are recorded but not fetched — CI
+must not depend on the network.  In-page anchors (``#section``) are
+checked to the file level only.
+
+Run from anywhere::
+
+    python tools/check_links.py            # check, exit 1 on breakage
+    python tools/check_links.py --list     # also print every link
+
+The tier-1 suite runs the same checks (``tests/test_docs_links.py``),
+so a PR cannot merge a dangling doc link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files under these locations are checked
+DOC_GLOBS = ("*.md", "docs/*.md", "examples/*.md", "tools/*.md",
+             ".github/*.md")
+
+#: inline [text](target) — excluding images' size suffixes etc.
+_INLINE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: reference definitions: [label]: target
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: fenced code blocks, stripped before link extraction
+_FENCE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path = ROOT) -> List[Path]:
+    files: List[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def links_in(path: Path) -> List[str]:
+    text = _FENCE.sub("", path.read_text())
+    return _INLINE.findall(text) + _REFDEF.findall(text)
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Return (target, problem) pairs for every broken link in ``path``."""
+    broken: List[Tuple[str, str]] = []
+    for target in links_in(path):
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        if target.startswith("#"):          # in-page anchor
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = (path.parent / local).resolve()
+        if not resolved.exists():
+            broken.append((target, f"missing file {resolved}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    list_all = "--list" in argv
+    files = doc_files()
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        rel = path.relative_to(ROOT)
+        broken = check_file(path)
+        if list_all:
+            print(f"{rel}: {len(links_in(path))} links, "
+                  f"{len(broken)} broken")
+        for target, problem in broken:
+            failures += 1
+            print(f"BROKEN {rel}: ({target}) -> {problem}")
+    print(f"checked {len(files)} markdown files: "
+          + ("all links ok" if not failures else f"{failures} broken"))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
