@@ -1,0 +1,164 @@
+"""Comm-backend comparison bench — serial vs threads vs processes.
+
+Times identical Sod and Noh runs through :func:`repro.api.run` on a
+ladder of meshes, once per registered backend (serial at 1 rank, the
+distributed backends at ``--nranks``, default 4), and writes
+``BENCH_backends.json`` at the repository root so CI can track the
+numbers.  The question the bench answers: with every rank in its own
+OS process over shared memory, does the ``processes`` backend escape
+the GIL convoy that serialises the ``threads`` backend's numpy
+kernels?  The answer is hardware-honest — ``cpus_visible`` is recorded
+in the report, and on a single-CPU runner no process pool can beat the
+GIL because there is nothing to run ranks on in parallel.
+
+Run standalone (``python benchmarks/bench_backends.py [--quick]``) or
+through the bench harness (``pytest benchmarks/bench_backends.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.api import RunConfig, run
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SIZES = (32, 64, 128)
+DEFAULT_STEPS = 30
+DEFAULT_NRANKS = 4
+#: the redesign's headline claim, checked where the hardware allows it
+TARGET_SPEEDUP = 1.5
+PROBLEMS = ("sod", "noh")
+
+
+def _cpus_visible() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def time_case(problem: str, nx: int, backend: str, nranks: int,
+              steps: int, repeats: int) -> dict:
+    """Best-of-``repeats`` end-to-end seconds for one configuration.
+
+    End-to-end means the full :func:`repro.api.run` call: partitioning,
+    backend spin-up (thread/process launch, shared-memory setup) and
+    the stepped run — the cost an embedder actually pays.
+    """
+    best = float("inf")
+    nstep = 0
+    for _ in range(repeats):
+        config = RunConfig(problem=problem, nx=nx, ny=nx,
+                           max_steps=steps, nranks=nranks,
+                           backend=backend)
+        t0 = time.perf_counter()
+        result = run(config)
+        best = min(best, time.perf_counter() - t0)
+        nstep = result.nstep
+    return {"backend": backend, "nranks": nranks, "seconds": best,
+            "seconds_per_step": best / max(nstep, 1), "steps": nstep}
+
+
+def run_matrix(sizes=DEFAULT_SIZES, steps=DEFAULT_STEPS,
+               nranks=DEFAULT_NRANKS, repeats: int = 2) -> dict:
+    cases = []
+    for problem in PROBLEMS:
+        for nx in sizes:
+            entry = {"problem": problem, "nx": nx, "ncell": nx * nx,
+                     "runs": []}
+            for backend, n in (("serial", 1), ("threads", nranks),
+                               ("processes", nranks)):
+                entry["runs"].append(time_case(
+                    problem, nx, backend, n, steps, repeats))
+            by_name = {r["backend"]: r for r in entry["runs"]}
+            entry["processes_vs_threads"] = (
+                by_name["threads"]["seconds"]
+                / by_name["processes"]["seconds"]
+            )
+            cases.append(entry)
+    return {
+        "bench": "comm-backend-comparison",
+        "description": ("end-to-end seconds of identical runs through "
+                        "repro.api.run, per comm backend"),
+        "nranks": nranks,
+        "steps": steps,
+        "repeats": repeats,
+        "cpus_visible": _cpus_visible(),
+        "target_processes_vs_threads": TARGET_SPEEDUP,
+        "cases": cases,
+    }
+
+
+def write_report(report: dict,
+                 path: Path = ROOT / "BENCH_backends.json") -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: dict) -> str:
+    lines = [f"backends bench: {report['nranks']} ranks, "
+             f"{report['steps']} steps, "
+             f"{report['cpus_visible']} cpu(s) visible",
+             f"{'problem':>8}{'nx':>6}{'serial s':>10}{'threads s':>11}"
+             f"{'procs s':>10}{'procs/threads':>15}"]
+    for case in report["cases"]:
+        by_name = {r["backend"]: r for r in case["runs"]}
+        lines.append(
+            f"{case['problem']:>8}{case['nx']:>6}"
+            f"{by_name['serial']['seconds']:>10.3f}"
+            f"{by_name['threads']['seconds']:>11.3f}"
+            f"{by_name['processes']['seconds']:>10.3f}"
+            f"{case['processes_vs_threads']:>14.2f}x"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# bench-harness entry point
+# ----------------------------------------------------------------------
+def test_backend_matrix(results_dir):
+    report = run_matrix(sizes=(32, 64), steps=10, repeats=1)
+    write_report(report)
+    text = format_report(report)
+    (results_dir / "backends.txt").write_text(text + "\n")
+    print()
+    print(text)
+    for case in report["cases"]:
+        backends = {r["backend"] for r in case["runs"]}
+        assert backends == {"serial", "threads", "processes"}
+        assert all(r["seconds"] > 0 for r in case["runs"])
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small meshes, few steps (CI smoke)")
+    parser.add_argument("--nranks", type=int, default=DEFAULT_NRANKS)
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated nx ladder")
+    args = parser.parse_args(argv[1:])
+    if args.sizes:
+        sizes = tuple(int(tok) for tok in args.sizes.split(","))
+    else:
+        sizes = (32,) if args.quick else DEFAULT_SIZES
+    steps = 10 if args.quick else DEFAULT_STEPS
+    repeats = 1 if args.quick else 2
+    report = run_matrix(sizes=sizes, steps=steps,
+                        nranks=args.nranks, repeats=repeats)
+    write_report(report)
+    print(format_report(report))
+    worst = min(c["processes_vs_threads"] for c in report["cases"])
+    best = max(c["processes_vs_threads"] for c in report["cases"])
+    print(f"\nwrote {ROOT / 'BENCH_backends.json'} — processes vs "
+          f"threads {worst:.2f}x..{best:.2f}x "
+          f"(target {TARGET_SPEEDUP}x needs >= {report['nranks']} cpus; "
+          f"{report['cpus_visible']} visible)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

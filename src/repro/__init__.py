@@ -9,14 +9,18 @@ decomposition with a simulated Typhon communication layer, the four
 bundled test problems — plus the performance-model machinery that
 regenerates the paper's evaluation tables and figures.
 
-Quickstart::
+Quickstart (the supported embedding surface — see docs/PARALLEL.md)::
 
-    from repro.problems import load_problem
+    from repro.api import RunConfig, run
 
-    hydro = load_problem("sod", nx=200).run()
-    print(hydro.diagnostics())
+    result = run(RunConfig(problem="sod", nx=200))
+    print(result.nstep, result.diagnostics())
+
+    result = run(RunConfig(problem="noh", nx=64, nranks=4,
+                           backend="processes"))
 """
 
+from .api import RunConfig, RunResult, run
 from .core import Hydro, HydroControls, HydroState
 from .eos import IdealGas, Jwl, MaterialTable, Tait, Void
 from .mesh import QuadMesh, rect_mesh, saltzmann_mesh
@@ -25,6 +29,9 @@ from .problems import load_problem, problem_names, setup_from_deck
 __version__ = "1.0.0"
 
 __all__ = [
+    "RunConfig",
+    "RunResult",
+    "run",
     "Hydro",
     "HydroControls",
     "HydroState",

@@ -1,0 +1,239 @@
+"""The supported embedding surface: ``run(RunConfig(...)) -> RunResult``.
+
+One function drives every way the mini-app executes — serial,
+thread-parallel and process-parallel — behind one declarative config::
+
+    from repro.api import RunConfig, run
+
+    result = run(RunConfig(problem="noh", nx=64, nranks=4,
+                           backend="processes"))
+    print(result.nstep, result.time, result.comm_total)
+
+:class:`RunConfig` is a plain dataclass (construct it from argparse,
+a TOML table, a test fixture — anything), :class:`RunResult` carries
+the gathered final state plus every telemetry stream the run produced
+(merged kernel timers, trace spans, per-rank communication counters,
+the per-step series) with deterministic rank-order merge rules, and
+:meth:`RunResult.report` rebuilds the schema-versioned JSON run
+report from them.  The CLI (:mod:`repro.cli`) is a thin adapter onto
+this module; see docs/PARALLEL.md for the backend matrix.
+
+Older embedding keywords (``ranks=``, ``method=``) are accepted by
+:func:`run` as deprecated aliases and warn.
+"""
+
+from __future__ import annotations
+
+import time as _time
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence
+
+from .core.state import HydroState
+from .problems import load_problem, setup_from_deck
+from .problems.base import ProblemSetup
+from .utils.errors import BookLeafError
+from .utils.timers import TimerRegistry
+
+#: legacy keyword → RunConfig field (accepted with a DeprecationWarning)
+_LEGACY_ALIASES = {"ranks": "nranks", "method": "partition"}
+
+
+@dataclass
+class RunConfig:
+    """Everything that defines one mini-app run.
+
+    Give either ``problem`` (a bundled problem name, with optional
+    ``nx``/``ny``/``problem_kwargs`` overrides) or ``deck`` (an input
+    deck path) — not both.
+
+    ``backend="auto"`` resolves to ``serial`` for one rank and
+    ``threads`` otherwise; any registered backend name
+    (:func:`repro.parallel.available_backends`) may be forced
+    explicitly.
+    """
+
+    problem: Optional[str] = None
+    deck: Optional[str] = None
+    nx: Optional[int] = None
+    ny: Optional[int] = None
+    time_end: Optional[float] = None
+    max_steps: Optional[int] = None
+    nranks: int = 1
+    backend: str = "auto"
+    partition: str = "rcb"
+    trace: bool = False
+    trace_allocations: bool = False
+    collect_steps: bool = False
+    log_every: int = 0
+    problem_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def resolved_backend(self) -> str:
+        if self.backend == "auto":
+            return "serial" if self.nranks == 1 else "threads"
+        return self.backend
+
+    def build_setup(self) -> ProblemSetup:
+        """Materialise the :class:`ProblemSetup` this config describes."""
+        if self.problem and self.deck:
+            raise BookLeafError(
+                "give either RunConfig.problem or RunConfig.deck, not both"
+            )
+        if self.deck:
+            if self.nx or self.ny or self.problem_kwargs:
+                raise BookLeafError(
+                    "nx/ny/problem_kwargs apply to bundled problems; "
+                    "set mesh sizes in the deck file"
+                )
+            setup = setup_from_deck(self.deck)
+            if self.time_end is not None:
+                setup.controls = setup.controls.with_(time_end=self.time_end)
+            return setup
+        if self.problem:
+            kwargs = dict(self.problem_kwargs)
+            if self.nx:
+                kwargs["nx"] = self.nx
+            if self.ny:
+                kwargs["ny"] = self.ny
+            if self.time_end is not None:
+                kwargs["time_end"] = self.time_end
+            return load_problem(self.problem, **kwargs)
+        raise BookLeafError(
+            "nothing to run: set RunConfig.problem or RunConfig.deck"
+        )
+
+
+@dataclass
+class RunResult:
+    """What one run produced: the physics and all its telemetry."""
+
+    config: RunConfig
+    setup: ProblemSetup
+    backend: str
+    nranks: int
+    nstep: int
+    time: float
+    wall_seconds: float
+    state: HydroState
+    timers: TimerRegistry
+    spans: List[Any]
+    comm_total: Optional[dict]
+    comm_per_rank: List[dict]
+    step_rows: Optional[List[dict]]
+    comm_summary: Optional[dict]
+    driver: Any = None
+
+    def report(self) -> dict:
+        """The schema-versioned JSON run report for this run
+        (identical shape to ``bookleaf run --report``)."""
+        from .telemetry.report import StepSeries, build_report
+
+        series = None
+        if self.step_rows is not None:
+            series = StepSeries()
+            series.rows = list(self.step_rows)
+        return build_report(
+            self.setup.describe(), self.timers,
+            steps=self.nstep, time_reached=self.time,
+            wall_seconds=self.wall_seconds, ranks=self.nranks,
+            partition=self.config.partition,
+            comm_total=self.comm_total,
+            comm_per_rank=self.comm_per_rank,
+            step_series=series,
+        )
+
+    def diagnostics(self) -> dict:
+        """Conservation scalars of the gathered final state."""
+        return {
+            "mass": self.state.total_mass(),
+            "total_energy": self.state.total_energy(),
+            "rho_max": float(self.state.rho.max()),
+        }
+
+
+def _config_from_kwargs(kwargs: Dict[str, Any]) -> RunConfig:
+    for old, new in _LEGACY_ALIASES.items():
+        if old in kwargs:
+            warnings.warn(
+                f"repro.api.run({old}=...) is deprecated; "
+                f"use RunConfig({new}=...)",
+                DeprecationWarning, stacklevel=3,
+            )
+            if new in kwargs:
+                raise BookLeafError(
+                    f"both {old!r} and {new!r} given; drop the "
+                    f"deprecated {old!r}"
+                )
+            kwargs[new] = kwargs.pop(old)
+    valid = {f.name for f in fields(RunConfig)}
+    unknown = set(kwargs) - valid
+    if unknown:
+        raise BookLeafError(
+            f"unknown run option(s): {', '.join(sorted(unknown))}"
+        )
+    return RunConfig(**kwargs)
+
+
+def run(config: Optional[RunConfig] = None, *,
+        observers: Optional[Sequence] = None,
+        **kwargs) -> RunResult:
+    """Run the mini-app described by ``config`` and return the result.
+
+    Keyword form ``run(problem="sod", nranks=2, ...)`` builds the
+    :class:`RunConfig` for you; the pre-redesign keywords ``ranks``
+    and ``method`` still work there but emit ``DeprecationWarning``.
+
+    ``observers`` are attached to rank 0's step loop (serial and
+    threads backends only — the processes backend runs its ranks in
+    child processes, so in-process observers cannot see them; use
+    ``collect_steps`` for the marshalled per-step series instead).
+    """
+    if config is None:
+        config = _config_from_kwargs(kwargs)
+    elif kwargs:
+        raise BookLeafError(
+            "pass either a RunConfig or keyword options, not both"
+        )
+    from .parallel.distributed import DistributedHydro
+
+    setup = config.build_setup()
+    backend = config.resolved_backend()
+    driver = DistributedHydro(
+        setup, config.nranks, method=config.partition,
+        trace=config.trace, backend=backend,
+        log_every=config.log_every,
+        trace_allocations=config.trace_allocations,
+    )
+    driver.collect_step_series = config.collect_steps
+    if observers:
+        if not driver.hydros:
+            raise BookLeafError(
+                f"the {backend!r} backend runs ranks out-of-process; "
+                "in-process observers are not supported — use "
+                "RunConfig(collect_steps=True) for the step series"
+            )
+        driver.hydros[0].observers.extend(observers)
+    start = _time.perf_counter()
+    driver.run(max_steps=config.max_steps)
+    wall = _time.perf_counter() - start
+    distributed = config.nranks > 1
+    return RunResult(
+        config=config,
+        setup=setup,
+        backend=backend,
+        nranks=config.nranks,
+        nstep=driver.nstep,
+        time=driver.time,
+        wall_seconds=wall,
+        state=driver.gather(),
+        timers=driver.merged_timers(),
+        spans=driver.merged_spans(),
+        comm_total=driver.comm_totals() if distributed else None,
+        comm_per_rank=driver.per_rank_comm(),
+        step_rows=driver.result.step_rows if driver.result else None,
+        comm_summary=driver.comm_summary() if distributed else None,
+        driver=driver,
+    )
+
+
+__all__ = ["RunConfig", "RunResult", "run"]

@@ -8,11 +8,17 @@ The Lagrangian step communicates at exactly three points per timestep
   acceleration,
 * the single global reduction in ``getdt``.
 
-:class:`SerialComms` is the do-nothing implementation used by serial
-runs; the simulated Typhon layer (:mod:`repro.parallel.typhon`)
-provides the distributed one.  Keeping the seam this small is what
-makes the kernels identical in serial and parallel — the mini-app's
-defining property.
+:class:`SerialComms` (alias :data:`NullComms`) is the do-nothing
+implementation used by serial runs; the simulated Typhon layer
+(:mod:`repro.parallel.typhon`) provides the thread-parallel one and
+:mod:`repro.parallel.backends.processes` the process-parallel one.
+Keeping the seam this small is what makes the kernels identical in
+serial and parallel — the mini-app's defining property.
+
+The seam is formally typed as
+:class:`repro.parallel.interface.CommEndpoint`; every implementation
+declares conformance (``__comm_endpoint__``) and is structurally
+checked against the protocol by ``tests/parallel/test_protocol.py``.
 
 The seam also exposes ``owned_cell_mask``: in a decomposed run the
 ghost cells' thermodynamic state is not locally meaningful (their own
@@ -32,6 +38,9 @@ from .timestep import Candidate
 
 class SerialComms:
     """No-op communications for a single-domain run."""
+
+    #: declares conformance to repro.parallel.interface.CommEndpoint
+    __comm_endpoint__ = True
 
     #: number of participating domains (for diagnostics)
     size: int = 1
@@ -89,3 +98,8 @@ class SerialComms:
         decisions (e.g. 'did any rank's mesh move?') must be collective
         or the ranks' barrier sequences diverge."""
         return value
+
+
+#: the formal name of the do-nothing endpoint in the backend registry
+#: (``repro.parallel.interface`` nomenclature); same class, two names.
+NullComms = SerialComms

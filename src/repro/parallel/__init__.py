@@ -6,8 +6,10 @@ This package reproduces all of that with virtual in-process ranks; see
 DESIGN.md for the substitution rationale.
 """
 
+from .backends import available_backends, get_backend
 from .distributed import DistributedHydro
 from .halo import Subdomain, build_subdomains, local_state
+from .interface import BackendRun, CommBackend, CommEndpoint
 from .partition import edge_cut, imbalance, partition, rcb_partition, spectral_partition
 from .typhon import CommStats, TyphonComms, TyphonContext
 
@@ -24,4 +26,9 @@ __all__ = [
     "CommStats",
     "TyphonComms",
     "TyphonContext",
+    "CommEndpoint",
+    "CommBackend",
+    "BackendRun",
+    "available_backends",
+    "get_backend",
 ]

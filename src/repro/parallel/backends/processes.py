@@ -1,0 +1,636 @@
+"""The ``processes`` backend: one OS process per rank over shared memory.
+
+The threads backend overlaps rank work only inside GIL-releasing numpy
+kernels; everything else serialises.  This backend runs each rank's
+*unchanged* SPMD hydro loop in its own forked process, so the ranks
+genuinely execute in parallel, and reimplements the Typhon exchange
+semantics over three primitives:
+
+* **mailboxes** — one ``multiprocessing.shared_memory`` segment per
+  rank, sized for the largest publication that rank ever makes.  At
+  every exchange point each rank *publishes* (copies) the arrays the
+  seam call names into its own mailbox, waits on the barrier, then
+  index-copies the windows it needs out of its peers' mailboxes and
+  waits again — exactly the ``slots`` protocol of the threads backend,
+  with the same ascending-rank summation order, so a processes run is
+  **bit-identical** to a threads run of the same problem.
+* **a barrier** — ``multiprocessing.Barrier`` replaces the
+  ``threading.Barrier``; a failure event + ``Barrier.abort()`` give the
+  same fail-fast collective semantics.
+* **pipes** — the global dt reduction (and the remap's collective skip
+  decision) is a gather/broadcast over per-rank ``Pipe`` pairs rooted
+  at rank 0, in ascending rank order.
+
+Per-rank :class:`~repro.parallel.typhon.CommStats`, kernel timers and
+trace spans are marshalled back over a result queue when the ranks
+finish and merged with the existing deterministic rank-order rules;
+final states are read back out of the mailboxes by the parent, so
+``gather`` is backend-agnostic.
+
+Requires the ``fork`` start method (the run context — problem setup,
+subdomains, schedules — is inherited, never pickled), i.e. Linux or
+macOS-with-fork.  See docs/PARALLEL.md for the layout diagram.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from contextlib import nullcontext
+from multiprocessing import shared_memory
+from threading import BrokenBarrierError
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...core.hydro import Hydro
+from ...core.timestep import Candidate
+from ...utils.errors import BookLeafError, CommError
+from ...utils.timers import TimerRegistry
+from ..halo import Subdomain, local_state
+from ..interface import BackendRun
+from ..typhon import CommStats
+from .threads import pick_primary_failure, raise_rank_failure
+
+_FLOAT_BYTES = 8
+
+#: shared no-op context for untraced comm calls (mirrors typhon.py)
+_NULL_SPAN = nullcontext()
+
+#: the final-state publication: every field ``gather`` reads, in a
+#: fixed order, as (name, kind, trailing-dim) — kind sizes the leading
+#: axis from the subdomain's local mesh (``node`` -> nnode,
+#: ``cell`` -> ncell)
+STATE_FIELDS: Tuple[Tuple[str, str, int], ...] = (
+    ("x", "node", 1), ("y", "node", 1),
+    ("u", "node", 1), ("v", "node", 1),
+    ("rho", "cell", 1), ("e", "cell", 1), ("p", "cell", 1),
+    ("cs2", "cell", 1), ("q", "cell", 1),
+    ("cell_mass", "cell", 1), ("volume", "cell", 1),
+    ("corner_mass", "cell", 4), ("corner_volume", "cell", 4),
+)
+
+
+class RemoteRankError(BookLeafError):
+    """A failure that happened inside a rank process.
+
+    Tracebacks cannot cross a process boundary as live objects, so the
+    child formats its traceback and the parent chains this carrier —
+    the remote stack stays readable in the exception report.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        self.remote_traceback = remote_traceback
+        if remote_traceback:
+            message = (f"{message}\n--- remote traceback ---\n"
+                       f"{remote_traceback.rstrip()}")
+        super().__init__(message)
+
+
+def _mailbox_doubles(sub: Subdomain) -> int:
+    """Mailbox capacity (float64 slots) for one rank.
+
+    The largest publication is the final state (4·nnode + 15·ncell);
+    a margin of one nodal field set guards future seam growth.
+    """
+    nnode, ncell = sub.mesh.nnode, sub.mesh.ncell
+    return 8 * nnode + 15 * ncell
+
+
+class _ProcessRunContext:
+    """Everything the rank processes share, created pre-fork.
+
+    Fork semantics are load-bearing: children inherit this object (the
+    setup, subdomains and schedules are never pickled); only the
+    synchronisation primitives and shared segments are truly shared.
+    """
+
+    def __init__(self, driver, max_steps: Optional[int]):
+        ctx = mp.get_context("fork")
+        self.setup = driver.setup
+        self.subdomains: List[Subdomain] = driver.subdomains
+        self.size = driver.nranks
+        self.max_steps = max_steps
+        self.trace = driver.trace
+        self.collect_steps = driver.collect_step_series
+        self.epoch_ns = time.perf_counter_ns()
+        self.barrier = ctx.Barrier(self.size)
+        self.failure = ctx.Event()
+        #: SimpleQueue: the put is synchronous, so a failing child can
+        #: os._exit right after reporting without losing the record
+        self.errors = ctx.SimpleQueue()
+        self.results: mp.Queue = ctx.Queue()
+        #: rank 0 holds the root end of one duplex pipe per peer rank
+        self.root_conns: Dict[int, object] = {}
+        self.leaf_conns: Dict[int, object] = {}
+        for r in range(1, self.size):
+            root, leaf = ctx.Pipe(duplex=True)
+            self.root_conns[r] = root
+            self.leaf_conns[r] = leaf
+        self.segments: List[shared_memory.SharedMemory] = [
+            shared_memory.SharedMemory(
+                create=True, size=_mailbox_doubles(sub) * _FLOAT_BYTES
+            )
+            for sub in self.subdomains
+        ]
+        self._ctx = ctx
+
+    # ------------------------------------------------------------------
+    def mailbox(self, rank: int) -> np.ndarray:
+        seg = self.segments[rank]
+        return np.ndarray(
+            (seg.size // _FLOAT_BYTES,), dtype=np.float64, buffer=seg.buf
+        )
+
+    def close_foreign_pipe_ends(self, rank: int) -> None:
+        """Drop the pipe ends this rank does not own (fork duplicated
+        every fd into every child; unowned copies would defeat EOF
+        detection and leak descriptors)."""
+        if rank != 0:
+            for conn in self.root_conns.values():
+                conn.close()
+        for r, conn in self.leaf_conns.items():
+            if r != rank:
+                conn.close()
+
+    # ------------------------------------------------------------------
+    # collective semantics (mirrors TyphonContext.sync/abort)
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        if self.failure.is_set():
+            raise CommError("a peer rank failed; aborting collective")
+        try:
+            self.barrier.wait()
+        except BrokenBarrierError:
+            raise CommError("a peer rank failed; aborting collective") from None
+
+    def abort(self) -> None:
+        self.failure.set()
+        try:
+            self.barrier.abort()
+        except Exception:
+            pass
+
+    def recv(self, conn) -> object:
+        """Blocking pipe receive that fails fast when a peer died.
+
+        A closed pipe (the peer process is gone) is a *secondary*
+        symptom, so it surfaces as :class:`CommError` — failure
+        attribution then points at the rank that actually died.
+        """
+        try:
+            while not conn.poll(0.2):
+                if self.failure.is_set():
+                    raise CommError(
+                        "a peer rank failed; aborting collective"
+                    )
+            return conn.recv()
+        except (EOFError, BrokenPipeError, OSError):
+            raise CommError(
+                "a peer rank closed its pipe; aborting collective"
+            ) from None
+
+    def send(self, conn, payload) -> None:
+        """Pipe send with the same dead-peer translation as recv."""
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            raise CommError(
+                "a peer rank closed its pipe; aborting collective"
+            ) from None
+
+    def cleanup(self) -> None:
+        for conn in list(self.root_conns.values()) + list(self.leaf_conns.values()):
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for seg in self.segments:
+            try:
+                seg.close()
+            except Exception:
+                pass
+            try:
+                seg.unlink()
+            except Exception:
+                pass
+
+
+class ProcessComms:
+    """One rank's communication endpoint over shared-memory mailboxes.
+
+    Counter accounting and summation order mirror
+    :class:`~repro.parallel.typhon.TyphonComms` line for line — the
+    backend-equivalence tests assert *identical* per-rank CommStats and
+    bit-identical gathered states against the threads backend.
+    """
+
+    #: declares conformance to repro.parallel.interface.CommEndpoint
+    __comm_endpoint__ = True
+
+    def __init__(self, ctx: _ProcessRunContext, sub: Subdomain, tracer=None):
+        self.ctx = ctx
+        self.sub = sub
+        self.rank = sub.rank
+        self.size = ctx.size
+        self.stats = CommStats()
+        self.tracer = tracer
+        self._mailbox = ctx.mailbox(self.rank)
+
+    def _span(self, name: str):
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return _NULL_SPAN
+        return tracer.span(name, cat="comm")
+
+    # ------------------------------------------------------------------
+    # mailbox publish/read protocol
+    # ------------------------------------------------------------------
+    def _publish(self, arrays) -> None:
+        """Copy this rank's arrays into its mailbox, in call order.
+
+        No header is needed: the seam is SPMD, so at any exchange point
+        every rank publishes the same field list — readers derive their
+        peers' offsets from the peer mesh sizes they already hold.
+        """
+        buf = self._mailbox
+        offset = 0
+        for array in arrays:
+            flat = np.ascontiguousarray(array, dtype=np.float64).ravel()
+            end = offset + flat.size
+            if end > buf.size:
+                raise CommError(
+                    f"rank {self.rank} mailbox overflow: publishing "
+                    f"{end} doubles into {buf.size}"
+                )
+            buf[offset:end] = flat
+            offset = end
+
+    def _peer_arrays(self, peer: int,
+                     specs: List[Tuple[str, int]]) -> List[np.ndarray]:
+        """Views of a peer's published arrays (``specs`` = the SPMD
+        field list as (kind, trailing-dim) pairs)."""
+        mesh = self.ctx.subdomains[peer].mesh
+        sizes = {"node": mesh.nnode, "cell": mesh.ncell}
+        buf = self.ctx.mailbox(peer)
+        views: List[np.ndarray] = []
+        offset = 0
+        for kind, trailing in specs:
+            n = sizes[kind]
+            flat = buf[offset:offset + n * trailing]
+            views.append(flat.reshape(n, trailing) if trailing > 1 else flat)
+            offset += n * trailing
+        return views
+
+    # ------------------------------------------------------------------
+    # kinematic halo exchange (before the viscosity kernel)
+    # ------------------------------------------------------------------
+    def exchange_kinematics(self, state) -> None:
+        """Refresh ghost-only nodes' x, y, u, v from their owner ranks."""
+        with self._span("typhon.exchange_kinematics"):
+            self._exchange_kinematics(state)
+
+    def _exchange_kinematics(self, state) -> None:
+        ctx = self.ctx
+        self._publish((state.x, state.y, state.u, state.v))
+        ctx.sync()  # all kinematics published and quiescent at t^n
+        specs = [("node", 1)] * 4
+        for src_rank, local_idx in self.sub.recv_nodes.items():
+            src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
+            if src_idx.size != local_idx.size:
+                raise CommError(
+                    f"halo schedule mismatch between ranks "
+                    f"{self.rank} and {src_rank}"
+                )
+            px, py, pu, pv = self._peer_arrays(src_rank, specs)
+            state.x[local_idx] = px[src_idx]
+            state.y[local_idx] = py[src_idx]
+            state.u[local_idx] = pu[src_idx]
+            state.v[local_idx] = pv[src_idx]
+            self.stats.account(4 * src_idx.size)
+        self.stats.halo_exchanges += 1
+        ctx.sync()  # copies complete before anyone republishes
+
+    # ------------------------------------------------------------------
+    # nodal sum completion (inside the acceleration kernel)
+    # ------------------------------------------------------------------
+    def complete_node_arrays(self, state, *arrays: np.ndarray
+                             ) -> Tuple[np.ndarray, ...]:
+        """Complete partial nodal sums across ranks (ascending rank
+        order — bit-identical totals on every rank)."""
+        with self._span("typhon.complete_node_arrays"):
+            return self._complete_node_arrays(state, *arrays)
+
+    def _complete_node_arrays(self, state, *partials: np.ndarray
+                              ) -> Tuple[np.ndarray, ...]:
+        ctx = self.ctx
+        self._publish(partials)
+        ctx.sync()
+        totals = tuple(np.zeros_like(p) for p in partials)
+        specs = [("node", 1)] * len(partials)
+        ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
+        for r in ranks:
+            if r == self.rank:
+                for total, p in zip(totals, partials):
+                    total += p
+            else:
+                theirs = ctx.subdomains[r].shared_nodes[self.rank]
+                mine = self.sub.shared_nodes[r]
+                for total, p in zip(totals, self._peer_arrays(r, specs)):
+                    total[mine] += p[theirs]
+                self.stats.account(len(partials) * mine.size)
+        self.stats.halo_exchanges += 1
+        ctx.sync()  # mailboxes free for reuse
+        return totals
+
+    def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Owned-cell scatter + deterministic cross-rank completion."""
+        owned = self.sub.owned_cell_mask[:, None]
+        node_fx = state.scatter_to_nodes(np.where(owned, fx, 0.0))
+        node_fy = state.scatter_to_nodes(np.where(owned, fy, 0.0))
+        mass = state.scatter_to_nodes(
+            np.where(owned, state.corner_mass, 0.0)
+        )
+        return self.complete_node_arrays(state, node_fx, node_fy, mass)
+
+    # ------------------------------------------------------------------
+    # the single global reduction (getdt) — gather/broadcast over pipes
+    # ------------------------------------------------------------------
+    def reduce_dt(self, candidates: List[Candidate]) -> Candidate:
+        """Global minimum-dt candidate, with the cell id globalised."""
+        with self._span("typhon.reduce_dt"):
+            return self._reduce_dt(candidates)
+
+    def _reduce_dt(self, candidates: List[Candidate]) -> Candidate:
+        dt, reason, cell = min(candidates, key=lambda c: c[0])
+        gcell = int(self.sub.cell_global[cell]) if cell >= 0 else -1
+        best = self._root_reduce(
+            (dt, reason, gcell, self.rank),
+            lambda entries: min(entries, key=lambda c: (c[0], c[3])),
+        )
+        self.stats.reductions += 1
+        self.stats.account(1)
+        return (best[0], best[1], best[2])
+
+    def allreduce_max(self, value: float) -> float:
+        """Global maximum of a scalar across ranks."""
+        with self._span("typhon.allreduce_max"):
+            result = self._root_reduce(float(value), max)
+        self.stats.reductions += 1
+        self.stats.account(1)
+        return float(result)
+
+    def _root_reduce(self, mine, combine):
+        """Gather every rank's value at rank 0 (ascending rank order,
+        so tie-breaks are deterministic), combine, broadcast back."""
+        ctx = self.ctx
+        if self.rank == 0:
+            entries = [mine]
+            for r in range(1, self.size):
+                entries.append(ctx.recv(ctx.root_conns[r]))
+            result = combine(entries)
+            for r in range(1, self.size):
+                ctx.send(ctx.root_conns[r], result)
+            return result
+        conn = ctx.leaf_conns[self.rank]
+        ctx.send(conn, mine)
+        return ctx.recv(conn)
+
+    # ------------------------------------------------------------------
+    def owned_cell_mask(self, state) -> Optional[np.ndarray]:
+        return self.sub.owned_cell_mask
+
+    # ------------------------------------------------------------------
+    # cell-field halo (the distributed ALE remap)
+    # ------------------------------------------------------------------
+    def exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
+        """Refresh the ghost-cell rows of per-cell arrays from their
+        owner ranks (every rank must pass the same array list)."""
+        with self._span("typhon.exchange_cell_arrays"):
+            self._exchange_cell_arrays(*arrays)
+
+    def _exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
+        ctx = self.ctx
+        self._publish(arrays)
+        ctx.sync()
+        specs = [
+            ("cell", 1 if a.ndim == 1 else a.shape[1]) for a in arrays
+        ]
+        for src_rank, local_idx in self.sub.recv_cells.items():
+            src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
+            src_arrays = self._peer_arrays(src_rank, specs)
+            nvalues = 0
+            for mine, theirs in zip(arrays, src_arrays):
+                mine[local_idx] = theirs[src_idx]
+                nvalues += local_idx.size * (
+                    1 if mine.ndim == 1 else mine.shape[1]
+                )
+            self.stats.account(nvalues)
+        self.stats.halo_exchanges += 1
+        ctx.sync()
+
+    def exchange_cell_fields(self, state) -> None:
+        """Refresh ghost thermodynamics and masses before a remap."""
+        self.exchange_cell_arrays(
+            state.rho, state.e, state.cell_mass, state.corner_mass
+        )
+
+    def physical_boundary_sides(self, state) -> Optional[np.ndarray]:
+        return self.sub.physical_boundary_sides()
+
+    def physical_boundary_side_mask(self, state) -> Optional[np.ndarray]:
+        return self.sub.physical_boundary_mask
+
+    # ------------------------------------------------------------------
+    def publish_final_state(self, state) -> None:
+        """Write every field ``gather`` reads into the mailbox (called
+        after the collective end-of-run barrier; the parent reads it
+        back out once the process has exited)."""
+        self._publish(tuple(
+            getattr(state, name) for name, _, _ in STATE_FIELDS
+        ))
+
+
+def _read_final_state(rc: _ProcessRunContext, rank: int):
+    """Parent side: rebuild one rank's final local state from its
+    mailbox (mat and boundary flags are invariants of the run, so they
+    come from restricting the initial state)."""
+    sub = rc.subdomains[rank]
+    state = local_state(sub, rc.setup.state)
+    mesh = sub.mesh
+    sizes = {"node": mesh.nnode, "cell": mesh.ncell}
+    buf = rc.mailbox(rank)
+    offset = 0
+    for name, kind, trailing in STATE_FIELDS:
+        n = sizes[kind]
+        flat = buf[offset:offset + n * trailing]
+        value = np.array(flat, dtype=np.float64)  # copy out of the segment
+        setattr(state, name,
+                value.reshape(n, trailing) if trailing > 1 else value)
+        offset += n * trailing
+    state.invalidate_node_mass()
+    return state
+
+
+def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
+    """Entry point of one rank process (runs in the forked child)."""
+    try:
+        rc.close_foreign_pipe_ends(rank)
+        sub = rc.subdomains[rank]
+        state = local_state(sub, rc.setup.state)
+        tracer = None
+        if rc.trace:
+            from ...telemetry.spans import Tracer
+
+            tracer = Tracer(rank=rank, epoch_ns=rc.epoch_ns)
+        comms = ProcessComms(rc, sub, tracer=tracer)
+        timers = TimerRegistry()
+        timers.tracer = tracer
+        hydro = Hydro(state, rc.setup.table, rc.setup.controls,
+                      timers=timers, comms=comms)
+        series = None
+        if rank == 0 and rc.collect_steps:
+            from ...telemetry.report import StepSeries
+
+            series = StepSeries()
+            hydro.observers.append(series)
+        hydro.run(max_steps=rc.max_steps)
+        # Collective end-of-run point: every rank is past its last
+        # mailbox read before anyone overwrites a mailbox with the
+        # final-state publication.
+        rc.sync()
+        comms.publish_final_state(hydro.state)
+        timers.tracer = None  # tracer spans travel separately
+        rc.results.put((rank, {
+            "nstep": hydro.nstep,
+            "time": hydro.time,
+            "timers": timers,
+            "spans": tracer.spans if tracer is not None else [],
+            "comm": comms.stats.as_dict(),
+            "step_rows": series.rows if series is not None else None,
+        }))
+        # Release the mailbox view before interpreter teardown: the
+        # segment's mmap cannot close while a numpy export is alive.
+        comms._mailbox = None
+    except BaseException as exc:
+        rc.errors.put((
+            rank, type(exc).__name__, str(exc), traceback.format_exc(),
+        ))
+        rc.abort()
+        os._exit(1)
+
+
+class ProcessesBackend:
+    """Launch one forked process per rank; marshal everything back."""
+
+    name = "processes"
+
+    # ------------------------------------------------------------------
+    def prepare(self, driver) -> None:
+        if "fork" not in mp.get_all_start_methods():
+            raise BookLeafError(
+                "the processes backend needs the 'fork' start method "
+                "(Linux/macOS); use backend='threads' here"
+            )
+        # Rank objects live in the children; the driver keeps only the
+        # decomposition (and, after run, the marshalled BackendRun).
+
+    # ------------------------------------------------------------------
+    def execute(self, driver, max_steps: Optional[int] = None) -> BackendRun:
+        rc = _ProcessRunContext(driver, max_steps)
+        try:
+            return self._execute(driver, rc)
+        finally:
+            rc.cleanup()
+
+    def _execute(self, driver, rc: _ProcessRunContext) -> BackendRun:
+        ctx = rc._ctx
+        procs = [
+            ctx.Process(target=_rank_main, args=(rc, r), name=f"rank{r}")
+            for r in range(rc.size)
+        ]
+        for p in procs:
+            p.start()
+        # Parent's copies of the pipe ends are not used; close them so
+        # fd accounting stays tight (children hold their own copies).
+        for conn in list(rc.root_conns.values()) + list(rc.leaf_conns.values()):
+            conn.close()
+
+        results: Dict[int, dict] = {}
+        error_records: List[Tuple[int, str, str, str]] = []
+        dead: Dict[int, int] = {}
+
+        def drain() -> None:
+            while True:
+                try:
+                    rank, payload = rc.results.get_nowait()
+                except Exception:
+                    break
+                results[rank] = payload
+            while not rc.errors.empty():
+                error_records.append(rc.errors.get())
+
+        while True:
+            drain()
+            for r, p in enumerate(procs):
+                if (not p.is_alive() and p.exitcode not in (0, None)
+                        and r not in dead):
+                    dead[r] = p.exitcode
+                    rc.abort()  # free peers stuck in barriers/pipes
+            if len(results) == rc.size:
+                break
+            if all(not p.is_alive() for p in procs):
+                break
+            time.sleep(0.01)
+        for p in procs:
+            p.join(timeout=10.0)
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=5.0)
+        drain()
+
+        failures: List[Tuple[int, BaseException]] = []
+        for rank, etype, emsg, tb in error_records:
+            if etype == "CommError":
+                failures.append((rank, CommError(emsg)))
+            else:
+                failures.append(
+                    (rank, RemoteRankError(f"[{etype}] {emsg}", tb))
+                )
+        reported = {rank for rank, _ in failures}
+        for rank, exitcode in sorted(dead.items()):
+            if rank not in reported and rank not in results:
+                failures.append((rank, RemoteRankError(
+                    f"rank process terminated abnormally "
+                    f"(exitcode {exitcode})"
+                )))
+        if failures:
+            rank, exc = pick_primary_failure(failures)
+            raise_rank_failure(rank, exc)
+        if len(results) != rc.size:
+            missing = sorted(set(range(rc.size)) - set(results))
+            raise BookLeafError(
+                f"ranks {missing} exited without reporting results"
+            )
+
+        steps = {results[r]["nstep"] for r in range(rc.size)}
+        times = {round(results[r]["time"], 14) for r in range(rc.size)}
+        if len(steps) != 1 or len(times) != 1:
+            raise BookLeafError(
+                f"ranks desynchronised: steps={steps} times={times}"
+            )
+        states = [_read_final_state(rc, r) for r in range(rc.size)]
+        return BackendRun(
+            backend=self.name,
+            nranks=rc.size,
+            nstep=results[0]["nstep"],
+            time=results[0]["time"],
+            states=states,
+            timers=[results[r]["timers"] for r in range(rc.size)],
+            spans=[results[r]["spans"] for r in range(rc.size)],
+            comm_per_rank=[results[r]["comm"] for r in range(rc.size)],
+            step_rows=results[0]["step_rows"],
+        )

@@ -1,0 +1,142 @@
+"""The ``threads`` backend: every rank is a thread in this process.
+
+This is the original simulated-Typhon execution model (see
+:mod:`repro.parallel.typhon`): rank threads run the unchanged SPMD
+hydro loop and synchronise through in-process barriers; halo exchanges
+are direct array copies between the rank states.  Numpy releases the
+GIL inside its kernels so the ranks overlap there, but the Python-level
+glue between kernels serialises on the GIL — which is exactly what the
+``processes`` backend exists to remove.
+
+Failure handling: worker exceptions are collected through a
+thread-safe queue as ``(rank, exc)`` pairs (never a shared dict — rank
+threads must not race on the error container), the Typhon context is
+aborted so every peer blocked in a barrier wakes up, and the first
+*primary* failure (lowest rank, preferring real errors over the
+secondary :class:`~repro.utils.errors.CommError` cascades the abort
+causes) is re-raised chained to the original traceback.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import List, Optional, Tuple
+
+from ...core.hydro import Hydro
+from ...utils.errors import BookLeafError, CommError
+from ...utils.timers import TimerRegistry
+from ..halo import local_state
+from ..interface import BackendRun
+from ..typhon import TyphonComms, TyphonContext
+
+
+def pick_primary_failure(errors: List[Tuple[int, BaseException]]
+                         ) -> Tuple[int, BaseException]:
+    """The failure to report: a real error beats the CommError cascade
+    it caused on the other ranks; ties break to the lowest rank."""
+    return min(errors, key=lambda e: (isinstance(e[1], CommError), e[0]))
+
+
+def raise_rank_failure(rank: int, exc: BaseException) -> None:
+    """Wrap a rank's failure with its rank context, chaining the
+    original traceback (``from exc`` keeps the full remote stack)."""
+    if isinstance(exc, BookLeafError):
+        message = f"rank {rank} failed: {exc}"
+    else:
+        # Non-BookLeaf errors keep their type visible in the message —
+        # the wrapper must not launder a TypeError into a hydro error.
+        message = f"rank {rank} failed: [{type(exc).__name__}] {exc}"
+    raise BookLeafError(message) from exc
+
+
+class ThreadsBackend:
+    """Launch one thread per rank inside this process."""
+
+    name = "threads"
+
+    # ------------------------------------------------------------------
+    def prepare(self, driver) -> None:
+        """Build the shared Typhon context and the per-rank hydros.
+
+        Everything lives on the driver (``driver.context``,
+        ``driver.hydros``, ``driver.tracers``) — the in-process rank
+        objects are part of this backend's public surface: tests and
+        embedding code attach observers to ``driver.hydros[0]``.
+        """
+        setup = driver.setup
+        driver.context = TyphonContext(driver.subdomains)
+        if driver.trace:
+            import time
+
+            from ...telemetry.spans import Tracer
+
+            epoch = time.perf_counter_ns()
+            driver.tracers = [Tracer(rank=r, epoch_ns=epoch)
+                              for r in range(driver.nranks)]
+        for sub in driver.subdomains:
+            state = local_state(sub, setup.state)
+            tracer = driver.tracers[sub.rank] if driver.tracers else None
+            comms = TyphonComms(driver.context, sub, tracer=tracer)
+            driver.context.register_state(sub.rank, state)
+            timers = TimerRegistry()
+            timers.tracer = tracer
+            driver.hydros.append(Hydro(
+                state, setup.table, setup.controls,
+                timers=timers, comms=comms,
+            ))
+
+    # ------------------------------------------------------------------
+    def execute(self, driver, max_steps: Optional[int] = None) -> BackendRun:
+        step_series = None
+        if driver.collect_step_series:
+            from ...telemetry.report import StepSeries
+
+            step_series = StepSeries()
+            driver.hydros[0].observers.append(step_series)
+
+        failures: "queue.Queue[Tuple[int, BaseException]]" = queue.Queue()
+
+        def worker(rank: int) -> None:
+            try:
+                driver.hydros[rank].run(max_steps=max_steps)
+            except BaseException as exc:  # propagate to the caller
+                failures.put((rank, exc))
+                driver.context.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"rank{r}")
+            for r in range(driver.nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        errors: List[Tuple[int, BaseException]] = []
+        while True:
+            try:
+                errors.append(failures.get_nowait())
+            except queue.Empty:
+                break
+        if errors:
+            raise_rank_failure(*pick_primary_failure(errors))
+
+        steps = {h.nstep for h in driver.hydros}
+        times = {round(h.time, 14) for h in driver.hydros}
+        if len(steps) != 1 or len(times) != 1:
+            raise BookLeafError(
+                f"ranks desynchronised: steps={steps} times={times}"
+            )
+        return BackendRun(
+            backend=self.name,
+            nranks=driver.nranks,
+            nstep=driver.hydros[0].nstep,
+            time=driver.hydros[0].time,
+            states=[h.state for h in driver.hydros],
+            timers=[h.timers for h in driver.hydros],
+            spans=[t.spans for t in driver.tracers] if driver.tracers
+                  else [[] for _ in range(driver.nranks)],
+            comm_per_rank=driver.context.per_rank_stats(),
+            step_rows=step_series.rows if step_series else None,
+        )

@@ -1,128 +1,147 @@
-"""The distributed (SPMD) hydro driver.
+"""The distributed (SPMD) hydro driver — backend-agnostic.
 
 Runs one :class:`~repro.problems.base.ProblemSetup` decomposed over N
-virtual ranks: partition the cells (RCB or the spectral METIS
-substitute), build subdomains with ghost layers, restrict the global
-initial state to each rank, and march every rank's *unchanged*
-:class:`~repro.core.hydro.Hydro` loop in its own thread with a
-:class:`~repro.parallel.typhon.TyphonComms` endpoint plugged into the
+ranks: partition the cells (RCB or the spectral METIS substitute),
+build subdomains with ghost layers, restrict the global initial state
+to each rank, and march every rank's *unchanged*
+:class:`~repro.core.hydro.Hydro` loop with a conforming
+:class:`~repro.parallel.interface.CommEndpoint` plugged into the
 communication seam.
 
-The result is numerically equivalent to the serial run (identical up
-to floating-point summation order — verified by the integration
-tests), with per-rank kernel timers and full communication statistics
-for the performance model.
+*Where* the ranks execute is the backend's business
+(:mod:`repro.parallel.backends`): ``threads`` runs them as threads of
+this process (the historical simulated-Typhon model), ``processes``
+runs each rank in its own forked process over shared memory.  Either
+way the result is numerically equivalent to the serial run (identical
+up to floating-point summation order — verified by the integration
+tests) and the two distributed backends are bit-identical to each
+other, with per-rank kernel timers, trace spans and communication
+statistics merged back under the same deterministic rank-order rules.
+
+The supported embedding surface is :func:`repro.api.run`; this class
+is the engine underneath it.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.hydro import Hydro
 from ..core.state import HydroState
 from ..problems.base import ProblemSetup
 from ..utils.errors import BookLeafError
 from ..utils.timers import TimerRegistry
-from .halo import Subdomain, build_subdomains, local_state
+from .backends import get_backend
+from .halo import Subdomain, build_subdomains
+from .interface import BackendRun
 from .partition.interface import partition
-from .typhon import TyphonComms, TyphonContext
+
+#: counters every per-rank comm entry carries
+_COMM_FIELDS = ("messages", "bytes", "halo_exchanges", "reductions")
 
 
 class DistributedHydro:
     """Decomposed mini-app run over virtual ranks.
 
-    Pass ``trace=True`` to give every rank thread its own
-    :class:`~repro.telemetry.spans.Tracer` (sharing one clock epoch so
-    the per-rank streams line up);  :meth:`merged_spans` then returns
-    the deterministically merged stream for the Chrome-trace writer.
+    Parameters
+    ----------
+    setup:
+        The problem to run (state + materials + controls).
+    nranks:
+        Rank count (1 for the ``serial`` backend).
+    method:
+        Cell partitioner, ``"rcb"`` or ``"spectral"``.
+    trace:
+        Give every rank its own
+        :class:`~repro.telemetry.spans.Tracer` (sharing one clock epoch
+        so the per-rank streams line up); :meth:`merged_spans` then
+        returns the deterministically merged stream.
+    backend:
+        Execution backend name (``serial``, ``threads`` or
+        ``processes`` — see :mod:`repro.parallel.backends`).
+
+    For the in-process backends the per-rank ``hydros`` (and, for
+    ``threads``, the shared ``context``) are live attributes that
+    embedding code may inspect or attach observers to; the
+    ``processes`` backend keeps its rank objects in the children and
+    exposes only the marshalled :class:`BackendRun` (``self.result``).
     """
 
     def __init__(self, setup: ProblemSetup, nranks: int,
-                 method: str = "rcb", trace: bool = False):
-        if setup.controls.ale_on and setup.controls.ale_mode != "eulerian":
+                 method: str = "rcb", trace: bool = False,
+                 backend: str = "threads", log_every: int = 0,
+                 trace_allocations: bool = False):
+        if nranks > 1 and setup.controls.ale_on \
+                and setup.controls.ale_mode != "eulerian":
             raise BookLeafError(
                 "decomposed runs support Lagrangian and Eulerian-remap "
                 "modes; 'relax' needs cross-rank neighbour averaging"
             )
         self.setup = setup
         self.nranks = nranks
+        self.method = method
+        self.trace = trace
+        #: serial-backend niceties (step banners, tracemalloc); the
+        #: concurrent backends ignore them — per-rank step printing
+        #: would interleave and tracemalloc is process-global
+        self.log_every = log_every
+        self.trace_allocations = trace_allocations
         self.global_mesh = setup.state.mesh
-        self.part = partition(self.global_mesh, nranks, method)
-        self.subdomains: List[Subdomain] = build_subdomains(
-            self.global_mesh, self.part, nranks
-        )
-        self.context = TyphonContext(self.subdomains)
-        self.tracers = []
-        if trace:
-            from ..telemetry.spans import Tracer
-            import time
-
-            epoch = time.perf_counter_ns()
-            self.tracers = [Tracer(rank=r, epoch_ns=epoch)
-                            for r in range(nranks)]
-        self.hydros: List[Hydro] = []
-        for sub in self.subdomains:
-            state = local_state(sub, setup.state)
-            tracer = self.tracers[sub.rank] if self.tracers else None
-            comms = TyphonComms(self.context, sub, tracer=tracer)
-            self.context.register_state(sub.rank, state)
-            timers = TimerRegistry()
-            timers.tracer = tracer
-            self.hydros.append(Hydro(
-                state, setup.table, setup.controls,
-                timers=timers, comms=comms,
-            ))
+        self._backend = get_backend(backend)
+        self.backend_name = self._backend.name
+        #: set before ``run`` to have rank 0 record a per-step series
+        #: (returned as ``self.result.step_rows``)
+        self.collect_step_series = False
+        self.result: Optional[BackendRun] = None
+        # Per-backend rank machinery, populated by prepare():
+        self.hydros: List = []
+        self.tracers: List = []
+        self.context = None
+        if self.backend_name == "serial":
+            self.part = None
+            self.subdomains: List[Subdomain] = []
+        else:
+            self.part = partition(self.global_mesh, nranks, method)
+            self.subdomains = build_subdomains(
+                self.global_mesh, self.part, nranks
+            )
+        self._backend.prepare(self)
 
     # ------------------------------------------------------------------
     def run(self, max_steps: Optional[int] = None) -> int:
         """Run all ranks to completion; returns the step count."""
-        errors: Dict[int, BaseException] = {}
-
-        def worker(rank: int) -> None:
-            try:
-                self.hydros[rank].run(max_steps=max_steps)
-            except BaseException as exc:  # propagate to the caller
-                errors[rank] = exc
-                self.context.abort()
-
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"rank{r}")
-            for r in range(self.nranks)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            rank, exc = sorted(errors.items())[0]
-            raise BookLeafError(f"rank {rank} failed: {exc}") from exc
-        steps = {h.nstep for h in self.hydros}
-        times = {round(h.time, 14) for h in self.hydros}
-        if len(steps) != 1 or len(times) != 1:
-            raise BookLeafError(
-                f"ranks desynchronised: steps={steps} times={times}"
-            )
-        return self.hydros[0].nstep
+        self.result = self._backend.execute(self, max_steps=max_steps)
+        return self.result.nstep
 
     # ------------------------------------------------------------------
     @property
     def time(self) -> float:
+        if self.result is not None:
+            return self.result.time
         return self.hydros[0].time
 
     @property
     def nstep(self) -> int:
+        if self.result is not None:
+            return self.result.nstep
         return self.hydros[0].nstep
+
+    def _final_states(self) -> List[HydroState]:
+        """Per-rank final local states, ascending rank order."""
+        if self.result is not None:
+            return self.result.states
+        return [h.state for h in self.hydros]
 
     def gather(self) -> HydroState:
         """Assemble the global state from the ranks' owned data."""
+        states = self._final_states()
+        if self.backend_name == "serial":
+            return states[0]
         template = self.setup.state
         out = template.copy()
         node_filled = np.zeros(self.global_mesh.nnode, dtype=bool)
-        for sub, hydro in zip(self.subdomains, self.hydros):
-            state = hydro.state
+        for sub, state in zip(self.subdomains, states):
             owned_local = np.flatnonzero(sub.owned_cell_mask)
             gcells = sub.cell_global[owned_local]
             for name in ("rho", "e", "p", "cs2", "q", "cell_mass", "volume"):
@@ -142,34 +161,51 @@ class DistributedHydro:
         out.invalidate_node_mass()
         return out
 
+    # ------------------------------------------------------------------
+    # telemetry merge paths (deterministic rank-order rules)
+    # ------------------------------------------------------------------
     def merged_timers(self) -> TimerRegistry:
         """Sum of all ranks' kernel timers (Table II-style aggregate)."""
         merged = TimerRegistry()
-        for hydro in self.hydros:
-            merged.merge(hydro.timers)
+        if self.result is not None:
+            for timers in self.result.timers:
+                merged.merge(timers)
+        else:
+            for hydro in self.hydros:
+                merged.merge(hydro.timers)
         return merged
 
     def merged_spans(self) -> list:
         """All ranks' trace spans, merged deterministically (ascending
         rank order, per-rank recording order preserved)."""
+        if self.result is not None:
+            return self.result.merged_spans()
         from ..telemetry.spans import merge_spans
 
         return merge_spans(self.tracers)
 
     def per_rank_comm(self) -> List[dict]:
-        """Every rank's Typhon counters in rank order (report input)."""
-        return self.context.per_rank_stats()
+        """Every rank's comm counters in rank order (report input)."""
+        if self.result is not None:
+            return self.result.comm_per_rank
+        return self.context.per_rank_stats() if self.context else []
+
+    def comm_totals(self) -> Dict[str, int]:
+        """Whole-run traffic totals as a JSON-ready dict."""
+        total = {key: 0 for key in _COMM_FIELDS}
+        for entry in self.per_rank_comm():
+            for key in _COMM_FIELDS:
+                total[key] += int(entry.get(key, 0))
+        return total
 
     def comm_summary(self) -> dict:
         """Traffic totals for the whole run (perf-model inputs)."""
-        total = self.context.total_stats()
+        total = self.comm_totals()
         return {
             "nranks": self.nranks,
             "steps": self.nstep,
-            "messages": total.messages,
-            "bytes": total.bytes_sent,
-            "halo_exchanges": total.halo_exchanges,
-            "reductions": total.reductions,
+            "backend": self.backend_name,
+            **total,
             "halo_nodes": sum(s.halo_node_count() for s in self.subdomains),
             "shared_nodes": sum(s.shared_node_count() for s in self.subdomains),
         }

@@ -1,0 +1,186 @@
+"""The typed communication seam: ``CommEndpoint`` and ``CommBackend``.
+
+The hydro kernels talk to *any* communication layer through exactly one
+seam (docs/PARALLEL.md): the three per-step exchange points of the
+Lagrangian step plus the cell-field/gradient halos of the distributed
+remap.  Historically the seam was duck-typed — ``SerialComms`` and
+``TyphonComms`` just happened to agree on method names — which let the
+two drift apart silently.  This module makes the seam a formal, typed
+API:
+
+* :class:`CommEndpoint` — a :class:`typing.Protocol` describing one
+  rank's endpoint (what a kernel may call on ``comms``).  Conforming
+  implementations: :class:`~repro.core.comms.SerialComms` (alias
+  ``NullComms``), :class:`~repro.parallel.typhon.TyphonComms` (rank
+  threads) and :class:`~repro.parallel.backends.processes.ProcessComms`
+  (rank processes over shared memory).
+* :class:`CommBackend` — a Protocol for an execution backend: the
+  object that launches every rank of a decomposed run, plugs a
+  conforming endpoint into each rank's hydro loop and marshals the
+  results back as a :class:`BackendRun`.
+* :data:`SEAM_METHODS` — the seam's method table, used by
+  ``tests/parallel/test_protocol.py`` to structurally verify that every
+  implementation covers the *full* seam with compatible signatures (no
+  more duck-typed drift).
+
+Backends register themselves in :mod:`repro.parallel.backends`; the
+supported selection surface is ``repro.api.RunConfig(backend=...)``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import (
+    Any, Dict, List, Optional, Protocol, Tuple, runtime_checkable,
+)
+
+import numpy as np
+
+#: the full comms seam: method name -> positional parameter names
+#: (``*`` marks a variadic positional).  The structural-conformance
+#: test checks every implementation against this table.
+SEAM_METHODS: Dict[str, Tuple[str, ...]] = {
+    "exchange_kinematics": ("state",),
+    "assemble_node_sums": ("state", "fx", "fy"),
+    "complete_node_arrays": ("state", "*arrays"),
+    "reduce_dt": ("candidates",),
+    "allreduce_max": ("value",),
+    "owned_cell_mask": ("state",),
+    "exchange_cell_arrays": ("*arrays",),
+    "exchange_cell_fields": ("state",),
+    "physical_boundary_sides": ("state",),
+    "physical_boundary_side_mask": ("state",),
+}
+
+#: attributes every endpoint must expose (per-rank identity)
+SEAM_ATTRIBUTES: Tuple[str, ...] = ("rank", "size")
+
+
+@runtime_checkable
+class CommEndpoint(Protocol):
+    """One rank's communication endpoint (what kernels see as ``comms``).
+
+    The Lagrangian step calls :meth:`exchange_kinematics`,
+    :meth:`assemble_node_sums` and :meth:`reduce_dt` (one kinematic
+    halo, one nodal-sum completion, one global reduction per step —
+    paper Section IV-A); the distributed remap adds the cell-field and
+    gradient halos plus the collective skip decision.
+    """
+
+    rank: int
+    size: int
+
+    def exchange_kinematics(self, state) -> None: ...
+
+    def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
+                           ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]: ...
+
+    def complete_node_arrays(self, state, *arrays: np.ndarray
+                             ) -> Tuple[np.ndarray, ...]: ...
+
+    def reduce_dt(self, candidates): ...
+
+    def allreduce_max(self, value: float) -> float: ...
+
+    def owned_cell_mask(self, state) -> Optional[np.ndarray]: ...
+
+    def exchange_cell_arrays(self, *arrays: np.ndarray) -> None: ...
+
+    def exchange_cell_fields(self, state) -> None: ...
+
+    def physical_boundary_sides(self, state) -> Optional[np.ndarray]: ...
+
+    def physical_boundary_side_mask(self, state) -> Optional[np.ndarray]: ...
+
+
+@dataclass
+class BackendRun:
+    """What one backend execution hands back to the driver.
+
+    Every backend — threads in one process, one process per rank —
+    produces the same carrier, so the telemetry merge path, ``gather``
+    and the run report are backend-agnostic.  Per-rank lists are in
+    ascending rank order (the deterministic merge rule).
+    """
+
+    backend: str
+    nranks: int
+    nstep: int
+    time: float
+    #: each rank's final local state (live for threads, reconstructed
+    #: from the shared segments for processes)
+    states: List[Any]
+    #: each rank's kernel timer registry
+    timers: List[Any]
+    #: each rank's trace spans (empty lists when tracing was off)
+    spans: List[list]
+    #: each rank's CommStats counters as dicts
+    comm_per_rank: List[dict]
+    #: rank 0's per-step time series (when step collection was on)
+    step_rows: Optional[List[dict]] = None
+
+    def comm_total(self) -> dict:
+        total: Dict[str, int] = {}
+        for entry in self.comm_per_rank:
+            for key, value in entry.items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def merged_spans(self) -> list:
+        """All ranks' spans, ascending rank order, per-rank order kept."""
+        merged: list = []
+        for stream in self.spans:
+            merged.extend(stream)
+        return merged
+
+
+@runtime_checkable
+class CommBackend(Protocol):
+    """An execution backend for decomposed runs.
+
+    ``prepare`` is called from ``DistributedHydro.__init__`` (build
+    whatever per-rank machinery the backend keeps in the driver);
+    ``execute`` launches all ranks, blocks to completion and returns a
+    :class:`BackendRun`.  Failures anywhere must abort every rank and
+    surface as one :class:`~repro.utils.errors.BookLeafError` carrying
+    the failing rank and the original traceback.
+    """
+
+    name: str
+
+    def prepare(self, driver) -> None: ...
+
+    def execute(self, driver, max_steps: Optional[int] = None) -> BackendRun: ...
+
+
+def seam_violations(cls) -> List[str]:
+    """Structural conformance check of a class against the seam.
+
+    Returns a list of human-readable problems (empty = conforming):
+    missing methods, missing variadic parameters, or positional
+    parameter names that drifted from the seam table.
+    """
+    problems: List[str] = []
+    for name, params in SEAM_METHODS.items():
+        fn = getattr(cls, name, None)
+        if fn is None or not callable(fn):
+            problems.append(f"{cls.__name__}.{name} is missing")
+            continue
+        sig = inspect.signature(fn)
+        positional = [
+            p for p in sig.parameters.values()
+            if p.name != "self" and p.kind in (
+                p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL,
+            )
+        ]
+        expected: List[Tuple[str, bool]] = [
+            (p.lstrip("*"), p.startswith("*")) for p in params
+        ]
+        got = [(p.name, p.kind == p.VAR_POSITIONAL) for p in positional]
+        if got != expected:
+            problems.append(
+                f"{cls.__name__}.{name} signature drifted: "
+                f"expected {expected}, got {got}"
+            )
+    return problems

@@ -126,6 +126,9 @@ class TyphonContext:
 class TyphonComms:
     """One rank's communication endpoint (plugs into the comms seam)."""
 
+    #: declares conformance to repro.parallel.interface.CommEndpoint
+    __comm_endpoint__ = True
+
     def __init__(self, ctx: TyphonContext, sub: Subdomain, tracer=None):
         self.ctx = ctx
         self.sub = sub
@@ -177,17 +180,17 @@ class TyphonComms:
     # ------------------------------------------------------------------
     # nodal sum completion (inside the acceleration kernel)
     # ------------------------------------------------------------------
-    def complete_node_arrays(self, state, *partials: np.ndarray
+    def complete_node_arrays(self, state, *arrays: np.ndarray
                              ) -> Tuple[np.ndarray, ...]:
         """Complete partial nodal sums across ranks.
 
-        ``partials`` are this rank's per-node partial sums, accumulated
+        ``arrays`` are this rank's per-node partial sums, accumulated
         from *owned* cells only.  Partials are combined in ascending
         rank order so every rank computes bit-identical totals for
         shared nodes.
         """
         with self._span("typhon.complete_node_arrays"):
-            return self._complete_node_arrays(state, *partials)
+            return self._complete_node_arrays(state, *arrays)
 
     def _complete_node_arrays(self, state, *partials: np.ndarray
                               ) -> Tuple[np.ndarray, ...]:

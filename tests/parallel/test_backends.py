@@ -1,0 +1,163 @@
+"""Backend equivalence and failure-propagation tests.
+
+The acceptance contract of the pluggable-backend redesign: the
+``threads`` and ``processes`` backends are *bit-identical* to each
+other (same summation order, same counters, same spans), both match
+the serial run to round-off, and a failing or killed rank aborts the
+whole run cleanly with the right rank named.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.hydro import Hydro
+from repro.parallel import DistributedHydro
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError
+
+#: every field the gather assembles
+FIELDS = ("x", "y", "u", "v", "rho", "e", "p", "cs2", "q",
+          "cell_mass", "volume", "corner_mass", "corner_volume")
+
+CASES = {
+    "sod": dict(nx=24, ny=4),
+    "noh": dict(nx=16, ny=16),
+}
+
+
+def _run(problem, nranks, backend, max_steps=20, trace=False):
+    setup = load_problem(problem, **CASES[problem])
+    driver = DistributedHydro(setup, nranks, backend=backend, trace=trace)
+    driver.run(max_steps=max_steps)
+    return driver
+
+
+@pytest.mark.parametrize("nranks", [2, 4])
+@pytest.mark.parametrize("problem", ["sod", "noh"])
+def test_threads_processes_bit_identical(problem, nranks):
+    threads = _run(problem, nranks, "threads")
+    procs = _run(problem, nranks, "processes")
+    assert procs.nstep == threads.nstep
+    assert procs.time == threads.time
+    g_threads, g_procs = threads.gather(), procs.gather()
+    for name in FIELDS:
+        assert np.array_equal(getattr(g_threads, name),
+                              getattr(g_procs, name)), name
+    # identical Typhon counters, rank by rank
+    assert procs.per_rank_comm() == threads.per_rank_comm()
+    assert procs.comm_totals() == threads.comm_totals()
+
+
+@pytest.mark.parametrize("problem", ["sod", "noh"])
+def test_backends_match_serial_to_roundoff(problem):
+    setup = load_problem(problem, **CASES[problem])
+    serial = setup.make_hydro()
+    serial.run(max_steps=20)
+    for backend in ("threads", "processes"):
+        driver = _run(problem, 2, backend)
+        assert driver.nstep == serial.nstep
+        g = driver.gather()
+        np.testing.assert_allclose(g.rho, serial.state.rho, rtol=1e-10)
+        np.testing.assert_allclose(g.e, serial.state.e, rtol=1e-10)
+        np.testing.assert_allclose(g.u, serial.state.u, atol=1e-10)
+        np.testing.assert_allclose(g.x, serial.state.x, atol=1e-11)
+
+
+def test_span_streams_identical_across_backends():
+    threads = _run("noh", 2, "threads", max_steps=10, trace=True)
+    procs = _run("noh", 2, "processes", max_steps=10, trace=True)
+    sig_threads = [(s.name, s.rank) for s in threads.merged_spans()]
+    sig_procs = [(s.name, s.rank) for s in procs.merged_spans()]
+    assert sig_threads == sig_procs
+    assert any(name.startswith("typhon.") for name, _ in sig_procs)
+
+
+def test_serial_backend_equals_plain_hydro():
+    setup = load_problem("sod", **CASES["sod"])
+    plain = setup.make_hydro()
+    plain.run(max_steps=20)
+    driver = _run("sod", 1, "serial")
+    g = driver.gather()
+    for name in FIELDS:
+        assert np.array_equal(getattr(g, name),
+                              getattr(plain.state, name)), name
+
+
+def _fail_on_rank(monkeypatch, rank_to_fail, action):
+    """Patch Hydro.step so the given rank misbehaves at step 3.
+
+    The patch is installed before ``run``; the processes backend forks
+    at execute time, so children inherit it.
+    """
+    orig_step = Hydro.step
+
+    def step(self, *a, **k):
+        if getattr(self.comms, "rank", 0) == rank_to_fail \
+                and self.nstep >= 3:
+            action(self)
+        return orig_step(self, *a, **k)
+
+    monkeypatch.setattr(Hydro, "step", step)
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_rank_failure_aborts_run_and_names_rank(monkeypatch, backend):
+    def boom(hydro):
+        raise RuntimeError("injected fault")
+
+    setup = load_problem("noh", **CASES["noh"])
+    driver = DistributedHydro(setup, 2, backend=backend)
+    _fail_on_rank(monkeypatch, 1, boom)
+    with pytest.raises(BookLeafError, match="rank 1 failed") as exc:
+        driver.run(max_steps=20)
+    assert "injected fault" in str(exc.value)
+
+
+def test_threads_failure_chains_original_traceback(monkeypatch):
+    """Satellite fix: the original exception rides along as __cause__."""
+    def boom(hydro):
+        raise RuntimeError("injected fault")
+
+    setup = load_problem("noh", **CASES["noh"])
+    driver = DistributedHydro(setup, 2, backend="threads")
+    _fail_on_rank(monkeypatch, 1, boom)
+    with pytest.raises(BookLeafError) as exc:
+        driver.run(max_steps=20)
+    assert isinstance(exc.value.__cause__, RuntimeError)
+    assert "injected fault" in str(exc.value.__cause__)
+
+
+def test_processes_failure_carries_remote_traceback(monkeypatch):
+    """Tracebacks don't pickle; the text must still reach the caller."""
+    from repro.parallel.backends.processes import RemoteRankError
+
+    def boom(hydro):
+        raise RuntimeError("injected fault")
+
+    setup = load_problem("noh", **CASES["noh"])
+    driver = DistributedHydro(setup, 2, backend="processes")
+    _fail_on_rank(monkeypatch, 1, boom)
+    with pytest.raises(BookLeafError) as exc:
+        driver.run(max_steps=20)
+    cause = exc.value.__cause__
+    assert isinstance(cause, RemoteRankError)
+    assert "Traceback" in str(cause)
+    assert "injected fault" in str(cause)
+
+
+def test_killed_rank_process_aborts_cleanly(monkeypatch):
+    """SIGKILL a child rank mid-run: the survivors must not hang, and
+    the error must name the rank that died — not a rank that merely
+    saw its pipe close."""
+    def die(hydro):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    setup = load_problem("noh", **CASES["noh"])
+    driver = DistributedHydro(setup, 2, backend="processes")
+    _fail_on_rank(monkeypatch, 1, die)
+    with pytest.raises(BookLeafError, match="rank 1 failed") as exc:
+        driver.run(max_steps=20)
+    assert "terminated abnormally" in str(exc.value)

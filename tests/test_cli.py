@@ -165,3 +165,45 @@ def test_model_table2_measured(capsys):
     out = capsys.readouterr().out
     assert "viscosity" in out
     assert "measured" in out and "model" in out
+
+
+def test_run_nranks_flag(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+               "--max-steps", "3", "--nranks", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ranks: 2" in out
+    assert "threads" in out
+
+
+def test_run_ranks_alias_deprecation_notice(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+               "--max-steps", "3", "--ranks", "2"])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "--ranks is deprecated" in captured.err
+    assert "ranks: 2" in captured.out
+
+
+def test_run_ranks_and_nranks_conflict(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+               "--ranks", "2", "--nranks", "2"])
+    assert rc == 2
+
+
+def test_run_processes_backend(capsys):
+    rc = main(["run", "--problem", "noh", "--nx", "16", "--ny", "16",
+               "--max-steps", "3", "--nranks", "2",
+               "--backend", "processes"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ranks: 2 (rcb, processes)" in out
+    assert "halo exchanges" in out
+
+
+def test_run_unknown_backend_fails(capsys):
+    from repro.utils.errors import BookLeafError
+
+    with pytest.raises(BookLeafError, match="unknown comm backend"):
+        main(["run", "--problem", "noh", "--nx", "12", "--ny", "12",
+              "--nranks", "2", "--backend", "mpi"])
