@@ -66,12 +66,37 @@ class RunConfig:
     trace_allocations: bool = False
     collect_steps: bool = False
     log_every: int = 0
+    #: NDJSON live-metrics stream path (``--metrics out.ndjson``);
+    #: setting it turns the diagnostics probe on at the default cadence
+    metrics: Optional[str] = None
+    #: probe cadence in steps; ``None`` = default (10) when any metrics
+    #: output is requested, ``0`` = force-off even with a path set
+    metrics_every: Optional[int] = None
+    #: flag a rank as stalled after this many seconds without a
+    #: heartbeat (threads/processes backends; ``None`` = no watchdog)
+    watchdog_timeout: Optional[float] = None
+    #: directory for HealthError forensic snapshots (default: CWD)
+    snapshot_dir: Optional[str] = None
     problem_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    #: probe cadence used when metrics are requested without an
+    #: explicit ``metrics_every``
+    DEFAULT_METRICS_EVERY = 10
 
     def resolved_backend(self) -> str:
         if self.backend == "auto":
             return "serial" if self.nranks == 1 else "threads"
         return self.backend
+
+    def resolved_metrics_every(self) -> int:
+        """The effective probe cadence (0 = no probe, hot loop
+        untouched).  An explicit ``metrics_every=0`` wins over a
+        ``metrics`` path; a path or cadence alone enables the rest."""
+        if self.metrics_every is not None:
+            return int(self.metrics_every)
+        if self.metrics is not None:
+            return self.DEFAULT_METRICS_EVERY
+        return 0
 
     def build_setup(self) -> ProblemSetup:
         """Materialise the :class:`ProblemSetup` this config describes."""
@@ -121,6 +146,11 @@ class RunResult:
     comm_per_rank: List[dict]
     step_rows: Optional[List[dict]]
     comm_summary: Optional[dict]
+    #: the live-metrics sample records (None when metrics were off)
+    metrics_rows: Optional[List[dict]] = None
+    #: the run's :class:`~repro.metrics.registry.MetricsRegistry`
+    #: (physics gauges + ingested timer/comm counters; None when off)
+    metrics: Any = None
     driver: Any = None
 
     def report(self) -> dict:
@@ -140,6 +170,8 @@ class RunResult:
             comm_total=self.comm_total,
             comm_per_rank=self.comm_per_rank,
             step_series=series,
+            diagnostics=(self.metrics_rows[-1]
+                         if self.metrics_rows else None),
         )
 
     def diagnostics(self) -> dict:
@@ -203,6 +235,10 @@ def run(config: Optional[RunConfig] = None, *,
         trace=config.trace, backend=backend,
         log_every=config.log_every,
         trace_allocations=config.trace_allocations,
+        metrics_path=config.metrics,
+        metrics_every=config.resolved_metrics_every(),
+        watchdog_timeout=config.watchdog_timeout,
+        snapshot_dir=config.snapshot_dir,
     )
     driver.collect_step_series = config.collect_steps
     if observers:
@@ -217,6 +253,14 @@ def run(config: Optional[RunConfig] = None, *,
     driver.run(max_steps=config.max_steps)
     wall = _time.perf_counter() - start
     distributed = config.nranks > 1
+    merged_timers = driver.merged_timers()
+    metrics = driver.result.metrics if driver.result else None
+    if metrics is not None:
+        # One registry holds everything: the probe's physics gauges
+        # plus the merged kernel timers and per-rank comm counters.
+        metrics.ingest_timers(merged_timers)
+        for rank, entry in enumerate(driver.per_rank_comm()):
+            metrics.ingest_comm(entry, rank=rank)
     return RunResult(
         config=config,
         setup=setup,
@@ -226,12 +270,14 @@ def run(config: Optional[RunConfig] = None, *,
         time=driver.time,
         wall_seconds=wall,
         state=driver.gather(),
-        timers=driver.merged_timers(),
+        timers=merged_timers,
         spans=driver.merged_spans(),
         comm_total=driver.comm_totals() if distributed else None,
         comm_per_rank=driver.per_rank_comm(),
         step_rows=driver.result.step_rows if driver.result else None,
         comm_summary=driver.comm_summary() if distributed else None,
+        metrics_rows=driver.result.metrics_rows if driver.result else None,
+        metrics=metrics,
         driver=driver,
     )
 

@@ -7,6 +7,8 @@ Usage (installed as ``bookleaf``, or ``python -m repro``)::
     bookleaf run sod.in --nranks 4      # decomposed (virtual-MPI) run
     bookleaf run sod.in --nranks 4 --backend processes  # real processes
     bookleaf run noh.in --report r.json --trace t.json   # telemetry
+    bookleaf run noh.in --metrics m.ndjson --watchdog-timeout 30
+    bookleaf compare old.json new.json  # regression gate (exit 1)
     bookleaf decks                      # list bundled decks
     bookleaf info                       # platform/model registry
     bookleaf model table2-measured      # measured-vs-modeled Table II
@@ -71,7 +73,40 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(load it in https://ui.perfetto.dev)")
     run.add_argument("--trace-allocs", action="store_true",
                      help="also record per-region allocation counters "
-                          "(tracemalloc; slows the run, diagnosis only)")
+                          "(tracemalloc; serial backend only — slows "
+                          "the run, diagnosis only)")
+    run.add_argument("--metrics", metavar="PATH",
+                     help="stream live diagnostics (conservation drift, "
+                          "extrema, health sentinels) to this NDJSON "
+                          "file, one record per sample")
+    run.add_argument("--metrics-every", type=int, default=None,
+                     metavar="N",
+                     help="diagnostics sampling cadence in steps "
+                          "(default 10 when --metrics is set; 0 "
+                          "disables the probe entirely)")
+    run.add_argument("--metrics-prom", metavar="PATH",
+                     help="write an end-of-run Prometheus text-"
+                          "exposition snapshot of the metrics registry")
+    run.add_argument("--watchdog-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="flag a rank as stalled after this many "
+                          "seconds without a heartbeat (threads/"
+                          "processes backends)")
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff two run reports or two BENCH_*.json files "
+             "(exits 1 on regression beyond the threshold)",
+    )
+    compare.add_argument("old", help="baseline document")
+    compare.add_argument("new", help="candidate document")
+    compare.add_argument("--threshold", type=float, default=None,
+                         help="allowed fractional slowdown before a "
+                              "gated metric counts as regressed "
+                              "(default 0.25)")
+    compare.add_argument("--min-seconds", type=float, default=None,
+                         help="kernels faster than this in both runs "
+                              "are never gated (default 1e-3)")
 
     sub.add_parser("decks", help="list the bundled input decks")
     sub.add_parser("info", help="show the modelled platform registry")
@@ -218,6 +253,14 @@ def _run_config(args: argparse.Namespace):
         trace_allocations=args.trace_allocs,
         collect_steps=bool(args.report),
         log_every=args.log_every,
+        metrics=args.metrics,
+        # --metrics-prom alone still needs the probe (the registry is
+        # the probe's output): enable the default cadence for it.
+        metrics_every=(RunConfig.DEFAULT_METRICS_EVERY
+                       if (args.metrics_prom and args.metrics_every is None
+                           and args.metrics is None)
+                       else args.metrics_every),
+        watchdog_timeout=args.watchdog_timeout,
     )
 
 
@@ -240,11 +283,14 @@ def _run(args: argparse.Namespace) -> int:
     from .api import run as api_run
 
     distributed = config.nranks > 1
-    if args.trace_allocs and distributed:
+    if args.trace_allocs and config.resolved_backend() != "serial":
         # tracemalloc is process-global: concurrent ranks would charge
-        # each other's allocations to open regions.
-        print("--trace-allocs is serial-only; ignoring for a "
-              "decomposed run", file=sys.stderr)
+        # each other's allocations to open regions.  Any non-serial
+        # backend ignores the flag — including a forced
+        # `--backend threads --nranks 1` — so say so instead of
+        # silently dropping it (docs/OBSERVABILITY.md).
+        print(f"--trace-allocs is serial-only; ignoring for the "
+              f"{config.resolved_backend()!r} backend", file=sys.stderr)
         config.trace_allocations = False
     history = None
     observers = []
@@ -296,7 +342,37 @@ def _run(args: argparse.Namespace) -> int:
         write_trace(result.spans, args.trace)
         print(f"wrote Chrome trace to {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    if args.metrics:
+        rows = result.metrics_rows or []
+        tail = (f" (final energy drift "
+                f"{rows[-1]['energy_drift']:.3g})" if rows else "")
+        print(f"wrote {len(rows)} metrics records to "
+              f"{args.metrics}{tail}")
+    if args.metrics_prom:
+        if result.metrics is None:
+            print("--metrics-prom needs the probe enabled "
+                  "(--metrics-every > 0)", file=sys.stderr)
+        else:
+            result.metrics.write_prometheus(args.metrics_prom)
+            print(f"wrote Prometheus snapshot to {args.metrics_prom}")
     return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    from .metrics import compare as cmp
+
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    if args.min_seconds is not None:
+        kwargs["min_seconds"] = args.min_seconds
+    try:
+        result = cmp.compare_files(args.old, args.new, **kwargs)
+    except (OSError, ValueError) as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    print(cmp.format_table(result))
+    return result.exit_code
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -317,6 +393,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _run(args)
+    if args.command == "compare":
+        return _compare(args)
     if args.command == "decks":
         for name in problem_names():
             print(f"{name:<12} {deck_path(name)}")

@@ -99,6 +99,16 @@ class SerialComms:
         or the ranks' barrier sequences diverge."""
         return value
 
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise global sum of a small vector (identity serially).
+        Used by the live-metrics probe for conservation sums."""
+        return np.array(values, dtype=np.float64)
+
+    def allreduce_min(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise global minimum of a small vector (identity
+        serially).  Used by the live-metrics probe for field extrema."""
+        return np.array(values, dtype=np.float64)
+
 
 #: the formal name of the do-nothing endpoint in the backend registry
 #: (``repro.parallel.interface`` nomenclature); same class, two names.

@@ -54,6 +54,11 @@ class Hydro:
         ``lagstep`` so the steady-state loop reuses arena buffers
         instead of allocating.  Defaults (``None``) keep the historical
         allocate-per-call behaviour.
+    probe:
+        Optional :class:`~repro.metrics.probe.DiagnosticsProbe` sampled
+        by the step loop (live conservation/health monitoring).  The
+        default (``None``) leaves the hot loop untouched beyond one
+        ``is None`` check per step.
     """
 
     def __init__(self, state: HydroState, table: MaterialTable,
@@ -63,7 +68,8 @@ class Hydro:
                  comms=None,
                  remapper=None,
                  plans=None,
-                 workspace=None):
+                 workspace=None,
+                 probe=None):
         self.state = state
         self.table = table
         self.controls = controls.validated()
@@ -84,6 +90,7 @@ class Hydro:
         self.remapper = remapper
         self.plans = plans
         self.workspace = workspace
+        self.probe = probe
         #: callbacks invoked after every step with (hydro,) — used by
         #: time-history output and tests
         self.observers: List[Callable[["Hydro"], None]] = []
@@ -139,12 +146,19 @@ class Hydro:
                          self.dt_reason, self.dt_cell)
         for observer in self.observers:
             observer(self)
+        # Probed after the observers so a fault injected by an observer
+        # is caught on the same step; the probe's own collectives are
+        # safe because every rank samples on the same cadence.
+        if self.probe is not None:
+            self.probe.on_step(self)
         return self.dt
 
     def run(self, max_steps: Optional[int] = None) -> int:
         """March to ``time_end``; returns the number of steps taken."""
         limit = max_steps if max_steps is not None else self.controls.max_steps
         start = self.nstep
+        if self.probe is not None:
+            self.probe.begin(self)
         with self.timers.trace_span("run", cat="run") as span:
             while not self.done():
                 if self.nstep - start >= limit:
@@ -152,6 +166,8 @@ class Hydro:
                 self.step()
             if span is not None:
                 span.args.update(steps=self.nstep - start, t_end=self.time)
+        if self.probe is not None:
+            self.probe.finish(self)
         return self.nstep - start
 
     # ------------------------------------------------------------------

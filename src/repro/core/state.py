@@ -154,6 +154,48 @@ class HydroState:
         self._node_mass = None
 
     # ------------------------------------------------------------------
+    # health sentinels (the live-metrics layer's hard invariants)
+    # ------------------------------------------------------------------
+    #: nodal fields scanned for NaN/Inf (ids in a violation are node ids)
+    SENTINEL_NODE_FIELDS = ("x", "y", "u", "v")
+    #: cell fields scanned for NaN/Inf (ids are cell ids)
+    SENTINEL_CELL_FIELDS = ("rho", "e", "p", "cs2", "q",
+                            "volume", "cell_mass")
+
+    def sentinel_scan(self, cell_mask: Optional[np.ndarray] = None,
+                      max_ids: int = 32) -> dict:
+        """Scan for states no healthy step may produce.
+
+        Checks every kinematic and thermodynamic field for NaN/Inf and
+        the invariant-domain bounds of the compatible scheme: positive
+        cell volume, density and mass, non-negative internal energy.
+        Returns ``{sentinel_name: offending ids}`` (empty dict =
+        healthy); ids are truncated to ``max_ids`` per sentinel.
+        ``cell_mask`` restricts the *cell* checks to owned cells in a
+        decomposed run (ghost thermodynamics are refreshed lazily and
+        may be stale, never authoritative).
+        """
+        violations = {}
+
+        def trip(name: str, bad: np.ndarray) -> None:
+            idx = np.flatnonzero(bad)
+            if idx.size:
+                violations[name] = idx[:max_ids]
+
+        for name in self.SENTINEL_NODE_FIELDS:
+            trip(f"nonfinite:{name}", ~np.isfinite(getattr(self, name)))
+        owned = (np.ones(self.mesh.ncell, dtype=bool)
+                 if cell_mask is None else cell_mask)
+        for name in self.SENTINEL_CELL_FIELDS:
+            trip(f"nonfinite:{name}",
+                 owned & ~np.isfinite(getattr(self, name)))
+        trip("nonpositive:volume", owned & (self.volume <= 0.0))
+        trip("nonpositive:rho", owned & (self.rho <= 0.0))
+        trip("nonpositive:cell_mass", owned & (self.cell_mass <= 0.0))
+        trip("negative:e", owned & (self.e < 0.0))
+        return violations
+
+    # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
     def kinetic_energy(self) -> float:

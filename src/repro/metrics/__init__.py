@@ -1,0 +1,44 @@
+"""Live metrics & health: in-situ diagnostics for running simulations.
+
+PR 2 gave the repository *post-hoc* observability — trace spans and a
+JSON run report you read after the run ends (docs/OBSERVABILITY.md).
+This package is the *live* half: what a production system would watch
+while the run executes.
+
+* :class:`~repro.metrics.probe.DiagnosticsProbe` — sampled every N
+  steps by the hydro loop; computes the conserved totals (mass,
+  internal + kinetic energy) and their drift against step 0, the
+  hourglass-energy proxy, field extrema and the dt control, and scans
+  hard health **sentinels** (NaN/Inf, non-positive volume/density,
+  negative energy) that raise a structured
+  :class:`~repro.utils.errors.HealthError` with a forensic state
+  snapshot on disk.
+* :class:`~repro.metrics.registry.MetricsRegistry` — labelled
+  counter/gauge/histogram primitives with an NDJSON append stream and
+  a Prometheus text-exposition snapshot writer.
+* :mod:`~repro.metrics.watchdog` — rank heartbeats and the stall
+  monitor used by the ``threads``/``processes`` backends
+  (:class:`~repro.utils.errors.StalledRankWarning`).
+* :mod:`~repro.metrics.compare` — the ``repro compare`` CLI: diff two
+  run reports or two ``BENCH_*.json`` files with a regression
+  threshold, for CI gating.
+
+Everything here is opt-in: with no probe attached the step loop pays
+one ``is None`` check per step and stays bit-identical.
+"""
+
+from .probe import METRICS_SCHEMA_VERSION, DiagnosticsProbe
+from .registry import MetricsRegistry
+from .health import dump_snapshot, load_snapshot
+from .watchdog import HeartbeatBoard, Heartbeat, Watchdog
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "DiagnosticsProbe",
+    "MetricsRegistry",
+    "HeartbeatBoard",
+    "Heartbeat",
+    "Watchdog",
+    "dump_snapshot",
+    "load_snapshot",
+]

@@ -1,0 +1,247 @@
+"""``repro compare`` — diff two run reports or two BENCH files.
+
+The bench jobs in CI have always been *advisory*: a human has to open
+two JSON artifacts and eyeball the kernel seconds.  This module is the
+machine half of that judgement — given two schema-versioned run
+reports (``--report out.json``) or two ``BENCH_*.json`` documents it
+prints a per-metric table (old, new, ratio) and exits nonzero when any
+gated metric regressed beyond the threshold, which is what lets a CI
+step fail a PR instead of merely attaching artifacts.
+
+Gating rules:
+
+* **run reports** — per-kernel ``seconds`` are gated (lower is
+  better); kernels below the ``min_seconds`` floor in *both* runs are
+  reported but never gated (sub-millisecond timings are noise).
+  Comm counters and the embedded diagnostics (energy/mass drift) are
+  informational rows: a comm-count change means the algorithm changed,
+  which is a review question, not a timing regression.
+* **bench documents** — every shared numeric leaf is compared;
+  ``*seconds*``/``t_*`` leaves are gated lower-is-better, ``*speedup*``
+  leaves higher-is-better, anything else informational.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: kernels faster than this in both runs are never gated (timing noise)
+DEFAULT_MIN_SECONDS = 1e-3
+
+#: default allowed fractional slowdown before a row counts as regressed
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass
+class Row:
+    """One comparison line: a metric in the old and new documents."""
+
+    name: str
+    old: Optional[float]
+    new: Optional[float]
+    #: "ok" | "regression" | "improved" | "info"
+    status: str = "info"
+    #: True when this row can flip the exit code
+    gated: bool = False
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.old is None or self.new is None or self.old == 0:
+            return None
+        return self.new / self.old
+
+
+@dataclass
+class CompareResult:
+    kind: str                       # "report" | "bench"
+    rows: List[Row] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Row]:
+        return [r for r in self.rows if r.status == "regression"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+
+# ----------------------------------------------------------------------
+# document classification and loading
+# ----------------------------------------------------------------------
+def load_document(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def classify(doc: dict) -> str:
+    if "kernels" in doc and "run" in doc:
+        return "report"
+    if "rungs" in doc or "cases" in doc or "bench" in doc:
+        return "bench"
+    raise ValueError(
+        "not a run report (--report out.json) or a BENCH_*.json document"
+    )
+
+
+# ----------------------------------------------------------------------
+# run-report comparison
+# ----------------------------------------------------------------------
+def _judge(old: Optional[float], new: Optional[float], threshold: float,
+           lower_is_better: bool = True) -> str:
+    if old is None or new is None or old == 0:
+        return "info"
+    ratio = new / old
+    if lower_is_better:
+        if ratio > 1.0 + threshold:
+            return "regression"
+        if ratio < 1.0 - threshold:
+            return "improved"
+    else:
+        if ratio < 1.0 - threshold:
+            return "regression"
+        if ratio > 1.0 + threshold:
+            return "improved"
+    return "ok"
+
+
+def compare_reports(old: dict, new: dict, threshold: float,
+                    min_seconds: float) -> CompareResult:
+    result = CompareResult(kind="report")
+    kernels = sorted(set(old.get("kernels", {})) | set(new.get("kernels", {})))
+    for name in kernels:
+        a = old.get("kernels", {}).get(name, {}).get("seconds")
+        b = new.get("kernels", {}).get(name, {}).get("seconds")
+        gate = (a is not None and b is not None
+                and max(a, b) >= min_seconds)
+        status = _judge(a, b, threshold) if gate else "info"
+        result.rows.append(Row(f"kernels.{name}.seconds", a, b,
+                               status=status, gated=gate))
+    for counter in ("messages", "bytes", "halo_exchanges", "reductions"):
+        a = old.get("comm", {}).get("total", {}).get(counter)
+        b = new.get("comm", {}).get("total", {}).get(counter)
+        result.rows.append(Row(f"comm.total.{counter}", a, b))
+    for metric in ("energy_drift", "mass_drift", "total_energy",
+                   "hourglass_energy"):
+        a = (old.get("diagnostics") or {}).get(metric)
+        b = (new.get("diagnostics") or {}).get(metric)
+        if a is not None or b is not None:
+            result.rows.append(Row(f"diagnostics.{metric}", a, b))
+    a, b = old.get("run", {}).get("wall_seconds"), \
+        new.get("run", {}).get("wall_seconds")
+    result.rows.append(Row("run.wall_seconds", a, b))
+    return result
+
+
+# ----------------------------------------------------------------------
+# bench-document comparison
+# ----------------------------------------------------------------------
+def _numeric_leaves(doc, prefix: str = "") -> Dict[str, float]:
+    """Flatten a JSON document to ``dotted.path -> number`` leaves.
+
+    Lists of objects are keyed by their most identifying scalar fields
+    (nx, backend, nranks, problem, name) when present, else by index —
+    so the same case lines up across documents even if list order or
+    length changed.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(doc, bool):
+        return out
+    if isinstance(doc, (int, float)):
+        out[prefix.rstrip(".")] = float(doc)
+        return out
+    if isinstance(doc, dict):
+        for key in sorted(doc):
+            out.update(_numeric_leaves(doc[key], f"{prefix}{key}."))
+        return out
+    if isinstance(doc, list):
+        for i, item in enumerate(doc):
+            label = str(i)
+            if isinstance(item, dict):
+                tags = [f"{k}={item[k]}"
+                        for k in ("problem", "name", "backend", "nx",
+                                  "nranks")
+                        if k in item and not isinstance(item[k], (dict, list))]
+                if tags:
+                    label = ",".join(tags)
+            out.update(_numeric_leaves(item, f"{prefix}[{label}]."))
+        return out
+    return out
+
+
+def _bench_direction(path: str) -> Optional[bool]:
+    """True = lower better, False = higher better, None = ungated."""
+    leaf = path.rsplit(".", 1)[-1]
+    if "speedup" in leaf:
+        return False
+    if "seconds" in leaf or leaf.startswith("t_"):
+        return True
+    return None
+
+
+def compare_benches(old: dict, new: dict, threshold: float) -> CompareResult:
+    result = CompareResult(kind="bench")
+    a_leaves = _numeric_leaves(old)
+    b_leaves = _numeric_leaves(new)
+    for path in sorted(set(a_leaves) | set(b_leaves)):
+        a, b = a_leaves.get(path), b_leaves.get(path)
+        direction = _bench_direction(path)
+        if direction is None or a is None or b is None:
+            result.rows.append(Row(path, a, b))
+        else:
+            result.rows.append(Row(
+                path, a, b, gated=True,
+                status=_judge(a, b, threshold,
+                              lower_is_better=direction),
+            ))
+    return result
+
+
+# ----------------------------------------------------------------------
+# entry point + table rendering
+# ----------------------------------------------------------------------
+def compare_files(path_old: str, path_new: str,
+                  threshold: float = DEFAULT_THRESHOLD,
+                  min_seconds: float = DEFAULT_MIN_SECONDS) -> CompareResult:
+    old, new = load_document(path_old), load_document(path_new)
+    kind_old, kind_new = classify(old), classify(new)
+    if kind_old != kind_new:
+        raise ValueError(
+            f"cannot compare a {kind_old} against a {kind_new}"
+        )
+    if kind_old == "report":
+        return compare_reports(old, new, threshold, min_seconds)
+    return compare_benches(old, new, threshold)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e12:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def format_table(result: CompareResult) -> str:
+    headers = ("metric", "old", "new", "ratio", "status")
+    body = []
+    for row in result.rows:
+        ratio = row.ratio
+        body.append((
+            row.name, _fmt(row.old), _fmt(row.new),
+            "-" if ratio is None else f"{ratio:.3f}",
+            row.status if row.gated else "info",
+        ))
+    widths = [max(len(h), *(len(r[i]) for r in body)) if body else len(h)
+              for i, h in enumerate(headers)]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    n = len(result.regressions)
+    lines.append("")
+    lines.append(f"{n} regression(s)" if n else "no regressions")
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Labelled metrics primitives with Prometheus and NDJSON sinks.
+
+A minimal, dependency-free metrics pipeline in the Prometheus data
+model: **counters** (monotone totals — messages sent, samples taken),
+**gauges** (point-in-time values — energy drift, min density) and
+**histograms** (distributions — per-step wall seconds), every
+instrument carrying a sorted label set (``rank``, ``phase``, ``kernel``
+…).
+
+Two sinks:
+
+* :meth:`MetricsRegistry.prometheus` / :meth:`write_prometheus` — the
+  standard text exposition format, one snapshot per call, for scraping
+  or eyeballing;
+* the NDJSON *stream* lives in :mod:`repro.metrics.probe` (one record
+  per diagnostics sample, append-only) — the registry is the
+  end-of-run aggregate, the stream is the time series.
+
+The registry is also fed from the existing instrumentation after a
+run: :meth:`ingest_timers` folds a
+:class:`~repro.utils.timers.TimerRegistry` into per-kernel counters
+and :meth:`ingest_comm` folds the Typhon
+:class:`~repro.parallel.typhon.CommStats` dicts, so one registry ends
+up holding physics, timing and traffic under a uniform naming scheme.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+#: default histogram bucket upper bounds (seconds-flavoured, +Inf added)
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _key(name: str, labels: Dict[str, str]) -> Tuple:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+class Counter:
+    """A monotone accumulating total."""
+
+    kind = "counter"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (goes up and down)."""
+
+    kind = "gauge"
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """A cumulative-bucket distribution (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[int]:
+        """Bucket counts as Prometheus wants them: cumulative ≤ bound."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+
+class MetricsRegistry:
+    """A set of named, labelled instruments.
+
+    ``registry.counter("samples_total", rank=0).inc()`` — instruments
+    are created on first touch and identified by (name, label set), so
+    every call site with the same labels shares one instrument.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[Tuple, Tuple[str, dict, object]] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, factory, name: str, labels: dict):
+        key = _key(name, labels)
+        entry = self._instruments.get(key)
+        if entry is None:
+            # labels are stored stringified, matching the identity key
+            # (rank=0 and rank="0" are one instrument, shown one way)
+            entry = (name, {k: str(v) for k, v in labels.items()},
+                     factory())
+            self._instruments[key] = entry
+        return entry[2]
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(lambda: Histogram(buckets), name, labels)
+
+    # ------------------------------------------------------------------
+    # bulk ingestion from the existing instrumentation
+    # ------------------------------------------------------------------
+    def ingest_timers(self, timers, **labels) -> None:
+        """Fold a :class:`~repro.utils.timers.TimerRegistry` in as
+        per-kernel ``kernel_seconds_total`` / ``kernel_calls_total``."""
+        for name, timer in timers.timers.items():
+            self.counter("kernel_seconds_total",
+                         kernel=name, **labels).inc(timer.seconds)
+            self.counter("kernel_calls_total",
+                         kernel=name, **labels).inc(timer.calls)
+
+    def ingest_comm(self, comm: dict, **labels) -> None:
+        """Fold one rank's CommStats dict in as ``comm_*_total``."""
+        for field, value in comm.items():
+            self.counter(f"comm_{field}_total", **labels).inc(value)
+
+    # ------------------------------------------------------------------
+    # introspection / export
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-ready dump: ``{name: [{labels, kind, value(s)}...]}``."""
+        out: Dict[str, list] = {}
+        for key in sorted(self._instruments):
+            name, labels, inst = self._instruments[key]
+            entry = {"labels": labels, "kind": inst.kind}
+            if inst.kind == "histogram":
+                entry.update(sum=inst.sum, count=inst.count,
+                             buckets=dict(zip(
+                                 [str(b) for b in inst.bounds] + ["+Inf"],
+                                 inst.cumulative())))
+            else:
+                entry["value"] = inst.value
+            out.setdefault(name, []).append(entry)
+        return out
+
+    def prometheus(self, prefix: str = "bookleaf") -> str:
+        """The Prometheus text exposition format, deterministic order."""
+        by_name: Dict[str, list] = {}
+        for key in sorted(self._instruments):
+            name, labels, inst = self._instruments[key]
+            by_name.setdefault(name, []).append((labels, inst))
+        lines: List[str] = []
+        for name in sorted(by_name):
+            series = by_name[name]
+            metric = _NAME_RE.sub("_", f"{prefix}_{name}")
+            lines.append(f"# TYPE {metric} {series[0][1].kind}")
+            for labels, inst in series:
+                if inst.kind == "histogram":
+                    cum = inst.cumulative()
+                    for bound, count in zip(
+                            list(inst.bounds) + [math.inf], cum):
+                        le = "+Inf" if bound == math.inf else repr(bound)
+                        lines.append(
+                            f"{metric}_bucket"
+                            f"{_labelset(labels, le=le)} {count}")
+                    lines.append(
+                        f"{metric}_sum{_labelset(labels)} {_fmt(inst.sum)}")
+                    lines.append(
+                        f"{metric}_count{_labelset(labels)} {inst.count}")
+                else:
+                    lines.append(
+                        f"{metric}{_labelset(labels)} {_fmt(inst.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path, prefix: str = "bookleaf") -> str:
+        text = self.prometheus(prefix=prefix)
+        with open(path, "w") as fh:
+            fh.write(text)
+        return str(path)
+
+
+def _labelset(labels: dict, **extra) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_RE.sub("_", k)}="{_escape(v)}"'
+        for k, v in sorted((k, str(v)) for k, v in merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

@@ -38,6 +38,7 @@ import multiprocessing as mp
 import os
 import time
 import traceback
+import warnings
 from contextlib import nullcontext
 from multiprocessing import shared_memory
 from threading import BrokenBarrierError
@@ -47,7 +48,10 @@ import numpy as np
 
 from ...core.hydro import Hydro
 from ...core.timestep import Candidate
-from ...utils.errors import BookLeafError, CommError
+from ...metrics.watchdog import (
+    BOARD_COLS, Heartbeat, HeartbeatBoard, stall_message,
+)
+from ...utils.errors import BookLeafError, CommError, StalledRankWarning
 from ...utils.timers import TimerRegistry
 from ..halo import Subdomain, local_state
 from ..interface import BackendRun
@@ -115,6 +119,8 @@ class _ProcessRunContext:
         self.max_steps = max_steps
         self.trace = driver.trace
         self.collect_steps = driver.collect_step_series
+        self.build_probe = driver.build_probe
+        self.watchdog_timeout = driver.watchdog_timeout
         self.epoch_ns = time.perf_counter_ns()
         self.barrier = ctx.Barrier(self.size)
         self.failure = ctx.Event()
@@ -135,6 +141,14 @@ class _ProcessRunContext:
             )
             for sub in self.subdomains
         ]
+        # Heartbeat board: one shared (nranks, 2) float64 segment the
+        # ranks beat into and the parent's stall monitor polls
+        # (CLOCK_MONOTONIC is system-wide, so the stamps compare across
+        # processes).  Launch-stamped pre-fork.
+        self.heartbeat_seg = shared_memory.SharedMemory(
+            create=True, size=self.size * BOARD_COLS * _FLOAT_BYTES
+        )
+        self.heartbeat_board().launch()
         self._ctx = ctx
 
     # ------------------------------------------------------------------
@@ -143,6 +157,15 @@ class _ProcessRunContext:
         return np.ndarray(
             (seg.size // _FLOAT_BYTES,), dtype=np.float64, buffer=seg.buf
         )
+
+    def heartbeat_board(self) -> HeartbeatBoard:
+        """A view of the shared heartbeat segment (caller must drop the
+        view — ``board.array = None`` — before interpreter teardown in
+        the children, like the mailboxes)."""
+        return HeartbeatBoard(np.ndarray(
+            (self.size, BOARD_COLS), dtype=np.float64,
+            buffer=self.heartbeat_seg.buf,
+        ))
 
     def close_foreign_pipe_ends(self, rank: int) -> None:
         """Drop the pipe ends this rank does not own (fork duplicated
@@ -207,7 +230,7 @@ class _ProcessRunContext:
                 conn.close()
             except Exception:
                 pass
-        for seg in self.segments:
+        for seg in self.segments + [self.heartbeat_seg]:
             try:
                 seg.close()
             except Exception:
@@ -383,6 +406,34 @@ class ProcessComms:
         self.stats.account(1)
         return float(result)
 
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise global sum of a small vector across ranks."""
+        return self._allreduce_combine(
+            values, np.add, "typhon.allreduce_sum")
+
+    def allreduce_min(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise global minimum of a small vector across ranks."""
+        return self._allreduce_combine(
+            values, np.minimum, "typhon.allreduce_min")
+
+    def _allreduce_combine(self, values: np.ndarray, op,
+                           span_name: str) -> np.ndarray:
+        # Ascending-rank left fold — the same fold TyphonComms performs
+        # in shared slots — so threads and processes runs stay
+        # bit-identical down to the diagnostics stream.
+        def combine(entries):
+            result = np.array(entries[0], dtype=np.float64)
+            for entry in entries[1:]:
+                result = op(result, entry)
+            return result
+
+        with self._span(span_name):
+            result = self._root_reduce(
+                np.array(values, dtype=np.float64), combine)
+        self.stats.reductions += 1
+        self.stats.account(result.size)
+        return result
+
     def _root_reduce(self, mine, combine):
         """Gather every rank's value at rank 0 (ascending rank order,
         so tie-breaks are deterministic), combine, broadcast back."""
@@ -489,8 +540,11 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
         comms = ProcessComms(rc, sub, tracer=tracer)
         timers = TimerRegistry()
         timers.tracer = tracer
+        probe = rc.build_probe(rank, cell_global=sub.cell_global)
         hydro = Hydro(state, rc.setup.table, rc.setup.controls,
-                      timers=timers, comms=comms)
+                      timers=timers, comms=comms, probe=probe)
+        board = rc.heartbeat_board()
+        hydro.observers.append(Heartbeat(board, rank))
         series = None
         if rank == 0 and rc.collect_steps:
             from ...telemetry.report import StepSeries
@@ -511,10 +565,13 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
             "spans": tracer.spans if tracer is not None else [],
             "comm": comms.stats.as_dict(),
             "step_rows": series.rows if series is not None else None,
+            "metrics_rows": probe.rows if probe is not None else None,
+            "metrics": probe.registry if probe is not None else None,
         }))
-        # Release the mailbox view before interpreter teardown: the
-        # segment's mmap cannot close while a numpy export is alive.
+        # Release the shared-segment views before interpreter teardown:
+        # an mmap cannot close while a numpy export is alive.
         comms._mailbox = None
+        board.array = None
     except BaseException as exc:
         rc.errors.put((
             rank, type(exc).__name__, str(exc), traceback.format_exc(),
@@ -562,6 +619,9 @@ class ProcessesBackend:
         results: Dict[int, dict] = {}
         error_records: List[Tuple[int, str, str, str]] = []
         dead: Dict[int, int] = {}
+        board = rc.heartbeat_board()
+        timeout = rc.watchdog_timeout
+        stalled: Dict[int, dict] = {}
 
         def drain() -> None:
             while True:
@@ -580,10 +640,26 @@ class ProcessesBackend:
                         and r not in dead):
                     dead[r] = p.exitcode
                     rc.abort()  # free peers stuck in barriers/pipes
+                    if timeout is not None and r not in stalled:
+                        # A dead rank has definitively stopped beating;
+                        # the watchdog reports it immediately rather
+                        # than waiting out the timeout.
+                        stalled[r] = board.last_seen()[r]
+            if timeout is not None and not stalled:
+                for r, seen in board.stalled(timeout).items():
+                    if r not in results:
+                        stalled[r] = seen
+                if stalled:
+                    rc.abort()  # diagnose the hang instead of sharing it
             if len(results) == rc.size:
                 break
             if all(not p.is_alive() for p in procs):
                 break
+            if stalled and all(
+                not procs[r].is_alive()
+                for r in range(rc.size) if r not in stalled
+            ):
+                break  # only wedged ranks left; terminate them below
             time.sleep(0.01)
         for p in procs:
             p.join(timeout=10.0)
@@ -591,6 +667,11 @@ class ProcessesBackend:
                 p.terminate()
                 p.join(timeout=5.0)
         drain()
+
+        if stalled:
+            message = stall_message(stalled, board, timeout)
+            warnings.warn(message, StalledRankWarning)
+        board.array = None
 
         failures: List[Tuple[int, BaseException]] = []
         for rank, etype, emsg, tb in error_records:
@@ -607,6 +688,11 @@ class ProcessesBackend:
                     f"rank process terminated abnormally "
                     f"(exitcode {exitcode})"
                 )))
+        if stalled and all(isinstance(exc, CommError) for _, exc in failures):
+            # The wedge itself never raised (that is what a wedge is);
+            # the peers only carry the secondary abort cascade — the
+            # watchdog verdict is the primary failure.
+            raise BookLeafError(f"run aborted: {message}")
         if failures:
             rank, exc = pick_primary_failure(failures)
             raise_rank_failure(rank, exc)
@@ -633,4 +719,6 @@ class ProcessesBackend:
             spans=[results[r]["spans"] for r in range(rc.size)],
             comm_per_rank=[results[r]["comm"] for r in range(rc.size)],
             step_rows=results[0]["step_rows"],
+            metrics_rows=results[0].get("metrics_rows"),
+            metrics=results[0].get("metrics"),
         )

@@ -46,6 +46,7 @@ class SerialBackend:
         driver.hydros.append(Hydro(
             setup.state, setup.table, setup.controls,
             timers=timers, logger=logger, comms=NullComms(),
+            probe=driver.build_probe(0),
         ))
 
     def execute(self, driver, max_steps: Optional[int] = None) -> BackendRun:
@@ -56,7 +57,13 @@ class SerialBackend:
 
             step_series = StepSeries()
             hydro.observers.append(step_series)
-        hydro.run(max_steps=max_steps)
+        try:
+            hydro.run(max_steps=max_steps)
+        except BaseException:
+            if hydro.probe is not None:
+                hydro.probe.close()  # the failure path skips finish()
+            raise
+        probe = hydro.probe
         return BackendRun(
             backend=self.name,
             nranks=1,
@@ -67,4 +74,6 @@ class SerialBackend:
             spans=[driver.tracers[0].spans] if driver.tracers else [[]],
             comm_per_rank=[],
             step_rows=step_series.rows if step_series else None,
+            metrics_rows=probe.rows if probe is not None else None,
+            metrics=probe.registry if probe is not None else None,
         )

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import queue
 import threading
+import warnings
 from typing import List, Optional, Tuple
 
 from ...core.hydro import Hydro
-from ...utils.errors import BookLeafError, CommError
+from ...utils.errors import BookLeafError, CommError, StalledRankWarning
 from ...utils.timers import TimerRegistry
 from ..halo import local_state
 from ..interface import BackendRun
@@ -84,6 +85,8 @@ class ThreadsBackend:
             driver.hydros.append(Hydro(
                 state, setup.table, setup.controls,
                 timers=timers, comms=comms,
+                probe=driver.build_probe(sub.rank,
+                                         cell_global=sub.cell_global),
             ))
 
     # ------------------------------------------------------------------
@@ -95,6 +98,24 @@ class ThreadsBackend:
             step_series = StepSeries()
             driver.hydros[0].observers.append(step_series)
 
+        # Heartbeats: one board write per rank per step (always on —
+        # two float stores); the stall monitor only runs when a
+        # watchdog timeout was configured.
+        from ...metrics.watchdog import (
+            Heartbeat, HeartbeatBoard, Watchdog, stall_message,
+        )
+
+        board = HeartbeatBoard.allocate(driver.nranks)
+        for rank, hydro in enumerate(driver.hydros):
+            hydro.observers.append(Heartbeat(board, rank))
+        watchdog = None
+        if driver.watchdog_timeout is not None:
+            watchdog = Watchdog(
+                board, driver.watchdog_timeout,
+                on_stall=lambda stalled: driver.context.abort(),
+            )
+            watchdog.start()
+
         failures: "queue.Queue[Tuple[int, BaseException]]" = queue.Queue()
 
         def worker(rank: int) -> None:
@@ -104,14 +125,24 @@ class ThreadsBackend:
                 failures.put((rank, exc))
                 driver.context.abort()
 
+        # Daemon threads: a watchdog-confirmed stalled rank may be
+        # wedged forever, and the process must still be able to exit
+        # after we abandon it below.
         threads = [
-            threading.Thread(target=worker, args=(r,), name=f"rank{r}")
+            threading.Thread(target=worker, args=(r,), name=f"rank{r}",
+                             daemon=True)
             for r in range(driver.nranks)
         ]
         for t in threads:
             t.start()
         for t in threads:
-            t.join()
+            while t.is_alive():
+                t.join(timeout=0.1)
+                if watchdog is not None and watchdog.stalled is not None \
+                        and int(t.name[4:]) in watchdog.stalled:
+                    break  # abandon the wedged rank's thread
+        if watchdog is not None:
+            watchdog.stop()
 
         errors: List[Tuple[int, BaseException]] = []
         while True:
@@ -119,6 +150,20 @@ class ThreadsBackend:
                 errors.append(failures.get_nowait())
             except queue.Empty:
                 break
+
+        if errors or (watchdog is not None and watchdog.stalled is not None):
+            for hydro in driver.hydros:
+                if hydro.probe is not None:
+                    hydro.probe.close()  # the failure path skips finish()
+        if watchdog is not None and watchdog.stalled is not None:
+            # Warn from the main thread (daemon-thread warnings are
+            # invisible to pytest.warns and user filters), then raise:
+            # the surviving ranks only carry the secondary CommError
+            # cascade — the stall itself is the primary failure.
+            message = stall_message(watchdog.stalled, board,
+                                    driver.watchdog_timeout)
+            warnings.warn(message, StalledRankWarning)
+            raise BookLeafError(f"run aborted: {message}")
         if errors:
             raise_rank_failure(*pick_primary_failure(errors))
 
@@ -128,6 +173,7 @@ class ThreadsBackend:
             raise BookLeafError(
                 f"ranks desynchronised: steps={steps} times={times}"
             )
+        probe = driver.hydros[0].probe
         return BackendRun(
             backend=self.name,
             nranks=driver.nranks,
@@ -139,4 +185,6 @@ class ThreadsBackend:
                   else [[] for _ in range(driver.nranks)],
             comm_per_rank=driver.context.per_rank_stats(),
             step_rows=step_series.rows if step_series else None,
+            metrics_rows=probe.rows if probe is not None else None,
+            metrics=probe.registry if probe is not None else None,
         )

@@ -71,7 +71,11 @@ class DistributedHydro:
     def __init__(self, setup: ProblemSetup, nranks: int,
                  method: str = "rcb", trace: bool = False,
                  backend: str = "threads", log_every: int = 0,
-                 trace_allocations: bool = False):
+                 trace_allocations: bool = False,
+                 metrics_path: Optional[str] = None,
+                 metrics_every: int = 0,
+                 watchdog_timeout: Optional[float] = None,
+                 snapshot_dir: Optional[str] = None):
         if nranks > 1 and setup.controls.ale_on \
                 and setup.controls.ale_mode != "eulerian":
             raise BookLeafError(
@@ -87,6 +91,12 @@ class DistributedHydro:
         #: would interleave and tracemalloc is process-global
         self.log_every = log_every
         self.trace_allocations = trace_allocations
+        #: live-metrics configuration (repro.metrics): a cadence of 0
+        #: means no probe is built — the hot loop stays bit-identical
+        self.metrics_path = metrics_path
+        self.metrics_every = int(metrics_every or 0)
+        self.watchdog_timeout = watchdog_timeout
+        self.snapshot_dir = snapshot_dir
         self.global_mesh = setup.state.mesh
         self._backend = get_backend(backend)
         self.backend_name = self._backend.name
@@ -113,6 +123,38 @@ class DistributedHydro:
         """Run all ranks to completion; returns the step count."""
         self.result = self._backend.execute(self, max_steps=max_steps)
         return self.result.nstep
+
+    # ------------------------------------------------------------------
+    def build_probe(self, rank: int, cell_global=None):
+        """Rank ``rank``'s :class:`~repro.metrics.probe.DiagnosticsProbe`
+        per the metrics config, or ``None`` when metrics are off.
+
+        Rank 0 carries the NDJSON sink, the in-memory record and the
+        :class:`~repro.metrics.registry.MetricsRegistry` (the sampled
+        totals are global, identical on every rank — one writer is
+        enough); the other ranks probe purely for their own sentinel
+        scans and the collective participation those require.
+        """
+        if self.metrics_every < 1:
+            return None
+        import os
+
+        from ..metrics import DiagnosticsProbe, MetricsRegistry
+
+        snapshot_path = None
+        if self.snapshot_dir:
+            snapshot_path = os.path.join(
+                self.snapshot_dir, f"HEALTH_snapshot_rank{rank}.npz")
+        if rank == 0:
+            return DiagnosticsProbe(
+                every=self.metrics_every, sink_path=self.metrics_path,
+                registry=MetricsRegistry(), record=True,
+                snapshot_path=snapshot_path, cell_global=cell_global,
+            )
+        return DiagnosticsProbe(
+            every=self.metrics_every, record=False,
+            snapshot_path=snapshot_path, cell_global=cell_global,
+        )
 
     # ------------------------------------------------------------------
     @property

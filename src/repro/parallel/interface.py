@@ -46,6 +46,8 @@ SEAM_METHODS: Dict[str, Tuple[str, ...]] = {
     "complete_node_arrays": ("state", "*arrays"),
     "reduce_dt": ("candidates",),
     "allreduce_max": ("value",),
+    "allreduce_sum": ("values",),
+    "allreduce_min": ("values",),
     "owned_cell_mask": ("state",),
     "exchange_cell_arrays": ("*arrays",),
     "exchange_cell_fields": ("state",),
@@ -65,7 +67,11 @@ class CommEndpoint(Protocol):
     :meth:`assemble_node_sums` and :meth:`reduce_dt` (one kinematic
     halo, one nodal-sum completion, one global reduction per step —
     paper Section IV-A); the distributed remap adds the cell-field and
-    gradient halos plus the collective skip decision.
+    gradient halos plus the collective skip decision.  The live-metrics
+    probe (docs/OBSERVABILITY.md) adds the two vector collectives
+    :meth:`allreduce_sum` / :meth:`allreduce_min` for its global
+    conservation sums and extrema — called only on sampled steps, and
+    symmetrically on every rank (the sampling cadence is SPMD state).
     """
 
     rank: int
@@ -82,6 +88,10 @@ class CommEndpoint(Protocol):
     def reduce_dt(self, candidates): ...
 
     def allreduce_max(self, value: float) -> float: ...
+
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray: ...
+
+    def allreduce_min(self, values: np.ndarray) -> np.ndarray: ...
 
     def owned_cell_mask(self, state) -> Optional[np.ndarray]: ...
 
@@ -119,6 +129,10 @@ class BackendRun:
     comm_per_rank: List[dict]
     #: rank 0's per-step time series (when step collection was on)
     step_rows: Optional[List[dict]] = None
+    #: rank 0's recorded diagnostics samples (when live metrics were on)
+    metrics_rows: Optional[List[dict]] = None
+    #: rank 0's live :class:`~repro.metrics.registry.MetricsRegistry`
+    metrics: Optional[Any] = None
 
     def comm_total(self) -> dict:
         total: Dict[str, int] = {}

@@ -259,6 +259,31 @@ class TyphonComms:
         ctx.sync()
         return float(result)     # type: ignore[arg-type]
 
+    def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise global sum of a small vector across ranks."""
+        with self._span("typhon.allreduce_sum"):
+            return self._allreduce_combine(values, np.add)
+
+    def allreduce_min(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise global minimum of a small vector across ranks."""
+        with self._span("typhon.allreduce_min"):
+            return self._allreduce_combine(values, np.minimum)
+
+    def _allreduce_combine(self, values: np.ndarray, op) -> np.ndarray:
+        # Combined by a left fold in ascending rank order on every rank
+        # — the same fold the processes backend's root reduce performs —
+        # so all backends produce bit-identical results.
+        ctx = self.ctx
+        ctx.slots[self.rank] = np.array(values, dtype=np.float64)
+        ctx.sync()
+        result = np.array(ctx.slots[0], dtype=np.float64)
+        for r in range(1, self.size):
+            result = op(result, ctx.slots[r])
+        self.stats.reductions += 1
+        self.stats.account(result.size)
+        ctx.sync()
+        return result
+
     # ------------------------------------------------------------------
     def owned_cell_mask(self, state) -> Optional[np.ndarray]:
         return self.sub.owned_cell_mask

@@ -26,7 +26,9 @@ from ..utils.timers import TimerRegistry
 
 #: bump when (and only when) the report shape changes; the golden test
 #: pins shape + version together
-SCHEMA_VERSION = 1
+#: v2: added the ``diagnostics`` key (the final live-metrics sample —
+#: conservation drifts, extrema; null when the run carried no probe)
+SCHEMA_VERSION = 2
 
 GENERATOR = "repro.telemetry"
 
@@ -75,12 +77,18 @@ def build_report(problem: dict, timers: TimerRegistry, *,
                  ranks: int = 1, partition: Optional[str] = None,
                  comm_total: Optional[dict] = None,
                  comm_per_rank: Optional[List[dict]] = None,
-                 step_series: Optional[StepSeries] = None) -> dict:
+                 step_series: Optional[StepSeries] = None,
+                 diagnostics: Optional[dict] = None) -> dict:
     """Assemble the run report dict (see module docstring for shape).
 
     Serial runs pass no comm counters and get an all-zero total with an
     empty per-rank list — the schema is identical either way, so report
     consumers need no serial/distributed special case.
+
+    ``diagnostics`` is the run's final live-metrics sample (the last
+    NDJSON record of a ``--metrics`` run, verbatim — so the stream and
+    the report agree bit-for-bit on the closing drift) or ``None`` when
+    no probe was attached.
     """
     if comm_total is None:
         comm_total = {k: 0 for k in COMM_FIELDS}
@@ -108,6 +116,7 @@ def build_report(problem: dict, timers: TimerRegistry, *,
         "kernels": kernels,
         "comm": {"total": comm_total, "per_rank": per_rank},
         "steps": series,
+        "diagnostics": dict(diagnostics) if diagnostics else None,
     }
 
 
@@ -154,6 +163,14 @@ def validate_report(report: dict) -> None:
     for row in report["steps"]:
         for key in STEP_FIELDS:
             need(key in row, f"step record missing {key!r}")
+    need("diagnostics" in report, "missing top-level key 'diagnostics'")
+    diag = report["diagnostics"]
+    if diag is not None:
+        need(isinstance(diag, dict), "diagnostics not a dict or null")
+        for key in ("nstep", "mass_drift", "energy_drift",
+                    "total_energy"):
+            need(isinstance(diag.get(key), (int, float)),
+                 f"diagnostics.{key} not a number")
 
 
 #: dict paths whose *keys* are data (kernel names, problem params) —

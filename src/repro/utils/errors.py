@@ -64,3 +64,53 @@ class PartitionError(BookLeafError):
 
 class CommError(BookLeafError):
     """Misuse of the simulated Typhon communication layer."""
+
+
+class HealthError(BookLeafError):
+    """A live-health sentinel tripped: non-finite or unphysical state.
+
+    Raised by the in-situ :class:`~repro.metrics.probe.DiagnosticsProbe`
+    when a sampled state carries NaN/Inf values or negative
+    volume/density/energy (the invariant-domain bounds a healthy step
+    must maintain).  Carries the violations keyed by sentinel name
+    (``"nonfinite:e"`` -> offending cell/node ids) and, when the probe
+    dumped one, the path of the on-disk state snapshot for forensics.
+    """
+
+    def __init__(self, violations, nstep=None, time=None,
+                 snapshot=None, rank=None):
+        self.violations = {
+            name: [int(i) for i in ids] for name, ids in violations.items()
+        }
+        self.nstep = nstep
+        self.time = time
+        self.snapshot = str(snapshot) if snapshot is not None else None
+        self.rank = rank
+        where = ""
+        if nstep is not None:
+            where += f" at step {nstep}"
+        if time is not None:
+            where += f" (t={time:.6g})"
+        if rank is not None:
+            where += f" on rank {rank}"
+        parts = "; ".join(
+            f"{name} at {ids[:8]}{'...' if len(ids) > 8 else ''}"
+            for name, ids in sorted(self.violations.items())
+        )
+        msg = f"health sentinel tripped{where}: {parts}"
+        if self.snapshot:
+            msg += f" — state snapshot written to {self.snapshot}"
+        super().__init__(msg)
+
+    def cells(self):
+        """Sorted union of every offending cell/node id."""
+        out = set()
+        for ids in self.violations.values():
+            out.update(ids)
+        return sorted(out)
+
+
+class StalledRankWarning(UserWarning):
+    """The rank watchdog saw no heartbeat from a rank within the
+    configured timeout — the run was aborted instead of hanging at the
+    next collective.  The message carries every rank's last-seen step."""

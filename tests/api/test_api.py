@@ -122,6 +122,34 @@ def test_legacy_keywords_warn_and_map():
             run(problem="noh", ranks=2, nranks=2)
 
 
+def test_legacy_keyword_warning_text_names_replacement():
+    """The warning must say exactly what to type instead."""
+    with pytest.warns(DeprecationWarning,
+                      match=r"repro\.api\.run\(ranks=\.\.\.\) is "
+                            r"deprecated; use RunConfig\(nranks=\.\.\.\)"):
+        run(problem="noh", nx=16, ny=16, max_steps=1, ranks=2)
+    with pytest.warns(DeprecationWarning,
+                      match=r"repro\.api\.run\(method=\.\.\.\) is "
+                            r"deprecated; use RunConfig\(partition=\.\.\.\)"):
+        run(problem="noh", nx=16, ny=16, max_steps=1, method="rcb")
+
+
+def test_legacy_keywords_are_behavior_equivalent():
+    """Deprecated spellings must drive the exact same run — identical
+    config, identical physics, bit for bit."""
+    new = run(problem="noh", nx=16, ny=16, max_steps=5, nranks=2,
+              partition="rcb")
+    with pytest.warns(DeprecationWarning):
+        old = run(problem="noh", nx=16, ny=16, max_steps=5, ranks=2,
+                  method="rcb")
+    assert old.config == new.config
+    assert old.nstep == new.nstep and old.time == new.time
+    for name in ("x", "y", "u", "v", "rho", "e", "p"):
+        assert np.array_equal(getattr(old.state, name),
+                              getattr(new.state, name)), name
+    assert old.comm_total == new.comm_total
+
+
 def test_diagnostics_keys():
     diag = run(_config()).diagnostics()
     assert set(diag) == {"mass", "total_energy", "rho_max"}

@@ -1,0 +1,113 @@
+"""tools/bench_history.py: folding BENCH artifacts into one summary."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_history",
+    Path(__file__).resolve().parents[2] / "tools" / "bench_history.py",
+)
+bench_history = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_history)
+
+
+def _hotloop(t_planned, speedup, nx=64):
+    return {
+        "bench": "noh-lagstep-hotloop",
+        "rungs": [{"nx": nx, "ncell": nx * nx, "t_plain": t_planned * 1.4,
+                   "t_planned": t_planned, "speedup": speedup}],
+    }
+
+
+def _backends(seconds, backend="threads"):
+    return {
+        "bench": "comm-backend-comparison",
+        "cases": [{"problem": "noh", "nx": 32, "ncell": 1024,
+                   "runs": [{"backend": backend, "nranks": 4,
+                             "seconds": seconds,
+                             "seconds_per_step": seconds / 30}]}],
+    }
+
+
+def test_hotloop_fold_keeps_best():
+    summary = bench_history.merge([
+        _hotloop(0.010, 1.3),
+        _hotloop(0.008, 1.5),   # faster
+        _hotloop(0.012, 1.6),   # slower but better speedup
+    ])
+    (rung,) = summary["benches"]["noh-lagstep-hotloop"]["rungs"]
+    assert rung["t_planned"] == 0.008
+    assert rung["speedup"] == 1.6
+    assert rung["samples"] == 3
+    assert summary["documents_merged"] == 3
+
+
+def test_backends_fold_keys_per_leg():
+    summary = bench_history.merge([
+        _backends(0.30, "threads"),
+        _backends(0.25, "threads"),
+        _backends(0.40, "processes"),
+    ])
+    runs = summary["benches"]["comm-backend-comparison"]["runs"]
+    by_backend = {r["backend"]: r for r in runs}
+    assert by_backend["threads"]["seconds"] == 0.25
+    assert by_backend["threads"]["samples"] == 2
+    assert by_backend["processes"]["seconds"] == 0.40
+
+
+def test_previous_summary_composes():
+    """summary(old docs) + new doc == summary(all docs): history folds
+    monotonically through the committed summary file."""
+    first = bench_history.merge([_hotloop(0.010, 1.3)])
+    folded = bench_history.merge([first, _hotloop(0.008, 1.5)])
+    direct = bench_history.merge([_hotloop(0.010, 1.3),
+                                  _hotloop(0.008, 1.5)])
+    f = folded["benches"]["noh-lagstep-hotloop"]["rungs"][0]
+    d = direct["benches"]["noh-lagstep-hotloop"]["rungs"][0]
+    assert f["t_planned"] == d["t_planned"] == 0.008
+    assert f["speedup"] == d["speedup"] == 1.5
+    assert folded["documents_merged"] == direct["documents_merged"] == 2
+
+
+def test_unknown_bench_kept_verbatim():
+    doc = {"bench": "novel-experiment", "whatever": [1, 2, 3]}
+    summary = bench_history.merge([doc])
+    assert summary["other"]["novel-experiment"] == doc
+
+
+def test_main_writes_summary(tmp_path, capsys):
+    a = tmp_path / "BENCH_a.json"
+    a.write_text(json.dumps(_hotloop(0.010, 1.3)))
+    out = tmp_path / "BENCH_summary.json"
+    rc = bench_history.main([str(a), "-o", str(out)])
+    assert rc == 0
+    assert "wrote" in capsys.readouterr().out
+    summary = json.loads(out.read_text())
+    assert summary["schema_version"] == \
+        bench_history.SUMMARY_SCHEMA_VERSION
+    assert "noh-lagstep-hotloop" in summary["benches"]
+
+
+def test_main_skips_unreadable_and_fails_when_all_bad(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_hotloop(0.010, 1.3)))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    out = tmp_path / "s.json"
+    assert bench_history.main([str(good), str(bad),
+                               "-o", str(out)]) == 0
+    assert "skipping" in capsys.readouterr().err
+    assert bench_history.main([str(bad), "-o", str(out)]) == 2
+
+
+def test_repo_artifacts_fold(tmp_path):
+    """The committed BENCH files must flow through their adapters."""
+    root = Path(__file__).resolve().parents[2]
+    docs = [json.loads((root / name).read_text())
+            for name in ("BENCH_hotloop.json", "BENCH_backends.json")]
+    summary = bench_history.merge(docs)
+    assert len(summary["benches"]) == 2
+    assert summary["other"] == {}

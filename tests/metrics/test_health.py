@@ -1,0 +1,145 @@
+"""Health sentinels: NaN/negativity trips, forensics, decomposed ids.
+
+The invariant-domain contract: poisoned state must never flow silently
+through the run — the probe raises a structured
+:class:`~repro.utils.errors.HealthError` naming the offending cells
+and leaves a loadable ``.npz`` snapshot of the full state behind.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics import DiagnosticsProbe, load_snapshot
+from repro.metrics.health import SNAPSHOT_FIELDS
+from repro.parallel import DistributedHydro
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError, HealthError
+
+
+def _hydro(steps=3, probe=None):
+    setup = load_problem("noh", nx=8, ny=8)
+    hydro = setup.make_hydro()
+    hydro.probe = probe
+    hydro.run(max_steps=steps)
+    return hydro
+
+
+def test_nan_injection_names_cell_and_dumps_snapshot(tmp_path):
+    snap = tmp_path / "snap.npz"
+    hydro = _hydro(steps=3)
+    hydro.state.rho[7] = np.nan
+    probe = DiagnosticsProbe(every=1, snapshot_path=str(snap))
+    with pytest.raises(HealthError) as exc:
+        probe.sample(hydro)
+    err = exc.value
+    assert err.violations == {"nonfinite:rho": [7]}
+    assert err.cells() == [7]
+    assert err.nstep == 3
+    assert err.rank is None  # serial: no rank noise in the message
+    assert "nonfinite:rho" in str(err)
+    assert str(snap) in str(err)
+
+    loaded = load_snapshot(err.snapshot)
+    for field in SNAPSHOT_FIELDS:
+        assert field in loaded, field
+    assert np.isnan(loaded["rho"][7])
+    meta = loaded["meta"]
+    assert meta["nstep"] == 3
+    assert meta["violations"] == {"nonfinite:rho": [7]}
+
+
+@pytest.mark.parametrize("poison, expect", [
+    (lambda s: s.e.__setitem__(4, -1.0), "negative:e"),
+    (lambda s: s.rho.__setitem__(4, 0.0), "nonpositive:rho"),
+    (lambda s: s.volume.__setitem__(4, -1e-9), "nonpositive:volume"),
+    (lambda s: s.cell_mass.__setitem__(4, 0.0), "nonpositive:cell_mass"),
+    (lambda s: s.p.__setitem__(4, np.inf), "nonfinite:p"),
+])
+def test_each_sentinel_class_trips(tmp_path, poison, expect):
+    hydro = _hydro(steps=3)
+    poison(hydro.state)
+    probe = DiagnosticsProbe(every=1,
+                             snapshot_path=str(tmp_path / "s.npz"))
+    with pytest.raises(HealthError) as exc:
+        probe.sample(hydro)
+    assert expect in exc.value.violations
+    assert 4 in exc.value.violations[expect]
+
+
+def test_cell_ids_globalised_but_node_ids_stay_local(tmp_path):
+    """With a local→global map, cell-field ids are reported globally;
+    node-field ids stay local (the rank disambiguates them)."""
+    hydro = _hydro(steps=2)
+    ncell = hydro.state.rho.size
+    cell_global = np.arange(ncell) + 1000
+    hydro.state.rho[7] = np.nan
+    hydro.state.u[5] = np.inf
+    probe = DiagnosticsProbe(every=1, cell_global=cell_global,
+                             snapshot_path=str(tmp_path / "s.npz"))
+    with pytest.raises(HealthError) as exc:
+        probe.sample(hydro)
+    assert exc.value.violations["nonfinite:rho"] == [1007]
+    assert exc.value.violations["nonfinite:u"] == [5]
+
+
+def test_probe_closes_sink_on_trip_and_keeps_stream(tmp_path):
+    """A trip mid-run must not lose what was already streamed."""
+    def poisoner(hydro):
+        if hydro.nstep == 3:
+            hydro.state.rho[0] = np.nan
+
+    setup = load_problem("noh", nx=8, ny=8)
+    hydro = setup.make_hydro()
+    path = tmp_path / "m.ndjson"
+    probe = DiagnosticsProbe(every=1, sink_path=str(path),
+                             snapshot_path=str(tmp_path / "s.npz"))
+    hydro.probe = probe
+    # step observers run before the probe's sample, so the poison is
+    # seen by the very step that plants it
+    hydro.observers.append(poisoner)
+    with pytest.raises(HealthError):
+        hydro.run(max_steps=10)
+    probe.close()
+    assert probe._sink is None
+    rows = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [r["nstep"] for r in rows] == [0, 1, 2]
+
+
+@pytest.mark.parametrize("backend", ["threads", "processes"])
+def test_decomposed_trip_aborts_run_and_names_rank(
+        tmp_path, monkeypatch, backend):
+    """A rank-local NaN must abort the whole run (no hung peers) with
+    the sick rank named and a global cell id in the snapshot."""
+    orig = DiagnosticsProbe.on_step
+
+    def on_step(self, hydro):
+        if hydro.comms.rank == 1 and hydro.nstep == 3:
+            mask = hydro.comms.owned_cell_mask(hydro.state)
+            hydro.state.rho[int(np.flatnonzero(mask)[0])] = np.nan
+        return orig(self, hydro)
+
+    monkeypatch.setattr(DiagnosticsProbe, "on_step", on_step)
+    setup = load_problem("noh", nx=16, ny=16)
+    driver = DistributedHydro(
+        setup, 2, backend=backend, metrics_every=1,
+        snapshot_dir=str(tmp_path),
+    )
+    with pytest.raises(BookLeafError, match="rank 1 failed") as exc:
+        driver.run(max_steps=10)
+    message = str(exc.value) + str(exc.value.__cause__)
+    assert "health sentinel tripped" in message
+    assert "nonfinite:rho" in message
+    assert "rank 1" in message
+
+    snap = tmp_path / "HEALTH_snapshot_rank1.npz"
+    assert snap.exists()
+    loaded = load_snapshot(snap)
+    meta = loaded["meta"]
+    assert meta["rank"] == 1 and meta["nstep"] == 3
+    (cell_id,) = meta["violations"]["nonfinite:rho"]
+    # the id is global: rank 1's snapshot holds only its subdomain,
+    # yet the reported cell indexes the full 16x16 mesh
+    assert 0 <= cell_id < 256
+    assert np.isnan(loaded["rho"]).any()

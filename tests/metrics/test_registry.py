@@ -1,0 +1,95 @@
+"""MetricsRegistry: instruments, label identity, ingestion, exposition."""
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.metrics.registry import Histogram
+from repro.utils.timers import TimerRegistry
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("events_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError, match="only go up"):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("level")
+    g.set(10.0)
+    g.inc(5)
+    g.dec(2)
+    assert g.value == 13.0
+
+
+def test_histogram_cumulative_buckets():
+    h = Histogram(buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(56.05)
+    # cumulative ≤ bound, +Inf last
+    assert h.cumulative() == [1, 3, 4, 5]
+
+
+def test_same_labels_share_one_instrument():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", rank=0, phase="lagstep").inc()
+    # label order must not matter
+    reg.counter("hits_total", phase="lagstep", rank=0).inc()
+    reg.counter("hits_total", rank=1, phase="lagstep").inc()
+    dump = reg.as_dict()["hits_total"]
+    by_rank = {e["labels"]["rank"]: e["value"] for e in dump}
+    assert by_rank == {"0": 2.0, "1": 1.0}
+
+
+def test_ingest_timers_and_comm():
+    timers = TimerRegistry()
+    with timers.region("getdt"):
+        pass
+    reg = MetricsRegistry()
+    reg.ingest_timers(timers, rank=0)
+    dump = reg.as_dict()
+    (calls,) = [e for e in dump["kernel_calls_total"]
+                if e["labels"]["kernel"] == "getdt"]
+    assert calls["value"] == 1.0
+    assert calls["labels"]["rank"] == "0"
+
+    reg.ingest_comm({"messages": 10, "bytes": 640}, rank=0)
+    assert reg.counter("comm_messages_total", rank=0).value == 10.0
+    assert reg.counter("comm_bytes_total", rank=0).value == 640.0
+
+
+def test_prometheus_exposition_format(tmp_path):
+    reg = MetricsRegistry()
+    reg.gauge("energy_drift", rank=0).set(-1.5e-16)
+    reg.counter("samples_total", rank=0).inc(4)
+    reg.histogram("dt_seconds", buckets=(0.5, 1.0), rank=0).observe(0.7)
+    text = reg.prometheus()
+    assert "# TYPE bookleaf_energy_drift gauge" in text
+    assert 'bookleaf_energy_drift{rank="0"} -1.5e-16' in text
+    assert 'bookleaf_samples_total{rank="0"} 4' in text
+    assert 'bookleaf_dt_seconds_bucket{le="0.5",rank="0"} 0' in text
+    assert 'bookleaf_dt_seconds_bucket{le="+Inf",rank="0"} 1' in text
+    assert 'bookleaf_dt_seconds_count{rank="0"} 1' in text
+    assert text.endswith("\n")
+
+    path = tmp_path / "metrics.prom"
+    reg.write_prometheus(path)
+    assert path.read_text() == text
+
+
+def test_prometheus_escapes_and_sanitises():
+    reg = MetricsRegistry()
+    reg.gauge("odd-name", label=r'a"b\c').set(1)
+    text = reg.prometheus(prefix="x")
+    assert "x_odd_name" in text            # metric chars sanitised
+    assert r'label="a\"b\\c"' in text      # label value escaped
+
+
+def test_empty_registry_exposition_is_empty():
+    assert MetricsRegistry().prometheus() == ""
+    assert MetricsRegistry().as_dict() == {}

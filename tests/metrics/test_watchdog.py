@@ -1,0 +1,162 @@
+"""Heartbeats and the stall watchdog: unit board tests plus the two
+end-to-end stall scenarios the subsystem exists for — a wedged rank
+thread, and a SIGKILLed rank process.
+
+Stall runs must end with (a) a :class:`StalledRankWarning` naming the
+stalled rank and carrying every rank's last-seen step, and (b) a
+raised error — never a silent hang at the next collective.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.hydro import Hydro
+from repro.metrics.watchdog import (
+    BOARD_COLS,
+    LAUNCHED,
+    Heartbeat,
+    HeartbeatBoard,
+    Watchdog,
+    stall_message,
+)
+from repro.parallel import DistributedHydro
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError, StalledRankWarning
+
+
+def test_board_shape_validation():
+    with pytest.raises(ValueError, match="heartbeat board"):
+        HeartbeatBoard(np.zeros((2, 3)))
+
+
+def test_board_beats_and_ages():
+    board = HeartbeatBoard.allocate(2)
+    assert board.nranks == 2
+    assert board.array[0, 0] == LAUNCHED  # launched, no step yet
+    board.beat(1, 7)
+    seen = board.last_seen()
+    assert seen[1]["step"] == 7
+    assert seen[0]["step"] == int(LAUNCHED)
+    assert seen[1]["age_seconds"] < 1.0
+    # nobody is stalled against a generous timeout
+    assert board.stalled(timeout=60.0) == {}
+    # rewind rank 0's stamp: it ages past the timeout
+    board.array[0, 1] -= 10.0
+    stalled = board.stalled(timeout=5.0)
+    assert list(stalled) == [0]
+    assert stalled[0]["age_seconds"] > 5.0
+
+
+def test_heartbeat_observer_writes_own_row():
+    board = HeartbeatBoard.allocate(2)
+
+    class FakeHydro:
+        nstep = 42
+
+    Heartbeat(board, 1)(FakeHydro())
+    assert board.array[1, 0] == 42.0
+    assert board.array[0, 0] == LAUNCHED  # other rows untouched
+
+
+def test_stall_message_carries_per_rank_steps():
+    board = HeartbeatBoard.allocate(3)
+    board.beat(0, 5)
+    board.beat(1, 4)
+    board.beat(2, 5)
+    board.array[1, 1] -= 9.0
+    message = stall_message(board.stalled(2.0), board, 2.0)
+    assert "no heartbeat within 2.0s" in message
+    assert "rank 1 (last step 4" in message
+    assert "per-rank last-seen steps: [5, 4, 5]" in message
+
+
+def test_watchdog_thread_flags_and_calls_back():
+    board = HeartbeatBoard.allocate(2)
+    board.beat(0, 1)
+    board.beat(1, 1)
+    board.array[1, 1] -= 5.0  # rank 1 already stale
+    fired = []
+    dog = Watchdog(board, timeout=0.2, on_stall=fired.append,
+                   poll=0.01)
+    dog.start()
+    dog.join(timeout=5.0)
+    assert not dog.is_alive()
+    assert list(dog.stalled) == [1]
+    assert fired and list(fired[0]) == [1]
+
+
+def test_watchdog_stop_is_clean():
+    board = HeartbeatBoard.allocate(1)
+    dog = Watchdog(board, timeout=60.0, poll=0.01)
+    dog.start()
+    dog.stop()
+    dog.join(timeout=5.0)
+    assert not dog.is_alive()
+    assert dog.stalled is None
+
+
+# ----------------------------------------------------------------------
+# end-to-end stalls
+# ----------------------------------------------------------------------
+def _misbehave_on_rank(monkeypatch, rank, action, at_step=3):
+    orig_step = Hydro.step
+
+    def step(self, *a, **k):
+        if getattr(self.comms, "rank", 0) == rank \
+                and self.nstep >= at_step:
+            action(self)
+        return orig_step(self, *a, **k)
+
+    monkeypatch.setattr(Hydro, "step", step)
+
+
+def test_threads_wedged_rank_trips_watchdog(monkeypatch):
+    """A rank that stops stepping (wedged, not crashed): the watchdog
+    must abort the peers and the run must end with the stall named."""
+    _misbehave_on_rank(monkeypatch, 1, lambda hydro: time.sleep(60.0))
+    setup = load_problem("noh", nx=16, ny=16)
+    driver = DistributedHydro(setup, 2, backend="threads",
+                              watchdog_timeout=0.5)
+    with pytest.warns(StalledRankWarning, match="rank 1") as warned:
+        with pytest.raises(BookLeafError, match="run aborted"):
+            driver.run(max_steps=20)
+    message = str(next(w.message for w in warned
+                       if isinstance(w.message, StalledRankWarning)))
+    assert "no heartbeat within 0.5s" in message
+    assert "per-rank last-seen steps" in message
+
+
+def test_processes_sigkilled_rank_reported_stalled(monkeypatch):
+    """SIGKILL under the processes backend: the parent's watchdog must
+    report the dead rank stalled (well within the timeout — death is
+    detectable immediately) and the run must still fail cleanly."""
+    def die(hydro):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    _misbehave_on_rank(monkeypatch, 1, die)
+    setup = load_problem("noh", nx=16, ny=16)
+    driver = DistributedHydro(setup, 2, backend="processes",
+                              watchdog_timeout=30.0)
+    start = time.monotonic()
+    with pytest.warns(StalledRankWarning, match="rank 1") as warned:
+        with pytest.raises(BookLeafError, match="rank 1 failed"):
+            driver.run(max_steps=20)
+    # "within the timeout": a dead process is flagged on discovery,
+    # not after the full 30 s heartbeat window
+    assert time.monotonic() - start < 30.0
+    message = str(next(w.message for w in warned
+                       if isinstance(w.message, StalledRankWarning)))
+    assert "per-rank last-seen steps" in message
+
+
+def test_no_watchdog_no_warning(recwarn):
+    """Without --watchdog-timeout a healthy run warns nothing."""
+    setup = load_problem("noh", nx=16, ny=16)
+    driver = DistributedHydro(setup, 2, backend="threads")
+    driver.run(max_steps=5)
+    assert not [w for w in recwarn
+                if isinstance(w.message, StalledRankWarning)]

@@ -48,8 +48,10 @@ def serial_report() -> dict:
 
 
 def distributed_report() -> dict:
+    # metrics_every=5 so the golden pins the ``diagnostics`` record's
+    # shape (a live-metrics sample), not just the serial ``null``.
     setup = load_problem("noh", nx=16, ny=16)
-    driver = DistributedHydro(setup, 2, trace=True)
+    driver = DistributedHydro(setup, 2, trace=True, metrics_every=5)
     series = StepSeries()
     driver.hydros[0].observers.append(series)
     t0 = time.perf_counter()
@@ -61,6 +63,7 @@ def distributed_report() -> dict:
         comm_total=driver.context.total_stats().as_dict(),
         comm_per_rank=driver.per_rank_comm(),
         step_series=series,
+        diagnostics=driver.result.metrics_rows[-1],
     )
 
 

@@ -185,6 +185,64 @@ def test_run_ranks_alias_deprecation_notice(capsys):
     assert "ranks: 2" in captured.out
 
 
+def test_trace_allocs_non_serial_warns_and_ignores(capsys):
+    """--trace-allocs only instruments the serial backend; asking for
+    it elsewhere must say so instead of silently doing nothing."""
+    rc = main(["run", "--problem", "noh", "--nx", "16", "--ny", "16",
+               "--max-steps", "2", "--nranks", "2", "--trace-allocs"])
+    assert rc == 0
+    assert "--trace-allocs is serial-only" in capsys.readouterr().err
+
+
+def test_run_metrics_stream_and_prometheus(tmp_path, capsys):
+    import json
+
+    ndjson = tmp_path / "m.ndjson"
+    prom = tmp_path / "m.prom"
+    rc = main(["run", "--problem", "noh", "--nx", "12", "--ny", "12",
+               "--max-steps", "6", "--metrics", str(ndjson),
+               "--metrics-every", "3", "--metrics-prom", str(prom)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "metrics records" in out
+    assert "energy drift" in out
+    rows = [json.loads(l) for l in ndjson.read_text().splitlines()]
+    assert [r["nstep"] for r in rows] == [0, 3, 6]
+    assert "bookleaf_energy_drift" in prom.read_text()
+
+
+def test_run_metrics_prom_alone_enables_probe(tmp_path, capsys):
+    prom = tmp_path / "m.prom"
+    rc = main(["run", "--problem", "noh", "--nx", "12", "--ny", "12",
+               "--max-steps", "3", "--metrics-prom", str(prom)])
+    assert rc == 0
+    assert prom.exists()
+
+
+def test_run_ranks_alias_behavior_equivalent(capsys):
+    """--ranks must drive the identical run --nranks does: same rank
+    count, same backend, same physics digits in the summary."""
+    def physics_lines(argv):
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        return [line for line in out.splitlines()
+                if line.startswith(("ranks:", "problem ", "mass=",
+                                    "comm:"))]
+
+    base = ["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+            "--max-steps", "3"]
+    assert physics_lines(base + ["--ranks", "2"]) == \
+        physics_lines(base + ["--nranks", "2"])
+
+
+def test_run_ranks_alias_notice_names_replacement(capsys):
+    rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
+               "--max-steps", "3", "--ranks", "2"])
+    assert rc == 0
+    assert "--ranks is deprecated; use --nranks" in \
+        capsys.readouterr().err
+
+
 def test_run_ranks_and_nranks_conflict(capsys):
     rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
                "--ranks", "2", "--nranks", "2"])

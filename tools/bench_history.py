@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Merge ``BENCH_*.json`` artifacts into one ``BENCH_summary.json``.
+
+Each bench harness (``benchmarks/bench_hotloop.py``,
+``benchmarks/bench_backends.py``) writes a self-describing JSON
+document tagged by its ``"bench"`` key.  CI runs them on every push,
+but a single run is noisy; this tool folds any number of bench
+documents — including a previous ``BENCH_summary.json`` — into one
+best-observed summary, so the summary improves monotonically as
+history accumulates:
+
+    python tools/bench_history.py BENCH_*.json -o BENCH_summary.json
+
+Merge rules (per bench kind, keyed by the rung/case identity):
+
+* ``noh-lagstep-hotloop``: per ``nx`` keep the *minimum* ``t_plain``
+  and ``t_planned`` ever observed and the *maximum* ``speedup``.
+* ``comm-backend-comparison``: per ``(problem, nx, backend, nranks)``
+  keep the minimum ``seconds`` / ``seconds_per_step``.
+* anything else: kept verbatim under ``"other"``, last-writer-wins by
+  ``bench`` name (so new bench kinds flow through without code here).
+
+Output is deterministic (sorted keys, sorted entries) so committing
+the summary produces reviewable diffs.  Exit codes: 0 on success, 2
+when no input documents could be read.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+SUMMARY_SCHEMA_VERSION = 1
+
+HOTLOOP = "noh-lagstep-hotloop"
+BACKENDS = "comm-backend-comparison"
+
+
+def _fold_min(slot: dict, row: dict, key: str) -> None:
+    if key in row:
+        have = slot.get(key)
+        slot[key] = row[key] if have is None else min(have, row[key])
+
+
+def _fold_max(slot: dict, row: dict, key: str) -> None:
+    if key in row:
+        have = slot.get(key)
+        slot[key] = row[key] if have is None else max(have, row[key])
+
+
+def fold_hotloop(summary: dict, doc: dict) -> None:
+    """Best-of per mesh rung: fastest times, highest speedup."""
+    slots: Dict[int, dict] = {r["nx"]: r for r in summary.get("rungs", [])}
+    for rung in doc.get("rungs", []):
+        slot = slots.setdefault(rung["nx"], {"nx": rung["nx"]})
+        slot.setdefault("ncell", rung.get("ncell"))
+        _fold_min(slot, rung, "t_plain")
+        _fold_min(slot, rung, "t_planned")
+        _fold_max(slot, rung, "speedup")
+        slot["samples"] = slot.get("samples", 0) + 1
+    summary["rungs"] = [slots[nx] for nx in sorted(slots)]
+
+
+def fold_backends(summary: dict, doc: dict) -> None:
+    """Best-of per (problem, nx, backend, nranks) leg."""
+    slots: Dict[tuple, dict] = {
+        (r["problem"], r["nx"], r["backend"], r["nranks"]): r
+        for r in summary.get("runs", [])
+    }
+    for case in doc.get("cases", []):
+        for run in case.get("runs", []):
+            key = (case["problem"], case["nx"],
+                   run["backend"], run["nranks"])
+            slot = slots.setdefault(key, {
+                "problem": case["problem"], "nx": case["nx"],
+                "backend": run["backend"], "nranks": run["nranks"],
+            })
+            slot.setdefault("ncell", case.get("ncell"))
+            _fold_min(slot, run, "seconds")
+            _fold_min(slot, run, "seconds_per_step")
+            slot["samples"] = slot.get("samples", 0) + 1
+    summary["runs"] = [slots[k] for k in sorted(slots)]
+
+
+def merge(documents: List[dict]) -> dict:
+    """Fold bench documents (oldest first) into one summary dict."""
+    summary: dict = {
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "benches": {},
+        "other": {},
+        "documents_merged": 0,
+    }
+    for doc in documents:
+        if "benches" in doc and "schema_version" in doc:
+            # A previous summary: recurse into its per-bench sections
+            # so summaries compose (old summary + new raw artifacts).
+            summary["documents_merged"] += doc.get("documents_merged", 0)
+            for name, section in sorted(doc.get("benches", {}).items()):
+                fold = {HOTLOOP: fold_hotloop,
+                        BACKENDS: fold_backends}.get(name)
+                target = summary["benches"].setdefault(name, {})
+                if fold is None:
+                    summary["other"][name] = section
+                elif name == HOTLOOP:
+                    fold(target, {"rungs": section.get("rungs", [])})
+                else:
+                    # Re-fold summary runs as one-run cases.
+                    cases = [{"problem": r["problem"], "nx": r["nx"],
+                              "ncell": r.get("ncell"), "runs": [r]}
+                             for r in section.get("runs", [])]
+                    fold(target, {"cases": cases})
+            summary["other"].update(doc.get("other", {}))
+            continue
+        name = doc.get("bench")
+        summary["documents_merged"] += 1
+        if name == HOTLOOP:
+            fold_hotloop(summary["benches"].setdefault(name, {}), doc)
+        elif name == BACKENDS:
+            fold_backends(summary["benches"].setdefault(name, {}), doc)
+        else:
+            summary["other"][str(name)] = doc
+    return summary
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_history",
+        description="merge BENCH_*.json artifacts into BENCH_summary.json",
+    )
+    parser.add_argument("inputs", nargs="+",
+                        help="bench JSON files (a previous summary may "
+                             "be among them)")
+    parser.add_argument("-o", "--output", default="BENCH_summary.json",
+                        help="summary path (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    documents = []
+    for path in args.inputs:
+        try:
+            documents.append(json.loads(Path(path).read_text()))
+        except (OSError, ValueError) as exc:
+            print(f"bench_history: skipping {path}: {exc}",
+                  file=sys.stderr)
+    if not documents:
+        print("bench_history: no readable input documents",
+              file=sys.stderr)
+        return 2
+
+    summary = merge(documents)
+    out = Path(args.output)
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    nb = len(summary["benches"]) + len(summary["other"])
+    print(f"wrote {out} ({summary['documents_merged']} document(s), "
+          f"{nb} bench kind(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
