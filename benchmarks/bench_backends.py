@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -30,6 +31,8 @@ ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_SIZES = (32, 64, 128)
 DEFAULT_STEPS = 30
 DEFAULT_NRANKS = 4
+#: timed samples per configuration (after one untimed warmup)
+DEFAULT_SAMPLES = 3
 #: the redesign's headline claim, checked where the hardware allows it
 TARGET_SPEEDUP = 1.5
 PROBLEMS = ("sod", "noh")
@@ -43,29 +46,41 @@ def _cpus_visible() -> int:
 
 
 def time_case(problem: str, nx: int, backend: str, nranks: int,
-              steps: int, repeats: int) -> dict:
-    """Best-of-``repeats`` end-to-end seconds for one configuration.
+              steps: int, samples: int = DEFAULT_SAMPLES) -> dict:
+    """Median-of-``samples`` end-to-end seconds for one configuration,
+    after one untimed warmup run.
 
     End-to-end means the full :func:`repro.api.run` call: partitioning,
     backend spin-up (thread/process launch, shared-memory setup) and
-    the stepped run — the cost an embedder actually pays.
+    the stepped run — the cost an embedder actually pays.  The warmup
+    absorbs one-time costs (imports, allocator growth, CPU-frequency
+    ramp); the median resists the odd slow outlier where a best-of
+    would hide systematic slowness and a mean would amplify it.  Every
+    timed sample is recorded so a reviewer can judge the spread.
     """
-    best = float("inf")
-    nstep = 0
-    for _ in range(repeats):
+    samples = max(samples, 3)
+
+    def one_run():
         config = RunConfig(problem=problem, nx=nx, ny=nx,
                            max_steps=steps, nranks=nranks,
                            backend=backend)
         t0 = time.perf_counter()
         result = run(config)
-        best = min(best, time.perf_counter() - t0)
-        nstep = result.nstep
-    return {"backend": backend, "nranks": nranks, "seconds": best,
-            "seconds_per_step": best / max(nstep, 1), "steps": nstep}
+        return time.perf_counter() - t0, result.nstep
+
+    one_run()  # warmup, untimed
+    timed = [one_run() for _ in range(samples)]
+    seconds = [t for t, _ in timed]
+    nstep = timed[-1][1]
+    median = statistics.median(seconds)
+    return {"backend": backend, "nranks": nranks, "seconds": median,
+            "seconds_per_step": median / max(nstep, 1), "steps": nstep,
+            "sample_seconds": seconds}
 
 
 def run_matrix(sizes=DEFAULT_SIZES, steps=DEFAULT_STEPS,
-               nranks=DEFAULT_NRANKS, repeats: int = 2) -> dict:
+               nranks=DEFAULT_NRANKS,
+               samples: int = DEFAULT_SAMPLES) -> dict:
     cases = []
     for problem in PROBLEMS:
         for nx in sizes:
@@ -74,7 +89,7 @@ def run_matrix(sizes=DEFAULT_SIZES, steps=DEFAULT_STEPS,
             for backend, n in (("serial", 1), ("threads", nranks),
                                ("processes", nranks)):
                 entry["runs"].append(time_case(
-                    problem, nx, backend, n, steps, repeats))
+                    problem, nx, backend, n, steps, samples))
             by_name = {r["backend"]: r for r in entry["runs"]}
             entry["processes_vs_threads"] = (
                 by_name["threads"]["seconds"]
@@ -87,7 +102,8 @@ def run_matrix(sizes=DEFAULT_SIZES, steps=DEFAULT_STEPS,
                         "repro.api.run, per comm backend"),
         "nranks": nranks,
         "steps": steps,
-        "repeats": repeats,
+        "samples": max(samples, 3),
+        "warmup": 1,
         "cpus_visible": _cpus_visible(),
         "target_processes_vs_threads": TARGET_SPEEDUP,
         "cases": cases,
@@ -121,7 +137,7 @@ def format_report(report: dict) -> str:
 # bench-harness entry point
 # ----------------------------------------------------------------------
 def test_backend_matrix(results_dir):
-    report = run_matrix(sizes=(32, 64), steps=10, repeats=1)
+    report = run_matrix(sizes=(32, 64), steps=10)
     write_report(report)
     text = format_report(report)
     (results_dir / "backends.txt").write_text(text + "\n")
@@ -130,7 +146,10 @@ def test_backend_matrix(results_dir):
     for case in report["cases"]:
         backends = {r["backend"] for r in case["runs"]}
         assert backends == {"serial", "threads", "processes"}
-        assert all(r["seconds"] > 0 for r in case["runs"])
+        for r in case["runs"]:
+            assert r["seconds"] > 0
+            assert len(r["sample_seconds"]) >= 3
+            assert r["seconds"] == statistics.median(r["sample_seconds"])
 
 
 def main(argv) -> int:
@@ -146,9 +165,7 @@ def main(argv) -> int:
     else:
         sizes = (32,) if args.quick else DEFAULT_SIZES
     steps = 10 if args.quick else DEFAULT_STEPS
-    repeats = 1 if args.quick else 2
-    report = run_matrix(sizes=sizes, steps=steps,
-                        nranks=args.nranks, repeats=repeats)
+    report = run_matrix(sizes=sizes, steps=steps, nranks=args.nranks)
     write_report(report)
     print(format_report(report))
     worst = min(c["processes_vs_threads"] for c in report["cases"])

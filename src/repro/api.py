@@ -62,6 +62,11 @@ class RunConfig:
     nranks: int = 1
     backend: str = "auto"
     partition: str = "rcb"
+    #: ``"packed"`` (default) runs the compiled-CommPlan coalesced
+    #: single-sync exchanges; ``"legacy"``/``None`` keeps the historic
+    #: per-field protocol (bit-identical; kept one release as the
+    #: equivalence reference — docs/PARALLEL.md)
+    comm_plan: Optional[str] = "packed"
     trace: bool = False
     trace_allocations: bool = False
     collect_steps: bool = False
@@ -239,6 +244,7 @@ def run(config: Optional[RunConfig] = None, *,
         metrics_every=config.resolved_metrics_every(),
         watchdog_timeout=config.watchdog_timeout,
         snapshot_dir=config.snapshot_dir,
+        comm_plan=config.comm_plan,
     )
     driver.collect_step_series = config.collect_steps
     if observers:

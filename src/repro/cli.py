@@ -59,6 +59,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "serial for 1 rank, threads otherwise)")
     run.add_argument("--partition", choices=("rcb", "spectral"),
                      default="rcb")
+    run.add_argument("--comm-plan", choices=("packed", "legacy"),
+                     default="packed", dest="comm_plan",
+                     help="halo exchange protocol: 'packed' (compiled "
+                          "comm plans — coalesced one-message-per-"
+                          "neighbour, single-sync; default) or "
+                          "'legacy' (historic per-field protocol, "
+                          "bit-identical; see docs/PARALLEL.md)")
     run.add_argument("--max-steps", type=int, dest="max_steps")
     run.add_argument("--log-every", type=int, default=0,
                      help="print a step banner every N steps")
@@ -107,6 +114,12 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--min-seconds", type=float, default=None,
                          help="kernels faster than this in both runs "
                               "are never gated (default 1e-3)")
+    compare.add_argument("--gate-comm", action="store_true",
+                         dest="gate_comm",
+                         help="also gate comm volume (report: bytes "
+                              "per step; bench: bytes_per_step "
+                              "leaves) instead of reporting it "
+                              "informationally")
 
     sub.add_parser("decks", help="list the bundled input decks")
     sub.add_parser("info", help="show the modelled platform registry")
@@ -249,6 +262,7 @@ def _run_config(args: argparse.Namespace):
         nranks=nranks,
         backend=args.backend,
         partition=args.partition,
+        comm_plan=args.comm_plan,
         trace=bool(args.report or args.trace),
         trace_allocations=args.trace_allocs,
         collect_steps=bool(args.report),
@@ -366,6 +380,8 @@ def _compare(args: argparse.Namespace) -> int:
         kwargs["threshold"] = args.threshold
     if args.min_seconds is not None:
         kwargs["min_seconds"] = args.min_seconds
+    if args.gate_comm:
+        kwargs["gate_comm"] = True
     try:
         result = cmp.compare_files(args.old, args.new, **kwargs)
     except (OSError, ValueError) as exc:

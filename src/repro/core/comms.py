@@ -109,6 +109,11 @@ class SerialComms:
         serially).  Used by the live-metrics probe for field extrema."""
         return np.array(values, dtype=np.float64)
 
+    def comm_plan(self):
+        """The compiled packed-exchange plan driving this endpoint
+        (None: a serial run has no halos to pack)."""
+        return None
+
 
 #: the formal name of the do-nothing endpoint in the backend registry
 #: (``repro.parallel.interface`` nomenclature); same class, two names.

@@ -15,10 +15,15 @@ Gating rules:
   reported but never gated (sub-millisecond timings are noise).
   Comm counters and the embedded diagnostics (energy/mass drift) are
   informational rows: a comm-count change means the algorithm changed,
-  which is a review question, not a timing regression.
+  which is a review question, not a timing regression.  With
+  ``gate_comm=True`` (CLI ``--gate-comm``) the derived
+  ``comm.bytes_per_step`` IS gated — comm volume is deterministic
+  (schedule-driven), so CI can fail a comm-volume regression without
+  any timing-noise floor.
 * **bench documents** — every shared numeric leaf is compared;
   ``*seconds*``/``t_*`` leaves are gated lower-is-better, ``*speedup*``
-  leaves higher-is-better, anything else informational.
+  leaves higher-is-better, anything else informational
+  (``*bytes_per_step*`` leaves join the gate under ``gate_comm``).
 """
 
 from __future__ import annotations
@@ -106,8 +111,19 @@ def _judge(old: Optional[float], new: Optional[float], threshold: float,
     return "ok"
 
 
+def _comm_bytes_per_step(doc: dict) -> Optional[float]:
+    """Comm volume per step, derived (the report schema pins the comm
+    entry fields, so the derivation lives here, not in the report)."""
+    total = doc.get("comm", {}).get("total", {}).get("bytes")
+    steps = doc.get("run", {}).get("steps")
+    if total is None or not steps:
+        return None
+    return total / steps
+
+
 def compare_reports(old: dict, new: dict, threshold: float,
-                    min_seconds: float) -> CompareResult:
+                    min_seconds: float,
+                    gate_comm: bool = False) -> CompareResult:
     result = CompareResult(kind="report")
     kernels = sorted(set(old.get("kernels", {})) | set(new.get("kernels", {})))
     for name in kernels:
@@ -118,6 +134,15 @@ def compare_reports(old: dict, new: dict, threshold: float,
         status = _judge(a, b, threshold) if gate else "info"
         result.rows.append(Row(f"kernels.{name}.seconds", a, b,
                                status=status, gated=gate))
+    a, b = _comm_bytes_per_step(old), _comm_bytes_per_step(new)
+    if gate_comm and a is not None and b is not None:
+        # Comm volume is deterministic (schedule-driven, no timing
+        # noise), so it is gated exactly — unlike kernel seconds, no
+        # noise floor applies.
+        result.rows.append(Row("comm.bytes_per_step", a, b, gated=True,
+                               status=_judge(a, b, threshold)))
+    else:
+        result.rows.append(Row("comm.bytes_per_step", a, b))
     for counter in ("messages", "bytes", "halo_exchanges", "reductions"):
         a = old.get("comm", {}).get("total", {}).get(counter)
         b = new.get("comm", {}).get("total", {}).get(counter)
@@ -170,23 +195,26 @@ def _numeric_leaves(doc, prefix: str = "") -> Dict[str, float]:
     return out
 
 
-def _bench_direction(path: str) -> Optional[bool]:
+def _bench_direction(path: str, gate_comm: bool = False) -> Optional[bool]:
     """True = lower better, False = higher better, None = ungated."""
     leaf = path.rsplit(".", 1)[-1]
     if "speedup" in leaf:
         return False
     if "seconds" in leaf or leaf.startswith("t_"):
         return True
+    if gate_comm and "bytes_per_step" in leaf:
+        return True
     return None
 
 
-def compare_benches(old: dict, new: dict, threshold: float) -> CompareResult:
+def compare_benches(old: dict, new: dict, threshold: float,
+                    gate_comm: bool = False) -> CompareResult:
     result = CompareResult(kind="bench")
     a_leaves = _numeric_leaves(old)
     b_leaves = _numeric_leaves(new)
     for path in sorted(set(a_leaves) | set(b_leaves)):
         a, b = a_leaves.get(path), b_leaves.get(path)
-        direction = _bench_direction(path)
+        direction = _bench_direction(path, gate_comm=gate_comm)
         if direction is None or a is None or b is None:
             result.rows.append(Row(path, a, b))
         else:
@@ -203,7 +231,8 @@ def compare_benches(old: dict, new: dict, threshold: float) -> CompareResult:
 # ----------------------------------------------------------------------
 def compare_files(path_old: str, path_new: str,
                   threshold: float = DEFAULT_THRESHOLD,
-                  min_seconds: float = DEFAULT_MIN_SECONDS) -> CompareResult:
+                  min_seconds: float = DEFAULT_MIN_SECONDS,
+                  gate_comm: bool = False) -> CompareResult:
     old, new = load_document(path_old), load_document(path_new)
     kind_old, kind_new = classify(old), classify(new)
     if kind_old != kind_new:
@@ -211,8 +240,9 @@ def compare_files(path_old: str, path_new: str,
             f"cannot compare a {kind_old} against a {kind_new}"
         )
     if kind_old == "report":
-        return compare_reports(old, new, threshold, min_seconds)
-    return compare_benches(old, new, threshold)
+        return compare_reports(old, new, threshold, min_seconds,
+                               gate_comm=gate_comm)
+    return compare_benches(old, new, threshold, gate_comm=gate_comm)
 
 
 def _fmt(value: Optional[float]) -> str:

@@ -53,9 +53,10 @@ from ...metrics.watchdog import (
 )
 from ...utils.errors import BookLeafError, CommError, StalledRankWarning
 from ...utils.timers import TimerRegistry
+from ..commplan import CommPlan, _widths, compile_plans
 from ..halo import Subdomain, local_state
 from ..interface import BackendRun
-from ..typhon import CommStats
+from ..typhon import DT_REDUCE_VALUES, CommStats
 from .threads import pick_primary_failure, raise_rank_failure
 
 _FLOAT_BYTES = 8
@@ -93,12 +94,19 @@ class RemoteRankError(BookLeafError):
         super().__init__(message)
 
 
-def _mailbox_doubles(sub: Subdomain) -> int:
+def _mailbox_doubles(sub: Subdomain,
+                     plan: Optional[CommPlan] = None) -> int:
     """Mailbox capacity (float64 slots) for one rank.
 
-    The largest publication is the final state (4·nnode + 15·ncell);
-    a margin of one nodal field set guards future seam growth.
+    With a compiled plan the mailbox is exactly the plan's
+    double-buffered packed staging — halo-proportional, typically
+    O(√ncell) — because final states travel over the result queue.
+    On the legacy path the mailbox holds full-array publications: the
+    largest is the final state (4·nnode + 15·ncell) with a margin of
+    one nodal field set guarding future seam growth.
     """
+    if plan is not None:
+        return plan.staging_doubles()
     nnode, ncell = sub.mesh.nnode, sub.mesh.ncell
     return 8 * nnode + 15 * ncell
 
@@ -122,6 +130,10 @@ class _ProcessRunContext:
         self.build_probe = driver.build_probe
         self.watchdog_timeout = driver.watchdog_timeout
         self.epoch_ns = time.perf_counter_ns()
+        #: compiled packed-exchange layouts (None → legacy protocol)
+        self.plans: Optional[List[CommPlan]] = (
+            compile_plans(self.subdomains) if driver.comm_plan else None
+        )
         self.barrier = ctx.Barrier(self.size)
         self.failure = ctx.Event()
         #: SimpleQueue: the put is synchronous, so a failing child can
@@ -137,7 +149,10 @@ class _ProcessRunContext:
             self.leaf_conns[r] = leaf
         self.segments: List[shared_memory.SharedMemory] = [
             shared_memory.SharedMemory(
-                create=True, size=_mailbox_doubles(sub) * _FLOAT_BYTES
+                create=True,
+                size=_mailbox_doubles(
+                    sub, self.plans[sub.rank] if self.plans else None
+                ) * _FLOAT_BYTES,
             )
             for sub in self.subdomains
         ]
@@ -253,7 +268,8 @@ class ProcessComms:
     #: declares conformance to repro.parallel.interface.CommEndpoint
     __comm_endpoint__ = True
 
-    def __init__(self, ctx: _ProcessRunContext, sub: Subdomain, tracer=None):
+    def __init__(self, ctx: _ProcessRunContext, sub: Subdomain, tracer=None,
+                 plan: Optional[CommPlan] = None):
         self.ctx = ctx
         self.sub = sub
         self.rank = sub.rank
@@ -261,12 +277,52 @@ class ProcessComms:
         self.stats = CommStats()
         self.tracer = tracer
         self._mailbox = ctx.mailbox(self.rank)
+        self.plan = plan
+        #: collective-phase counter — advanced once per collective op,
+        #: mirroring TyphonComms, so parity schedules agree rank-wide
+        self._phase = 0
+        #: cached peer-mailbox views (one ndarray export per peer, not
+        #: one per exchange) — dropped with the own view at teardown
+        self._views: Dict[int, np.ndarray] = {}
+        if plan is not None:
+            from ...perf.workspace import Workspace
+
+            #: arena for the reusable nodal-sum totals buffers
+            self._ws = Workspace()
+
+    def comm_plan(self) -> Optional[CommPlan]:
+        """This endpoint's compiled plan (None on the legacy path)."""
+        return self.plan
+
+    def drop_segment_views(self) -> None:
+        """Release every shared-segment export before interpreter
+        teardown (an mmap cannot close while a numpy view is alive)."""
+        self._mailbox = None
+        self._views.clear()
 
     def _span(self, name: str):
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             return _NULL_SPAN
         return tracer.span(name, cat="comm")
+
+    # ------------------------------------------------------------------
+    # packed-protocol helpers (mirror TyphonComms)
+    # ------------------------------------------------------------------
+    def _peer_mail(self, peer: int) -> np.ndarray:
+        buf = self._views.get(peer)
+        if buf is None:
+            buf = self.ctx.mailbox(peer)
+            self._views[peer] = buf
+        return buf
+
+    def _my_region(self, section: str) -> np.ndarray:
+        return self.plan.region(self._mailbox, section, self._phase & 1)
+
+    def _peer_region(self, peer: int, section: str) -> np.ndarray:
+        return self.ctx.plans[peer].region(
+            self._peer_mail(peer), section, self._phase & 1
+        )
 
     # ------------------------------------------------------------------
     # mailbox publish/read protocol
@@ -317,24 +373,44 @@ class ProcessComms:
 
     def _exchange_kinematics(self, state) -> None:
         ctx = self.ctx
-        self._publish((state.x, state.y, state.u, state.v))
-        ctx.sync()  # all kinematics published and quiescent at t^n
-        specs = [("node", 1)] * 4
+        if self.plan is None:
+            # Legacy path: full-array publications, two syncs, one
+            # indexed copy per field per neighbour.
+            self._publish((state.x, state.y, state.u, state.v))
+            ctx.sync()  # all kinematics published and quiescent at t^n
+            specs = [("node", 1)] * 4
+            for src_rank, local_idx in self.sub.recv_nodes.items():
+                src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
+                if src_idx.size != local_idx.size:
+                    raise CommError(
+                        f"halo schedule mismatch between ranks "
+                        f"{self.rank} and {src_rank}"
+                    )
+                px, py, pu, pv = self._peer_arrays(src_rank, specs)
+                state.x[local_idx] = px[src_idx]
+                state.y[local_idx] = py[src_idx]
+                state.u[local_idx] = pu[src_idx]
+                state.v[local_idx] = pv[src_idx]
+                self.stats.account(4 * src_idx.size, messages=4)
+            self.stats.halo_exchanges += 1
+            ctx.sync()  # copies complete before anyone republishes
+            return
+        # Packed path: one (4, n) coalesced message per neighbour,
+        # one sync (the next collective writes the opposite parity).
+        sec = self.plan.kin
+        sec.pack(self._my_region("kin"), (state.x, state.y, state.u, state.v))
+        ctx.sync()  # every rank's halo block staged
         for src_rank, local_idx in self.sub.recv_nodes.items():
-            src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
-            if src_idx.size != local_idx.size:
-                raise CommError(
-                    f"halo schedule mismatch between ranks "
-                    f"{self.rank} and {src_rank}"
-                )
-            px, py, pu, pv = self._peer_arrays(src_rank, specs)
-            state.x[local_idx] = px[src_idx]
-            state.y[local_idx] = py[src_idx]
-            state.u[local_idx] = pu[src_idx]
-            state.v[local_idx] = pv[src_idx]
-            self.stats.account(4 * src_idx.size)
+            bx, by, bu, bv = sec.peer_blocks(
+                src_rank, self._peer_region(src_rank, "kin"), (1, 1, 1, 1)
+            )
+            state.x[local_idx] = bx
+            state.y[local_idx] = by
+            state.u[local_idx] = bu
+            state.v[local_idx] = bv
+            self.stats.account(4 * local_idx.size)
         self.stats.halo_exchanges += 1
-        ctx.sync()  # copies complete before anyone republishes
+        self._phase += 1
 
     # ------------------------------------------------------------------
     # nodal sum completion (inside the acceleration kernel)
@@ -349,23 +425,53 @@ class ProcessComms:
     def _complete_node_arrays(self, state, *partials: np.ndarray
                               ) -> Tuple[np.ndarray, ...]:
         ctx = self.ctx
-        self._publish(partials)
-        ctx.sync()
-        totals = tuple(np.zeros_like(p) for p in partials)
-        specs = [("node", 1)] * len(partials)
+        if self.plan is None:
+            # Legacy path: full partial arrays into the mailbox, fresh
+            # zero totals, two syncs.
+            self._publish(partials)
+            ctx.sync()
+            totals = tuple(np.zeros_like(p) for p in partials)
+            specs = [("node", 1)] * len(partials)
+            ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
+            for r in ranks:
+                if r == self.rank:
+                    for total, p in zip(totals, partials):
+                        total += p
+                else:
+                    theirs = ctx.subdomains[r].shared_nodes[self.rank]
+                    mine = self.sub.shared_nodes[r]
+                    for total, p in zip(totals, self._peer_arrays(r, specs)):
+                        total[mine] += p[theirs]
+                    self.stats.account(len(partials) * mine.size)
+            self.stats.halo_exchanges += 1
+            ctx.sync()  # mailboxes free for reuse
+            return totals
+        # Packed path: stage shared-node values only, one sync, fold
+        # into reused arena totals in the identical ascending order.
+        parity = self._phase & 1
+        sec = self.plan.nodesum
+        sec.pack(self._my_region("nodesum"), partials)
+        ctx.sync()  # every rank's shared-node block staged
+        nf = len(partials)
+        buf = self._ws.zeros(f"commplan.totals{nf}.{parity}",
+                             (nf, partials[0].shape[0]))
+        totals = tuple(buf[i] for i in range(nf))
+        widths = _widths(partials)
         ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
         for r in ranks:
             if r == self.rank:
                 for total, p in zip(totals, partials):
                     total += p
             else:
-                theirs = ctx.subdomains[r].shared_nodes[self.rank]
                 mine = self.sub.shared_nodes[r]
-                for total, p in zip(totals, self._peer_arrays(r, specs)):
-                    total[mine] += p[theirs]
-                self.stats.account(len(partials) * mine.size)
+                blocks = sec.peer_blocks(
+                    r, self._peer_region(r, "nodesum"), widths
+                )
+                for total, block in zip(totals, blocks):
+                    total[mine] += block
+                self.stats.account(nf * mine.size)
         self.stats.halo_exchanges += 1
-        ctx.sync()  # mailboxes free for reuse
+        self._phase += 1
         return totals
 
     def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
@@ -395,7 +501,8 @@ class ProcessComms:
             lambda entries: min(entries, key=lambda c: (c[0], c[3])),
         )
         self.stats.reductions += 1
-        self.stats.account(1)
+        self.stats.account(DT_REDUCE_VALUES)
+        self._phase += 1
         return (best[0], best[1], best[2])
 
     def allreduce_max(self, value: float) -> float:
@@ -404,6 +511,7 @@ class ProcessComms:
             result = self._root_reduce(float(value), max)
         self.stats.reductions += 1
         self.stats.account(1)
+        self._phase += 1
         return float(result)
 
     def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
@@ -432,6 +540,7 @@ class ProcessComms:
                 np.array(values, dtype=np.float64), combine)
         self.stats.reductions += 1
         self.stats.account(result.size)
+        self._phase += 1
         return result
 
     def _root_reduce(self, mine, combine):
@@ -465,23 +574,43 @@ class ProcessComms:
 
     def _exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
         ctx = self.ctx
-        self._publish(arrays)
-        ctx.sync()
-        specs = [
-            ("cell", 1 if a.ndim == 1 else a.shape[1]) for a in arrays
-        ]
+        if self.plan is None:
+            # Legacy path: whole-array publications, two syncs.
+            self._publish(arrays)
+            ctx.sync()
+            specs = [
+                ("cell", 1 if a.ndim == 1 else a.shape[1]) for a in arrays
+            ]
+            for src_rank, local_idx in self.sub.recv_cells.items():
+                src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
+                src_arrays = self._peer_arrays(src_rank, specs)
+                nvalues = 0
+                for mine, theirs in zip(arrays, src_arrays):
+                    mine[local_idx] = theirs[src_idx]
+                    nvalues += local_idx.size * (
+                        1 if mine.ndim == 1 else mine.shape[1]
+                    )
+                self.stats.account(nvalues, messages=len(arrays))
+            self.stats.halo_exchanges += 1
+            ctx.sync()
+            return
+        # Packed path: all cell fields coalesce into one block per
+        # neighbour, one sync.
+        sec = self.plan.cell
+        sec.pack(self._my_region("cell"), arrays)
+        ctx.sync()  # every rank's ghost-cell block staged
+        widths = _widths(arrays)
         for src_rank, local_idx in self.sub.recv_cells.items():
-            src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
-            src_arrays = self._peer_arrays(src_rank, specs)
+            blocks = sec.peer_blocks(
+                src_rank, self._peer_region(src_rank, "cell"), widths
+            )
             nvalues = 0
-            for mine, theirs in zip(arrays, src_arrays):
-                mine[local_idx] = theirs[src_idx]
-                nvalues += local_idx.size * (
-                    1 if mine.ndim == 1 else mine.shape[1]
-                )
+            for mine, block in zip(arrays, blocks):
+                mine[local_idx] = block
+                nvalues += block.size
             self.stats.account(nvalues)
         self.stats.halo_exchanges += 1
-        ctx.sync()
+        self._phase += 1
 
     def exchange_cell_fields(self, state) -> None:
         """Refresh ghost thermodynamics and masses before a remap."""
@@ -497,9 +626,11 @@ class ProcessComms:
 
     # ------------------------------------------------------------------
     def publish_final_state(self, state) -> None:
-        """Write every field ``gather`` reads into the mailbox (called
-        after the collective end-of-run barrier; the parent reads it
-        back out once the process has exited)."""
+        """Legacy path only: write every field ``gather`` reads into
+        the full-array mailbox (called after the collective end-of-run
+        barrier; the parent reads it back out once the process has
+        exited).  The packed path's mailboxes are halo-sized, so its
+        final states travel over the result queue instead."""
         self._publish(tuple(
             getattr(state, name) for name, _, _ in STATE_FIELDS
         ))
@@ -526,6 +657,18 @@ def _read_final_state(rc: _ProcessRunContext, rank: int):
     return state
 
 
+def _state_from_payload(rc: _ProcessRunContext, rank: int,
+                        fields: Dict[str, np.ndarray]):
+    """Parent side: rebuild one rank's final local state from its
+    result-queue payload (the packed path — a pickle round-trip of
+    float64 arrays is exact, so bit-identity is preserved)."""
+    state = local_state(rc.subdomains[rank], rc.setup.state)
+    for name, _, _ in STATE_FIELDS:
+        setattr(state, name, fields[name])
+    state.invalidate_node_mass()
+    return state
+
+
 def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
     """Entry point of one rank process (runs in the forked child)."""
     try:
@@ -537,7 +680,10 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
             from ...telemetry.spans import Tracer
 
             tracer = Tracer(rank=rank, epoch_ns=rc.epoch_ns)
-        comms = ProcessComms(rc, sub, tracer=tracer)
+        comms = ProcessComms(
+            rc, sub, tracer=tracer,
+            plan=rc.plans[rank] if rc.plans is not None else None,
+        )
         timers = TimerRegistry()
         timers.tracer = tracer
         probe = rc.build_probe(rank, cell_global=sub.cell_global)
@@ -554,9 +700,18 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
         hydro.run(max_steps=rc.max_steps)
         # Collective end-of-run point: every rank is past its last
         # mailbox read before anyone overwrites a mailbox with the
-        # final-state publication.
+        # final-state publication (legacy) or exits (packed).
         rc.sync()
-        comms.publish_final_state(hydro.state)
+        final_state = None
+        if comms.plan is None:
+            comms.publish_final_state(hydro.state)
+        else:
+            # Halo-sized mailboxes cannot carry the final state; ship
+            # it over the result queue (one pickle at end of run).
+            final_state = {
+                name: np.ascontiguousarray(getattr(hydro.state, name))
+                for name, _, _ in STATE_FIELDS
+            }
         timers.tracer = None  # tracer spans travel separately
         rc.results.put((rank, {
             "nstep": hydro.nstep,
@@ -564,13 +719,14 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
             "timers": timers,
             "spans": tracer.spans if tracer is not None else [],
             "comm": comms.stats.as_dict(),
+            "state": final_state,
             "step_rows": series.rows if series is not None else None,
             "metrics_rows": probe.rows if probe is not None else None,
             "metrics": probe.registry if probe is not None else None,
         }))
         # Release the shared-segment views before interpreter teardown:
         # an mmap cannot close while a numpy export is alive.
-        comms._mailbox = None
+        comms.drop_segment_views()
         board.array = None
     except BaseException as exc:
         rc.errors.put((
@@ -708,7 +864,12 @@ class ProcessesBackend:
             raise BookLeafError(
                 f"ranks desynchronised: steps={steps} times={times}"
             )
-        states = [_read_final_state(rc, r) for r in range(rc.size)]
+        states = [
+            _state_from_payload(rc, r, results[r]["state"])
+            if results[r].get("state") is not None
+            else _read_final_state(rc, r)
+            for r in range(rc.size)
+        ]
         return BackendRun(
             backend=self.name,
             nranks=rc.size,

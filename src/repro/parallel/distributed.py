@@ -60,6 +60,14 @@ class DistributedHydro:
     backend:
         Execution backend name (``serial``, ``threads`` or
         ``processes`` — see :mod:`repro.parallel.backends`).
+    comm_plan:
+        ``"packed"`` (default) drives the distributed exchanges
+        through compiled :class:`~repro.parallel.commplan.CommPlan`
+        layouts — coalesced one-message-per-neighbour halos, one sync
+        per exchange, zero warm-path allocations.  ``None`` (or
+        ``"legacy"``) keeps the historical per-field/whole-array
+        protocol; it is bit-identical to the packed one and retained
+        for one release as the equivalence reference.
 
     For the in-process backends the per-rank ``hydros`` (and, for
     ``threads``, the shared ``context``) are live attributes that
@@ -75,7 +83,8 @@ class DistributedHydro:
                  metrics_path: Optional[str] = None,
                  metrics_every: int = 0,
                  watchdog_timeout: Optional[float] = None,
-                 snapshot_dir: Optional[str] = None):
+                 snapshot_dir: Optional[str] = None,
+                 comm_plan: Optional[str] = "packed"):
         if nranks > 1 and setup.controls.ale_on \
                 and setup.controls.ale_mode != "eulerian":
             raise BookLeafError(
@@ -97,6 +106,14 @@ class DistributedHydro:
         self.metrics_every = int(metrics_every or 0)
         self.watchdog_timeout = watchdog_timeout
         self.snapshot_dir = snapshot_dir
+        if comm_plan not in (None, "legacy", "packed"):
+            raise BookLeafError(
+                f"unknown comm plan {comm_plan!r} "
+                "(expected 'packed', 'legacy' or None)"
+            )
+        #: truthy → backends hand each endpoint its compiled CommPlan
+        self.comm_plan: Optional[str] = \
+            None if comm_plan == "legacy" else comm_plan
         self.global_mesh = setup.state.mesh
         self._backend = get_backend(backend)
         self.backend_name = self._backend.name
@@ -243,11 +260,16 @@ class DistributedHydro:
     def comm_summary(self) -> dict:
         """Traffic totals for the whole run (perf-model inputs)."""
         total = self.comm_totals()
+        steps = self.nstep
         return {
             "nranks": self.nranks,
-            "steps": self.nstep,
+            "steps": steps,
             "backend": self.backend_name,
+            "comm_plan": self.comm_plan or "legacy",
             **total,
+            "bytes_per_step": total["bytes"] / steps if steps else 0.0,
+            "messages_per_step": (total["messages"] / steps
+                                  if steps else 0.0),
             "halo_nodes": sum(s.halo_node_count() for s in self.subdomains),
             "shared_nodes": sum(s.shared_node_count() for s in self.subdomains),
         }

@@ -53,6 +53,20 @@ SEAM_METHODS: Dict[str, Tuple[str, ...]] = {
     "exchange_cell_fields": ("state",),
     "physical_boundary_sides": ("state",),
     "physical_boundary_side_mask": ("state",),
+    "comm_plan": (),
+}
+
+#: the plan-aware internals of the *distributed* endpoints (the
+#: methods a compiled :class:`~repro.parallel.commplan.CommPlan`
+#: drives).  Not part of the kernel-facing seam — SerialComms has no
+#: exchanges to pack — but TyphonComms and ProcessComms must keep
+#: these signatures aligned or the packed/legacy branching drifts;
+#: check with ``seam_violations(cls, table=PLAN_METHODS)``.
+PLAN_METHODS: Dict[str, Tuple[str, ...]] = {
+    "_exchange_kinematics": ("state",),
+    "_complete_node_arrays": ("state", "*partials"),
+    "_exchange_cell_arrays": ("*arrays",),
+    "_reduce_dt": ("candidates",),
 }
 
 #: attributes every endpoint must expose (per-rank identity)
@@ -102,6 +116,8 @@ class CommEndpoint(Protocol):
     def physical_boundary_sides(self, state) -> Optional[np.ndarray]: ...
 
     def physical_boundary_side_mask(self, state) -> Optional[np.ndarray]: ...
+
+    def comm_plan(self): ...
 
 
 @dataclass
@@ -168,15 +184,20 @@ class CommBackend(Protocol):
     def execute(self, driver, max_steps: Optional[int] = None) -> BackendRun: ...
 
 
-def seam_violations(cls) -> List[str]:
-    """Structural conformance check of a class against the seam.
+def seam_violations(cls, table: Optional[Dict[str, Tuple[str, ...]]] = None
+                    ) -> List[str]:
+    """Structural conformance check of a class against a method table
+    (:data:`SEAM_METHODS` by default; pass :data:`PLAN_METHODS` to
+    check the distributed endpoints' plan-aware internals).
 
     Returns a list of human-readable problems (empty = conforming):
     missing methods, missing variadic parameters, or positional
-    parameter names that drifted from the seam table.
+    parameter names that drifted from the table.
     """
+    if table is None:
+        table = SEAM_METHODS
     problems: List[str] = []
-    for name, params in SEAM_METHODS.items():
+    for name, params in table.items():
         fn = getattr(cls, name, None)
         if fn is None or not callable(fn):
             problems.append(f"{cls.__name__}.{name} is missing")

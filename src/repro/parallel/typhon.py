@@ -33,9 +33,14 @@ import numpy as np
 
 from ..core.timestep import Candidate
 from ..utils.errors import CommError
+from .commplan import CommPlan, _widths, compile_plans
 from .halo import Subdomain
 
 _FLOAT_BYTES = 8
+
+#: honest payload of the dt reduction: every rank publishes a
+#: ``(dt, reason, cell, rank)`` tuple — four values, not one scalar
+DT_REDUCE_VALUES = 4
 
 #: shared no-op context for untraced comm calls (stateless, reusable)
 _NULL_SPAN = nullcontext()
@@ -50,9 +55,17 @@ class CommStats:
     halo_exchanges: int = 0
     reductions: int = 0
 
-    def account(self, nvalues: int) -> None:
-        self.messages += 1
+    def account(self, nvalues: int, messages: int = 1) -> None:
+        """Charge ``nvalues`` float64 payload carried by ``messages``
+        logical messages (1 for a packed block, one per field on the
+        legacy per-field exchange path)."""
+        self.messages += messages
         self.bytes_sent += nvalues * _FLOAT_BYTES
+
+    def bytes_per_step(self, steps: int) -> float:
+        """Traffic volume normalised per step (the scaling curves'
+        x-axis companion; 0.0 for an unstepped run)."""
+        return self.bytes_sent / steps if steps else 0.0
 
     def as_dict(self) -> dict:
         """JSON-ready counters (the run report's ``comm`` entries)."""
@@ -72,10 +85,30 @@ class TyphonContext:
         self.size = len(subdomains)
         self.barrier = threading.Barrier(self.size)
         #: per-rank published data for the current collective phase
+        #: (legacy two-sync protocol)
         self.slots: List[Optional[object]] = [None] * self.size
+        #: phase-parity slots for the packed single-sync protocol:
+        #: consecutive collectives publish into alternating halves
+        self.pslots: List[List[Optional[object]]] = [
+            [None] * self.size, [None] * self.size,
+        ]
         #: per-rank live state references (registered by the driver)
         self.states: List[Optional[object]] = [None] * self.size
         self.stats: List[CommStats] = [CommStats() for _ in range(self.size)]
+        #: compiled packed-exchange layouts, one per rank
+        self.plans: List[CommPlan] = compile_plans(subdomains)
+        # Staging buffers live in a Workspace arena (the PR-1 allocator
+        # extended into the comm layer): allocated once here, reused by
+        # every exchange of the run.  Peers read each other's staging
+        # directly — shared process memory is the transport.
+        from ..perf.workspace import Workspace
+
+        self.comm_ws = Workspace()
+        self.staging: List[np.ndarray] = [
+            self.comm_ws.array(f"commplan.staging.rank{plan.rank}",
+                               plan.staging_doubles())
+            for plan in self.plans
+        ]
         self._failure = threading.Event()
 
     def register_state(self, rank: int, state) -> None:
@@ -124,12 +157,28 @@ class TyphonContext:
 
 
 class TyphonComms:
-    """One rank's communication endpoint (plugs into the comms seam)."""
+    """One rank's communication endpoint (plugs into the comms seam).
+
+    With a compiled :class:`~repro.parallel.commplan.CommPlan` (the
+    default wiring — ``DistributedHydro(comm_plan="packed")``) every
+    exchange runs the packed single-sync protocol: gather the halo
+    values into this rank's preallocated staging buffer, one barrier,
+    read the peers' packed blocks.  ``plan=None`` keeps the legacy
+    per-field/whole-array two-sync protocol (retained for one release
+    as the bit-identity reference — see docs/PARALLEL.md).
+
+    Packed nodal-sum totals are returned as rows of a reused arena
+    buffer: they stay valid until the *next-but-one* completion with
+    the same field count (double-buffered by phase parity), which
+    covers every caller in the step loop — long-lived results must be
+    committed by copy, the same contract as the PR-1 kernel arena.
+    """
 
     #: declares conformance to repro.parallel.interface.CommEndpoint
     __comm_endpoint__ = True
 
-    def __init__(self, ctx: TyphonContext, sub: Subdomain, tracer=None):
+    def __init__(self, ctx: TyphonContext, sub: Subdomain, tracer=None,
+                 plan: Optional[CommPlan] = None):
         self.ctx = ctx
         self.sub = sub
         self.rank = sub.rank
@@ -140,12 +189,55 @@ class TyphonComms:
         #: rank's stream (the span covers the barrier waits too — in a
         #: trace, load imbalance shows up as long comm spans)
         self.tracer = tracer
+        self.plan = plan
+        #: collective-phase counter: parity selects the staging half /
+        #: pslot row.  Advanced once per collective op on every rank —
+        #: the op sequence is SPMD, so the counters agree globally.
+        self._phase = 0
+        if plan is not None:
+            from ..perf.workspace import Workspace
+
+            #: arena for the reusable nodal-sum totals buffers
+            self._ws = Workspace()
+
+    def comm_plan(self) -> Optional[CommPlan]:
+        """This endpoint's compiled plan (None on the legacy path)."""
+        return self.plan
 
     def _span(self, name: str):
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             return _NULL_SPAN
         return tracer.span(name, cat="comm")
+
+    # ------------------------------------------------------------------
+    # packed-protocol helpers
+    # ------------------------------------------------------------------
+    def _my_region(self, section: str) -> np.ndarray:
+        plan = self.plan
+        return plan.region(self.ctx.staging[self.rank], section,
+                           self._phase & 1)
+
+    def _peer_region(self, peer: int, section: str) -> np.ndarray:
+        plan = self.ctx.plans[peer]
+        return plan.region(self.ctx.staging[peer], section,
+                           self._phase & 1)
+
+    def _slots(self) -> List[Optional[object]]:
+        """Publication slots for a scalar collective: the phase-parity
+        row on the packed path (single sync), the shared legacy row
+        (framed by two syncs) otherwise."""
+        if self.plan is None:
+            return self.ctx.slots
+        return self.ctx.pslots[self._phase & 1]
+
+    def _finish_collective(self) -> None:
+        """Close a scalar collective: advance the parity phase (packed)
+        or drain the legacy barrier (slots free for reuse)."""
+        if self.plan is None:
+            self.ctx.sync()
+        else:
+            self._phase += 1
 
     # ------------------------------------------------------------------
     # kinematic halo exchange (before the viscosity kernel)
@@ -157,25 +249,46 @@ class TyphonComms:
 
     def _exchange_kinematics(self, state) -> None:
         ctx = self.ctx
-        ctx.register_state(self.rank, state)
-        ctx.sync()  # all states published and quiescent at t^n
+        if self.plan is None:
+            # Legacy path: publish state references, two syncs, one
+            # fancy-indexed copy *per field* per neighbour.
+            ctx.register_state(self.rank, state)
+            ctx.sync()  # all states published and quiescent at t^n
+            for src_rank, local_idx in self.sub.recv_nodes.items():
+                src_state = ctx.states[src_rank]
+                src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
+                if src_idx.size != local_idx.size:
+                    raise CommError(
+                        f"halo schedule mismatch between ranks "
+                        f"{self.rank} and {src_rank}"
+                    )
+                state.x[local_idx] = src_state.x[src_idx]
+                state.y[local_idx] = src_state.y[src_idx]
+                state.u[local_idx] = src_state.u[src_idx]
+                state.v[local_idx] = src_state.v[src_idx]
+                # Traffic is charged to the receiving rank's counters
+                # (thread-safe: each rank only writes its own stats).
+                self.stats.account(4 * src_idx.size, messages=4)
+            self.stats.halo_exchanges += 1
+            ctx.sync()  # copies complete before anyone advances
+            return
+        # Packed path: one (4, n) coalesced message per neighbour,
+        # one sync.  The trailing barrier is unnecessary because the
+        # next collective writes the opposite parity half.
+        sec = self.plan.kin
+        sec.pack(self._my_region("kin"), (state.x, state.y, state.u, state.v))
+        ctx.sync()  # every rank's halo block staged
         for src_rank, local_idx in self.sub.recv_nodes.items():
-            src_state = ctx.states[src_rank]
-            src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
-            if src_idx.size != local_idx.size:
-                raise CommError(
-                    f"halo schedule mismatch between ranks "
-                    f"{self.rank} and {src_rank}"
-                )
-            state.x[local_idx] = src_state.x[src_idx]
-            state.y[local_idx] = src_state.y[src_idx]
-            state.u[local_idx] = src_state.u[src_idx]
-            state.v[local_idx] = src_state.v[src_idx]
-            # Traffic is charged to the receiving rank's counters
-            # (thread-safe: each rank only writes its own stats).
-            self.stats.account(4 * src_idx.size)
+            bx, by, bu, bv = sec.peer_blocks(
+                src_rank, self._peer_region(src_rank, "kin"), (1, 1, 1, 1)
+            )
+            state.x[local_idx] = bx
+            state.y[local_idx] = by
+            state.u[local_idx] = bu
+            state.v[local_idx] = bv
+            self.stats.account(4 * local_idx.size)
         self.stats.halo_exchanges += 1
-        ctx.sync()  # copies complete before anyone advances
+        self._phase += 1
 
     # ------------------------------------------------------------------
     # nodal sum completion (inside the acceleration kernel)
@@ -195,22 +308,55 @@ class TyphonComms:
     def _complete_node_arrays(self, state, *partials: np.ndarray
                               ) -> Tuple[np.ndarray, ...]:
         ctx = self.ctx
-        ctx.slots[self.rank] = tuple(p.copy() for p in partials)
-        ctx.sync()
-        totals = tuple(np.zeros_like(p) for p in partials)
+        if self.plan is None:
+            # Legacy path: full-array partial copies into the shared
+            # slots, fresh zero totals every call, two syncs.
+            ctx.slots[self.rank] = tuple(p.copy() for p in partials)
+            ctx.sync()
+            totals = tuple(np.zeros_like(p) for p in partials)
+            ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
+            for r in ranks:
+                if r == self.rank:
+                    for total, p in zip(totals, ctx.slots[self.rank]):
+                        total += p
+                else:
+                    theirs = ctx.subdomains[r].shared_nodes[self.rank]
+                    mine = self.sub.shared_nodes[r]
+                    for total, p in zip(totals, ctx.slots[r]):
+                        total[mine] += p[theirs]
+                    self.stats.account(len(partials) * mine.size)
+            self.stats.halo_exchanges += 1
+            ctx.sync()  # slots free for reuse
+            return totals
+        # Packed path: stage only the *shared-node* values (one
+        # coalesced message per peer), one sync, fold into reused
+        # arena totals.  The fold visits the identical ascending rank
+        # sequence with this rank's own partial in its sorted position,
+        # so shared nodes accumulate in the legacy order bit for bit.
+        parity = self._phase & 1
+        sec = self.plan.nodesum
+        sec.pack(self._my_region("nodesum"), partials)
+        ctx.sync()  # every rank's shared-node block staged
+        nf = len(partials)
+        buf = self._ws.zeros(f"commplan.totals{nf}.{parity}",
+                             (nf, partials[0].shape[0]))
+        totals = tuple(buf[i] for i in range(nf))
+        widths = _widths(partials)
         ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
         for r in ranks:
             if r == self.rank:
-                for total, p in zip(totals, ctx.slots[self.rank]):
+                for total, p in zip(totals, partials):
                     total += p
             else:
-                theirs = ctx.subdomains[r].shared_nodes[self.rank]
                 mine = self.sub.shared_nodes[r]
-                for total, p in zip(totals, ctx.slots[r]):
-                    total[mine] += p[theirs]
-                self.stats.account(len(partials) * mine.size)
+                blocks = sec.peer_blocks(
+                    r, self._peer_region(r, "nodesum"), widths
+                )
+                for total, block in zip(totals, blocks):
+                    total[mine] += block
+                self.stats.account(nf * mine.size)
         self.stats.halo_exchanges += 1
-        ctx.sync()  # slots free for reuse
+        self._phase += 1
         return totals
 
     def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
@@ -236,12 +382,13 @@ class TyphonComms:
         dt, reason, cell = min(candidates, key=lambda c: c[0])
         gcell = int(self.sub.cell_global[cell]) if cell >= 0 else -1
         ctx = self.ctx
-        ctx.slots[self.rank] = (dt, reason, gcell, self.rank)
+        slots = self._slots()
+        slots[self.rank] = (dt, reason, gcell, self.rank)
         ctx.sync()
-        best = min(ctx.slots, key=lambda c: (c[0], c[3]))  # type: ignore[index]
+        best = min(slots, key=lambda c: (c[0], c[3]))  # type: ignore[index]
         self.stats.reductions += 1
-        self.stats.account(1)
-        ctx.sync()
+        self.stats.account(DT_REDUCE_VALUES)
+        self._finish_collective()
         return (best[0], best[1], best[2])  # type: ignore[index]
 
     def allreduce_max(self, value: float) -> float:
@@ -251,12 +398,13 @@ class TyphonComms:
 
     def _allreduce_max(self, value: float) -> float:
         ctx = self.ctx
-        ctx.slots[self.rank] = float(value)
+        slots = self._slots()
+        slots[self.rank] = float(value)
         ctx.sync()
-        result = max(ctx.slots)  # type: ignore[type-var]
+        result = max(slots)      # type: ignore[type-var]
         self.stats.reductions += 1
         self.stats.account(1)
-        ctx.sync()
+        self._finish_collective()
         return float(result)     # type: ignore[arg-type]
 
     def allreduce_sum(self, values: np.ndarray) -> np.ndarray:
@@ -274,14 +422,15 @@ class TyphonComms:
         # — the same fold the processes backend's root reduce performs —
         # so all backends produce bit-identical results.
         ctx = self.ctx
-        ctx.slots[self.rank] = np.array(values, dtype=np.float64)
+        slots = self._slots()
+        slots[self.rank] = np.array(values, dtype=np.float64)
         ctx.sync()
-        result = np.array(ctx.slots[0], dtype=np.float64)
+        result = np.array(slots[0], dtype=np.float64)
         for r in range(1, self.size):
-            result = op(result, ctx.slots[r])
+            result = op(result, slots[r])
         self.stats.reductions += 1
         self.stats.account(result.size)
-        ctx.sync()
+        self._finish_collective()
         return result
 
     # ------------------------------------------------------------------
@@ -299,20 +448,42 @@ class TyphonComms:
 
     def _exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
         ctx = self.ctx
-        ctx.slots[self.rank] = arrays
-        ctx.sync()
+        if self.plan is None:
+            # Legacy path: publish whole-array references, two syncs,
+            # one fancy-indexed copy per array per neighbour.
+            ctx.slots[self.rank] = arrays
+            ctx.sync()
+            for src_rank, local_idx in self.sub.recv_cells.items():
+                src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
+                src_arrays = ctx.slots[src_rank]
+                nvalues = 0
+                for mine, theirs in zip(arrays, src_arrays):
+                    mine[local_idx] = theirs[src_idx]
+                    nvalues += local_idx.size * (
+                        1 if mine.ndim == 1 else mine.shape[1]
+                    )
+                self.stats.account(nvalues, messages=len(arrays))
+            self.stats.halo_exchanges += 1
+            ctx.sync()
+            return
+        # Packed path: all cell fields coalesce into one block per
+        # neighbour (scalars and (n, 4) corner fields interleaved by
+        # the plan's per-array widths), one sync.
+        sec = self.plan.cell
+        sec.pack(self._my_region("cell"), arrays)
+        ctx.sync()  # every rank's ghost-cell block staged
+        widths = _widths(arrays)
         for src_rank, local_idx in self.sub.recv_cells.items():
-            src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
-            src_arrays = ctx.slots[src_rank]
+            blocks = sec.peer_blocks(
+                src_rank, self._peer_region(src_rank, "cell"), widths
+            )
             nvalues = 0
-            for mine, theirs in zip(arrays, src_arrays):
-                mine[local_idx] = theirs[src_idx]
-                nvalues += local_idx.size * (
-                    1 if mine.ndim == 1 else mine.shape[1]
-                )
+            for mine, block in zip(arrays, blocks):
+                mine[local_idx] = block
+                nvalues += block.size
             self.stats.account(nvalues)
         self.stats.halo_exchanges += 1
-        ctx.sync()
+        self._phase += 1
 
     def exchange_cell_fields(self, state) -> None:
         """Refresh ghost thermodynamics and masses before a remap."""

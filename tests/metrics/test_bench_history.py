@@ -32,6 +32,22 @@ def _backends(seconds, backend="threads"):
     }
 
 
+def _scaling(comm_seconds, nranks=4, bytes_per_step=21962.0):
+    return {
+        "bench": "commplan-scaling",
+        "cases": [{"backend": "threads", "nranks": nranks,
+                   "comm_plan": "packed", "steps": 20,
+                   "wall_seconds": comm_seconds * 3,
+                   "comm_seconds": comm_seconds,
+                   "bytes_per_step": bytes_per_step,
+                   "messages_per_step": 15.8,
+                   "efficiency": 0.2}],
+        "packed_vs_legacy": {"nranks": nranks,
+                             "message_reduction": 2.14},
+        "mailbox": {"nranks": nranks, "ratio": 9.1},
+    }
+
+
 def test_hotloop_fold_keeps_best():
     summary = bench_history.merge([
         _hotloop(0.010, 1.3),
@@ -56,6 +72,31 @@ def test_backends_fold_keys_per_leg():
     assert by_backend["threads"]["seconds"] == 0.25
     assert by_backend["threads"]["samples"] == 2
     assert by_backend["processes"]["seconds"] == 0.40
+
+
+def test_scaling_fold_keeps_best_times_latest_volume():
+    summary = bench_history.merge([
+        _scaling(0.60, bytes_per_step=30000.0),
+        _scaling(0.50, bytes_per_step=21962.0),   # faster, smaller
+    ])
+    section = summary["benches"]["commplan-scaling"]
+    (run,) = section["runs"]
+    assert run["comm_seconds"] == 0.50
+    assert run["samples"] == 2
+    # deterministic volume comes from the latest document, not min()
+    assert run["bytes_per_step"] == 21962.0
+    assert section["packed_vs_legacy"]["message_reduction"] == 2.14
+    assert section["mailbox"]["ratio"] == 9.1
+
+
+def test_scaling_summary_composes():
+    first = bench_history.merge([_scaling(0.60)])
+    folded = bench_history.merge([first, _scaling(0.50)])
+    direct = bench_history.merge([_scaling(0.60), _scaling(0.50)])
+    f = folded["benches"]["commplan-scaling"]["runs"][0]
+    d = direct["benches"]["commplan-scaling"]["runs"][0]
+    assert f["comm_seconds"] == d["comm_seconds"] == 0.50
+    assert folded["documents_merged"] == direct["documents_merged"] == 2
 
 
 def test_previous_summary_composes():
@@ -107,7 +148,8 @@ def test_repo_artifacts_fold(tmp_path):
     """The committed BENCH files must flow through their adapters."""
     root = Path(__file__).resolve().parents[2]
     docs = [json.loads((root / name).read_text())
-            for name in ("BENCH_hotloop.json", "BENCH_backends.json")]
+            for name in ("BENCH_hotloop.json", "BENCH_backends.json",
+                         "BENCH_scaling.json")]
     summary = bench_history.merge(docs)
-    assert len(summary["benches"]) == 2
+    assert len(summary["benches"]) == 3
     assert summary["other"] == {}

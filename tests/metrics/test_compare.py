@@ -12,7 +12,7 @@ from repro.metrics.compare import (
 )
 
 
-def _report(seconds_scale=1.0, drift=-2e-16, wall=1.0):
+def _report(seconds_scale=1.0, drift=-2e-16, wall=1.0, comm_bytes=6400):
     return {
         "schema_version": 2,
         "run": {"wall_seconds": wall, "steps": 20},
@@ -21,7 +21,7 @@ def _report(seconds_scale=1.0, drift=-2e-16, wall=1.0):
             "lagstep": {"seconds": 0.200 * seconds_scale, "calls": 20},
             "tiny": {"seconds": 1e-5 * seconds_scale, "calls": 20},
         },
-        "comm": {"total": {"messages": 100, "bytes": 6400,
+        "comm": {"total": {"messages": 100, "bytes": comm_bytes,
                            "halo_exchanges": 40, "reductions": 20}},
         "diagnostics": {"energy_drift": drift, "mass_drift": 0.0,
                         "total_energy": 0.466, "hourglass_energy": 1e-9},
@@ -94,6 +94,39 @@ def test_diagnostics_and_comm_are_informational(tmp_path):
     assert "run.wall_seconds" in table
 
 
+def test_gate_comm_gates_bytes_per_step(tmp_path):
+    """``--gate-comm`` turns the derived comm.bytes_per_step row into
+    an exactly-gated metric: comm volume is schedule-driven, so a
+    growth beyond the threshold fails the diff with zero noise floor,
+    while the default mode keeps the same row informational."""
+    a = _write(tmp_path, "a.json", _report(comm_bytes=6400))
+    b = _write(tmp_path, "b.json", _report(comm_bytes=12800))
+    assert compare_files(a, b).exit_code == 0
+    result = compare_files(a, b, gate_comm=True)
+    assert result.exit_code == 1
+    (row,) = result.regressions
+    assert row.name == "comm.bytes_per_step"
+    assert (row.old, row.new) == (320.0, 640.0)  # bytes / 20 steps
+    # the raw counters stay informational even under the gate
+    assert all(not r.gated for r in result.rows
+               if r.name.startswith("comm.total."))
+    # volume reductions pass — the gate is one-sided by direction
+    assert compare_files(b, a, gate_comm=True).exit_code == 0
+
+
+def test_gate_comm_gates_bench_bytes_per_step_leaves(tmp_path):
+    doc_a = {"bench": "scaling", "cases": [
+        {"backend": "threads", "nranks": 2, "bytes_per_step": 1000.0}]}
+    doc_b = {"bench": "scaling", "cases": [
+        {"backend": "threads", "nranks": 2, "bytes_per_step": 2000.0}]}
+    a = _write(tmp_path, "a.json", doc_a)
+    b = _write(tmp_path, "b.json", doc_b)
+    assert compare_files(a, b).exit_code == 0
+    result = compare_files(a, b, gate_comm=True)
+    assert result.exit_code == 1
+    assert "bytes_per_step" in result.regressions[0].name
+
+
 def test_bench_gating_directions(tmp_path):
     a = _write(tmp_path, "a.json", _bench(t=1.0, speedup=1.5))
     slower = _write(tmp_path, "b.json", _bench(t=2.0, speedup=1.5))
@@ -133,6 +166,15 @@ def test_cli_compare_regression_exits_nonzero(tmp_path, capsys):
     assert "regression" in capsys.readouterr().out
     # a generous threshold waves the same diff through
     assert main(["compare", a, b, "--threshold", "2.0"]) == 0
+
+
+def test_cli_gate_comm_flag(tmp_path, capsys):
+    a = _write(tmp_path, "a.json", _report(comm_bytes=6400))
+    b = _write(tmp_path, "b.json", _report(comm_bytes=12800))
+    assert main(["compare", a, b]) == 0
+    capsys.readouterr()
+    assert main(["compare", a, b, "--gate-comm"]) == 1
+    assert "comm.bytes_per_step" in capsys.readouterr().out
 
 
 def test_cli_compare_bad_input_exits_2(tmp_path, capsys):

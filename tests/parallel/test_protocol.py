@@ -15,6 +15,7 @@ from repro.parallel import available_backends, get_backend
 from repro.parallel.backends import BACKENDS
 from repro.parallel.backends.processes import ProcessComms
 from repro.parallel.interface import (
+    PLAN_METHODS,
     SEAM_ATTRIBUTES,
     SEAM_METHODS,
     CommBackend,
@@ -69,6 +70,37 @@ def test_seam_table_matches_protocol_definition():
         if not name.startswith("_") and callable(member)
     }
     assert proto_methods == set(SEAM_METHODS)
+
+
+def test_comm_plan_is_part_of_the_seam():
+    """The plan accessor is seam API: kernels and telemetry may ask
+    any endpoint for its compiled plan (None on serial/legacy)."""
+    assert "comm_plan" in SEAM_METHODS
+    assert NullComms().comm_plan() is None
+
+
+@pytest.mark.parametrize("cls", [TyphonComms, ProcessComms],
+                         ids=lambda c: c.__name__)
+def test_distributed_endpoints_cover_plan_table(cls):
+    """The packed/legacy branch points of the two distributed
+    endpoints must keep identical signatures (PLAN_METHODS) — the
+    backend-equivalence guarantees depend on them staying in step."""
+    assert seam_violations(cls, table=PLAN_METHODS) == []
+
+
+def test_live_endpoints_return_their_plan():
+    from repro.parallel import DistributedHydro
+    from repro.problems import load_problem
+
+    setup = load_problem("sod", nx=12, ny=4)
+    packed = DistributedHydro(setup, 2, backend="threads")
+    for hydro in packed.hydros:
+        plan = hydro.comms.comm_plan()
+        assert plan is not None
+        assert plan.rank == hydro.comms.rank
+    legacy = DistributedHydro(setup, 2, backend="threads", comm_plan=None)
+    for hydro in legacy.hydros:
+        assert hydro.comms.comm_plan() is None
 
 
 def test_seam_checker_catches_drift():

@@ -17,6 +17,11 @@ Merge rules (per bench kind, keyed by the rung/case identity):
   and ``t_planned`` ever observed and the *maximum* ``speedup``.
 * ``comm-backend-comparison``: per ``(problem, nx, backend, nranks)``
   keep the minimum ``seconds`` / ``seconds_per_step``.
+* ``commplan-scaling``: per ``(backend, nranks, comm_plan)`` keep the
+  minimum wall/comm seconds and the best efficiency; the comm volume
+  (``bytes_per_step``/``messages_per_step``) is deterministic, so the
+  latest document's values are carried verbatim, as are the
+  packed-vs-legacy duel and the mailbox-shrink block.
 * anything else: kept verbatim under ``"other"``, last-writer-wins by
   ``bench`` name (so new bench kinds flow through without code here).
 
@@ -37,6 +42,7 @@ SUMMARY_SCHEMA_VERSION = 1
 
 HOTLOOP = "noh-lagstep-hotloop"
 BACKENDS = "comm-backend-comparison"
+SCALING = "commplan-scaling"
 
 
 def _fold_min(slot: dict, row: dict, key: str) -> None:
@@ -85,6 +91,34 @@ def fold_backends(summary: dict, doc: dict) -> None:
     summary["runs"] = [slots[k] for k in sorted(slots)]
 
 
+def fold_scaling(summary: dict, doc: dict) -> None:
+    """Best-of per (backend, nranks, comm_plan) scaling rung."""
+    slots: Dict[tuple, dict] = {
+        (r["backend"], r["nranks"], r.get("comm_plan", "packed")): r
+        for r in summary.get("runs", [])
+    }
+    for case in doc.get("cases", []):
+        key = (case["backend"], case["nranks"],
+               case.get("comm_plan", "packed"))
+        slot = slots.setdefault(key, {
+            "backend": case["backend"], "nranks": case["nranks"],
+            "comm_plan": case.get("comm_plan", "packed"),
+        })
+        _fold_min(slot, case, "wall_seconds")
+        _fold_min(slot, case, "comm_seconds")
+        if case.get("efficiency") is not None:
+            _fold_max(slot, case, "efficiency")
+        # comm volume is schedule-driven, not noisy: carry verbatim
+        for det in ("bytes_per_step", "messages_per_step", "steps"):
+            if det in case:
+                slot[det] = case[det]
+        slot["samples"] = slot.get("samples", 0) + 1
+    summary["runs"] = [slots[k] for k in sorted(slots)]
+    for block in ("packed_vs_legacy", "mailbox"):
+        if doc.get(block) is not None:
+            summary[block] = doc[block]
+
+
 def merge(documents: List[dict]) -> dict:
     """Fold bench documents (oldest first) into one summary dict."""
     summary: dict = {
@@ -100,12 +134,19 @@ def merge(documents: List[dict]) -> dict:
             summary["documents_merged"] += doc.get("documents_merged", 0)
             for name, section in sorted(doc.get("benches", {}).items()):
                 fold = {HOTLOOP: fold_hotloop,
-                        BACKENDS: fold_backends}.get(name)
+                        BACKENDS: fold_backends,
+                        SCALING: fold_scaling}.get(name)
                 target = summary["benches"].setdefault(name, {})
                 if fold is None:
                     summary["other"][name] = section
                 elif name == HOTLOOP:
                     fold(target, {"rungs": section.get("rungs", [])})
+                elif name == SCALING:
+                    fold(target, {
+                        "cases": section.get("runs", []),
+                        "packed_vs_legacy": section.get("packed_vs_legacy"),
+                        "mailbox": section.get("mailbox"),
+                    })
                 else:
                     # Re-fold summary runs as one-run cases.
                     cases = [{"problem": r["problem"], "nx": r["nx"],
@@ -120,6 +161,8 @@ def merge(documents: List[dict]) -> dict:
             fold_hotloop(summary["benches"].setdefault(name, {}), doc)
         elif name == BACKENDS:
             fold_backends(summary["benches"].setdefault(name, {}), doc)
+        elif name == SCALING:
+            fold_scaling(summary["benches"].setdefault(name, {}), doc)
         else:
             summary["other"][str(name)] = doc
     return summary
