@@ -75,6 +75,10 @@ def time_case(problem: str, nx: int, backend: str, nranks: int,
     median = statistics.median(seconds)
     return {"backend": backend, "nranks": nranks, "seconds": median,
             "seconds_per_step": median / max(nstep, 1), "steps": nstep,
+            # the *actual* timed sample count, carried per run so the
+            # bench-history fold can accumulate real sample totals
+            # instead of counting folded documents
+            "samples": len(seconds),
             "sample_seconds": seconds}
 
 
@@ -148,7 +152,7 @@ def test_backend_matrix(results_dir):
         assert backends == {"serial", "threads", "processes"}
         for r in case["runs"]:
             assert r["seconds"] > 0
-            assert len(r["sample_seconds"]) >= 3
+            assert r["samples"] == len(r["sample_seconds"]) >= 3
             assert r["seconds"] == statistics.median(r["sample_seconds"])
 
 

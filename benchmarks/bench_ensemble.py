@@ -1,0 +1,196 @@
+"""Ensemble-batching bench — N batched lanes vs N sequential runs.
+
+Times a Sod ensemble through :func:`repro.api.run_ensemble` against the
+same N configs run back-to-back through :func:`repro.api.run` (serial
+backend), for N in {1, 4, 16} on 32x32 and 64x64 meshes, and writes
+``BENCH_ensemble.json`` at the repository root.  The figure of merit is
+*aggregate runs per second*: an ensemble that finishes 16 lanes in a
+quarter of the sequential wall time reports a 4x speedup even though
+any single lane finishes no sooner.
+
+The batched lanes are bit-identical to the serial runs (CI gates this
+separately); the bench answers only the throughput question — how much
+of the per-step Python/numpy dispatch overhead does stacking the lanes
+into one ``(N, ...)`` kernel pass amortise away?
+
+Run standalone (``python benchmarks/bench_ensemble.py [--quick]``) or
+through the bench harness (``pytest benchmarks/bench_ensemble.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.api import RunConfig, run, run_ensemble
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_SIZES = (32, 64)
+DEFAULT_LANES = (1, 4, 16)
+DEFAULT_PROBLEM = "sod"
+#: timed samples per configuration (after one untimed warmup)
+DEFAULT_SAMPLES = 3
+#: the acceptance claim: a 16-member 32x32 ensemble sustains at least
+#: this multiple of the sequential-serial aggregate throughput
+TARGET_SPEEDUP_16X32 = 3.0
+
+
+def _cpus_visible() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _configs(problem: str, nx: int, lanes: int, max_steps):
+    return [RunConfig(problem=problem, nx=nx, ny=nx, max_steps=max_steps)
+            for _ in range(lanes)]
+
+
+def time_case(problem: str, nx: int, lanes: int, max_steps=None,
+              samples: int = DEFAULT_SAMPLES) -> dict:
+    """Median-of-``samples`` wall seconds for one (problem, nx, lanes)
+    cell, ensemble and sequential-serial, after one untimed warmup of
+    each path.
+
+    Both paths run the identical config list end to end through the
+    public API, so setup cost (mesh build, plan compilation) is charged
+    to both sides the way an embedder pays it.  The median over
+    recorded samples resists the odd slow outlier; every sample is kept
+    in the report so a reviewer can judge the spread.
+    """
+    samples = max(samples, 3)
+    configs = _configs(problem, nx, lanes, max_steps)
+
+    def one_ensemble():
+        t0 = time.perf_counter()
+        results = run_ensemble(configs)
+        return time.perf_counter() - t0, results[0].nstep
+
+    def one_sequential():
+        t0 = time.perf_counter()
+        nstep = 0
+        for config in configs:
+            nstep = run(config).nstep
+        return time.perf_counter() - t0, nstep
+
+    one_ensemble()
+    one_sequential()
+    ens = [one_ensemble() for _ in range(samples)]
+    seq = [one_sequential() for _ in range(samples)]
+    ens_seconds = [t for t, _ in ens]
+    seq_seconds = [t for t, _ in seq]
+    t_ens = statistics.median(ens_seconds)
+    t_seq = statistics.median(seq_seconds)
+    return {
+        "problem": problem, "nx": nx, "ncell": nx * nx, "lanes": lanes,
+        "steps": ens[-1][1],
+        "seconds": t_ens,
+        "seconds_serial": t_seq,
+        "runs_per_sec": lanes / t_ens,
+        "runs_per_sec_serial": lanes / t_seq,
+        "speedup": t_seq / t_ens,
+        "samples": len(ens_seconds),
+        "sample_seconds": ens_seconds,
+        "sample_seconds_serial": seq_seconds,
+    }
+
+
+def run_matrix(sizes=DEFAULT_SIZES, lanes=DEFAULT_LANES,
+               problem: str = DEFAULT_PROBLEM, max_steps=None,
+               samples: int = DEFAULT_SAMPLES) -> dict:
+    cases = [time_case(problem, nx, n, max_steps=max_steps,
+                       samples=samples)
+             for nx in sizes for n in lanes]
+    return {
+        "bench": "ensemble-batching",
+        "description": ("aggregate runs/sec of N batched same-mesh "
+                        "lanes (repro.api.run_ensemble) vs N "
+                        "sequential serial runs"),
+        "problem": problem,
+        "samples": max(samples, 3),
+        "warmup": 1,
+        "cpus_visible": _cpus_visible(),
+        "target_speedup_16x32": TARGET_SPEEDUP_16X32,
+        "cases": cases,
+    }
+
+
+def write_report(report: dict,
+                 path: Path = ROOT / "BENCH_ensemble.json") -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: dict) -> str:
+    lines = [f"ensemble bench: {report['problem']}, "
+             f"{report['cpus_visible']} cpu(s) visible",
+             f"{'nx':>6}{'lanes':>7}{'ensemble s':>12}{'serial s':>10}"
+             f"{'runs/s':>9}{'speedup':>9}"]
+    for case in report["cases"]:
+        lines.append(
+            f"{case['nx']:>6}{case['lanes']:>7}"
+            f"{case['seconds']:>12.3f}{case['seconds_serial']:>10.3f}"
+            f"{case['runs_per_sec']:>9.2f}{case['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# bench-harness entry point
+# ----------------------------------------------------------------------
+def test_ensemble_speedup(results_dir):
+    report = run_matrix()
+    write_report(report)
+    text = format_report(report)
+    (results_dir / "ensemble.txt").write_text(text + "\n")
+    print()
+    print(text)
+    by_key = {(c["nx"], c["lanes"]): c for c in report["cases"]}
+    for case in report["cases"]:
+        assert case["seconds"] > 0 and case["seconds_serial"] > 0
+        assert case["samples"] == len(case["sample_seconds"]) >= 3
+        assert case["seconds"] == statistics.median(case["sample_seconds"])
+    headline = by_key[(32, 16)]
+    assert headline["speedup"] >= TARGET_SPEEDUP_16X32, (
+        f"16-lane 32x32 ensemble speedup {headline['speedup']:.2f}x "
+        f"below the {TARGET_SPEEDUP_16X32}x target"
+    )
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="32x32 only, capped steps (CI smoke)")
+    parser.add_argument("--problem", default=DEFAULT_PROBLEM)
+    parser.add_argument("--sizes", default=None,
+                        help="comma-separated nx ladder")
+    parser.add_argument("--lanes", default=None,
+                        help="comma-separated ensemble sizes")
+    args = parser.parse_args(argv[1:])
+    if args.sizes:
+        sizes = tuple(int(tok) for tok in args.sizes.split(","))
+    else:
+        sizes = (32,) if args.quick else DEFAULT_SIZES
+    if args.lanes:
+        lanes = tuple(int(tok) for tok in args.lanes.split(","))
+    else:
+        lanes = DEFAULT_LANES
+    max_steps = 60 if args.quick else None
+    report = run_matrix(sizes=sizes, lanes=lanes, problem=args.problem,
+                        max_steps=max_steps)
+    write_report(report)
+    print(format_report(report))
+    best = max(c["speedup"] for c in report["cases"])
+    print(f"\nwrote {ROOT / 'BENCH_ensemble.json'} — best aggregate "
+          f"speedup {best:.2f}x (target {TARGET_SPEEDUP_16X32}x at "
+          f"16 lanes, 32x32)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -288,4 +288,18 @@ def run(config: Optional[RunConfig] = None, *,
     )
 
 
-__all__ = ["RunConfig", "RunResult", "run"]
+def run_ensemble(configs, *, control_overrides=None):
+    """Batch N serial configs into one ensemble run; one
+    :class:`RunResult` per lane, in config order.
+
+    All lanes must share mesh topology (an ensemble varies initial
+    state and controls, not meshes); each lane advances at its own CFL
+    timestep and lane ``i``'s result is bit-identical to
+    ``run(configs[i])``.  See :mod:`repro.ensemble`.
+    """
+    from .ensemble.driver import run_ensemble as _run_ensemble
+
+    return _run_ensemble(configs, control_overrides=control_overrides)
+
+
+__all__ = ["RunConfig", "RunResult", "run", "run_ensemble"]

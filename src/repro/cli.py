@@ -100,6 +100,42 @@ def _build_parser() -> argparse.ArgumentParser:
                           "seconds without a heartbeat (threads/"
                           "processes backends)")
 
+    ens = sub.add_parser(
+        "run-ensemble",
+        help="batch N same-mesh serial runs through one (N, ...) "
+             "kernel pass (bit-identical per lane; see "
+             "docs/PERFORMANCE.md)",
+    )
+    ens.add_argument("deck", nargs="?", help="input deck path")
+    ens.add_argument("--problem", choices=problem_names(),
+                     help="bundled problem instead of a deck")
+    ens.add_argument("--nx", type=int, help="mesh cells in x")
+    ens.add_argument("--ny", type=int, help="mesh cells in y")
+    ens.add_argument("--time-end", type=float, dest="time_end")
+    ens.add_argument("--max-steps", type=int, dest="max_steps")
+    ens.add_argument("--lanes", type=int, default=None,
+                     help="replicate the base config N times (mutually "
+                          "exclusive with --sweep, whose cartesian "
+                          "product sets the lane count)")
+    ens.add_argument("--sweep", action="append", default=[],
+                     metavar="KEY=V1,V2,...",
+                     help="sweep one parameter across lanes; repeat "
+                          "for a cartesian product.  Keys route to "
+                          "HydroControls fields (cq1=0.3,0.5), run "
+                          "limits (time_end, max_steps) or problem "
+                          "setup kwargs; nx/ny cannot be swept (lanes "
+                          "share one mesh)")
+    ens.add_argument("--report", metavar="PATH",
+                     help="write one JSON run report per lane "
+                          "(PATH gains a .laneN suffix)")
+    ens.add_argument("--metrics", metavar="PATH",
+                     help="stream live diagnostics per lane to "
+                          "PATH with a .laneN suffix")
+    ens.add_argument("--metrics-every", type=int, default=None,
+                     metavar="N",
+                     help="diagnostics sampling cadence in steps "
+                          "(default 10 when --metrics is set)")
+
     compare = sub.add_parser(
         "compare",
         help="diff two run reports or two BENCH_*.json files "
@@ -120,6 +156,13 @@ def _build_parser() -> argparse.ArgumentParser:
                               "per step; bench: bytes_per_step "
                               "leaves) instead of reporting it "
                               "informationally")
+    compare.add_argument("--gate-throughput", action="store_true",
+                         dest="gate_throughput",
+                         help="also gate bench throughput leaves "
+                              "(runs_per_sec, throughput) higher-is-"
+                              "better; cases whose sibling seconds "
+                              "stay under --min-seconds in both "
+                              "documents are never gated")
 
     sub.add_parser("decks", help="list the bundled input decks")
     sub.add_parser("info", help="show the modelled platform registry")
@@ -372,6 +415,141 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_value(token: str):
+    """``"0.5"`` -> 0.5, ``"3"`` -> 3, ``"true"``/``"false"`` -> bool,
+    anything else stays a string (problem kwargs may be symbolic)."""
+    low = token.lower()
+    if low in ("true", "false"):
+        return low == "true"
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            pass
+    return token
+
+
+def _sweep_lanes(sweeps: List[str]):
+    """Expand repeated ``--sweep key=v1,v2`` into the cartesian product
+    of per-lane ``{key: value}`` dicts (in the given key order)."""
+    import itertools
+
+    axes = []
+    for spec in sweeps:
+        key, sep, values = spec.partition("=")
+        if not sep or not key or not values:
+            raise ValueError(
+                f"--sweep wants KEY=V1,V2,... (got {spec!r})")
+        axes.append([(key, _parse_sweep_value(tok))
+                     for tok in values.split(",")])
+    return [dict(combo) for combo in itertools.product(*axes)]
+
+
+def _lane_path(path: str, lane: int) -> str:
+    """``out.json`` -> ``out.lane3.json`` (suffix-preserving)."""
+    import os.path
+
+    stem, ext = os.path.splitext(path)
+    return f"{stem}.lane{lane}{ext}"
+
+
+def _run_ensemble_cli(args: argparse.Namespace) -> int:
+    if args.deck and args.problem:
+        print("give either a deck or --problem, not both", file=sys.stderr)
+        return 2
+    if not args.deck and not args.problem:
+        print("nothing to run: give a deck path or --problem",
+              file=sys.stderr)
+        return 2
+    if args.sweep and args.lanes is not None:
+        print("give --lanes or --sweep, not both (the sweep's "
+              "cartesian product sets the lane count)", file=sys.stderr)
+        return 2
+
+    try:
+        assignments = _sweep_lanes(args.sweep)
+    except ValueError as exc:
+        print(f"run-ensemble: {exc}", file=sys.stderr)
+        return 2
+    if not args.sweep:
+        assignments = [{}] * max(args.lanes or 1, 1)
+
+    from dataclasses import fields as dc_fields
+
+    from .api import RunConfig, run_ensemble
+    from .core.controls import HydroControls
+
+    control_names = {f.name for f in dc_fields(HydroControls)}
+    configs, overrides = [], []
+    for lane, assignment in enumerate(assignments):
+        kwargs = dict(
+            problem=args.problem, deck=args.deck,
+            nx=args.nx, ny=args.ny,
+            time_end=args.time_end, max_steps=args.max_steps,
+            metrics=(_lane_path(args.metrics, lane)
+                     if args.metrics else None),
+            metrics_every=args.metrics_every,
+            problem_kwargs={},
+        )
+        override = {}
+        for key, value in assignment.items():
+            if key in ("nx", "ny"):
+                print(f"run-ensemble: cannot sweep {key!r} — all "
+                      "lanes share one mesh (vary initial state and "
+                      "controls instead)", file=sys.stderr)
+                return 2
+            if key in ("time_end", "max_steps"):
+                kwargs[key] = value
+            elif key in control_names:
+                override[key] = value
+            elif args.deck:
+                print(f"run-ensemble: sweep key {key!r} is not a "
+                      "control field; problem-kwarg sweeps need "
+                      "--problem (deck runs fix the setup in the "
+                      "deck file)", file=sys.stderr)
+                return 2
+            else:
+                kwargs["problem_kwargs"][key] = value
+        configs.append(RunConfig(**kwargs))
+        overrides.append(override or None)
+
+    from .utils.errors import BookLeafError
+
+    try:
+        results = run_ensemble(configs, control_overrides=overrides)
+    except BookLeafError as exc:
+        print(f"run-ensemble: {exc}", file=sys.stderr)
+        return 2
+
+    for lane, result in enumerate(results):
+        tag = ""
+        if assignments[lane]:
+            tag = " (" + ", ".join(f"{k}={v}" for k, v in
+                                   sorted(assignments[lane].items())) + ")"
+        final = result.state
+        print(f"lane {lane}{tag}: {result.nstep} steps to "
+              f"t={result.time:.6g}  mass={final.total_mass():.9g} "
+              f"total_energy={final.total_energy():.9g}")
+    print(f"\n{len(results)} lane(s) in {results[0].wall_seconds:.2f}s "
+          f"({len(results) / results[0].wall_seconds:.2f} runs/s "
+          "aggregate)")
+    print()
+    print(results[0].timers.breakdown())
+    if args.report:
+        from .telemetry import write_report
+
+        for lane, result in enumerate(results):
+            write_report(result.report(), _lane_path(args.report, lane))
+        print(f"wrote {len(results)} lane reports to "
+              f"{_lane_path(args.report, 0)} ...")
+    if args.metrics:
+        for lane, result in enumerate(results):
+            rows = result.metrics_rows or []
+            print(f"wrote {len(rows)} metrics records to "
+                  f"{_lane_path(args.metrics, lane)}")
+    return 0
+
+
 def _compare(args: argparse.Namespace) -> int:
     from .metrics import compare as cmp
 
@@ -382,6 +560,8 @@ def _compare(args: argparse.Namespace) -> int:
         kwargs["min_seconds"] = args.min_seconds
     if args.gate_comm:
         kwargs["gate_comm"] = True
+    if args.gate_throughput:
+        kwargs["gate_throughput"] = True
     try:
         result = cmp.compare_files(args.old, args.new, **kwargs)
     except (OSError, ValueError) as exc:
@@ -409,6 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "run":
         return _run(args)
+    if args.command == "run-ensemble":
+        return _run_ensemble_cli(args)
     if args.command == "compare":
         return _compare(args)
     if args.command == "decks":

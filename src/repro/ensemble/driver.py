@@ -1,0 +1,406 @@
+"""The ensemble driver: N same-mesh runs through one batched kernel pass.
+
+:class:`EnsembleHydro` mirrors :class:`repro.core.hydro.Hydro`'s step
+loop over a batch of lanes: every active lane shares one pass through
+the batched kernels per step, each at its *own* dt (per-lane CFL — the
+dt enters the lagstep as an ``(N, 1)`` broadcast column).  Lanes finish
+at different times; a finished lane is *retired* — its final state is
+extracted and the batch arrays are compacted so the remaining lanes
+keep running in a dense block (no masked dead rows, no ``0 · inf``
+hazards).
+
+The correctness contract is strict: lane ``i`` of the ensemble is
+bit-identical — state arrays, step count, dt sequence, diagnostics
+records — to the same problem run through the serial driver.  Kernels
+stay in the serial association per lane (:mod:`repro.ensemble.kernels`)
+and the loop bookkeeping here stays in Python-float scalar arithmetic
+exactly like ``Hydro``; CI gates this on Noh and Sod.
+
+:func:`run_ensemble` is the embedding surface:
+``run_ensemble([RunConfig(...), ...]) -> [RunResult, ...]``, one result
+per lane (same order as the configs), each carrying the lane's final
+state, per-lane diagnostics rows from its own probe, and the shared
+ensemble timer registry.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..api import RunConfig, RunResult
+from ..core.comms import SerialComms
+from ..core.hourglass import GAMMA
+from ..metrics.probe import DiagnosticsProbe
+from ..perf.plans import MeshPlans
+from ..perf.workspace import Workspace
+from ..problems.base import ProblemSetup
+from ..utils.errors import BookLeafError
+from ..utils.timers import TimerRegistry
+from . import kernels
+from .eos import EnsembleEos
+from .lagstep import EnsembleContext, lagstep_batch
+from .state import EnsembleState
+from .timestep import getdt_batch
+
+#: controls that enter the *batched* array expressions and therefore
+#: must be uniform across lanes (per-lane values would need per-lane
+#: columns the kernels do not carry — cq1/cq2/γ and everything in
+#: getdt's scalar stage already are per-lane)
+UNIFORM_CONTROLS = ("viscosity_form", "use_limiter", "subzonal_kappa",
+                    "filter_kappa", "dencut", "ccut")
+
+
+class _LaneView:
+    """Duck-typed ``Hydro`` stand-in for one lane.
+
+    Carries exactly the attributes the diagnostics probe reads
+    (``state``/``comms``/``nstep``/``time``/``dt``/``dt_reason``/
+    ``dt_cell``), so :class:`DiagnosticsProbe` samples a lane without
+    knowing it lives in a batch.
+    """
+
+    def __init__(self, state, comms, nstep, time, dt, dt_reason, dt_cell):
+        self.state = state
+        self.comms = comms
+        self.nstep = nstep
+        self.time = time
+        self.dt = dt
+        self.dt_reason = dt_reason
+        self.dt_cell = dt_cell
+
+
+class EnsembleHydro:
+    """Time-marches N same-mesh problems through batched kernels.
+
+    Parameters
+    ----------
+    setups:
+        One :class:`ProblemSetup` per lane.  All lanes must share mesh
+        topology, material layout and boundary conditions (checked by
+        :class:`EnsembleState`) and the :data:`UNIFORM_CONTROLS`;
+        initial state, γ, cq1/cq2 and all timestep controls may differ
+        per lane.
+    probes:
+        Optional per-lane :class:`DiagnosticsProbe` list (None entries
+        = no probe for that lane).
+    timers:
+        Shared :class:`TimerRegistry`; each region now times all lanes
+        at once.
+    max_steps:
+        Optional per-lane step limits (None entries fall back to the
+        lane's ``controls.max_steps``), mirroring ``Hydro.run``.
+    """
+
+    def __init__(self, setups: Sequence[ProblemSetup], *,
+                 probes: Optional[Sequence] = None,
+                 timers: Optional[TimerRegistry] = None,
+                 max_steps: Optional[Sequence[Optional[int]]] = None,
+                 xp=None):
+        self.xp = xp if xp is not None else np
+        self.setups = list(setups)
+        if not self.setups:
+            raise BookLeafError("an ensemble needs at least one lane")
+        n = len(self.setups)
+        self.controls_list = [s.controls.validated() for s in self.setups]
+        first = self.controls_list[0]
+        for i, c in enumerate(self.controls_list[1:], start=1):
+            for name in UNIFORM_CONTROLS:
+                if getattr(c, name) != getattr(first, name):
+                    raise BookLeafError(
+                        f"ensemble lane {i} differs in {name!r}; "
+                        f"{', '.join(UNIFORM_CONTROLS)} must be uniform "
+                        "across lanes (they enter the batched kernel "
+                        "expressions)"
+                    )
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.comms = SerialComms()
+
+        self.es = EnsembleState([s.state for s in self.setups])
+        mesh = self.es.mesh
+        self.cell_nodes = mesh.cell_nodes
+        self.plans = MeshPlans(mesh)
+        self.ws = Workspace()
+        self.eos = EnsembleEos([s.table for s in self.setups], xp=self.xp)
+        xp = self.xp
+        self.ctx = EnsembleContext(
+            xp=xp,
+            cell_nodes=self.cell_nodes,
+            lim=(self.plans.lim_n_b1, self.plans.lim_n_b0,
+                 self.plans.lim_n_f1, self.plans.lim_n_f0,
+                 self.plans.lim_off),
+            gamma=self.eos.gamma_like(self.es.mat),
+            gamma_vec=xp.asarray(GAMMA),
+            cq1_col=xp.asarray([[c.cq1] for c in self.controls_list]),
+            cq2_col=xp.asarray([[c.cq2] for c in self.controls_list]),
+            viscosity_form=first.viscosity_form,
+            use_limiter=first.use_limiter,
+            subzonal_kappa=first.subzonal_kappa,
+            filter_kappa=first.filter_kappa,
+            dencut=first.dencut,
+            bc=self.es.bc,
+            eos=self.eos,
+            scatter=self.plans.scatter_to_nodes_batched,
+            ws=self.ws,
+        )
+
+        # Per-lane ALE remappers, built from the *initial* lane states
+        # exactly as the serial driver does.
+        self.remappers: List[Any] = []
+        for setup, controls in zip(self.setups, self.controls_list):
+            if controls.ale_on:
+                # Imported here to avoid an ensemble <-> ale cycle.
+                from ..ale.driver import AleStep
+
+                self.remappers.append(
+                    AleStep.from_controls(setup.state, controls,
+                                          setup.table))
+            else:
+                self.remappers.append(None)
+
+        # Per-lane loop bookkeeping in Python floats — bit-for-bit the
+        # same scalar arithmetic as the serial driver's attributes.
+        if max_steps is None:
+            max_steps = [None] * n
+        self.limits = [
+            ms if ms is not None else c.max_steps
+            for ms, c in zip(max_steps, self.controls_list)
+        ]
+        self.times = [c.time_start for c in self.controls_list]
+        self.nsteps = [0] * n
+        self.dts = [c.dt_initial for c in self.controls_list]
+        self.dt_reasons = ["initial"] * n
+        self.dt_cells = [-1] * n
+        self.probes = list(probes) if probes is not None else [None] * n
+        #: batch row -> original lane index (shrinks with retirement)
+        self.order = list(range(n))
+        self.final_states = [None] * n
+        #: committed-geometry product cache carried between steps
+        #: (built by the corrector's getgeom; invalidated whenever the
+        #: coordinates or the batch layout change behind its back)
+        self._geom = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return len(self.setups)
+
+    @property
+    def n_active(self) -> int:
+        return len(self.order)
+
+    def _view(self, row: int, state=None) -> _LaneView:
+        lane = self.order[row]
+        return _LaneView(
+            state if state is not None else self.es.lane_state(row),
+            self.comms, self.nsteps[lane], self.times[lane],
+            self.dts[lane], self.dt_reasons[lane], self.dt_cells[lane],
+        )
+
+    def _lane_done(self, lane: int) -> bool:
+        controls = self.controls_list[lane]
+        eps = 1e-12 * max(1.0, abs(controls.time_end))
+        if self.times[lane] >= controls.time_end - eps:
+            return True
+        return self.nsteps[lane] >= self.limits[lane]
+
+    def _retire_finished(self) -> None:
+        keep_rows = [row for row, lane in enumerate(self.order)
+                     if not self._lane_done(lane)]
+        if len(keep_rows) == len(self.order):
+            return
+        for row, lane in enumerate(self.order):
+            if self._lane_done(lane):
+                final = self.es.extract_lane(row)
+                self.final_states[lane] = final
+                probe = self.probes[lane]
+                if probe is not None:
+                    probe.finish(self._view(row, state=final))
+        if keep_rows:
+            keep = np.zeros(len(self.order), dtype=bool)
+            keep[keep_rows] = True
+            self.es.compact(keep)
+            self.ctx.compact(keep)
+            self.eos.compact(keep)
+        self._geom = None               # batch rows moved under the cache
+        self.order = [self.order[row] for row in keep_rows]
+
+    def _advance_once(self) -> None:
+        xp = self.xp
+        active = self.order
+        # The step's shared caches: velocity products (dt fields + both
+        # viscosity passes + predictor energy all read the committed
+        # u/v) and the committed geometry's products (carried over from
+        # the previous corrector when the coordinates haven't moved).
+        vc = kernels.velocity_edge_cache(
+            xp, self.cell_nodes, self.es.u, self.es.v)
+        geom = self._geom
+        if geom is None:
+            geom = kernels.build_geom(
+                xp, self.cell_nodes, self.es.x, self.es.y,
+                check=False)
+        # All active lanes share the pass count, so "first step" is a
+        # batch-wide condition, same special case as the serial driver.
+        if self.nsteps[active[0]] == 0:
+            cands = []
+            for lane in active:
+                controls = self.controls_list[lane]
+                remaining = controls.time_end - self.times[lane]
+                cands.append((min(controls.dt_initial, remaining),
+                              "initial", -1))
+        else:
+            with self.timers.region("getdt"):
+                cands = getdt_batch(
+                    xp, self.es, geom, vc,
+                    [self.controls_list[lane] for lane in active],
+                    [self.dts[lane] for lane in active],
+                    [self.times[lane] for lane in active],
+                )
+        for row, lane in enumerate(active):
+            (self.dts[lane], self.dt_reasons[lane],
+             self.dt_cells[lane]) = cands[row]
+
+        dt_col = xp.asarray([[c[0]] for c in cands])
+        self._geom = lagstep_batch(self.es, self.ctx, dt_col,
+                                   self.timers,
+                                   time=self.times[active[0]],
+                                   vc=vc, geom=geom)
+
+        # ALE remap, per lane on its row view — the remapper is serial
+        # code (it rebinds state arrays), so each due lane round-trips
+        # through lane_state/absorb_lane.
+        for row, lane in enumerate(active):
+            remapper = self.remappers[lane]
+            if remapper is None:
+                continue
+            controls = self.controls_list[lane]
+            if (self.nsteps[lane] + 1) % controls.ale_every != 0:
+                continue
+            with self.timers.region("alestep", cat="phase"):
+                lane_state = self.es.lane_state(row)
+                remapper.apply(lane_state, self.dts[lane], self.timers,
+                               comms=self.comms)
+                self.es.absorb_lane(row, lane_state)
+                self._geom = None       # remap moved the coordinates
+
+        for row, lane in enumerate(active):
+            self.times[lane] += self.dts[lane]
+            self.nsteps[lane] += 1
+            probe = self.probes[lane]
+            if probe is not None:
+                probe.on_step(self._view(row))
+
+    def run(self) -> "EnsembleHydro":
+        """March every lane to its end time (or step limit)."""
+        for row in range(len(self.order)):
+            probe = self.probes[self.order[row]]
+            if probe is not None:
+                probe.begin(self._view(row))
+        while self.order:
+            self._retire_finished()
+            if not self.order:
+                break
+            self._advance_once()
+        return self
+
+
+# ----------------------------------------------------------------------
+# the embedding surface
+# ----------------------------------------------------------------------
+def run_ensemble(configs: Sequence[RunConfig], *,
+                 control_overrides: Optional[
+                     Sequence[Optional[Dict[str, Any]]]] = None
+                 ) -> List[RunResult]:
+    """Run N serial configs as one batched ensemble; one result per lane.
+
+    Every config must describe a serial run (``nranks=1``, backend
+    ``auto``/``serial``) and all lanes must share mesh topology.
+    ``control_overrides`` optionally gives one dict of
+    :class:`HydroControls` field overrides per lane (how the CLI routes
+    ``--sweep cq1=...`` values); ``None`` entries leave the lane's deck/
+    problem defaults untouched.
+
+    Per-lane ``metrics`` paths get each lane its own NDJSON stream —
+    give distinct paths (the CLI suffixes ``.laneN``) or later lanes
+    overwrite earlier ones.
+    """
+    configs = list(configs)
+    if not configs:
+        raise BookLeafError("run_ensemble needs at least one RunConfig")
+    if control_overrides is None:
+        overrides: List[Optional[Dict[str, Any]]] = [None] * len(configs)
+    else:
+        overrides = list(control_overrides)
+        if len(overrides) != len(configs):
+            raise BookLeafError(
+                "control_overrides must be one entry per config "
+                f"({len(overrides)} != {len(configs)})"
+            )
+    setups = []
+    for i, (config, override) in enumerate(zip(configs, overrides)):
+        if config.nranks != 1:
+            raise BookLeafError(
+                f"ensemble lane {i} has nranks={config.nranks}; lanes "
+                "are serial runs batched together — decompose across "
+                "lanes, not within them"
+            )
+        if config.resolved_backend() != "serial":
+            raise BookLeafError(
+                f"ensemble lane {i} requests backend="
+                f"{config.resolved_backend()!r}; lanes run serially "
+                "inside the batch"
+            )
+        setup = config.build_setup()
+        if override:
+            setup.controls = setup.controls.with_(**override).validated()
+        setups.append(setup)
+
+    timers = TimerRegistry()
+    probes = []
+    for i, config in enumerate(configs):
+        every = config.resolved_metrics_every()
+        if every > 0:
+            snapshot_path = None
+            if config.snapshot_dir:
+                snapshot_path = os.path.join(
+                    config.snapshot_dir, f"HEALTH_snapshot_lane{i}.npz")
+            probes.append(DiagnosticsProbe(
+                every=every, sink_path=config.metrics, record=True,
+                snapshot_path=snapshot_path))
+        else:
+            probes.append(None)
+
+    driver = EnsembleHydro(
+        setups, probes=probes, timers=timers,
+        max_steps=[config.max_steps for config in configs],
+    )
+    start = _time.perf_counter()
+    driver.run()
+    wall = _time.perf_counter() - start
+
+    results = []
+    for i, (config, setup) in enumerate(zip(configs, setups)):
+        probe = probes[i]
+        results.append(RunResult(
+            config=config,
+            setup=setup,
+            backend="ensemble",
+            nranks=1,
+            nstep=driver.nsteps[i],
+            time=driver.times[i],
+            wall_seconds=wall,
+            state=driver.final_states[i],
+            timers=timers,
+            spans=[],
+            comm_total=None,
+            comm_per_rank=[],
+            step_rows=None,
+            comm_summary=None,
+            metrics_rows=(probe.rows if probe is not None else None),
+            metrics=None,
+            driver=driver,
+        ))
+    return results

@@ -1,0 +1,127 @@
+"""Batched EoS dispatch — one ``getpc`` call for all lanes.
+
+Three tiers, picked once at ensemble build time:
+
+* ``ideal``  — every lane is a single-material ideal gas (the bundled
+  problems).  γ may differ per lane: the γ−1 and γ(γ−1) factors become
+  per-lane columns and the whole batch runs through one vectorised
+  kernel (:func:`repro.ensemble.kernels.ideal_getpc`).  This is the
+  common sweep case (``--sweep gamma=...``).
+* ``shared`` — every lane carries an *equivalent* material table (same
+  EoS types and coefficients).  The scalar table's ``pressure``/
+  ``sound_speed_sq`` calls are elementwise, so they evaluate the
+  (N, ncell) batch in one call per material.
+* ``loop``   — heterogeneous non-ideal tables: per-lane ``getpc`` into
+  row views.  Correct for anything, just not batched.
+
+All tiers reproduce :meth:`MaterialTable.getpc` bit-for-bit per lane
+(same elementwise operations, same cutoff order); the batched EoS tests
+pin each implemented EoS (ideal/Tait/JWL/void) against the scalar path.
+The cutoffs ``pcut``/``ccut`` must be uniform across lanes — they are
+numerics policy, not physics parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..eos.ideal import IdealGas
+from ..eos.multimaterial import MaterialTable
+from ..utils.errors import BookLeafError
+from . import kernels
+
+
+def _eos_equivalent(a, b) -> bool:
+    """Same EoS type with identical coefficients."""
+    return type(a) is type(b) and vars(a) == vars(b)
+
+
+class EnsembleEos:
+    """Batched pressure/sound-speed evaluation over N material tables."""
+
+    def __init__(self, tables: List[MaterialTable], xp=np):
+        self.tables = list(tables)
+        self.xp = xp
+        first = self.tables[0]
+        for i, t in enumerate(self.tables[1:], start=1):
+            if t.nmat != first.nmat:
+                raise BookLeafError(
+                    f"ensemble lane {i} has {t.nmat} materials, "
+                    f"lane 0 has {first.nmat}"
+                )
+            if t.pcut != first.pcut or t.ccut != first.ccut:
+                raise BookLeafError(
+                    "ensemble lanes must share pcut/ccut cutoffs"
+                )
+        self.pcut = first.pcut
+        self.ccut = first.ccut
+
+        all_ideal = all(
+            t.nmat == 1 and isinstance(t.eos[0], IdealGas)
+            for t in self.tables
+        )
+        if all_ideal:
+            self.mode = "ideal"
+            # Per-lane Python-float factors, exactly as IdealGas computes
+            # them, broadcast down each lane as (N, 1) columns.
+            self._gm1 = xp.asarray(
+                [[t.eos[0].gamma - 1.0] for t in self.tables])
+            self._gfac = xp.asarray(
+                [[t.eos[0].gamma * (t.eos[0].gamma - 1.0)]
+                 for t in self.tables])
+        elif all(
+            all(_eos_equivalent(a, b)
+                for a, b in zip(t.eos, first.eos))
+            for t in self.tables
+        ):
+            self.mode = "shared"
+        else:
+            self.mode = "loop"
+
+    # ------------------------------------------------------------------
+    def getpc(self, mat: np.ndarray, rho: np.ndarray, e: np.ndarray,
+              out=None):
+        """(N, ncell) pressure and sound speed² for the whole batch."""
+        xp = self.xp
+        if out is None:
+            p = xp.empty_like(rho)
+            cs2 = xp.empty_like(rho)
+        else:
+            p, cs2 = out
+        if self.mode == "ideal":
+            return kernels.ideal_getpc(
+                xp, rho, e, self._gm1, self._gfac,
+                self.pcut, self.ccut, p, cs2,
+            )
+        if self.mode == "shared":
+            table = self.tables[0]
+            if table.nmat == 1:
+                table.eos[0].pressure_into(rho, e, p)
+                table.eos[0].sound_speed_sq_into(rho, e, cs2)
+            else:
+                for imat, eos in enumerate(table.eos):
+                    sel = mat == imat
+                    if not sel.any():
+                        continue
+                    p[:, sel] = eos.pressure(rho[:, sel], e[:, sel])
+                    cs2[:, sel] = eos.sound_speed_sq(rho[:, sel],
+                                                     e[:, sel])
+            p[xp.abs(p) < self.pcut] = 0.0
+            xp.maximum(cs2, self.ccut, out=cs2)
+            return p, cs2
+        for i, table in enumerate(self.tables):
+            table.getpc(mat, rho[i], e[i], out=(p[i], cs2[i]))
+        return p, cs2
+
+    def gamma_like(self, mat: np.ndarray) -> np.ndarray:
+        """(N, ncell) per-cell effective γ (viscosity coefficient)."""
+        return self.xp.stack([t.gamma_like(mat) for t in self.tables])
+
+    def compact(self, keep) -> None:
+        """Drop retired lanes (boolean mask over the batch rows)."""
+        self.tables = [t for t, k in zip(self.tables, keep) if k]
+        if self.mode == "ideal":
+            self._gm1 = self._gm1[keep]
+            self._gfac = self._gfac[keep]

@@ -1,0 +1,55 @@
+"""Per-lane timestep control over batched fields — ensemble ``getdt``.
+
+The array work (CFL ratio and volume-change-rate fields) runs once for
+the whole batch; the candidate selection is per lane, mirroring
+:func:`repro.core.timestep.getdt` with ``SerialComms`` *exactly* —
+including the two-stage minimum (physics candidates reduced first, then
+growth/max appended; Python's ``min`` is stable, so ties break
+identically) — because each lane's chosen reason and cell index are
+part of the bit-identity contract, not just the dt value.
+
+Each lane steps at its own CFL: the returned dts form the ``(N, 1)``
+column the batched lagstep broadcasts per lane.  The committed-geometry
+product cache and the step's velocity cache arrive from the driver —
+the same objects the immediately following predictor consumes.
+"""
+
+from __future__ import annotations
+
+from ..utils.errors import TimestepCollapseError
+from . import kernels
+
+
+def getdt_batch(xp, es, geom, vc, controls_list, dt_prev, time):
+    """Choose each lane's next timestep; raises on any lane's collapse.
+
+    ``controls_list``/``dt_prev``/``time`` are per-lane (one
+    :class:`HydroControls`, previous dt and current time per lane).
+    Returns a list of ``(dt, reason, cell)`` candidates, one per lane.
+    """
+    ratio, rate = kernels.dt_candidate_fields(
+        xp, geom, vc, es.volume, es.rho, es.cs2, es.q,
+        controls_list[0].dencut, controls_list[0].ccut,
+    )
+    results = []
+    for i, controls in enumerate(controls_list):
+        icfl = int(xp.argmin(ratio[i]))
+        dt_cfl = controls.cfl_safety * float(xp.sqrt(ratio[i, icfl]))
+        idiv = int(xp.argmax(rate[i]))
+        max_rate = float(rate[i, idiv])
+        dt_div = (controls.div_safety / max_rate
+                  if max_rate > controls.zcut else float("inf"))
+        candidates = [min([(dt_cfl, "cfl", icfl), (dt_div, "div", idiv)],
+                          key=lambda c: c[0])]
+        candidates.append((controls.dt_growth * dt_prev[i], "growth", -1))
+        candidates.append((controls.dt_max, "max", -1))
+        dt, reason, cell = min(candidates, key=lambda c: c[0])
+        if dt < controls.dt_min:
+            raise TimestepCollapseError(dt, controls.dt_min, cell=cell,
+                                        time=time[i])
+        remaining = controls.time_end - time[i]
+        if dt >= remaining:
+            results.append((remaining, "end", -1))
+        else:
+            results.append((dt, reason, cell))
+    return results

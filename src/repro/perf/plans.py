@@ -259,3 +259,37 @@ class MeshPlans:
                 mode="clip")
         np.einsum("nk,nk->n", work, self.pad_w, out=out)
         return out
+
+    def scatter_to_nodes_batched(self, corner_field: np.ndarray,
+                                 out: Optional[np.ndarray] = None
+                                 ) -> np.ndarray:
+        """Sum a (B, ncell, 4) corner field onto nodes -> (B, nnode).
+
+        The ensemble scatter: one shared plan serves every lane.  On a
+        canonical grid the four shifted window adds run with a leading
+        batch axis — each lane's accumulation order is exactly the
+        single-lane grid path's, hence bit-identical to ``bincount``
+        per lane.  Off-grid meshes fall back to a per-lane ``bincount``
+        loop (bit-identical by construction, just not batched).
+        """
+        b = corner_field.shape[0]
+        if out is None:
+            out = np.empty((b, self.nnode))
+        if (self.grid_shape is not None
+                and corner_field.flags.c_contiguous
+                and out.flags.c_contiguous):
+            ny, nx = self.grid_shape
+            f = corner_field.reshape(b, ny, nx, 4)
+            o = out.reshape(b, ny + 1, nx + 1)
+            o.fill(0.0)
+            o[:, 1:, 1:] += f[:, :, :, 2]
+            o[:, 1:, :-1] += f[:, :, :, 3]
+            o[:, :-1, 1:] += f[:, :, :, 1]
+            o[:, :-1, :-1] += f[:, :, :, 0]
+            return out
+        flat_nodes = self.mesh.cell_nodes.reshape(-1)
+        for i in range(b):
+            out[i] = np.bincount(flat_nodes,
+                                 weights=corner_field[i].reshape(-1),
+                                 minlength=self.nnode)
+        return out

@@ -1,0 +1,161 @@
+"""Ensemble surface behaviour: API validation, per-lane dt, retirement
+bookkeeping, reports and the ``run-ensemble`` CLI sweep routing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, run_ensemble
+from repro.cli import main as cli_main
+from repro.ensemble.driver import EnsembleHydro
+from repro.problems import load_problem
+from repro.utils.errors import BookLeafError
+
+
+# ----------------------------------------------------------------------
+# API validation
+# ----------------------------------------------------------------------
+def test_empty_ensemble_rejected():
+    with pytest.raises(BookLeafError, match="at least one"):
+        run_ensemble([])
+
+
+def test_distributed_lane_rejected():
+    with pytest.raises(BookLeafError, match="nranks"):
+        run_ensemble([RunConfig(problem="sod", nx=8, ny=8, nranks=2)])
+
+
+def test_non_serial_backend_rejected():
+    with pytest.raises(BookLeafError, match="backend"):
+        run_ensemble([RunConfig(problem="sod", nx=8, ny=8,
+                                backend="threads")])
+
+
+def test_mismatched_mesh_rejected():
+    with pytest.raises(BookLeafError):
+        run_ensemble([RunConfig(problem="sod", nx=8, ny=8),
+                      RunConfig(problem="sod", nx=16, ny=16)])
+
+
+def test_override_count_must_match():
+    with pytest.raises(BookLeafError, match="one entry per config"):
+        run_ensemble([RunConfig(problem="sod", nx=8, ny=8)],
+                     control_overrides=[None, None])
+
+
+def test_nonuniform_batched_control_rejected():
+    """Controls entering the batched kernel expressions must be
+    uniform; per-lane values only exist for the coefficient columns."""
+    configs = [RunConfig(problem="sod", nx=8, ny=8) for _ in range(2)]
+    with pytest.raises(BookLeafError, match="use_limiter"):
+        run_ensemble(configs,
+                     control_overrides=[None, {"use_limiter": False}])
+
+
+# ----------------------------------------------------------------------
+# batch mechanics
+# ----------------------------------------------------------------------
+def test_lanes_advance_at_their_own_dt():
+    """A lane seeded with a smaller initial dt must fall behind in
+    time while sharing every kernel pass."""
+    setups = [load_problem("sod", nx=12, ny=12) for _ in range(2)]
+    setups[1].controls = setups[1].controls.with_(
+        dt_initial=setups[1].controls.dt_initial * 0.25).validated()
+    driver = EnsembleHydro(setups, max_steps=[12, 12])
+    driver.run()
+    assert driver.nsteps == [12, 12]
+    assert driver.times[1] < driver.times[0]
+
+
+def test_retirement_compacts_the_batch():
+    setups = [load_problem("sod", nx=12, ny=12) for _ in range(3)]
+    driver = EnsembleHydro(setups, max_steps=[20, 5, 12])
+    driver.run()
+    assert driver.nsteps == [20, 5, 12]
+    assert driver.order == []                  # everything retired
+    for lane, state in enumerate(driver.final_states):
+        assert state is not None, f"lane {lane} never retired"
+    # The batch really shrank along the way: the ensemble state ends
+    # at the last survivor's width, not the original 3.
+    assert driver.es.x.shape[0] == 1
+
+
+def test_results_in_config_order_with_per_lane_steps():
+    configs = [RunConfig(problem="sod", nx=12, ny=12, max_steps=s)
+               for s in (15, 5, 10)]
+    results = run_ensemble(configs)
+    assert [r.nstep for r in results] == [15, 5, 10]
+    for config, result in zip(configs, results):
+        assert result.config is config
+        assert result.backend == "ensemble"
+        assert result.state is not None
+
+
+def test_lane_report_builds():
+    (result,) = run_ensemble([RunConfig(problem="sod", nx=12, ny=12,
+                                        max_steps=8)])
+    report = result.report()
+    assert report["run"]["steps"] == 8
+    assert "getq" in report["kernels"]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_sweep_routes_controls_and_problem_kwargs(capsys):
+    rc = cli_main(["run-ensemble", "--problem", "sod", "--nx", "12",
+                   "--ny", "12", "--max-steps", "6",
+                   "--sweep", "cq1=0.3,0.5"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "lane 0 (cq1=0.3)" in out
+    assert "lane 1 (cq1=0.5)" in out
+    assert "2 lane(s)" in out
+
+
+def test_cli_lanes_replicates(capsys):
+    rc = cli_main(["run-ensemble", "--problem", "sod", "--nx", "12",
+                   "--ny", "12", "--max-steps", "4", "--lanes", "3"])
+    assert rc == 0
+    assert "3 lane(s)" in capsys.readouterr().out
+
+
+def test_cli_rejects_mesh_sweep(capsys):
+    rc = cli_main(["run-ensemble", "--problem", "sod",
+                   "--max-steps", "4", "--sweep", "nx=8,16"])
+    assert rc == 2
+    assert "share one mesh" in capsys.readouterr().err
+
+
+def test_cli_rejects_lanes_with_sweep(capsys):
+    rc = cli_main(["run-ensemble", "--problem", "sod", "--lanes", "2",
+                   "--sweep", "cq1=0.3,0.5"])
+    assert rc == 2
+    assert "not both" in capsys.readouterr().err
+
+
+def test_cli_rejects_malformed_sweep(capsys):
+    rc = cli_main(["run-ensemble", "--problem", "sod",
+                   "--sweep", "cq1"])
+    assert rc == 2
+    assert "KEY=V1,V2" in capsys.readouterr().err
+
+
+def test_cli_writes_per_lane_reports_and_metrics(tmp_path, capsys):
+    report = tmp_path / "ens.json"
+    metrics = tmp_path / "ens.ndjson"
+    rc = cli_main(["run-ensemble", "--problem", "sod", "--nx", "12",
+                   "--ny", "12", "--max-steps", "12", "--lanes", "2",
+                   "--report", str(report), "--metrics", str(metrics),
+                   "--metrics-every", "5"])
+    assert rc == 0
+    for lane in range(2):
+        lane_report = tmp_path / f"ens.lane{lane}.json"
+        assert lane_report.exists()
+        doc = json.loads(lane_report.read_text())
+        assert doc["run"]["steps"] == 12
+        lane_metrics = tmp_path / f"ens.lane{lane}.ndjson"
+        rows = [json.loads(line)
+                for line in lane_metrics.read_text().splitlines()]
+        assert rows and rows[-1]["nstep"] == 12

@@ -1,0 +1,52 @@
+"""Lint gate: batched kernels are generic over the array module.
+
+The ensemble kernel layer receives its array namespace as ``xp`` so a
+CuPy-like module can be swapped in without edits.  That contract rots
+silently the first time someone writes ``np.`` inside a kernel, so
+this test parses the kernel modules and fails on any numpy import or
+``np``/``numpy`` name used in code.  Docstrings and comments may say
+"numpy" freely — the check walks the AST, not the text.
+
+The driver/state/eos layers are exempt: they assemble lanes from host
+:class:`HydroState` objects and legitimately live in numpy.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro" / "ensemble"
+
+#: modules whose every expression must go through ``xp``
+XP_PURE = ("kernels.py", "lagstep.py", "timestep.py")
+
+
+def _violations(tree: ast.AST):
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == "numpy":
+                    found.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "numpy":
+                found.append((node.lineno, f"from {node.module} import ..."))
+        elif isinstance(node, ast.Name) and node.id in ("np", "numpy"):
+            found.append((node.lineno, f"name {node.id!r}"))
+    return found
+
+
+@pytest.mark.parametrize("module", XP_PURE)
+def test_kernel_module_has_no_numpy(module):
+    path = SRC / module
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = _violations(tree)
+    assert not found, (
+        f"{module} must stay generic over xp; numpy leaked at "
+        + ", ".join(f"line {ln}: {what}" for ln, what in found))
+
+
+def test_the_checker_itself_catches_leaks():
+    tree = ast.parse("import numpy as np\ny = np.zeros(3)\n")
+    assert len(_violations(tree)) >= 2

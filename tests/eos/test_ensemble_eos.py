@@ -1,0 +1,161 @@
+"""Batched :class:`EnsembleEos` against the scalar per-lane path.
+
+Every mode (ideal / shared / loop) must reproduce each lane's
+:meth:`MaterialTable.getpc` bit-for-bit — the batched dispatch is a
+speed decision, never an answer change.  Each implemented EoS
+(ideal gas, Tait, JWL, void) gets pinned individually, plus a mixed
+multimaterial mesh and the uniformity/compaction bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ensemble.eos import EnsembleEos
+from repro.eos.ideal import IdealGas
+from repro.eos.jwl import Jwl
+from repro.eos.multimaterial import MaterialTable
+from repro.eos.tait import Tait
+from repro.eos.void import Void
+from repro.utils.errors import BookLeafError
+
+NCELL = 96
+
+
+def _fields(seed, lanes):
+    """Deterministic (lanes, NCELL) rho/e batches in a physical range."""
+    rng = np.random.default_rng(seed)
+    rho = 0.05 + 2.0 * rng.random((lanes, NCELL))
+    e = 0.01 + 3.0 * rng.random((lanes, NCELL))
+    return rho, e
+
+
+def _assert_batch_matches_lanes(ens, tables, mat, rho, e):
+    p, cs2 = ens.getpc(mat, rho, e)
+    for lane, table in enumerate(tables):
+        p_ref, cs2_ref = table.getpc(mat, rho[lane], e[lane])
+        assert p[lane].tobytes() == p_ref.tobytes(), f"lane {lane} p"
+        assert cs2[lane].tobytes() == cs2_ref.tobytes(), f"lane {lane} cs2"
+
+
+# ----------------------------------------------------------------------
+# per-EoS pins
+# ----------------------------------------------------------------------
+def test_ideal_mode_per_lane_gamma():
+    tables = [MaterialTable(eos=[IdealGas(g)])
+              for g in (1.4, 5.0 / 3.0, 2.2)]
+    ens = EnsembleEos(tables)
+    assert ens.mode == "ideal"
+    mat = np.zeros(NCELL, dtype=np.int32)
+    rho, e = _fields(1, len(tables))
+    _assert_batch_matches_lanes(ens, tables, mat, rho, e)
+
+
+def test_shared_mode_tait():
+    tables = [MaterialTable(eos=[Tait(1.0, 3.0, 7.0,
+                                      cavitation_pressure=-0.1)])
+              for _ in range(3)]
+    ens = EnsembleEos(tables)
+    assert ens.mode == "shared"
+    mat = np.zeros(NCELL, dtype=np.int32)
+    rho, e = _fields(2, len(tables))
+    _assert_batch_matches_lanes(ens, tables, mat, rho, e)
+
+
+def test_shared_mode_jwl():
+    tables = [MaterialTable(eos=[Jwl(1.84, 8.545, 0.205, 4.6, 1.35,
+                                     0.25)])
+              for _ in range(2)]
+    ens = EnsembleEos(tables)
+    assert ens.mode == "shared"
+    mat = np.zeros(NCELL, dtype=np.int32)
+    rho, e = _fields(3, len(tables))
+    _assert_batch_matches_lanes(ens, tables, mat, rho, e)
+
+
+def test_shared_mode_void():
+    tables = [MaterialTable(eos=[Void()]) for _ in range(2)]
+    ens = EnsembleEos(tables)
+    assert ens.mode == "shared"
+    mat = np.zeros(NCELL, dtype=np.int32)
+    rho, e = _fields(4, len(tables))
+    _assert_batch_matches_lanes(ens, tables, mat, rho, e)
+
+
+def test_shared_mode_multimaterial_mesh():
+    """Mixed ideal/Tait/void cells dispatched per material mask."""
+    def make():
+        return MaterialTable(eos=[IdealGas(1.4), Tait(1.0, 3.0, 7.0),
+                                  Void()])
+    tables = [make() for _ in range(3)]
+    ens = EnsembleEos(tables)
+    assert ens.mode == "shared"
+    rng = np.random.default_rng(5)
+    mat = rng.integers(0, 3, NCELL).astype(np.int32)
+    rho, e = _fields(5, len(tables))
+    _assert_batch_matches_lanes(ens, tables, mat, rho, e)
+
+
+def test_loop_mode_heterogeneous_tables():
+    """Different EoS types per lane fall back to the per-lane loop —
+    still bit-identical to each lane's own table."""
+    tables = [MaterialTable(eos=[IdealGas(1.4)]),
+              MaterialTable(eos=[Tait(1.0, 3.0, 7.0)]),
+              MaterialTable(eos=[Jwl(1.84, 8.545, 0.205, 4.6, 1.35,
+                                     0.25)])]
+    ens = EnsembleEos(tables)
+    assert ens.mode == "loop"
+    mat = np.zeros(NCELL, dtype=np.int32)
+    rho, e = _fields(6, len(tables))
+    _assert_batch_matches_lanes(ens, tables, mat, rho, e)
+
+
+def test_ideal_mode_applies_cutoffs():
+    """pcut snap-to-zero and the ccut floor act in the batch exactly as
+    in the scalar path (cold near-vacuum lane)."""
+    tables = [MaterialTable(eos=[IdealGas(1.4)], pcut=1e-2, ccut=1e-3)
+              for _ in range(2)]
+    ens = EnsembleEos(tables)
+    rho = np.full((2, 4), 1e-4)
+    e = np.full((2, 4), 1e-4)
+    p, cs2 = ens.getpc(np.zeros(4, dtype=np.int32), rho, e)
+    assert (p == 0.0).all()
+    assert (cs2 == 1e-3).all()
+    _assert_batch_matches_lanes(ens, tables, np.zeros(4, dtype=np.int32),
+                                rho, e)
+
+
+# ----------------------------------------------------------------------
+# bookkeeping
+# ----------------------------------------------------------------------
+def test_cutoffs_must_be_uniform():
+    with pytest.raises(BookLeafError, match="pcut/ccut"):
+        EnsembleEos([MaterialTable(eos=[IdealGas(1.4)], pcut=1e-8),
+                     MaterialTable(eos=[IdealGas(1.4)], pcut=1e-6)])
+
+
+def test_material_count_must_be_uniform():
+    with pytest.raises(BookLeafError, match="materials"):
+        EnsembleEos([MaterialTable(eos=[IdealGas(1.4)]),
+                     MaterialTable(eos=[IdealGas(1.4), Void()])])
+
+
+def test_compact_drops_retired_lane_columns():
+    tables = [MaterialTable(eos=[IdealGas(g)]) for g in (1.4, 1.6, 2.0)]
+    ens = EnsembleEos(tables)
+    keep = np.array([True, False, True])
+    ens.compact(keep)
+    assert [t.eos[0].gamma for t in ens.tables] == [1.4, 2.0]
+    mat = np.zeros(NCELL, dtype=np.int32)
+    rho, e = _fields(7, 2)
+    _assert_batch_matches_lanes(ens, ens.tables, mat, rho, e)
+
+
+def test_out_buffers_are_used():
+    tables = [MaterialTable(eos=[IdealGas(1.4)]) for _ in range(2)]
+    ens = EnsembleEos(tables)
+    rho, e = _fields(8, 2)
+    p = np.empty_like(rho)
+    cs2 = np.empty_like(rho)
+    p2, cs22 = ens.getpc(np.zeros(NCELL, dtype=np.int32), rho, e,
+                         out=(p, cs2))
+    assert p2 is p and cs22 is cs2

@@ -22,13 +22,29 @@ def _hotloop(t_planned, speedup, nx=64):
     }
 
 
-def _backends(seconds, backend="threads"):
+def _backends(seconds, backend="threads", samples=3):
     return {
         "bench": "comm-backend-comparison",
         "cases": [{"problem": "noh", "nx": 32, "ncell": 1024,
                    "runs": [{"backend": backend, "nranks": 4,
                              "seconds": seconds,
-                             "seconds_per_step": seconds / 30}]}],
+                             "seconds_per_step": seconds / 30,
+                             "samples": samples,
+                             "sample_seconds": [seconds] * samples}]}],
+    }
+
+
+def _ensemble(seconds, lanes=16, nx=32, samples=3):
+    return {
+        "bench": "ensemble-batching",
+        "problem": "sod",
+        "cases": [{"problem": "sod", "nx": nx, "ncell": nx * nx,
+                   "lanes": lanes, "seconds": seconds,
+                   "seconds_serial": seconds * 3,
+                   "runs_per_sec": lanes / seconds,
+                   "runs_per_sec_serial": lanes / (seconds * 3),
+                   "speedup": 3.0, "samples": samples,
+                   "sample_seconds": [seconds] * samples}],
     }
 
 
@@ -57,7 +73,7 @@ def test_hotloop_fold_keeps_best():
     (rung,) = summary["benches"]["noh-lagstep-hotloop"]["rungs"]
     assert rung["t_planned"] == 0.008
     assert rung["speedup"] == 1.6
-    assert rung["samples"] == 3
+    assert rung["documents"] == 3
     assert summary["documents_merged"] == 3
 
 
@@ -70,7 +86,9 @@ def test_backends_fold_keys_per_leg():
     runs = summary["benches"]["comm-backend-comparison"]["runs"]
     by_backend = {r["backend"]: r for r in runs}
     assert by_backend["threads"]["seconds"] == 0.25
-    assert by_backend["threads"]["samples"] == 2
+    # two documents folded, each carrying 3 real timed samples
+    assert by_backend["threads"]["documents"] == 2
+    assert by_backend["threads"]["samples"] == 6
     assert by_backend["processes"]["seconds"] == 0.40
 
 
@@ -82,7 +100,7 @@ def test_scaling_fold_keeps_best_times_latest_volume():
     section = summary["benches"]["commplan-scaling"]
     (run,) = section["runs"]
     assert run["comm_seconds"] == 0.50
-    assert run["samples"] == 2
+    assert run["documents"] == 2
     # deterministic volume comes from the latest document, not min()
     assert run["bytes_per_step"] == 21962.0
     assert section["packed_vs_legacy"]["message_reduction"] == 2.14
@@ -111,6 +129,64 @@ def test_previous_summary_composes():
     assert f["t_planned"] == d["t_planned"] == 0.008
     assert f["speedup"] == d["speedup"] == 1.5
     assert folded["documents_merged"] == direct["documents_merged"] == 2
+
+
+def test_ensemble_fold_keys_per_cell():
+    summary = bench_history.merge([
+        _ensemble(5.0, lanes=16),
+        _ensemble(4.0, lanes=16),    # faster
+        _ensemble(1.2, lanes=4),     # different cell
+    ])
+    runs = summary["benches"]["ensemble-batching"]["runs"]
+    by_lanes = {r["lanes"]: r for r in runs}
+    assert by_lanes[16]["seconds"] == 4.0
+    assert by_lanes[16]["runs_per_sec"] == 16 / 4.0
+    assert by_lanes[16]["documents"] == 2
+    assert by_lanes[16]["samples"] == 6
+    assert by_lanes[4]["seconds"] == 1.2
+
+
+def test_ensemble_summary_composes():
+    first = bench_history.merge([_ensemble(5.0)])
+    folded = bench_history.merge([first, _ensemble(4.0)])
+    direct = bench_history.merge([_ensemble(5.0), _ensemble(4.0)])
+    f = folded["benches"]["ensemble-batching"]["runs"][0]
+    d = direct["benches"]["ensemble-batching"]["runs"][0]
+    assert f["seconds"] == d["seconds"] == 4.0
+    assert f["samples"] == d["samples"] == 6
+    assert folded["documents_merged"] == direct["documents_merged"] == 2
+
+
+def test_v1_summary_migrates_samples_to_documents():
+    """A schema-v1 summary's ``samples`` counter (which really counted
+    documents) becomes ``documents`` on refold; true sample totals
+    restart from raw artifacts."""
+    v1 = {
+        "schema_version": 1,
+        "documents_merged": 4,
+        "benches": {"comm-backend-comparison": {"runs": [
+            {"problem": "noh", "nx": 32, "backend": "threads",
+             "nranks": 4, "seconds": 0.3, "samples": 4},
+        ]}},
+        "other": {},
+    }
+    summary = bench_history.merge([v1, _backends(0.25, "threads")])
+    (run,) = summary["benches"]["comm-backend-comparison"]["runs"]
+    assert run["documents"] == 5           # 4 migrated + 1 new
+    assert run["samples"] == 3             # only the new doc's real count
+    assert run["seconds"] == 0.25
+
+
+def test_legacy_samples_list_counts_by_length():
+    """Old artifacts stored the timed-seconds *list* under ``samples``;
+    the fold counts its length instead of crashing."""
+    doc = _backends(0.30, "threads")
+    run = doc["cases"][0]["runs"][0]
+    run["samples"] = run.pop("sample_seconds")
+    summary = bench_history.merge([doc])
+    (folded,) = summary["benches"]["comm-backend-comparison"]["runs"]
+    assert folded["documents"] == 1
+    assert folded["samples"] == 3
 
 
 def test_unknown_bench_kept_verbatim():
@@ -149,7 +225,7 @@ def test_repo_artifacts_fold(tmp_path):
     root = Path(__file__).resolve().parents[2]
     docs = [json.loads((root / name).read_text())
             for name in ("BENCH_hotloop.json", "BENCH_backends.json",
-                         "BENCH_scaling.json")]
+                         "BENCH_scaling.json", "BENCH_ensemble.json")]
     summary = bench_history.merge(docs)
-    assert len(summary["benches"]) == 3
+    assert len(summary["benches"]) == 4
     assert summary["other"] == {}

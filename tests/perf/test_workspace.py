@@ -108,6 +108,44 @@ def test_scratch_fallback_allocates_fresh():
     assert scratch(ws) is ws
 
 
+def test_ensemble_shapes_pool_apart_from_single_run():
+    """Batched (N, ...) borrows and named buffers must not collide with
+    a single-run shape under the same name, and lane counts pool apart
+    — the ensemble driver reuses one arena across compactions."""
+    nnode = 25
+    ws = Workspace()
+    single = ws.array("nodefx", nnode)
+    four = ws.array("nodefx", (4, nnode))
+    two = ws.array("nodefx", (2, nnode))
+    assert single.shape == (nnode,)
+    assert four.shape == (4, nnode) and two.shape == (2, nnode)
+    assert len({id(single), id(four), id(two)}) == 3
+    # Stable on re-request, per shape.
+    assert ws.array("nodefx", (4, nnode)) is four
+    assert ws.array("nodefx", nnode) is single
+
+    b4 = ws.borrow((4, nnode))
+    b2 = ws.borrow((2, nnode))
+    ws.release(b4, b2)
+    assert ws.borrow((2, nnode)) is b2
+    assert ws.borrow((4, nnode)) is b4
+
+
+def test_arena_survives_lane_compaction_shape_change():
+    """After lanes retire, the batch narrows (N -> M rows): the arena
+    serves the new shapes as fresh buffers while keeping the old ones
+    pooled, and re-requesting a prior width hits the pool again."""
+    ws = Workspace()
+    wide = ws.borrow((4, 36))
+    ws.release(wide)
+    narrow = ws.borrow((3, 36))          # compacted width: new buffer
+    assert narrow is not wide
+    assert ws.misses == 2
+    ws.release(narrow)
+    assert ws.borrow((4, 36)) is wide    # old width still pooled
+    assert ws.hits == 1
+
+
 # ----------------------------------------------------------------------
 # lagstep equivalence and steady state
 # ----------------------------------------------------------------------

@@ -22,8 +22,18 @@ Merge rules (per bench kind, keyed by the rung/case identity):
   (``bytes_per_step``/``messages_per_step``) is deterministic, so the
   latest document's values are carried verbatim, as are the
   packed-vs-legacy duel and the mailbox-shrink block.
+* ``ensemble-batching``: per ``(problem, nx, lanes)`` keep the fastest
+  ensemble/serial seconds and the best runs/sec and speedup.
 * anything else: kept verbatim under ``"other"``, last-writer-wins by
   ``bench`` name (so new bench kinds flow through without code here).
+
+Every folded slot carries two honest counters: ``documents`` (how many
+bench documents contributed to it) and ``samples`` (the total *timed
+samples* behind it, summed from each run's own ``samples`` count or
+its recorded ``sample_seconds``).  Summary schema v1 conflated the
+two — its ``samples`` counter actually counted documents — so v1
+summaries are migrated on read (``samples`` -> ``documents``; the true
+sample totals restart from the raw artifacts folded after migration).
 
 Output is deterministic (sorted keys, sorted entries) so committing
 the summary produces reviewable diffs.  Exit codes: 0 on success, 2
@@ -38,11 +48,12 @@ import sys
 from pathlib import Path
 from typing import Dict, List
 
-SUMMARY_SCHEMA_VERSION = 1
+SUMMARY_SCHEMA_VERSION = 2
 
 HOTLOOP = "noh-lagstep-hotloop"
 BACKENDS = "comm-backend-comparison"
 SCALING = "commplan-scaling"
+ENSEMBLE = "ensemble-batching"
 
 
 def _fold_min(slot: dict, row: dict, key: str) -> None:
@@ -57,6 +68,26 @@ def _fold_max(slot: dict, row: dict, key: str) -> None:
         slot[key] = row[key] if have is None else max(have, row[key])
 
 
+def _fold_counts(slot: dict, row: dict) -> None:
+    """Accumulate the document and timed-sample counters honestly.
+
+    ``row`` is either a raw bench entry (one document's contribution;
+    its ``samples``/``sample_seconds`` give the real timed count) or a
+    previously folded summary slot (its counters transfer verbatim).
+    """
+    slot["documents"] = (slot.get("documents", 0)
+                         + int(row.get("documents", 1)))
+    n = row.get("samples")
+    if isinstance(n, list):
+        # Legacy artifacts recorded the timed seconds *list* under
+        # ``samples`` (today split into samples/sample_seconds).
+        n = len(n)
+    if n is None:
+        n = len(row.get("sample_seconds", []))
+    if n:
+        slot["samples"] = slot.get("samples", 0) + int(n)
+
+
 def fold_hotloop(summary: dict, doc: dict) -> None:
     """Best-of per mesh rung: fastest times, highest speedup."""
     slots: Dict[int, dict] = {r["nx"]: r for r in summary.get("rungs", [])}
@@ -66,7 +97,7 @@ def fold_hotloop(summary: dict, doc: dict) -> None:
         _fold_min(slot, rung, "t_plain")
         _fold_min(slot, rung, "t_planned")
         _fold_max(slot, rung, "speedup")
-        slot["samples"] = slot.get("samples", 0) + 1
+        _fold_counts(slot, rung)
     summary["rungs"] = [slots[nx] for nx in sorted(slots)]
 
 
@@ -87,7 +118,30 @@ def fold_backends(summary: dict, doc: dict) -> None:
             slot.setdefault("ncell", case.get("ncell"))
             _fold_min(slot, run, "seconds")
             _fold_min(slot, run, "seconds_per_step")
-            slot["samples"] = slot.get("samples", 0) + 1
+            _fold_counts(slot, run)
+    summary["runs"] = [slots[k] for k in sorted(slots)]
+
+
+def fold_ensemble(summary: dict, doc: dict) -> None:
+    """Best-of per (problem, nx, lanes) ensemble-batching cell."""
+    slots: Dict[tuple, dict] = {
+        (r["problem"], r["nx"], r["lanes"]): r
+        for r in summary.get("runs", [])
+    }
+    for case in doc.get("cases", []):
+        problem = case.get("problem", doc.get("problem"))
+        key = (problem, case["nx"], case["lanes"])
+        slot = slots.setdefault(key, {
+            "problem": problem, "nx": case["nx"],
+            "lanes": case["lanes"],
+        })
+        slot.setdefault("ncell", case.get("ncell"))
+        _fold_min(slot, case, "seconds")
+        _fold_min(slot, case, "seconds_serial")
+        _fold_max(slot, case, "runs_per_sec")
+        _fold_max(slot, case, "runs_per_sec_serial")
+        _fold_max(slot, case, "speedup")
+        _fold_counts(slot, case)
     summary["runs"] = [slots[k] for k in sorted(slots)]
 
 
@@ -112,11 +166,26 @@ def fold_scaling(summary: dict, doc: dict) -> None:
         for det in ("bytes_per_step", "messages_per_step", "steps"):
             if det in case:
                 slot[det] = case[det]
-        slot["samples"] = slot.get("samples", 0) + 1
+        _fold_counts(slot, case)
     summary["runs"] = [slots[k] for k in sorted(slots)]
     for block in ("packed_vs_legacy", "mailbox"):
         if doc.get(block) is not None:
             summary[block] = doc[block]
+
+
+def _migrate_v1(doc: dict) -> None:
+    """Upgrade a schema-v1 summary in place before refolding.
+
+    v1's per-slot ``samples`` counter actually counted folded
+    *documents* (each fold added 1 regardless of how many timed
+    samples the run took), so it is renamed to ``documents``; the real
+    sample totals cannot be reconstructed and restart from the raw
+    artifacts folded after migration.
+    """
+    for section in doc.get("benches", {}).values():
+        for row in section.get("rungs", []) + section.get("runs", []):
+            if "documents" not in row and "samples" in row:
+                row["documents"] = row.pop("samples")
 
 
 def merge(documents: List[dict]) -> dict:
@@ -131,11 +200,14 @@ def merge(documents: List[dict]) -> dict:
         if "benches" in doc and "schema_version" in doc:
             # A previous summary: recurse into its per-bench sections
             # so summaries compose (old summary + new raw artifacts).
+            if doc.get("schema_version", 1) < 2:
+                _migrate_v1(doc)
             summary["documents_merged"] += doc.get("documents_merged", 0)
             for name, section in sorted(doc.get("benches", {}).items()):
                 fold = {HOTLOOP: fold_hotloop,
                         BACKENDS: fold_backends,
-                        SCALING: fold_scaling}.get(name)
+                        SCALING: fold_scaling,
+                        ENSEMBLE: fold_ensemble}.get(name)
                 target = summary["benches"].setdefault(name, {})
                 if fold is None:
                     summary["other"][name] = section
@@ -147,6 +219,8 @@ def merge(documents: List[dict]) -> dict:
                         "packed_vs_legacy": section.get("packed_vs_legacy"),
                         "mailbox": section.get("mailbox"),
                     })
+                elif name == ENSEMBLE:
+                    fold(target, {"cases": section.get("runs", [])})
                 else:
                     # Re-fold summary runs as one-run cases.
                     cases = [{"problem": r["problem"], "nx": r["nx"],
@@ -163,6 +237,8 @@ def merge(documents: List[dict]) -> dict:
             fold_backends(summary["benches"].setdefault(name, {}), doc)
         elif name == SCALING:
             fold_scaling(summary["benches"].setdefault(name, {}), doc)
+        elif name == ENSEMBLE:
+            fold_ensemble(summary["benches"].setdefault(name, {}), doc)
         else:
             summary["other"][str(name)] = doc
     return summary
