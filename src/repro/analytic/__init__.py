@@ -1,12 +1,13 @@
-"""Analytic reference solutions for the four bundled test problems.
+"""Analytic reference solutions for the bundled test problems.
 
-Exact Riemann solver (Sod), the Noh implosion solution, the numerically
-integrated Sedov-Taylor similarity solution and the Saltzmann piston
-shock.  These provide the quantitative targets for the validation
-tests and the example scripts.
+Exact Riemann solver (Sod, LeBlanc), the Noh implosion solution, the
+numerically integrated Sedov-Taylor similarity solution, the Saltzmann
+piston shock and Kidder's isentropic shell compression.  These provide
+the quantitative targets for the validation tests and the example
+scripts.
 """
 
-from . import noh_exact, saltzmann_exact, sedov_exact
+from . import kidder_exact, noh_exact, saltzmann_exact, sedov_exact
 from .riemann import (
     RiemannSolution,
     RiemannState,
@@ -24,4 +25,5 @@ __all__ = [
     "noh_exact",
     "sedov_exact",
     "saltzmann_exact",
+    "kidder_exact",
 ]

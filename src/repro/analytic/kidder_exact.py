@@ -1,0 +1,114 @@
+"""Exact solution of Kidder's isentropic shell compression (Kidder 1976).
+
+A cylindrical shell of ideal gas between radii ``r1 < r2`` is
+compressed isentropically by time-dependent boundary pressures.  For
+the self-similar solution to exist in cylindrical geometry (ν = 2) the
+adiabatic index must be γ = 1 + 2/ν = 2; every fluid particle then
+moves homothetically,
+
+    R(r, t) = h(t) · r ,       h(t) = sqrt(1 − t²/τ²) ,
+
+with ``r`` the initial (Lagrangian) radius, so the whole shell focuses
+onto the axis at the *focalisation time*
+
+    τ = sqrt( (γ − 1)/2 · (r2² − r1²) / (c2² − c1²) ) ,
+
+where ``c_i² = γ p_i / ρ_i`` are the initial boundary sound speeds.
+The initial density interpolates the boundary values in r² along one
+isentrope ``p = s ρ^γ`` (s = p2/ρ2^γ = p1/ρ1^γ):
+
+    ρ0(r) = [ (r2² − r²)/(r2² − r1²) · ρ1^{γ−1}
+            + (r² − r1²)/(r2² − r1²) · ρ2^{γ−1} ]^{1/(γ−1)} ,
+
+and the flow at time ``t < τ`` is, at Eulerian radius ``R = h r``:
+
+    ρ(R, t) = h^{−2/(γ−1)}   ρ0(R/h)
+    u(R, t) = ḣ(t) · R/h ,    ḣ(t) = −t / (τ² h(t))
+    p(R, t) = h^{−2γ/(γ−1)} p0(R/h) ,   p0 = s ρ0^γ .
+
+The default parameters (shell [0.9, 1.0], p1 = 0.1, p2 = 10,
+ρ2 = 10⁻², hence ρ1 = 10⁻³ on the shared isentrope) give
+τ ≈ 7.265 × 10⁻³ — the standard Lagrangian-hydro configuration (e.g.
+Maire, J. Comput. Phys. 228 (2009); Boscheri & Dumbser,
+arXiv:1408.3719).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: the only adiabatic index admitting the cylindrical self-similar flow
+GAMMA = 2.0
+
+#: default shell geometry and boundary states (one isentrope)
+R1 = 0.9            #: inner shell radius
+R2 = 1.0            #: outer shell radius
+P1 = 0.1            #: initial inner-boundary pressure
+P2 = 10.0           #: initial outer-boundary pressure
+RHO2 = 1.0e-2       #: initial outer-boundary density
+
+#: isentrope constant s = p / ρ^γ
+ENTROPY = P2 / RHO2 ** GAMMA
+#: inner-boundary density on the same isentrope
+RHO1 = (P1 / ENTROPY) ** (1.0 / GAMMA)
+
+
+def focusing_time(r1: float = R1, r2: float = R2, p1: float = P1,
+                  p2: float = P2, rho1: float = RHO1,
+                  rho2: float = RHO2) -> float:
+    """The focalisation time τ (the shell collapses onto the axis)."""
+    c1_sq = GAMMA * p1 / rho1
+    c2_sq = GAMMA * p2 / rho2
+    return float(np.sqrt(
+        0.5 * (GAMMA - 1.0) * (r2 * r2 - r1 * r1) / (c2_sq - c1_sq)
+    ))
+
+
+#: τ for the default parameters (≈ 7.2648e-3)
+TAU = focusing_time()
+
+
+def scale(t: float, tau: float = TAU) -> float:
+    """The homothety factor h(t) = sqrt(1 − t²/τ²)."""
+    return float(np.sqrt(max(1.0 - (t / tau) ** 2, 0.0)))
+
+
+def scale_rate(t: float, tau: float = TAU) -> float:
+    """ḣ(t) = −t / (τ² h(t)) — the radial compression rate."""
+    return -t / (tau * tau * scale(t, tau))
+
+
+def shell_density(r: np.ndarray, r1: float = R1, r2: float = R2,
+                  rho1: float = RHO1, rho2: float = RHO2) -> np.ndarray:
+    """Initial density profile ρ0(r) across the shell."""
+    r = np.asarray(r, dtype=np.float64)
+    w = (r * r - r1 * r1) / (r2 * r2 - r1 * r1)
+    g = GAMMA - 1.0
+    return ((1.0 - w) * rho1 ** g + w * rho2 ** g) ** (1.0 / g)
+
+
+def shell_pressure(r: np.ndarray) -> np.ndarray:
+    """Initial pressure profile p0(r) = s ρ0(r)^γ."""
+    return ENTROPY * shell_density(r) ** GAMMA
+
+
+def solution(r_eul: np.ndarray, t: float, tau: float = TAU
+             ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ρ, radial u, e) at Eulerian radii ``r_eul`` and time ``t < τ``.
+
+    ``r_eul`` should lie inside the compressed shell
+    ``[h(t) r1, h(t) r2]``; values outside are extrapolated along the
+    same formulas (the flow only exists inside the shell).
+    """
+    r_eul = np.asarray(r_eul, dtype=np.float64)
+    h = scale(t, tau)
+    hdot = scale_rate(t, tau)
+    r_lag = r_eul / h
+    g = GAMMA - 1.0
+    rho = h ** (-2.0 / g) * shell_density(r_lag)
+    u = hdot * r_lag
+    p = h ** (-2.0 * GAMMA / g) * shell_pressure(r_lag)
+    e = p / (g * rho)
+    return rho, u, e

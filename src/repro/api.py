@@ -30,7 +30,12 @@ from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional, Sequence
 
 from .core.state import HydroState
-from .problems import load_problem, setup_from_deck
+from .problems import (
+    describe_problem,
+    load_problem,
+    problem_names,
+    setup_from_deck,
+)
 from .problems.base import ProblemSetup
 from .utils.errors import BookLeafError
 from .utils.timers import TimerRegistry
@@ -302,4 +307,5 @@ def run_ensemble(configs, *, control_overrides=None):
     return _run_ensemble(configs, control_overrides=control_overrides)
 
 
-__all__ = ["RunConfig", "RunResult", "run", "run_ensemble"]
+__all__ = ["RunConfig", "RunResult", "run", "run_ensemble",
+           "problem_names", "describe_problem"]

@@ -9,6 +9,8 @@ Usage (installed as ``bookleaf``, or ``python -m repro``)::
     bookleaf run noh.in --report r.json --trace t.json   # telemetry
     bookleaf run noh.in --metrics m.ndjson --watchdog-timeout 30
     bookleaf compare old.json new.json  # regression gate (exit 1)
+    bookleaf problems list              # registry catalogue
+    bookleaf problems describe kidder   # settings table + references
     bookleaf decks                      # list bundled decks
     bookleaf info                       # platform/model registry
     bookleaf model table2-measured      # measured-vs-modeled Table II
@@ -163,6 +165,25 @@ def _build_parser() -> argparse.ArgumentParser:
                               "better; cases whose sibling seconds "
                               "stay under --min-seconds in both "
                               "documents are never gated")
+
+    problems = sub.add_parser(
+        "problems",
+        help="inspect the problem registry (list / describe)",
+    )
+    psub = problems.add_subparsers(dest="problems_command", required=True)
+    plist = psub.add_parser(
+        "list", help="list every registered problem with its summary"
+    )
+    plist.add_argument("--json", action="store_true",
+                       help="machine-readable output (full metadata)")
+    pdesc = psub.add_parser(
+        "describe",
+        help="show one problem's settings table, defaults and references",
+    )
+    pdesc.add_argument("name", help="registered problem name "
+                       "(see 'problems list')")
+    pdesc.add_argument("--json", action="store_true",
+                       help="machine-readable output")
 
     sub.add_parser("decks", help="list the bundled input decks")
     sub.add_parser("info", help="show the modelled platform registry")
@@ -550,6 +571,58 @@ def _run_ensemble_cli(args: argparse.Namespace) -> int:
     return 0
 
 
+def _problems(args: argparse.Namespace) -> int:
+    import json
+
+    from .problems import describe_problem, get_problem
+    from .utils.errors import DeckError
+
+    if args.problems_command == "list":
+        if args.json:
+            print(json.dumps([describe_problem(name)
+                              for name in problem_names()], indent=2))
+            return 0
+        width = max(len(name) for name in problem_names())
+        for name in problem_names():
+            info = get_problem(name)
+            deck = info.deck or "-"
+            print(f"{name:<{width}}  {info.summary}  [deck: {deck}]")
+        return 0
+
+    # describe
+    try:
+        info = get_problem(args.name)
+    except DeckError as exc:
+        print(f"problems describe: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(info.describe(), indent=2))
+        return 0
+    print(f"{info.name}: {info.summary}")
+    if info.reference:
+        print(f"reference:  {info.reference}")
+    if info.acceptance:
+        print(f"acceptance: {info.acceptance}")
+    if info.deck:
+        print(f"deck:       {deck_path(info.name)}")
+    print()
+    print("settings:")
+    rows = [(s.name, s.type_name, repr(s.default), s.section,
+             s.doc + (f" (one of: "
+                      f"{', '.join(repr(c) for c in s.choices)})"
+                      if s.choices else ""))
+            for s in info.settings]
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
+    for r in rows:
+        print(f"  {r[0]:<{widths[0]}}  {r[1]:<{widths[1]}}  "
+              f"default={r[2]:<{widths[2]}}  [{r[3]:<{widths[3]}}]  {r[4]}")
+    print()
+    print("any HydroControls field (cfl_safety, cq1, ale_on, ...) may "
+          "also be set\nin the deck's [CONTROL]/[ALE] sections or passed "
+          "to load_problem().")
+    return 0
+
+
 def _compare(args: argparse.Namespace) -> int:
     from .metrics import compare as cmp
 
@@ -593,9 +666,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_ensemble_cli(args)
     if args.command == "compare":
         return _compare(args)
+    if args.command == "problems":
+        return _problems(args)
     if args.command == "decks":
-        for name in problem_names():
-            print(f"{name:<12} {deck_path(name)}")
+        from .problems import bundled_decks
+
+        for name in bundled_decks():
+            print(f"{name:<13} {deck_path(name)}")
         return 0
     if args.command == "info":
         from .perfmodel import format_table1

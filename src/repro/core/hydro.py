@@ -123,6 +123,14 @@ class Hydro:
                     self.state, controls, self.dt, self.time, comms=self.comms
                 )
 
+        if self.state.bc.driver is not None:
+            # Time-driven boundaries (e.g. the Kidder shell): prescribe
+            # the end-of-step velocity so the corrector's commit lands
+            # exactly on the driven value at t^{n+1} (the trapezoidal
+            # x-update then integrates the boundary motion to second
+            # order, matching the scheme).
+            self.state.bc.advance(self.time + self.dt)
+
         with self.timers.trace_span("lagstep", cat="phase"):
             lagstep(
                 self.state, self.table, controls, self.dt, self.timers,

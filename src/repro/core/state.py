@@ -237,5 +237,6 @@ class HydroState:
             volume=self.volume.copy(),
             corner_volume=self.corner_volume.copy(),
             bc=BoundaryConditions(self.bc.flags.copy(),
-                                  self.bc.ux.copy(), self.bc.uy.copy()),
+                                  self.bc.ux.copy(), self.bc.uy.copy(),
+                                  driver=self.bc.driver),
         )

@@ -41,6 +41,13 @@ class EnsembleState:
         if not states:
             raise BookLeafError("an ensemble needs at least one lane")
         first = states[0]
+        if first.bc.driver is not None:
+            raise BookLeafError(
+                "time-driven boundary conditions (bc.driver) cannot be "
+                "batched — lanes advance at different times, so the "
+                "shared prescribed-velocity arrays would be wrong; run "
+                "this problem through repro.api.run instead"
+            )
         for i, st in enumerate(states[1:], start=1):
             if st.mesh.ncell != first.mesh.ncell \
                     or st.mesh.nnode != first.mesh.nnode \

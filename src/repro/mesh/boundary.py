@@ -32,11 +32,23 @@ class BoundaryConditions:
     ``flags`` is the FIX_X/FIX_Y bitmask.  ``ux``/``uy`` are the
     prescribed velocity values for constrained components (zero for
     walls; the Saltzmann piston sets ``ux = 1`` on the driven nodes).
+
+    ``driver`` optionally makes the prescribed values *time-dependent*:
+    any object with ``velocities(t) -> (ux, uy)`` (full per-node
+    arrays) and ``subset(nodes) -> driver`` (restriction for domain
+    decomposition).  The :class:`~repro.core.hydro.Hydro` step loop
+    calls :meth:`advance` with the end-of-step time before each
+    Lagrangian step, so driven nodes land exactly on the prescribed
+    velocity at every time level (the Kidder shell compression drives
+    its boundary arcs this way).  Time-driven conditions cannot be
+    batched — lanes advance at different times — so the ensemble layer
+    rejects them.
     """
 
     flags: np.ndarray
     ux: np.ndarray = field(default=None)  # type: ignore[assignment]
     uy: np.ndarray = field(default=None)  # type: ignore[assignment]
+    driver: Optional[object] = None
 
     def __post_init__(self):
         self.flags = np.asarray(self.flags, dtype=np.int8)
@@ -45,6 +57,17 @@ class BoundaryConditions:
             self.ux = np.zeros(n)
         if self.uy is None:
             self.uy = np.zeros(n)
+        if self.driver is not None:
+            self.advance(0.0)
+
+    def advance(self, t: float) -> None:
+        """Refresh the prescribed velocities from the driver at ``t``
+        (no-op for static conditions)."""
+        if self.driver is None:
+            return
+        ux, uy = self.driver.velocities(t)
+        self.ux = np.asarray(ux, dtype=np.float64)
+        self.uy = np.asarray(uy, dtype=np.float64)
 
     @classmethod
     def free(cls, nnode: int) -> "BoundaryConditions":
@@ -87,7 +110,9 @@ class BoundaryConditions:
     def subset(self, nodes: np.ndarray) -> "BoundaryConditions":
         """Restriction to a node subset (used by the domain decomposer)."""
         return BoundaryConditions(
-            self.flags[nodes], self.ux[nodes], self.uy[nodes]
+            self.flags[nodes], self.ux[nodes], self.uy[nodes],
+            driver=(self.driver.subset(nodes)
+                    if self.driver is not None else None),
         )
 
 

@@ -79,6 +79,35 @@ def saltzmann_mesh(nx: int = 100, ny: int = 10,
     return rect_mesh(nx, ny, (0.0, length, 0.0, height), warp=warp)
 
 
+def shell_mesh(nr: int, ntheta: int,
+               r_inner: float, r_outer: float,
+               theta0: float = 0.0,
+               theta1: float = 0.5 * np.pi) -> QuadMesh:
+    """A polar annulus sector (``nr`` radial × ``ntheta`` angular cells).
+
+    Nodes sit at the tensor product of ``nr + 1`` radii and
+    ``ntheta + 1`` angles; cells are the resulting curvilinear quads
+    (straight-edged, so arcs are polygonal).  The default sector is the
+    first quadrant, which is what the Kidder shell-compression problem
+    meshes (symmetry walls on both axes).
+    """
+    if nr < 1 or ntheta < 1:
+        raise MeshError(f"need nr, ntheta >= 1, got {nr}x{ntheta}")
+    if not 0.0 < r_inner < r_outer:
+        raise MeshError(
+            f"need 0 < r_inner < r_outer, got [{r_inner}, {r_outer}]"
+        )
+    if not theta1 > theta0:
+        raise MeshError(f"degenerate sector [{theta0}, {theta1}]")
+    radii = np.linspace(r_inner, r_outer, nr + 1)
+    angles = np.linspace(theta0, theta1, ntheta + 1)
+    r, th = np.meshgrid(radii, angles, indexing="xy")
+    # same row-major node layout as rect_mesh, with r playing x and
+    # theta playing y; the polar map preserves orientation (Jacobian r)
+    return QuadMesh((r * np.cos(th)).ravel(), (r * np.sin(th)).ravel(),
+                    _grid_cells(nr, ntheta))
+
+
 def perturbed_mesh(nx: int, ny: int,
                    extents: Tuple[float, float, float, float] = (0.0, 1.0, 0.0, 1.0),
                    amplitude: float = 0.2, seed: int = 0) -> QuadMesh:

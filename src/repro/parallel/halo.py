@@ -206,6 +206,8 @@ def local_state(sub: Subdomain, global_state: HydroState) -> HydroState:
         volume=global_state.volume[cells].copy(),
         corner_volume=global_state.corner_volume[cells].copy(),
         bc=BoundaryConditions(
-            bc.flags[nodes].copy(), bc.ux[nodes].copy(), bc.uy[nodes].copy()
+            bc.flags[nodes].copy(), bc.ux[nodes].copy(), bc.uy[nodes].copy(),
+            driver=(bc.driver.subset(nodes)
+                    if bc.driver is not None else None),
         ),
     )

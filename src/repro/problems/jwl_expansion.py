@@ -26,6 +26,7 @@ from ..eos.multimaterial import MaterialTable
 from ..mesh.boundary import classify_box_boundary
 from ..mesh.generator import rect_mesh
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 #: standard TNT JWL parameters (SI)
 RHO0 = 1630.0
@@ -41,6 +42,20 @@ RHO_RIGHT_FRACTION = 0.1
 E_RIGHT_FRACTION = 0.05
 
 
+@problem(
+    "jwl_expansion",
+    summary="JWL detonation-products expansion tube (TNT params)",
+    acceptance="no closed form: exact conservation, wave ordering and "
+               "thermodynamic consistency through the expansion "
+               "(tests/integration/test_jwl_expansion.py)",
+    reference="standard TNT JWL parameter set (SI units)",
+    settings=[
+        mesh_setting("nx", 200, "mesh cells along the tube"),
+        mesh_setting("ny", 2, "mesh cells across the tube"),
+        Setting("height", float, 0.05, "tube height"),
+        Setting("time_end", float, 4.0e-5, "simulation end time"),
+    ],
+)
 def setup(nx: int = 200, ny: int = 2, height: float = 0.05,
           time_end: float = 4.0e-5, **control_overrides) -> ProblemSetup:
     """Build the JWL expansion tube on an ``nx × ny`` mesh of [0, 1]."""

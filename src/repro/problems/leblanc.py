@@ -25,6 +25,7 @@ from ..eos.multimaterial import MaterialTable
 from ..mesh.boundary import classify_box_boundary
 from ..mesh.generator import rect_mesh
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 GAMMA = 5.0 / 3.0
 RHO_L, E_L = 1.0, 0.1
@@ -33,6 +34,21 @@ INTERFACE = 3.0
 LENGTH = 9.0
 
 
+@problem(
+    "leblanc",
+    summary="LeBlanc extreme shock tube, gamma=5/3",
+    acceptance="exact Riemann solution (repro.analytic.riemann) for the "
+               "1e8 pressure-ratio data; wave positions checked in "
+               "tests/integration/test_extension_problems.py",
+    reference="the standard 'shock tube from hell' extension test",
+    settings=[
+        mesh_setting("nx", 360, "mesh cells along the tube"),
+        mesh_setting("ny", 2, "mesh cells across the tube"),
+        Setting("height", float, 0.25, "tube height (domain is [0,9] x "
+                "[0, height])"),
+        Setting("time_end", float, 6.0, "simulation end time"),
+    ],
+)
 def setup(nx: int = 360, ny: int = 2, height: float = 0.25,
           time_end: float = 6.0, **control_overrides) -> ProblemSetup:
     """Build the LeBlanc tube on an ``nx × ny`` mesh of [0, 9]."""

@@ -26,6 +26,7 @@ from ..eos.multimaterial import MaterialTable
 from ..mesh.boundary import classify_box_boundary
 from ..mesh.generator import rect_mesh
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 GAMMA = 5.0 / 3.0
 RHO0 = 1.0
@@ -33,6 +34,23 @@ E0 = 1.0e-9      #: tiny initial energy (the exact problem is cold)
 U0 = 1.0         #: inward radial speed
 
 
+@problem(
+    "noh",
+    summary="Noh implosion, gamma=5/3, quadrant with axis symmetry",
+    acceptance="exact Noh solution (repro.analytic.noh_exact): rho=16 "
+               "plateau, shock at t/3; validated in "
+               "tests/integration/test_noh.py",
+    reference="Noh, J. Comput. Phys. 72 (1987); paper Section III-B",
+    settings=[
+        mesh_setting("nx", 50, "mesh cells in x"),
+        mesh_setting("ny", 50, "mesh cells in y"),
+        Setting("size", float, 1.0, "quadrant side length"),
+        Setting("time_end", float, 0.6, "simulation end time"),
+        Setting("ale_on", bool, False, "enable the ALE remap phase"),
+        Setting("subzonal_kappa", float, 1.0, "sub-zonal pressure "
+                "strength (hourglass control; 0 disables)"),
+    ],
+)
 def setup(nx: int = 50, ny: int = 50, size: float = 1.0,
           time_end: float = 0.6, ale_on: bool = False,
           subzonal_kappa: float = 1.0,

@@ -20,6 +20,7 @@ from ..eos.multimaterial import MaterialTable
 from ..mesh.boundary import FIX_X, FIX_Y, BoundaryConditions
 from ..mesh.generator import saltzmann_mesh
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 GAMMA = 5.0 / 3.0
 RHO0 = 1.0
@@ -27,6 +28,27 @@ E0 = 1.0e-4
 PISTON_SPEED = 1.0
 
 
+@problem(
+    "saltzmann",
+    summary="Saltzmann piston on the Dukowicz-Meltz skewed mesh",
+    acceptance="strong-shock piston relations "
+               "(repro.analytic.saltzmann_exact): shock speed "
+               "(gamma+1)/2 and 4x density jump; validated in "
+               "tests/integration/test_saltzmann.py",
+    reference="Dukowicz & Meltz, J. Comput. Phys. 99 (1992); "
+              "paper Section III-B",
+    settings=[
+        mesh_setting("nx", 100, "mesh cells along the tube"),
+        mesh_setting("ny", 10, "mesh cells across the tube"),
+        Setting("length", float, 1.0, "tube length"),
+        Setting("height", float, 0.1, "tube height"),
+        Setting("time_end", float, 0.6, "simulation end time"),
+        Setting("subzonal_kappa", float, 1.0, "sub-zonal pressure "
+                "strength (hourglass control; 0 disables)"),
+        Setting("filter_kappa", float, 0.05, "Hancock hourglass "
+                "velocity-filter strength (0 disables)"),
+    ],
+)
 def setup(nx: int = 100, ny: int = 10,
           length: float = 1.0, height: float = 0.1,
           time_end: float = 0.6,

@@ -26,6 +26,7 @@ from ..eos.multimaterial import MaterialTable
 from ..mesh.boundary import classify_box_boundary
 from ..mesh.generator import rect_mesh
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 GAMMA = 1.4
 RHO0 = 1.0
@@ -35,6 +36,26 @@ E_BACKGROUND = 1.0e-9
 ENERGY = 0.657
 
 
+@problem(
+    "sedov",
+    summary="Sedov blast wave, gamma=1.4, quadrant Cartesian mesh",
+    acceptance="Sedov-Taylor similarity solution "
+               "(repro.analytic.sedov_exact): shock radius and 6x "
+               "density jump; validated in "
+               "tests/integration/test_sedov.py",
+    reference="Taylor, Proc. R. Soc. A 201 (1950); paper Section III-B",
+    settings=[
+        mesh_setting("nx", 60, "mesh cells in x"),
+        mesh_setting("ny", 60, "mesh cells in y"),
+        Setting("size", float, 1.2, "quadrant side length"),
+        Setting("energy", float, ENERGY, "full-plane blast energy "
+                "deposited at the origin"),
+        Setting("time_end", float, 1.0, "simulation end time"),
+        Setting("ale_on", bool, False, "enable the ALE remap phase"),
+        Setting("subzonal_kappa", float, 1.0, "sub-zonal pressure "
+                "strength (hourglass control; 0 disables)"),
+    ],
+)
 def setup(nx: int = 60, ny: int = 60, size: float = 1.2,
           energy: float = ENERGY, time_end: float = 1.0,
           ale_on: bool = False, subzonal_kappa: float = 1.0,

@@ -24,6 +24,7 @@ from ..eos.multimaterial import MaterialTable
 from ..mesh.boundary import classify_box_boundary
 from ..mesh.generator import rect_mesh
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 GAMMA = 1.4
 RHO_L, P_L = 1.0, 1.0
@@ -31,6 +32,22 @@ RHO_R, P_R = 0.125, 0.1
 DIAPHRAGM = 0.5
 
 
+@problem(
+    "sod",
+    summary="Sod shock tube, gamma=1.4, diaphragm at x=0.5",
+    acceptance="exact Riemann solution "
+               "(repro.analytic.riemann.sod_solution); density L1 error "
+               "and convergence ladder in tests/integration/test_sod.py",
+    reference="Sod, J. Comput. Phys. 27 (1978); paper Section III-B",
+    settings=[
+        mesh_setting("nx", 100, "mesh cells along the tube"),
+        mesh_setting("ny", 4, "mesh cells across the tube"),
+        Setting("height", float, 0.1, "tube height (domain is [0,1] x "
+                "[0, height])"),
+        Setting("time_end", float, 0.2, "simulation end time"),
+        Setting("ale_on", bool, False, "enable the ALE remap phase"),
+    ],
+)
 def setup(nx: int = 100, ny: int = 4, height: float = 0.1,
           time_end: float = 0.2, ale_on: bool = False,
           **control_overrides) -> ProblemSetup:

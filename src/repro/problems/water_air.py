@@ -29,6 +29,7 @@ from ..mesh.generator import rect_mesh
 from ..mesh.regions import Region, box
 from ..mesh.regions import assign_regions
 from .base import ProblemSetup
+from .registry import Setting, mesh_setting, problem
 
 GAMMA_AIR = 1.4
 RHO_AIR, P_AIR = 1.2, 1.0e5
@@ -42,6 +43,22 @@ DIAPHRAGM = 0.5
 WATER, AIR = 0, 1
 
 
+@problem(
+    "water_air",
+    summary="Water-air shock tube (Tait + ideal gas)",
+    acceptance="no closed form: exact conservation, pressure continuity "
+               "across the material interface and physical wave "
+               "ordering (tests/integration/test_extension_problems.py)",
+    reference="standard stiff multi-material interface test",
+    settings=[
+        mesh_setting("nx", 200, "mesh cells along the tube"),
+        mesh_setting("ny", 2, "mesh cells across the tube"),
+        Setting("height", float, 0.05, "tube height"),
+        Setting("time_end", float, 2.0e-4, "simulation end time"),
+        Setting("p_water", float, P_WATER, "initial water-side "
+                "pressure (sets the shock strength)"),
+    ],
+)
 def setup(nx: int = 200, ny: int = 2, height: float = 0.05,
           time_end: float = 2.0e-4, p_water: float = P_WATER,
           **control_overrides) -> ProblemSetup:

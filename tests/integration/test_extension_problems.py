@@ -136,3 +136,76 @@ def test_water_air_conservation(water_air_run):
     hydro, e0, m0 = water_air_run
     assert hydro.state.total_mass() == pytest.approx(m0, rel=1e-13)
     assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-9)
+
+
+# --------------------------------------------------------------------------
+# triple point
+# --------------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def triple_point_run():
+    """A reduced-resolution, reduced-time triple point: long enough for
+    the driver shock to cross into both low-pressure regions and the
+    shock-speed mismatch to appear, short enough for tier-1."""
+    setup = load_problem("triple_point", nx=42, ny=18, time_end=1.0)
+    e0 = setup.state.total_energy()
+    m0 = setup.state.total_mass()
+    hydro = setup.run()
+    return hydro, e0, m0
+
+
+def test_triple_point_completes(triple_point_run):
+    hydro, _, _ = triple_point_run
+    assert hydro.done()
+    assert hydro.state.rho.min() > 0.0
+    assert (hydro.state.volume > 0.0).all()
+
+
+def test_triple_point_three_materials_survive(triple_point_run):
+    hydro, _, _ = triple_point_run
+    state = hydro.state
+    assert set(np.unique(state.mat)) == {0, 1, 2}
+    # Lagrangian: the material assignment never changes
+    xc0, yc0 = state.mesh.cell_centroids()
+    expected = np.where(xc0 < 1.0, 0, np.where(yc0 < 1.5, 1, 2))
+    np.testing.assert_array_equal(state.mat, expected)
+
+
+def test_triple_point_shock_ordering(triple_point_run):
+    """The light top region's shock outruns the dense bottom region's
+    — the lag that shears the interface into the vortex."""
+    hydro, _, _ = triple_point_run
+    state = hydro.state
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+
+    def front(mask, threshold):
+        shocked = mask & (state.p > threshold)
+        return xc[shocked].max()
+
+    top = state.mat == 2
+    bottom = state.mat == 1
+    # shocked cells sit well above the 0.1 ambient pressure
+    front_top = front(top, 0.2)
+    front_bottom = front(bottom, 0.2)
+    assert front_top > front_bottom + 0.3
+    # both shocks have left the driver region
+    assert front_bottom > 1.0
+
+
+def test_triple_point_interface_shear(triple_point_run):
+    """Post-shock flow is faster on the light side of the material
+    interface — the vorticity source."""
+    hydro, _, _ = triple_point_run
+    state = hydro.state
+    # average x-velocity of each region's shocked nodes via cell bands
+    xc, yc = state.mesh.cell_centroids(state.x, state.y)
+    ux_cell = state.u[state.mesh.cell_nodes].mean(axis=1)
+    near_iface = (xc > 1.5) & (xc < 4.0)
+    above = near_iface & (state.mat == 2)
+    below = near_iface & (state.mat == 1)
+    assert ux_cell[above].mean() > ux_cell[below].mean()
+
+
+def test_triple_point_conservation(triple_point_run):
+    hydro, e0, m0 = triple_point_run
+    assert hydro.state.total_mass() == pytest.approx(m0, rel=1e-13)
+    assert hydro.state.total_energy() == pytest.approx(e0, rel=1e-10)

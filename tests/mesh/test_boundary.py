@@ -103,3 +103,66 @@ def test_moved_wall_nodes_stay_classified():
     bc.apply_velocity(u, v)
     # left wall x never moves because u is forced to the wall value
     assert np.all(u[np.isclose(mesh.x, 0.0)] == 0.0)
+
+
+# --------------------------------------------------------------------------
+# time-dependent drivers
+# --------------------------------------------------------------------------
+class _LinearDriver:
+    """u = t on every node's x, 2t on y (test double)."""
+
+    def __init__(self, n):
+        self.n = n
+
+    def velocities(self, t):
+        return np.full(self.n, t), np.full(self.n, 2.0 * t)
+
+    def subset(self, nodes):
+        return _LinearDriver(len(nodes))
+
+
+def test_driver_initialised_at_time_zero():
+    bc = BoundaryConditions(np.array([FIX_X, FIX_Y], dtype=np.int8),
+                            driver=_LinearDriver(2))
+    np.testing.assert_array_equal(bc.ux, 0.0)
+    np.testing.assert_array_equal(bc.uy, 0.0)
+
+
+def test_driver_advance_refreshes_prescribed_values():
+    bc = BoundaryConditions(np.array([FIX_X, FIX_Y], dtype=np.int8),
+                            driver=_LinearDriver(2))
+    bc.advance(0.5)
+    np.testing.assert_allclose(bc.ux, 0.5)
+    np.testing.assert_allclose(bc.uy, 1.0)
+    u = np.zeros(2)
+    v = np.zeros(2)
+    bc.apply_velocity(u, v)
+    assert u[0] == 0.5 and u[1] == 0.0     # only FIX_X node's u driven
+    assert v[0] == 0.0 and v[1] == 1.0
+
+
+def test_advance_is_noop_without_driver():
+    bc = BoundaryConditions(np.array([FIX_X], dtype=np.int8),
+                            np.array([3.0]), np.array([0.0]))
+    bc.advance(10.0)
+    assert bc.ux[0] == 3.0
+
+
+def test_subset_propagates_driver():
+    bc = BoundaryConditions(np.zeros(4, dtype=np.int8),
+                            driver=_LinearDriver(4))
+    sub = bc.subset(np.array([0, 2]))
+    assert sub.driver is not None
+    sub.advance(1.0)
+    np.testing.assert_allclose(sub.ux, 1.0)
+    assert sub.ux.shape == (2,)
+
+
+def test_driver_bcs_rejected_by_ensemble():
+    from repro.ensemble.state import EnsembleState
+    from repro.problems import load_problem
+    from repro.utils.errors import BookLeafError
+
+    state = load_problem("kidder", nx=3, ny=3).state
+    with pytest.raises(BookLeafError, match="cannot be batched"):
+        EnsembleState([state])

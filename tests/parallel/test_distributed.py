@@ -150,3 +150,18 @@ def test_more_ranks_than_cells_rejected():
     setup = load_problem("sod", nx=2, ny=1, time_end=1.0)
     with pytest.raises(BookLeafError):
         DistributedHydro(setup, 64)
+
+
+def test_distributed_time_driven_bcs_match_serial():
+    """The Kidder shell's BC driver must be restricted per rank (the
+    subset carries the driver), so decomposed runs drive their boundary
+    arcs identically to serial."""
+    serial = load_problem("kidder").make_hydro()
+    serial.run()
+    setup = load_problem("kidder")
+    driver = DistributedHydro(setup, 2)
+    driver.run()
+    assert driver.nstep == serial.nstep
+    g = driver.gather()
+    np.testing.assert_allclose(g.x, serial.state.x, atol=1e-12)
+    np.testing.assert_allclose(g.rho, serial.state.rho, rtol=1e-10)

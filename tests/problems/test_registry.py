@@ -1,0 +1,281 @@
+"""Tests for the declarative problem registry.
+
+Covers the typed-settings contract end to end: registration-time
+signature drift guards, structured rejection of unknown/mistyped deck
+keys (naming the offender and the valid choices), and the all-decks
+round-trip — every bundled deck parses, validates against its settings
+table, builds, and ``describe()`` matches the registration metadata.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.core.controls import HydroControls
+from repro.problems import (
+    ProblemSetup,
+    Setting,
+    bundled_decks,
+    deck_path,
+    deck_text,
+    describe_problem,
+    get_problem,
+    load_problem,
+    problem,
+    problem_names,
+    setup_from_deck,
+)
+from repro.problems.registry import RegistryError, mesh_setting, unregister
+from repro.utils.deck import parse_deck, read_deck
+from repro.utils.errors import DeckError
+
+
+@pytest.fixture
+def scratch_registration():
+    """Yield a name guaranteed unregistered before and after the test."""
+    name = "scratch_problem"
+    unregister(name)
+    yield name
+    unregister(name)
+
+
+# ----------------------------------------------------------------------
+# Setting: typed validation
+# ----------------------------------------------------------------------
+
+class TestSetting:
+    def test_float_accepts_int_but_not_bool(self):
+        s = Setting("time_end", float, 0.5)
+        assert s.accepts(3) and s.accepts(0.25)
+        assert not s.accepts(True)
+        assert not s.accepts("0.5")
+
+    def test_int_excludes_bool(self):
+        s = Setting("nx", int, 10)
+        assert s.accepts(7)
+        assert not s.accepts(True) and not s.accepts(1.5)
+
+    def test_validate_names_offender_and_type(self):
+        s = Setting("nx", int, 10)
+        with pytest.raises(DeckError, match=r"'nx' expects int.*'fast'"):
+            s.validate("fast", context="deck")
+
+    def test_validate_names_choices(self):
+        s = Setting("mode", str, "a", choices=("a", "b"))
+        with pytest.raises(DeckError, match=r"one of 'a', 'b'; got 'c'"):
+            s.validate("c", context="deck")
+
+    def test_describe_row(self):
+        s = Setting("mode", str, "a", doc="pick one", choices=("a", "b"))
+        row = s.describe()
+        assert row == {"name": "mode", "type": "str", "default": "a",
+                       "doc": "pick one", "section": "PROBLEM",
+                       "choices": ["a", "b"]}
+
+
+# ----------------------------------------------------------------------
+# registration drift guards
+# ----------------------------------------------------------------------
+
+class TestDriftGuard:
+    def test_missing_setting_row_rejected(self, scratch_registration):
+        with pytest.raises(RegistryError, match="no Setting row"):
+            @problem(scratch_registration, summary="x", deck=None,
+                     settings=[mesh_setting("nx", 4, "")])
+            def setup(nx=4, ny=4, **overrides):
+                pass  # pragma: no cover
+
+    def test_extra_setting_row_rejected(self, scratch_registration):
+        with pytest.raises(RegistryError, match="match no factory"):
+            @problem(scratch_registration, summary="x", deck=None,
+                     settings=[mesh_setting("nx", 4, ""),
+                               Setting("ghost", float, 0.0)])
+            def setup(nx=4, **overrides):
+                pass  # pragma: no cover
+
+    def test_default_mismatch_rejected(self, scratch_registration):
+        with pytest.raises(RegistryError, match="default"):
+            @problem(scratch_registration, summary="x", deck=None,
+                     settings=[mesh_setting("nx", 8, "")])
+            def setup(nx=4, **overrides):
+                pass  # pragma: no cover
+
+    def test_required_parameter_rejected(self, scratch_registration):
+        with pytest.raises(RegistryError, match="needs a default"):
+            @problem(scratch_registration, summary="x", deck=None,
+                     settings=[mesh_setting("nx", 4, "")])
+            def setup(nx, **overrides):
+                pass  # pragma: no cover
+
+    def test_double_registration_rejected(self, scratch_registration):
+        @problem(scratch_registration, summary="x", deck=None,
+                 settings=[mesh_setting("nx", 4, "")])
+        def setup(nx=4, **overrides):
+            pass  # pragma: no cover
+
+        with pytest.raises(RegistryError, match="registered twice"):
+            @problem(scratch_registration, summary="x", deck=None,
+                     settings=[mesh_setting("nx", 4, "")])
+            def setup2(nx=4, **overrides):
+                pass  # pragma: no cover
+
+    def test_registration_attaches_info(self, scratch_registration):
+        @problem(scratch_registration, summary="scratch", deck=None,
+                 settings=[mesh_setting("nx", 4, "cells")])
+        def setup(nx=4, **overrides):
+            pass  # pragma: no cover
+
+        info = get_problem(scratch_registration)
+        assert setup.problem_info is info
+        assert info.deck is None
+        assert info.summary == "scratch"
+        assert scratch_registration in problem_names()
+
+
+# ----------------------------------------------------------------------
+# rejection paths: each error names the offender
+# ----------------------------------------------------------------------
+
+class TestRejections:
+    def test_unknown_problem_lists_available(self):
+        with pytest.raises(DeckError, match="kidder.*sod") as err:
+            load_problem("vortex_sheet")
+        assert "vortex_sheet" in str(err.value)
+
+    def test_unknown_kwarg_lists_valid_settings(self):
+        with pytest.raises(DeckError, match="not understood") as err:
+            load_problem("sod", blast_radius=3)
+        msg = str(err.value)
+        assert "blast_radius" in msg
+        assert "nx" in msg and "time_end" in msg
+
+    def test_mistyped_kwarg_names_offender(self):
+        with pytest.raises(DeckError, match="'nx' expects int"):
+            load_problem("sod", nx="fine")
+
+    def test_mistyped_float_rejects_string(self):
+        with pytest.raises(DeckError, match="'time_end' expects float"):
+            load_problem("noh", time_end="soon")
+
+    def test_deck_unknown_key_lists_valid_settings(self):
+        deck = parse_deck("""
+[CONTROL]
+problem = noh
+[PROBLEM]
+blast_radius = 3
+""")
+        with pytest.raises(DeckError, match="not understood") as err:
+            setup_from_deck(deck)
+        msg = str(err.value)
+        assert "blast_radius" in msg and "subzonal_kappa" in msg
+
+    def test_deck_mistyped_value_names_section(self):
+        deck = parse_deck("""
+[CONTROL]
+problem = sod
+[MESH]
+nx = 12.5
+""")
+        with pytest.raises(DeckError, match=r"\[MESH\].*'nx' expects int"):
+            setup_from_deck(deck)
+
+    def test_control_overrides_still_pass_through(self):
+        setup = load_problem("sod", nx=4, ny=2, cfl_safety=0.3)
+        assert setup.controls.cfl_safety == 0.3
+
+
+# ----------------------------------------------------------------------
+# the all-decks round-trip
+# ----------------------------------------------------------------------
+
+ALL_PROBLEMS = problem_names()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", ALL_PROBLEMS)
+    def test_describe_matches_registration(self, name):
+        info = get_problem(name)
+        desc = describe_problem(name)
+        assert desc["name"] == info.name == name
+        assert desc["summary"] == info.summary
+        assert desc["deck"] == info.deck
+        assert [row["name"] for row in desc["settings"]] \
+            == info.setting_names()
+        # every setting row mirrors the factory signature exactly
+        sig = inspect.signature(info.factory)
+        for s in info.settings:
+            param = sig.parameters[s.name]
+            assert param.default == s.default or (
+                param.default != param.default)  # NaN-safe
+
+    @pytest.mark.parametrize("name", ALL_PROBLEMS)
+    def test_every_problem_has_metadata(self, name):
+        info = get_problem(name)
+        assert info.summary and info.acceptance and info.reference
+        assert info.physics, f"{name} module needs a docstring"
+        assert {"nx", "ny"} <= set(info.setting_names())
+
+    @pytest.mark.parametrize("name", ALL_PROBLEMS)
+    def test_every_bundled_deck_round_trips(self, name):
+        info = get_problem(name)
+        assert info.deck == f"{name}.in"
+        path = deck_path(name)
+        assert path.is_file()
+        # the deck parses and every [MESH]/[PROBLEM] key has a Setting
+        deck = read_deck(path)
+        for section in ("MESH", "PROBLEM"):
+            for key in deck.optional(section).options:
+                assert info.setting(key) is not None, \
+                    f"deck {name}.in key {key} missing from settings"
+        # and it builds a consistent setup for the right problem
+        setup = setup_from_deck(path)
+        assert isinstance(setup, ProblemSetup)
+        assert setup.name == name
+        assert setup.state.rho.min() > 0.0
+        assert np.isfinite(setup.state.e).all()
+
+    def test_bundled_decks_include_variants(self):
+        decks = bundled_decks()
+        assert set(ALL_PROBLEMS) <= set(decks)
+        assert "sod_ale" in decks
+        assert "problem" in deck_text("sod_ale")
+
+    def test_deck_path_points_at_readable_deck(self):
+        # The zip-safety contract: the returned path must stay valid
+        # (no as_file() temporary) and contain the deck text.
+        path = deck_path("kidder")
+        assert path.read_text() == deck_text("kidder")
+
+    def test_unknown_deck_rejected(self):
+        with pytest.raises(DeckError, match="no bundled deck"):
+            deck_path("imploding_teapot")
+
+
+# ----------------------------------------------------------------------
+# load_problem validates, then builds
+# ----------------------------------------------------------------------
+
+def test_load_problem_validates_before_building(scratch_registration):
+    calls = []
+
+    @problem(scratch_registration, summary="x", deck=None,
+             settings=[mesh_setting("nx", 4, "")])
+    def setup(nx=4, **overrides):
+        calls.append(nx)
+        return "setup-sentinel"
+
+    with pytest.raises(DeckError):
+        load_problem(scratch_registration, nx="bad")
+    assert calls == []  # rejected before the factory ran
+    assert load_problem(scratch_registration, nx=8) == "setup-sentinel"
+    assert calls == [8]
+
+
+def test_control_fields_cover_hydrocontrols():
+    """The pass-through whitelist is derived, not hand-written."""
+    from repro.problems.registry import _CONTROL_FIELDS
+    from dataclasses import fields as dc_fields
+
+    assert _CONTROL_FIELDS == frozenset(
+        f.name for f in dc_fields(HydroControls))

@@ -11,8 +11,8 @@ from repro.utils.errors import DeckError
 
 def test_registry_names():
     assert problem_names() == [
-        "jwl_expansion", "leblanc", "noh", "saltzmann", "sedov", "sod",
-        "water_air",
+        "jwl_expansion", "kidder", "leblanc", "noh", "saltzmann",
+        "sedov", "sod", "triple_point", "water_air",
     ]
 
 

@@ -265,3 +265,49 @@ def test_run_unknown_backend_fails(capsys):
     with pytest.raises(BookLeafError, match="unknown comm backend"):
         main(["run", "--problem", "noh", "--nx", "12", "--ny", "12",
               "--nranks", "2", "--backend", "mpi"])
+
+
+def test_problems_list(capsys):
+    assert main(["problems", "list"]) == 0
+    out = capsys.readouterr().out
+    from repro.problems import problem_names
+
+    for name in problem_names():
+        assert name in out
+    assert "Kidder" in out          # summaries printed too
+
+
+def test_problems_list_json(capsys):
+    import json
+
+    assert main(["problems", "list", "--json"]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    from repro.problems import problem_names
+
+    assert [row["name"] for row in rows] == problem_names()
+    assert all(row["settings"] for row in rows)
+
+
+def test_problems_describe(capsys):
+    assert main(["problems", "describe", "sedov"]) == 0
+    out = capsys.readouterr().out
+    assert "sedov:" in out
+    assert "energy" in out and "float" in out
+    assert "default=0.657" in out
+    assert "reference:" in out and "acceptance:" in out
+
+
+def test_problems_describe_json(capsys):
+    import json
+
+    assert main(["problems", "describe", "noh", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["name"] == "noh"
+    names = [s["name"] for s in doc["settings"]]
+    assert "subzonal_kappa" in names
+
+
+def test_problems_describe_unknown(capsys):
+    assert main(["problems", "describe", "vortex"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown problem" in err and "sod" in err

@@ -1,0 +1,58 @@
+"""Tier-1 guard: docs/PROBLEMS.md matches the problem registry.
+
+Mirrors the CI staleness gate (``tools/gen_problem_docs.py --check``):
+the committed catalogue must be byte-identical to a fresh render from
+the registry, so a changed ``@problem`` registration cannot merge with
+stale docs.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "gen_problem_docs",
+    Path(__file__).parent.parent / "tools" / "gen_problem_docs.py",
+)
+gen_problem_docs = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("gen_problem_docs", gen_problem_docs)
+_SPEC.loader.exec_module(gen_problem_docs)
+
+
+def test_problems_md_exists():
+    assert gen_problem_docs.OUTPUT.is_file()
+
+
+def test_problems_md_is_fresh():
+    committed = gen_problem_docs.OUTPUT.read_text()
+    assert committed == gen_problem_docs.render(), (
+        "docs/PROBLEMS.md is stale — regenerate with "
+        "`python tools/gen_problem_docs.py`"
+    )
+
+
+def test_render_covers_every_problem():
+    from repro.problems import get_problem, problem_names
+
+    text = gen_problem_docs.render()
+    for name in problem_names():
+        info = get_problem(name)
+        assert f"## {name}" in text
+        assert info.summary in text.replace("\\|", "|")
+        for s in info.settings:
+            assert f"`{s.name}`" in text
+    # the authoring guide rides along
+    assert "## Writing a new problem" in text
+    # deck variants are catalogued too
+    assert "sod_ale.in" in text
+
+
+def test_check_mode_detects_staleness(tmp_path, monkeypatch, capsys):
+    stale = tmp_path / "PROBLEMS.md"
+    stale.write_text("# outdated\n")
+    monkeypatch.setattr(gen_problem_docs, "OUTPUT", stale)
+    assert gen_problem_docs.main(["--check"]) == 1
+    assert "STALE" in capsys.readouterr().err
+    # and writing then checking round-trips clean
+    assert gen_problem_docs.main([]) == 0
+    assert gen_problem_docs.main(["--check"]) == 0
