@@ -1,0 +1,192 @@
+"""Fleet scheduler bench — cold vs warm cache, fast path vs per-job.
+
+Two duels, both through the public :func:`repro.api.submit` surface,
+written to ``BENCH_fleet.json`` at the repository root:
+
+* **cache**: a mixed Noh/Sod sweep submitted twice against the same
+  ``cache_dir``.  The cold pass executes every job; the warm pass is
+  served entirely from the content-addressed result cache.  The
+  acceptance claim is ``warm_speedup >= 10`` — a cache hit costs one
+  mesh rebuild plus an npz read, never a step loop.
+* **duel**: the same-mesh half of the sweep scheduled through the
+  batched ensemble fast path (``ensemble="auto"``) vs forced per-job
+  execution (``ensemble="off"``), measuring what the coalescing is
+  worth in aggregate wall time.
+
+Run standalone (``python benchmarks/bench_fleet.py [--quick]``) or
+through the bench harness (``pytest benchmarks/bench_fleet.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import RunConfig, submit
+
+ROOT = Path(__file__).resolve().parent.parent
+#: timed samples per measurement (after one untimed warmup where noted)
+DEFAULT_SAMPLES = 3
+#: the acceptance claim: a fully warm cache replays the sweep at least
+#: this much faster than the cold execution
+TARGET_WARM_SPEEDUP = 10.0
+
+
+def sweep_configs(nx: int = 32, jobs: int = 32, max_steps=None):
+    """A mixed 32-job sweep: half Noh, half Sod, stepping budgets
+    staggered so ensemble lanes retire at different times."""
+    if max_steps is None:
+        max_steps = 40
+    configs = []
+    for i in range(jobs):
+        problem = "noh" if i % 2 == 0 else "sod"
+        configs.append(RunConfig(
+            problem=problem, nx=nx, ny=nx,
+            max_steps=max_steps + (i // 2) % 4))
+    return configs
+
+
+def time_cache(configs, samples: int = DEFAULT_SAMPLES) -> dict:
+    """One cold pass, then ``samples`` warm passes against the same
+    cache directory."""
+    cache_dir = tempfile.mkdtemp(prefix="bench-fleet-cache-")
+    try:
+        t0 = time.perf_counter()
+        cold = submit(configs, cache_dir=cache_dir)
+        cold_results = cold.results()
+        t_cold = time.perf_counter() - t0
+        assert not any(r.cache_hit for r in cold_results)
+
+        warm_seconds = []
+        for _ in range(max(samples, 3)):
+            t0 = time.perf_counter()
+            warm = submit(configs, cache_dir=cache_dir)
+            warm_results = warm.results()
+            warm_seconds.append(time.perf_counter() - t0)
+            assert all(r.cache_hit for r in warm_results)
+        t_warm = statistics.median(warm_seconds)
+        return {
+            "jobs": len(configs),
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "warm_speedup": t_cold / t_warm,
+            "samples": len(warm_seconds),
+            "sample_seconds": warm_seconds,
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+def time_duel(configs, samples: int = DEFAULT_SAMPLES) -> dict:
+    """The same sweep through the batched fast path vs per-job loops
+    (median of ``samples``, one untimed warmup each)."""
+    def one(mode):
+        t0 = time.perf_counter()
+        submit(configs, ensemble=mode).results()
+        return time.perf_counter() - t0
+
+    samples = max(samples, 3)
+    one("auto")
+    one("off")
+    fast = [one("auto") for _ in range(samples)]
+    perjob = [one("off") for _ in range(samples)]
+    t_fast = statistics.median(fast)
+    t_perjob = statistics.median(perjob)
+    return {
+        "jobs": len(configs),
+        "seconds": t_fast,
+        "seconds_perjob": t_perjob,
+        "speedup": t_perjob / t_fast,
+        "samples": samples,
+        "sample_seconds": fast,
+        "sample_seconds_perjob": perjob,
+    }
+
+
+def run_bench(nx: int = 32, jobs: int = 32, max_steps=None,
+              samples: int = DEFAULT_SAMPLES) -> dict:
+    configs = sweep_configs(nx=nx, jobs=jobs, max_steps=max_steps)
+    cache = time_cache(configs, samples=samples)
+    # The duel uses the Noh half: one same-mesh group, so auto mode
+    # routes everything through a single batched pass.
+    duel = time_duel([c for c in configs if c.problem == "noh"],
+                     samples=samples)
+    return {
+        "bench": "fleet-scheduler",
+        "description": ("cold vs warm result-cache sweep and batched "
+                        "fast path vs per-job execution, both through "
+                        "repro.api.submit"),
+        "nx": nx,
+        "target_warm_speedup": TARGET_WARM_SPEEDUP,
+        "cache": cache,
+        "duel": duel,
+    }
+
+
+def write_report(report: dict,
+                 path: Path = ROOT / "BENCH_fleet.json") -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+
+def format_report(report: dict) -> str:
+    cache, duel = report["cache"], report["duel"]
+    return "\n".join([
+        f"fleet bench: {cache['jobs']}-job Noh/Sod sweep at "
+        f"{report['nx']}x{report['nx']}",
+        f"  cache: cold {cache['cold_seconds']:.3f}s -> warm "
+        f"{cache['warm_seconds']:.3f}s "
+        f"({cache['warm_speedup']:.1f}x, target "
+        f"{report['target_warm_speedup']:.0f}x)",
+        f"  duel:  fast path {duel['seconds']:.3f}s vs per-job "
+        f"{duel['seconds_perjob']:.3f}s ({duel['speedup']:.2f}x, "
+        f"{duel['jobs']} same-mesh jobs)",
+    ])
+
+
+# ----------------------------------------------------------------------
+# bench-harness entry point
+# ----------------------------------------------------------------------
+def test_fleet_cache_and_fast_path(results_dir):
+    # The acceptance scale: the 10x warm-cache claim is made for the
+    # full 32-job sweep (a shorter sweep under-amortises the per-hit
+    # mesh rebuild and misses the target for the wrong reason).
+    report = run_bench(nx=32, jobs=32, max_steps=40)
+    write_report(report)
+    text = format_report(report)
+    (results_dir / "fleet.txt").write_text(text + "\n")
+    print()
+    print(text)
+    cache = report["cache"]
+    assert cache["warm_seconds"] > 0 and cache["cold_seconds"] > 0
+    assert cache["warm_speedup"] >= TARGET_WARM_SPEEDUP, (
+        f"warm cache speedup {cache['warm_speedup']:.1f}x below the "
+        f"{TARGET_WARM_SPEEDUP}x target")
+    assert report["duel"]["speedup"] > 1.0, (
+        "the batched fast path should beat per-job execution")
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller mesh + fewer steps (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--nx", type=int, default=None)
+    args = parser.parse_args(argv[1:])
+    nx = args.nx or (24 if args.quick else 32)
+    jobs = args.jobs or (16 if args.quick else 32)
+    max_steps = 20 if args.quick else 40
+    report = run_bench(nx=nx, jobs=jobs, max_steps=max_steps)
+    write_report(report)
+    print(format_report(report))
+    print(f"\nwrote {ROOT / 'BENCH_fleet.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -20,18 +20,19 @@ Quickstart (the supported embedding surface — see docs/PARALLEL.md)::
                            backend="processes"))
 """
 
-from .api import RunConfig, RunResult, run
+from .api import RunConfig, RunResult, run, run_ensemble, submit
 from .core import Hydro, HydroControls, HydroState
 from .eos import IdealGas, Jwl, MaterialTable, Tait, Void
 from .mesh import QuadMesh, rect_mesh, saltzmann_mesh
 from .problems import load_problem, problem_names, setup_from_deck
-
-__version__ = "1.0.0"
+from .version import __version__
 
 __all__ = [
     "RunConfig",
     "RunResult",
     "run",
+    "run_ensemble",
+    "submit",
     "Hydro",
     "HydroControls",
     "HydroState",

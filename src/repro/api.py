@@ -1,32 +1,42 @@
-"""The supported embedding surface: ``run(RunConfig(...)) -> RunResult``.
+"""The supported embedding surface: submit configs, collect results.
 
-One function drives every way the mini-app executes — serial,
-thread-parallel and process-parallel — behind one declarative config::
+Every way the mini-app executes — one serial run, a thread- or
+process-parallel run, a batched same-mesh ensemble, or a cached
+many-run sweep — goes through one submission surface::
 
-    from repro.api import RunConfig, run
+    from repro.api import RunConfig, submit, run
 
-    result = run(RunConfig(problem="noh", nx=64, nranks=4,
-                           backend="processes"))
-    print(result.nstep, result.time, result.comm_total)
+    handle = submit([RunConfig(problem="noh", nx=64),
+                     RunConfig(problem="sod", nx=64)])
+    for result in handle.results():
+        print(result.lane, result.cache_hit, result.nstep)
 
-:class:`RunConfig` is a plain dataclass (construct it from argparse,
-a TOML table, a test fixture — anything), :class:`RunResult` carries
-the gathered final state plus every telemetry stream the run produced
-(merged kernel timers, trace spans, per-rank communication counters,
-the per-step series) with deterministic rank-order merge rules, and
-:meth:`RunResult.report` rebuilds the schema-versioned JSON run
-report from them.  The CLI (:mod:`repro.cli`) is a thin adapter onto
-this module; see docs/PARALLEL.md for the backend matrix.
+:func:`run` and :func:`run_ensemble` are thin wrappers over a
+single-job fleet, so all three paths share config resolution and
+result assembly.  :class:`RunConfig` is a frozen dataclass (construct
+it from argparse, a TOML table, a test fixture — anything; derive
+variants with :meth:`RunConfig.replace`) whose
+:meth:`RunConfig.canonical_key` content-addresses the fleet's result
+cache.  :class:`RunResult` carries the gathered final state plus every
+telemetry stream the run produced (merged kernel timers, trace spans,
+per-rank communication counters, the per-step series) with
+deterministic rank-order merge rules, and :meth:`RunResult.report`
+rebuilds the schema-versioned JSON run report from them.  The CLI
+(:mod:`repro.cli`) is a thin adapter onto this module; see
+docs/PARALLEL.md for the backend matrix and docs/FLEET.md for the
+fleet scheduler.
 
-Older embedding keywords (``ranks=``, ``method=``) are accepted by
-:func:`run` as deprecated aliases and warn.
+The pre-redesign embedding keywords (``ranks=``, ``method=``) have
+completed their deprecation cycle and now raise
+:class:`~repro.utils.errors.DeprecatedOptionError`.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time as _time
-import warnings
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace as _dc_replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from .core.state import HydroState
@@ -37,14 +47,19 @@ from .problems import (
     setup_from_deck,
 )
 from .problems.base import ProblemSetup
-from .utils.errors import BookLeafError
+from .utils.errors import BookLeafError, DeprecatedOptionError
 from .utils.timers import TimerRegistry
+from .version import __version__ as _CODE_VERSION
 
-#: legacy keyword → RunConfig field (accepted with a DeprecationWarning)
+#: removed legacy keyword → RunConfig field (now a structured error)
 _LEGACY_ALIASES = {"ranks": "nranks", "method": "partition"}
 
+#: bump when the canonical-key layout changes — cache entries written
+#: under an older layout must miss, never alias
+CANONICAL_KEY_VERSION = 1
 
-@dataclass
+
+@dataclass(frozen=True)
 class RunConfig:
     """Everything that defines one mini-app run.
 
@@ -56,6 +71,11 @@ class RunConfig:
     ``threads`` otherwise; any registered backend name
     (:func:`repro.parallel.available_backends`) may be forced
     explicitly.
+
+    The dataclass is frozen: the fleet's result cache and
+    compiled-artifact cache key off configs, so a config must mean the
+    same run for its whole lifetime.  Derive variants with
+    :meth:`replace`; the content hash is :meth:`canonical_key`.
     """
 
     problem: Optional[str] = None
@@ -97,6 +117,76 @@ class RunConfig:
         if self.backend == "auto":
             return "serial" if self.nranks == 1 else "threads"
         return self.backend
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy of this config with ``changes`` applied (the frozen
+        analogue of assigning to fields)."""
+        unknown = set(changes) - {f.name for f in fields(self)}
+        if unknown:
+            raise BookLeafError(
+                f"unknown RunConfig field(s): {', '.join(sorted(unknown))}"
+            )
+        return _dc_replace(self, **changes)
+
+    def __hash__(self):
+        kwargs = tuple(sorted(
+            (k, repr(v)) for k, v in self.problem_kwargs.items()
+        ))
+        rest = tuple(
+            getattr(self, f.name) for f in fields(self)
+            if f.name != "problem_kwargs"
+        )
+        return hash((rest, kwargs))
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The resolved, semantically-relevant view of this config.
+
+        Two configs that would produce the same physics and the same
+        result payload canonicalise identically: ``backend="auto"``
+        resolves, a deck path is replaced by the deck *content* hash,
+        ``comm_plan`` collapses its two legacy spellings, and pure
+        observability knobs (output paths, tracing, log cadence, the
+        watchdog) are excluded — they never change what a run computes.
+        The layout is pinned by a golden test; bump
+        ``CANONICAL_KEY_VERSION`` on any deliberate change.
+        """
+        deck_sha = None
+        if self.deck:
+            with open(self.deck, "rb") as fh:
+                deck_sha = hashlib.sha256(fh.read()).hexdigest()
+        comm_plan = self.comm_plan
+        if comm_plan in (None, "legacy"):
+            comm_plan = "legacy"
+        return {
+            "key_version": CANONICAL_KEY_VERSION,
+            "code_version": _CODE_VERSION,
+            "problem": self.problem,
+            "deck_sha256": deck_sha,
+            "nx": self.nx,
+            "ny": self.ny,
+            "time_end": self.time_end,
+            "max_steps": self.max_steps,
+            "nranks": int(self.nranks),
+            "backend": self.resolved_backend(),
+            "partition": self.partition,
+            "comm_plan": comm_plan,
+            "metrics_every": self.resolved_metrics_every(),
+            "collect_steps": bool(self.collect_steps),
+            "problem_kwargs": {
+                str(k): self.problem_kwargs[k]
+                for k in sorted(self.problem_kwargs)
+            },
+        }
+
+    def canonical_key(self) -> str:
+        """Content address of this config: the sha256 of the
+        sorted-key JSON of :meth:`canonical_dict`.  Keys the fleet's
+        on-disk result cache."""
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":"),
+            default=repr,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def resolved_metrics_every(self) -> int:
         """The effective probe cadence (0 = no probe, hot loop
@@ -162,11 +252,24 @@ class RunResult:
     #: (physics gauges + ingested timer/comm counters; None when off)
     metrics: Any = None
     driver: Any = None
+    #: scheduling provenance — which queue position (ensemble lane /
+    #: sweep slot) produced this result; None for a direct single run
+    lane: Optional[int] = None
+    #: True when the fleet served this result from its content-addressed
+    #: cache instead of executing the job
+    cache_hit: bool = False
+    #: cache-restored results carry the stored report verbatim (the
+    #: original run's timers are not reconstructable); live results
+    #: leave this None and rebuild from telemetry
+    report_override: Optional[dict] = None
 
     def report(self) -> dict:
         """The schema-versioned JSON run report for this run
         (identical shape to ``bookleaf run --report``)."""
         from .telemetry.report import StepSeries, build_report
+
+        if self.report_override is not None:
+            return self.report_override
 
         series = None
         if self.step_rows is not None:
@@ -196,17 +299,7 @@ class RunResult:
 def _config_from_kwargs(kwargs: Dict[str, Any]) -> RunConfig:
     for old, new in _LEGACY_ALIASES.items():
         if old in kwargs:
-            warnings.warn(
-                f"repro.api.run({old}=...) is deprecated; "
-                f"use RunConfig({new}=...)",
-                DeprecationWarning, stacklevel=3,
-            )
-            if new in kwargs:
-                raise BookLeafError(
-                    f"both {old!r} and {new!r} given; drop the "
-                    f"deprecated {old!r}"
-                )
-            kwargs[new] = kwargs.pop(old)
+            raise DeprecatedOptionError(f"{old}=", f"{new}=")
     valid = {f.name for f in fields(RunConfig)}
     unknown = set(kwargs) - valid
     if unknown:
@@ -216,26 +309,20 @@ def _config_from_kwargs(kwargs: Dict[str, Any]) -> RunConfig:
     return RunConfig(**kwargs)
 
 
-def run(config: Optional[RunConfig] = None, *,
-        observers: Optional[Sequence] = None,
-        **kwargs) -> RunResult:
-    """Run the mini-app described by ``config`` and return the result.
+def _execute_run(config: RunConfig, *,
+                 observers: Optional[Sequence] = None,
+                 artifacts: Any = None,
+                 on_prepared: Any = None) -> RunResult:
+    """Execute one config in-process and assemble its RunResult.
 
-    Keyword form ``run(problem="sod", nranks=2, ...)`` builds the
-    :class:`RunConfig` for you; the pre-redesign keywords ``ranks``
-    and ``method`` still work there but emit ``DeprecationWarning``.
-
-    ``observers`` are attached to rank 0's step loop (serial and
-    threads backends only — the processes backend runs its ranks in
-    child processes, so in-process observers cannot see them; use
-    ``collect_steps`` for the marshalled per-step series instead).
+    The single execution body behind every submission path.  ``artifacts``
+    is an optional :class:`repro.fleet.artifacts.ArtifactCache` the
+    driver may pull pre-compiled partitions/CommPlans from;
+    ``on_prepared(driver, max_steps)`` is the fleet's
+    checkpoint-restore hook — called after the driver is built but
+    before stepping, it may overlay a saved state and return an
+    adjusted remaining step budget (or ``None`` to keep ``max_steps``).
     """
-    if config is None:
-        config = _config_from_kwargs(kwargs)
-    elif kwargs:
-        raise BookLeafError(
-            "pass either a RunConfig or keyword options, not both"
-        )
     from .parallel.distributed import DistributedHydro
 
     setup = config.build_setup()
@@ -250,6 +337,7 @@ def run(config: Optional[RunConfig] = None, *,
         watchdog_timeout=config.watchdog_timeout,
         snapshot_dir=config.snapshot_dir,
         comm_plan=config.comm_plan,
+        artifacts=artifacts,
     )
     driver.collect_step_series = config.collect_steps
     if observers:
@@ -260,8 +348,13 @@ def run(config: Optional[RunConfig] = None, *,
                 "RunConfig(collect_steps=True) for the step series"
             )
         driver.hydros[0].observers.extend(observers)
+    max_steps = config.max_steps
+    if on_prepared is not None:
+        adjusted = on_prepared(driver, max_steps)
+        if adjusted is not None:
+            max_steps = adjusted
     start = _time.perf_counter()
-    driver.run(max_steps=config.max_steps)
+    driver.run(max_steps=max_steps)
     wall = _time.perf_counter() - start
     distributed = config.nranks > 1
     merged_timers = driver.merged_timers()
@@ -293,6 +386,54 @@ def run(config: Optional[RunConfig] = None, *,
     )
 
 
+def submit(configs: Sequence[RunConfig], *,
+           control_overrides: Optional[Sequence] = None,
+           observers: Optional[Sequence] = None,
+           **options) -> "Any":
+    """Submit a batch of configs to the fleet; returns a
+    :class:`repro.fleet.FleetHandle` whose :meth:`results` yields one
+    :class:`RunResult` per config, in submission order.
+
+    This is the one submission surface — :func:`run` and
+    :func:`run_ensemble` are thin wrappers over it.  ``options`` are
+    :class:`repro.fleet.FleetOptions` fields: ``workers`` (process-pool
+    size; 0 executes inline), ``cache_dir`` (content-addressed result
+    cache), ``checkpoint_dir``/``checkpoint_every`` (resumable jobs),
+    ``ensemble`` (``"auto"`` coalesces compatible same-mesh jobs into
+    one batched pass, ``"require"`` demands it, ``"off"`` disables).
+    See docs/FLEET.md.
+    """
+    from .fleet import submit as _fleet_submit
+
+    return _fleet_submit(configs, control_overrides=control_overrides,
+                         observers=observers, **options)
+
+
+def run(config: Optional[RunConfig] = None, *,
+        observers: Optional[Sequence] = None,
+        **kwargs) -> RunResult:
+    """Run the mini-app described by ``config`` and return the result.
+
+    Keyword form ``run(problem="sod", nranks=2, ...)`` builds the
+    :class:`RunConfig` for you.  The pre-redesign keywords ``ranks``
+    and ``method`` completed their deprecation cycle and now raise
+    :class:`~repro.utils.errors.DeprecatedOptionError`.
+
+    ``observers`` are attached to rank 0's step loop (serial and
+    threads backends only — the processes backend runs its ranks in
+    child processes, so in-process observers cannot see them; use
+    ``collect_steps`` for the marshalled per-step series instead).
+    """
+    if config is None:
+        config = _config_from_kwargs(kwargs)
+    elif kwargs:
+        raise BookLeafError(
+            "pass either a RunConfig or keyword options, not both"
+        )
+    return submit([config], observers=observers,
+                  ensemble="off").results()[0]
+
+
 def run_ensemble(configs, *, control_overrides=None):
     """Batch N serial configs into one ensemble run; one
     :class:`RunResult` per lane, in config order.
@@ -300,12 +441,13 @@ def run_ensemble(configs, *, control_overrides=None):
     All lanes must share mesh topology (an ensemble varies initial
     state and controls, not meshes); each lane advances at its own CFL
     timestep and lane ``i``'s result is bit-identical to
-    ``run(configs[i])``.  See :mod:`repro.ensemble`.
+    ``run(configs[i])``, with ``result.lane`` recording its batch row.
+    Equivalent to ``submit(configs, ensemble="require").results()``;
+    see :mod:`repro.ensemble`.
     """
-    from .ensemble.driver import run_ensemble as _run_ensemble
+    return submit(configs, control_overrides=control_overrides,
+                  ensemble="require").results()
 
-    return _run_ensemble(configs, control_overrides=control_overrides)
 
-
-__all__ = ["RunConfig", "RunResult", "run", "run_ensemble",
+__all__ = ["RunConfig", "RunResult", "run", "run_ensemble", "submit",
            "problem_names", "describe_problem"]

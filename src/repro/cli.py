@@ -54,7 +54,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nranks", type=int, default=None,
                      help="MPI-style rank count (1 = serial)")
     run.add_argument("--ranks", type=int, default=None,
-                     help="deprecated alias for --nranks")
+                     help="removed alias for --nranks (errors with the "
+                          "replacement; see docs/FLEET.md)")
     run.add_argument("--backend", default="auto",
                      help="comm backend: auto, serial, threads or "
                           "processes (see docs/PARALLEL.md; auto picks "
@@ -137,6 +138,67 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="diagnostics sampling cadence in steps "
                           "(default 10 when --metrics is set)")
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a cached, resumable sweep of many configs through "
+             "the fleet scheduler (see docs/FLEET.md)",
+    )
+    fleet.add_argument("deck", nargs="?", help="input deck path")
+    fleet.add_argument("--problem", choices=problem_names(),
+                       help="bundled problem instead of a deck")
+    fleet.add_argument("--nx", type=int, help="mesh cells in x")
+    fleet.add_argument("--ny", type=int, help="mesh cells in y")
+    fleet.add_argument("--time-end", type=float, dest="time_end")
+    fleet.add_argument("--max-steps", type=int, dest="max_steps")
+    fleet.add_argument("--nranks", type=int, default=1,
+                       help="rank count per job (1 = serial)")
+    fleet.add_argument("--backend", default="auto",
+                       help="comm backend per job: auto, serial, "
+                            "threads or processes")
+    fleet.add_argument("--lanes", type=int, default=None,
+                       help="replicate the base config N times "
+                            "(mutually exclusive with --sweep)")
+    fleet.add_argument("--sweep", action="append", default=[],
+                       metavar="KEY=V1,V2,...",
+                       help="sweep one parameter across jobs; repeat "
+                            "for a cartesian product (same key routing "
+                            "as run-ensemble; nx/ny ARE sweepable here "
+                            "— mismatched meshes just skip the batched "
+                            "fast path)")
+    fleet.add_argument("--workers", type=int, default=0,
+                       help="process-pool width for per-job execution "
+                            "(0 = inline)")
+    fleet.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed result cache; repeated "
+                            "configs are served from disk")
+    fleet.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="periodic snapshots so killed jobs resume "
+                            "bit-identically")
+    fleet.add_argument("--checkpoint-every", type=int, default=20,
+                       metavar="N", help="steps between checkpoints")
+    fleet.add_argument("--no-ensemble", action="store_true",
+                       help="disable the same-mesh batched fast path "
+                            "(every job runs on its own step loop)")
+    fleet.add_argument("--batch-width", type=int, default=None,
+                       metavar="N",
+                       help="live-lane cap for batched passes (longer "
+                            "queues drain through lane refill)")
+    fleet.add_argument("--summary", metavar="PATH",
+                       help="write the sweep summary JSON (per-job "
+                            "keys + outcome digests; diffable with "
+                            "`bookleaf compare`)")
+    fleet.add_argument("--metrics", metavar="PATH",
+                       help="merged NDJSON stream of every job's "
+                            "diagnostics samples")
+    fleet.add_argument("--metrics-every", type=int, default=None,
+                       metavar="N",
+                       help="diagnostics sampling cadence in steps "
+                            "(default 10 when --metrics or --prom is "
+                            "set; note: the cadence enters each job's "
+                            "cache key)")
+    fleet.add_argument("--prom", metavar="PATH",
+                       help="merged Prometheus textfile export")
 
     compare = sub.add_parser(
         "compare",
@@ -309,11 +371,14 @@ def _run_config(args: argparse.Namespace):
 
     nranks = args.nranks
     if args.ranks is not None:
-        if nranks is not None:
-            print("give --nranks or --ranks, not both", file=sys.stderr)
-            return None
-        print("--ranks is deprecated; use --nranks", file=sys.stderr)
-        nranks = args.ranks
+        # The PR 3 deprecation window has closed: the alias is now a
+        # structured refusal naming the replacement, exit code 2.
+        from .utils.errors import DeprecatedOptionError
+
+        err = DeprecatedOptionError("--ranks", "--nranks",
+                                    context="bookleaf run")
+        print(f"error: {err}", file=sys.stderr)
+        return None
     if nranks is None:
         nranks = 1
     return RunConfig(
@@ -369,7 +434,7 @@ def _run(args: argparse.Namespace) -> int:
         # silently dropping it (docs/OBSERVABILITY.md).
         print(f"--trace-allocs is serial-only; ignoring for the "
               f"{config.resolved_backend()!r} backend", file=sys.stderr)
-        config.trace_allocations = False
+        config = config.replace(trace_allocations=False)
     history = None
     observers = []
     if args.history:
@@ -571,6 +636,125 @@ def _run_ensemble_cli(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_cli(args: argparse.Namespace) -> int:
+    if args.deck and args.problem:
+        print("give either a deck or --problem, not both", file=sys.stderr)
+        return 2
+    if not args.deck and not args.problem:
+        print("nothing to run: give a deck path or --problem",
+              file=sys.stderr)
+        return 2
+    if args.sweep and args.lanes is not None:
+        print("give --lanes or --sweep, not both (the sweep's "
+              "cartesian product sets the job count)", file=sys.stderr)
+        return 2
+
+    try:
+        assignments = _sweep_lanes(args.sweep)
+    except ValueError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+    if not args.sweep:
+        assignments = [{}] * max(args.lanes or 1, 1)
+
+    from dataclasses import fields as dc_fields
+
+    from .api import RunConfig, submit
+    from .core.controls import HydroControls
+
+    control_names = {f.name for f in dc_fields(HydroControls)}
+    swept_keys = {k for a in assignments for k in a}
+    if (swept_keys & control_names) and (swept_keys & {"nx", "ny"}):
+        print("fleet: cannot combine control sweeps with mesh sweeps "
+              "(control overrides ride the same-mesh batched path)",
+              file=sys.stderr)
+        return 2
+
+    configs, overrides, any_override = [], [], False
+    for assignment in assignments:
+        kwargs = dict(
+            problem=args.problem, deck=args.deck,
+            nx=args.nx, ny=args.ny,
+            time_end=args.time_end, max_steps=args.max_steps,
+            nranks=args.nranks, backend=args.backend,
+            # merged telemetry needs the per-job probe: default its
+            # cadence when a fleet-level sink is requested, exactly as
+            # `run --metrics` does for a single run
+            metrics_every=(RunConfig.DEFAULT_METRICS_EVERY
+                           if (args.metrics_every is None
+                               and (args.metrics or args.prom))
+                           else args.metrics_every),
+            problem_kwargs={},
+        )
+        override = {}
+        for key, value in assignment.items():
+            if key in ("nx", "ny", "time_end", "max_steps", "nranks"):
+                kwargs[key] = value
+            elif key in control_names:
+                override[key] = value
+            elif args.deck:
+                print(f"fleet: sweep key {key!r} is not a control "
+                      "field; problem-kwarg sweeps need --problem",
+                      file=sys.stderr)
+                return 2
+            else:
+                kwargs["problem_kwargs"][key] = value
+        configs.append(RunConfig(**kwargs))
+        overrides.append(override or None)
+        any_override = any_override or bool(override)
+
+    from .utils.errors import BookLeafError
+
+    options = dict(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        ensemble="off" if args.no_ensemble else "auto",
+        batch_width=args.batch_width,
+        metrics_path=args.metrics,
+        prom_path=args.prom,
+    )
+    try:
+        handle = submit(
+            configs,
+            control_overrides=overrides if any_override else None,
+            **options)
+        results = handle.results()
+    except BookLeafError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+
+    for job, result in enumerate(results):
+        tag = ""
+        if assignments[job]:
+            tag = " (" + ", ".join(f"{k}={v}" for k, v in
+                                   sorted(assignments[job].items())) + ")"
+        via = result.backend
+        if result.cache_hit:
+            via += ", cached"
+        final = result.state
+        print(f"job {job}{tag} [{via}]: {result.nstep} steps to "
+              f"t={result.time:.6g}  mass={final.total_mass():.9g} "
+              f"total_energy={final.total_energy():.9g}")
+    summary = handle.summary()
+    counts = summary["counts"]
+    print(f"\n{counts['jobs']} job(s): {counts['cache_hits']} from "
+          f"cache, {counts['ensemble_jobs']} on the batched fast path "
+          f"({summary['wall_seconds']:.2f}s)")
+    if args.summary:
+        import json
+
+        with open(args.summary, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+        print(f"wrote sweep summary to {args.summary}")
+    if args.metrics:
+        print(f"wrote merged metrics stream to {args.metrics}")
+    if args.prom:
+        print(f"wrote merged Prometheus export to {args.prom}")
+    return 0
+
+
 def _problems(args: argparse.Namespace) -> int:
     import json
 
@@ -664,6 +848,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run(args)
     if args.command == "run-ensemble":
         return _run_ensemble_cli(args)
+    if args.command == "fleet":
+        return _fleet_cli(args)
     if args.command == "compare":
         return _compare(args)
     if args.command == "problems":

@@ -25,8 +25,6 @@ ensemble timer registry.
 
 from __future__ import annotations
 
-import os
-import time as _time
 from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -34,7 +32,6 @@ import numpy as np
 from ..api import RunConfig, RunResult
 from ..core.comms import SerialComms
 from ..core.hourglass import GAMMA
-from ..metrics.probe import DiagnosticsProbe
 from ..perf.plans import MeshPlans
 from ..perf.workspace import Workspace
 from ..problems.base import ProblemSetup
@@ -93,13 +90,27 @@ class EnsembleHydro:
     max_steps:
         Optional per-lane step limits (None entries fall back to the
         lane's ``controls.max_steps``), mirroring ``Hydro.run``.
+    plans:
+        Optional precompiled :class:`~repro.perf.plans.MeshPlans` for
+        the shared mesh (the fleet's artifact cache hands these in;
+        they are pure index tables, so reuse is exact).
+    resume:
+        Optional per-lane resume records for lanes carried over from an
+        earlier batch (the fleet's lane-refill path): each non-None
+        entry is a dict with ``time``/``nstep``/``dt``/``dt_reason``/
+        ``dt_cell`` — and, when present, a ``remapper`` key whose value
+        (possibly None) *replaces* building one from the lane's setup
+        state.  Carrying the original remapper is load-bearing: it
+        holds the pristine initial coordinates as its Eulerian target,
+        which a mid-flight state no longer has.
     """
 
     def __init__(self, setups: Sequence[ProblemSetup], *,
                  probes: Optional[Sequence] = None,
                  timers: Optional[TimerRegistry] = None,
                  max_steps: Optional[Sequence[Optional[int]]] = None,
-                 xp=None):
+                 xp=None, plans=None,
+                 resume: Optional[Sequence[Optional[dict]]] = None):
         self.xp = xp if xp is not None else np
         self.setups = list(setups)
         if not self.setups:
@@ -122,7 +133,7 @@ class EnsembleHydro:
         self.es = EnsembleState([s.state for s in self.setups])
         mesh = self.es.mesh
         self.cell_nodes = mesh.cell_nodes
-        self.plans = MeshPlans(mesh)
+        self.plans = plans if plans is not None else MeshPlans(mesh)
         self.ws = Workspace()
         self.eos = EnsembleEos([s.table for s in self.setups], xp=self.xp)
         xp = self.xp
@@ -147,11 +158,26 @@ class EnsembleHydro:
             ws=self.ws,
         )
 
+        if resume is None:
+            resume = [None] * n
+        elif len(resume) != n:
+            raise BookLeafError(
+                f"resume must carry one entry per lane "
+                f"({len(resume)} != {n})"
+            )
+        self.resume = list(resume)
+
         # Per-lane ALE remappers, built from the *initial* lane states
-        # exactly as the serial driver does.
+        # exactly as the serial driver does — except carried lanes,
+        # whose original remapper (with its pristine Eulerian target)
+        # rides along in the resume record.
         self.remappers: List[Any] = []
-        for setup, controls in zip(self.setups, self.controls_list):
-            if controls.ale_on:
+        for i, (setup, controls) in enumerate(
+                zip(self.setups, self.controls_list)):
+            entry = self.resume[i]
+            if entry is not None and "remapper" in entry:
+                self.remappers.append(entry["remapper"])
+            elif controls.ale_on:
                 # Imported here to avoid an ensemble <-> ale cycle.
                 from ..ale.driver import AleStep
 
@@ -174,6 +200,15 @@ class EnsembleHydro:
         self.dts = [c.dt_initial for c in self.controls_list]
         self.dt_reasons = ["initial"] * n
         self.dt_cells = [-1] * n
+        # Carried lanes continue their clocks mid-flight.
+        for i, entry in enumerate(self.resume):
+            if entry is None:
+                continue
+            self.times[i] = entry["time"]
+            self.nsteps[i] = entry["nstep"]
+            self.dts[i] = entry["dt"]
+            self.dt_reasons[i] = entry["dt_reason"]
+            self.dt_cells[i] = entry["dt_cell"]
         self.probes = list(probes) if probes is not None else [None] * n
         #: batch row -> original lane index (shrinks with retirement)
         self.order = list(range(n))
@@ -242,9 +277,15 @@ class EnsembleHydro:
             geom = kernels.build_geom(
                 xp, self.cell_nodes, self.es.x, self.es.y,
                 check=False)
-        # All active lanes share the pass count, so "first step" is a
-        # batch-wide condition, same special case as the serial driver.
-        if self.nsteps[active[0]] == 0:
+        # "First step" is a per-lane condition: a refilled batch mixes
+        # fresh lanes (serial drivers take dt_initial without running
+        # getdt at all on step 0) with carried mid-flight lanes.  An
+        # all-fresh batch skips getdt entirely — the historic special
+        # case; a mixed batch runs getdt for everyone and overrides the
+        # fresh lanes' candidates, which is bitwise the same for both
+        # populations (per-lane candidates are independent).
+        fresh = [self.nsteps[lane] == 0 for lane in active]
+        if all(fresh):
             cands = []
             for lane in active:
                 controls = self.controls_list[lane]
@@ -259,6 +300,12 @@ class EnsembleHydro:
                     [self.dts[lane] for lane in active],
                     [self.times[lane] for lane in active],
                 )
+            for row, lane in enumerate(active):
+                if fresh[row]:
+                    controls = self.controls_list[lane]
+                    remaining = controls.time_end - self.times[lane]
+                    cands[row] = (min(controls.dt_initial, remaining),
+                                  "initial", -1)
         for row, lane in enumerate(active):
             (self.dts[lane], self.dt_reasons[lane],
              self.dt_cells[lane]) = cands[row]
@@ -293,12 +340,54 @@ class EnsembleHydro:
             if probe is not None:
                 probe.on_step(self._view(row))
 
-    def run(self) -> "EnsembleHydro":
-        """March every lane to its end time (or step limit)."""
+    def begin(self) -> None:
+        """Record every lane's probe baseline (idempotent per probe —
+        carried lanes keep their original drift reference)."""
         for row in range(len(self.order)):
             probe = self.probes[self.order[row]]
             if probe is not None:
                 probe.begin(self._view(row))
+
+    def advance(self) -> List[int]:
+        """One scheduler turn: retire finished lanes, then step the
+        rest once.  Returns the lane indices retired this call (their
+        final states are in ``final_states``); an empty ``order``
+        afterwards means the batch is drained.  This is the fleet's
+        refill seam — after retirements the caller may abandon this
+        instance and rebuild a wider batch from the still-active lanes
+        (:meth:`extract_active`) plus fresh queued configs.
+        """
+        before = list(self.order)
+        self._retire_finished()
+        active = set(self.order)
+        retired = [lane for lane in before if lane not in active]
+        if self.order:
+            self._advance_once()
+        return retired
+
+    def extract_active(self) -> List[dict]:
+        """Resume records for every still-active lane, in batch-row
+        order: the lane index, a standalone copy of its current state,
+        its clocks, its remapper and its probe — everything a rebuilt
+        batch needs to continue the lane bit-identically."""
+        out = []
+        for row, lane in enumerate(self.order):
+            out.append({
+                "lane": lane,
+                "state": self.es.extract_lane(row),
+                "time": self.times[lane],
+                "nstep": self.nsteps[lane],
+                "dt": self.dts[lane],
+                "dt_reason": self.dt_reasons[lane],
+                "dt_cell": self.dt_cells[lane],
+                "remapper": self.remappers[lane],
+                "probe": self.probes[lane],
+            })
+        return out
+
+    def run(self) -> "EnsembleHydro":
+        """March every lane to its end time (or step limit)."""
+        self.begin()
         while self.order:
             self._retire_finished()
             if not self.order:
@@ -326,81 +415,13 @@ def run_ensemble(configs: Sequence[RunConfig], *,
     Per-lane ``metrics`` paths get each lane its own NDJSON stream —
     give distinct paths (the CLI suffixes ``.laneN``) or later lanes
     overwrite earlier ones.
+
+    Since the fleet redesign this is a compatibility shim over the
+    shared batch executor (:func:`repro.fleet.batch.run_ensemble_jobs`)
+    — the same code path ``repro.api.submit`` schedules through — so
+    results now carry ``lane`` provenance.
     """
-    configs = list(configs)
-    if not configs:
-        raise BookLeafError("run_ensemble needs at least one RunConfig")
-    if control_overrides is None:
-        overrides: List[Optional[Dict[str, Any]]] = [None] * len(configs)
-    else:
-        overrides = list(control_overrides)
-        if len(overrides) != len(configs):
-            raise BookLeafError(
-                "control_overrides must be one entry per config "
-                f"({len(overrides)} != {len(configs)})"
-            )
-    setups = []
-    for i, (config, override) in enumerate(zip(configs, overrides)):
-        if config.nranks != 1:
-            raise BookLeafError(
-                f"ensemble lane {i} has nranks={config.nranks}; lanes "
-                "are serial runs batched together — decompose across "
-                "lanes, not within them"
-            )
-        if config.resolved_backend() != "serial":
-            raise BookLeafError(
-                f"ensemble lane {i} requests backend="
-                f"{config.resolved_backend()!r}; lanes run serially "
-                "inside the batch"
-            )
-        setup = config.build_setup()
-        if override:
-            setup.controls = setup.controls.with_(**override).validated()
-        setups.append(setup)
+    # Imported lazily: fleet sits above the ensemble layer.
+    from ..fleet.batch import make_jobs, run_ensemble_jobs
 
-    timers = TimerRegistry()
-    probes = []
-    for i, config in enumerate(configs):
-        every = config.resolved_metrics_every()
-        if every > 0:
-            snapshot_path = None
-            if config.snapshot_dir:
-                snapshot_path = os.path.join(
-                    config.snapshot_dir, f"HEALTH_snapshot_lane{i}.npz")
-            probes.append(DiagnosticsProbe(
-                every=every, sink_path=config.metrics, record=True,
-                snapshot_path=snapshot_path))
-        else:
-            probes.append(None)
-
-    driver = EnsembleHydro(
-        setups, probes=probes, timers=timers,
-        max_steps=[config.max_steps for config in configs],
-    )
-    start = _time.perf_counter()
-    driver.run()
-    wall = _time.perf_counter() - start
-
-    results = []
-    for i, (config, setup) in enumerate(zip(configs, setups)):
-        probe = probes[i]
-        results.append(RunResult(
-            config=config,
-            setup=setup,
-            backend="ensemble",
-            nranks=1,
-            nstep=driver.nsteps[i],
-            time=driver.times[i],
-            wall_seconds=wall,
-            state=driver.final_states[i],
-            timers=timers,
-            spans=[],
-            comm_total=None,
-            comm_per_rank=[],
-            step_rows=None,
-            comm_summary=None,
-            metrics_rows=(probe.rows if probe is not None else None),
-            metrics=None,
-            driver=driver,
-        ))
-    return results
+    return run_ensemble_jobs(make_jobs(configs, control_overrides))

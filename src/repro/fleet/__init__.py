@@ -1,0 +1,42 @@
+"""repro.fleet — cached, resumable many-run sweep scheduling.
+
+The fleet engine behind :func:`repro.api.submit`: a work queue over
+:class:`~repro.api.RunConfig` jobs with a content-addressed result
+cache, a compiled-artifact cache, checkpoint/restart for crashed jobs,
+a SIGKILL-safe process pool and a same-mesh batched fast path with
+lane refill.  See docs/FLEET.md for the architecture tour.
+"""
+
+from .artifacts import ArtifactCache, mesh_fingerprint
+from .batch import BatchJob, make_jobs, run_ensemble_jobs
+from .cache import (CACHE_SCHEMA_VERSION, ResultCache, job_key,
+                    state_digest)
+from .checkpoint import (CHECKPOINT_SCHEMA_VERSION, CheckpointWriter,
+                         load_checkpoint, restore_into,
+                         save_checkpoint)
+from .engine import (FLEET_SCHEMA_VERSION, Fleet, FleetHandle,
+                     FleetOptions, submit)
+from .worker import WorkerPool
+
+__all__ = [
+    "ArtifactCache",
+    "BatchJob",
+    "CACHE_SCHEMA_VERSION",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointWriter",
+    "FLEET_SCHEMA_VERSION",
+    "Fleet",
+    "FleetHandle",
+    "FleetOptions",
+    "ResultCache",
+    "WorkerPool",
+    "job_key",
+    "load_checkpoint",
+    "make_jobs",
+    "mesh_fingerprint",
+    "restore_into",
+    "run_ensemble_jobs",
+    "save_checkpoint",
+    "state_digest",
+    "submit",
+]

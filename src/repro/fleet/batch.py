@@ -1,0 +1,237 @@
+"""The fleet's same-mesh fast path: batched ensemble execution with
+lane refill.
+
+Compatible queued jobs (serial, same mesh topology) coalesce into one
+:class:`~repro.ensemble.driver.EnsembleHydro` pass instead of N
+separate processes — the PR 6 batching engine as a scheduler lane.
+The addition over plain ``run_ensemble`` is **refill**: when a lane
+finishes early (its own CFL clock hit ``time_end``) and jobs are still
+queued, the batch is rebuilt at full width — still-active lanes carry
+over mid-flight (state copy + clocks + their original ALE remapper and
+probe, via ``EnsembleHydro(resume=...)``) and retired rows are refilled
+from the queue, so the kernel pass never shrinks while work remains.
+
+Bit-identity is preserved through a rebuild for both populations: a
+carried lane continues from its exact state/dt (the compaction path
+already proves batch-layout changes are bit-neutral), and a fresh lane
+entering mid-flight gets the serial driver's step-0 dt handling via the
+per-lane first-step logic in ``_advance_once``.
+
+:func:`run_ensemble_jobs` is also the implementation behind the
+legacy ``repro.ensemble.driver.run_ensemble`` surface (all submission
+paths share it), so its validation messages are the historical ones.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from collections import deque
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..utils.errors import BookLeafError
+from ..utils.timers import TimerRegistry
+
+
+@dataclass
+class BatchJob:
+    """One queued unit of work: a config, its submission index and the
+    per-lane control overrides (ensemble sweeps)."""
+
+    index: int
+    config: Any
+    override: Optional[Dict[str, Any]] = None
+    #: retry bookkeeping (worker-pool path)
+    attempts: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+def make_jobs(configs: Sequence, control_overrides=None) -> List[BatchJob]:
+    """Pair configs with their per-lane overrides, validating the
+    historical arity contract."""
+    configs = list(configs)
+    if not configs:
+        raise BookLeafError("run_ensemble needs at least one RunConfig")
+    if control_overrides is None:
+        overrides: List[Optional[Dict[str, Any]]] = [None] * len(configs)
+    else:
+        overrides = list(control_overrides)
+        if len(overrides) != len(configs):
+            raise BookLeafError(
+                "control_overrides must be one entry per config "
+                f"({len(overrides)} != {len(configs)})"
+            )
+    return [BatchJob(index=i, config=config, override=override)
+            for i, (config, override) in enumerate(zip(configs, overrides))]
+
+
+def run_ensemble_jobs(jobs: Sequence[BatchJob], *,
+                      width: Optional[int] = None,
+                      timers: Optional[TimerRegistry] = None,
+                      artifacts=None,
+                      schedule_log: Optional[List[dict]] = None):
+    """Run ``jobs`` through batched ensemble passes; one
+    :class:`~repro.api.RunResult` per job, in job order.
+
+    ``width`` caps the live batch (default: all jobs in one batch — the
+    historical ``run_ensemble`` behaviour); a queue longer than the
+    width drains through lane refill.  ``artifacts`` optionally supplies
+    shared :class:`MeshPlans`; ``schedule_log`` (a list) receives one
+    event dict per scheduling decision.
+    """
+    from ..api import RunResult
+    from ..ensemble.driver import EnsembleHydro
+    from ..metrics.probe import DiagnosticsProbe
+
+    jobs = list(jobs)
+    if not jobs:
+        raise BookLeafError("run_ensemble needs at least one RunConfig")
+    for i, job in enumerate(jobs):
+        config = job.config
+        if config.nranks != 1:
+            raise BookLeafError(
+                f"ensemble lane {i} has nranks={config.nranks}; lanes "
+                "are serial runs batched together — decompose across "
+                "lanes, not within them"
+            )
+        if config.resolved_backend() != "serial":
+            raise BookLeafError(
+                f"ensemble lane {i} requests backend="
+                f"{config.resolved_backend()!r}; lanes run serially "
+                "inside the batch"
+            )
+    n = len(jobs)
+    timers = timers if timers is not None else TimerRegistry()
+    width = n if width is None else max(1, int(width))
+
+    def make_lane(pos: int):
+        job = jobs[pos]
+        setup = job.config.build_setup()
+        if job.override:
+            setup.controls = \
+                setup.controls.with_(**job.override).validated()
+        every = job.config.resolved_metrics_every()
+        probe = None
+        if every > 0:
+            snapshot_path = None
+            if job.config.snapshot_dir:
+                snapshot_path = os.path.join(
+                    job.config.snapshot_dir,
+                    f"HEALTH_snapshot_lane{job.index}.npz")
+            probe = DiagnosticsProbe(
+                every=every, sink_path=job.config.metrics, record=True,
+                snapshot_path=snapshot_path)
+        return setup, probe
+
+    pending = deque(range(n))
+    #: lanes carried across a rebuild: {"pos", "setup", "probe", "resume"}
+    carried: List[dict] = []
+    #: finished lanes, keyed by job position
+    done: Dict[int, dict] = {}
+    plans = None
+    start = _time.perf_counter()
+    while pending or carried:
+        take = min(max(width - len(carried), 0), len(pending))
+        fresh = [pending.popleft() for _ in range(take)]
+        lanes = list(carried)
+        for pos in fresh:
+            setup, probe = make_lane(pos)
+            lanes.append({"pos": pos, "setup": setup, "probe": probe,
+                          "resume": None})
+        carried = []
+        if schedule_log is not None:
+            schedule_log.append({
+                "event": "ensemble_batch",
+                "jobs": [jobs[l["pos"]].index for l in lanes],
+                "carried": [jobs[l["pos"]].index for l in lanes
+                            if l["resume"] is not None],
+                "fresh": [jobs[pos].index for pos in fresh],
+                "width": len(lanes),
+                "queued": len(pending),
+            })
+        if plans is None and artifacts is not None:
+            plans = artifacts.mesh_plans(lanes[0]["setup"].state.mesh)
+        eh = EnsembleHydro(
+            [l["setup"] for l in lanes],
+            probes=[l["probe"] for l in lanes],
+            timers=timers,
+            max_steps=[jobs[l["pos"]].config.max_steps for l in lanes],
+            plans=plans,
+            resume=[l["resume"] for l in lanes],
+        )
+        # Subsequent rebuilds of this same-mesh group share the plans.
+        plans = eh.plans
+        eh.begin()
+        batch_pos = [l["pos"] for l in lanes]
+        setups = {l["pos"]: l["setup"] for l in lanes}
+        while True:
+            retired = eh.advance()
+            for lane in retired:
+                pos = batch_pos[lane]
+                done[pos] = {
+                    "setup": setups[pos],
+                    "state": eh.final_states[lane],
+                    "nstep": eh.nsteps[lane],
+                    "time": eh.times[lane],
+                    "probe": eh.probes[lane],
+                    "driver": eh,
+                }
+                if schedule_log is not None:
+                    schedule_log.append({
+                        "event": "lane_retired",
+                        "job": jobs[pos].index,
+                        "nstep": eh.nsteps[lane],
+                    })
+            if not eh.order:
+                break
+            if retired and pending:
+                # Refill: rebuild at full width — carry the active
+                # lanes mid-flight, top up from the queue.
+                for rec in eh.extract_active():
+                    pos = batch_pos[rec["lane"]]
+                    carried.append({
+                        "pos": pos,
+                        "setup": _dc_replace(setups[pos],
+                                             state=rec["state"]),
+                        "probe": rec["probe"],
+                        "resume": {k: rec[k] for k in
+                                   ("time", "nstep", "dt", "dt_reason",
+                                    "dt_cell", "remapper")},
+                    })
+                if schedule_log is not None:
+                    schedule_log.append({
+                        "event": "lane_refill",
+                        "carried": [jobs[c["pos"]].index
+                                    for c in carried],
+                        "queued": len(pending),
+                    })
+                break
+    wall = _time.perf_counter() - start
+
+    results = []
+    for pos, job in enumerate(jobs):
+        rec = done[pos]
+        probe = rec["probe"]
+        results.append(RunResult(
+            config=job.config,
+            setup=rec["setup"],
+            backend="ensemble",
+            nranks=1,
+            nstep=rec["nstep"],
+            time=rec["time"],
+            wall_seconds=wall,
+            state=rec["state"],
+            timers=timers,
+            spans=[],
+            comm_total=None,
+            comm_per_rank=[],
+            step_rows=None,
+            comm_summary=None,
+            metrics_rows=(probe.rows if probe is not None else None),
+            metrics=None,
+            driver=rec["driver"],
+            lane=job.index,
+            cache_hit=False,
+        ))
+    return results

@@ -1,0 +1,228 @@
+"""Content-addressed result cache: canonical config hash → stored run.
+
+The fleet's cache keys every job by
+:meth:`repro.api.RunConfig.canonical_key` (extended with the job's
+per-lane control overrides, when any — :func:`job_key`), and stores the
+run's *outcome*: the final state arrays, the step/time clocks, the
+schema-versioned run report and the live-metrics rows.  A resubmitted
+config whose key matches is served from disk with ``cache_hit=True``
+instead of re-executing — the deck, every resolved control, the rank
+count, the backend and the code version all enter the key, so a hit is
+exactly "this run already happened".
+
+Storage layout under the cache root, two files per entry, both written
+atomically (tmp + ``os.replace``) so a killed worker never leaves a
+half-entry::
+
+    <key>.npz    final-state arrays (x, y, u, ..., bc planes)
+    <key>.json   scalars + report + metrics rows (the meta document)
+
+The same store doubles as the worker pool's result spool: workers
+persist outcomes here and the parent re-materialises them by key, so a
+result survives its worker's death.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..utils.errors import FleetError
+from ..utils.timers import TimerRegistry
+
+#: on-disk entry layout version (bumped on any stored-shape change)
+CACHE_SCHEMA_VERSION = 1
+
+#: every float64 field of a HydroState, in storage order
+STATE_FIELDS = ("x", "y", "u", "v", "rho", "e", "p", "cs2", "q",
+                "cell_mass", "corner_mass", "volume", "corner_volume")
+#: integer fields stored alongside
+INT_FIELDS = ("mat",)
+#: boundary-condition planes (flags + driven velocities)
+BC_FIELDS = ("flags", "ux", "uy")
+
+
+def state_arrays(state) -> Dict[str, np.ndarray]:
+    """Every array that defines a :class:`HydroState`, as a flat dict
+    (the npz payload for cache entries and checkpoints)."""
+    out = {name: np.ascontiguousarray(getattr(state, name))
+           for name in STATE_FIELDS + INT_FIELDS}
+    for name in BC_FIELDS:
+        out[f"bc_{name}"] = np.ascontiguousarray(getattr(state.bc, name))
+    return out
+
+
+def overlay_state(state, arrays: Dict[str, np.ndarray]):
+    """Write stored arrays back into ``state`` in place (the mesh and
+    topology stay the freshly-built ones — they are pure functions of
+    the config) and drop the node-mass cache."""
+    for name in STATE_FIELDS + INT_FIELDS:
+        getattr(state, name)[...] = arrays[name]
+    for name in BC_FIELDS:
+        getattr(state.bc, name)[...] = arrays[f"bc_{name}"]
+    state.invalidate_node_mass()
+    return state
+
+
+def job_key(config, override: Optional[Dict[str, Any]] = None) -> str:
+    """The cache key for one fleet job: the config's canonical dict,
+    extended with its per-lane control overrides when the job came in
+    through an ensemble sweep.  Override *order* never matters — keys
+    are sorted before hashing."""
+    doc = config.canonical_dict()
+    if override:
+        doc["control_overrides"] = {
+            str(k): override[k] for k in sorted(override)
+        }
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"),
+                         default=repr)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def state_digest(state, nstep: int, time: float,
+                 metrics_rows=None) -> str:
+    """Deterministic digest of a run's *outcome*: the exact final-state
+    bytes, the clocks and the diagnostics stream.  Wall seconds and
+    kernel timers are deliberately excluded — they are never
+    reproducible — so this is the value the kill-and-resume CI gate
+    compares bit-for-bit."""
+    h = hashlib.sha256()
+    arrays = state_arrays(state)
+    for name in sorted(arrays):
+        h.update(name.encode())
+        h.update(arrays[name].tobytes())
+    h.update(f"nstep={int(nstep)};time={float(time)!r}".encode())
+    if metrics_rows:
+        h.update(json.dumps(metrics_rows, sort_keys=True).encode())
+    return h.hexdigest()
+
+
+class ResultCache:
+    """On-disk content-addressed store of run outcomes.
+
+    ``hits``/``misses``/``stores`` counters feed the fleet summary.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _paths(self, key: str):
+        return (os.path.join(self.root, f"{key}.npz"),
+                os.path.join(self.root, f"{key}.json"))
+
+    def has(self, key: str) -> bool:
+        npz, meta = self._paths(key)
+        return os.path.exists(npz) and os.path.exists(meta)
+
+    # ------------------------------------------------------------------
+    def store(self, key: str, result) -> None:
+        """Persist one finished :class:`RunResult` under ``key``
+        (atomic: a concurrent reader sees the old entry or the new one,
+        never a torn one)."""
+        npz_path, meta_path = self._paths(key)
+        arrays = state_arrays(result.state)
+        meta = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "backend": result.backend,
+            "nranks": int(result.nranks),
+            "nstep": int(result.nstep),
+            "time": float(result.time),
+            "wall_seconds": float(result.wall_seconds),
+            "lane": result.lane,
+            "report": result.report(),
+            "metrics_rows": result.metrics_rows,
+            "step_rows": result.step_rows,
+            "comm_total": result.comm_total,
+            "comm_per_rank": result.comm_per_rank,
+            "comm_summary": result.comm_summary,
+            "digest": state_digest(result.state, result.nstep,
+                                   result.time, result.metrics_rows),
+        }
+        for path, writer in (
+            (npz_path, lambda fh: np.savez(fh, **arrays)),
+            (meta_path, lambda fh: fh.write(
+                json.dumps(meta, default=repr).encode("utf-8"))),
+        ):
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    writer(fh)
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    def load(self, key: str, config, *,
+             override: Optional[Dict[str, Any]] = None,
+             hit: bool = True):
+        """Re-materialise the stored outcome as a :class:`RunResult`.
+
+        The mesh/topology side of the state is rebuilt deterministically
+        from the config (it is not stored); the stored arrays are then
+        overlaid.  The result carries the stored report verbatim
+        (``report_override``) — kernel-timer *objects* are not
+        reconstructable across processes — and ``cache_hit=hit``.
+        """
+        from ..api import RunResult
+
+        npz_path, meta_path = self._paths(key)
+        if not self.has(key):
+            raise FleetError(f"cache entry {key} missing from {self.root}")
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        with np.load(npz_path) as data:
+            arrays = {name: data[name] for name in data.files}
+        setup = config.build_setup()
+        if override:
+            setup.controls = setup.controls.with_(**override).validated()
+        overlay_state(setup.state, arrays)
+        if hit:
+            self.hits += 1
+        return RunResult(
+            config=config,
+            setup=setup,
+            backend=meta["backend"],
+            nranks=meta["nranks"],
+            nstep=meta["nstep"],
+            time=meta["time"],
+            wall_seconds=meta["wall_seconds"],
+            state=setup.state,
+            timers=TimerRegistry(),
+            spans=[],
+            comm_total=meta.get("comm_total"),
+            comm_per_rank=meta.get("comm_per_rank") or [],
+            step_rows=meta.get("step_rows"),
+            comm_summary=meta.get("comm_summary"),
+            metrics_rows=meta.get("metrics_rows"),
+            metrics=None,
+            driver=None,
+            lane=meta.get("lane"),
+            cache_hit=hit,
+            report_override=meta.get("report"),
+        )
+
+    def digest(self, key: str) -> Optional[str]:
+        """The stored outcome digest for ``key`` (None if absent)."""
+        _, meta_path = self._paths(key)
+        if not os.path.exists(meta_path):
+            return None
+        with open(meta_path, "r", encoding="utf-8") as fh:
+            return json.load(fh).get("digest")
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "root": self.root}

@@ -1,0 +1,433 @@
+"""The fleet engine: cached, resumable many-run scheduling behind
+:func:`repro.api.submit`.
+
+One :class:`Fleet` drives a whole sweep.  Every submitted config
+becomes a :class:`~repro.fleet.batch.BatchJob`; the engine then
+
+1. **serves repeats from the result cache** — each job is keyed by its
+   config's canonical hash (:func:`repro.fleet.cache.job_key`); keys
+   already in ``cache_dir`` come back as ``cache_hit=True`` results
+   without executing;
+2. **coalesces compatible jobs onto the same-mesh fast path** — serial
+   jobs sharing a mesh spec batch into one
+   :func:`~repro.fleet.batch.run_ensemble_jobs` pass (vectorised
+   kernels + lane refill) instead of N separate step loops;
+3. **runs the rest on a crash-tolerant process pool**
+   (:class:`~repro.fleet.worker.WorkerPool`) or inline when
+   ``workers=0`` — with periodic checkpoints so a killed job resumes
+   bit-identically instead of restarting;
+4. **merges the telemetry**: one NDJSON stream / Prometheus export
+   across all jobs, plus a sweep summary document the ``bookleaf
+   compare`` "fleet" kind diffs by per-job outcome digest.
+
+Every scheduling decision is appended to ``handle.schedule_log`` so
+tests (and curious users) can assert how work was routed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time as _time
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..utils.errors import BookLeafError, FleetError
+from .artifacts import ArtifactCache
+from .batch import BatchJob, make_jobs, run_ensemble_jobs
+from .cache import ResultCache, job_key, state_digest
+
+#: fleet summary document layout version
+FLEET_SCHEMA_VERSION = 1
+
+
+@dataclass
+class FleetOptions:
+    """Everything :func:`repro.api.submit` accepts beyond the configs."""
+
+    #: process-pool width; 0 executes jobs inline in this process
+    workers: int = 0
+    #: content-addressed result cache root (None disables caching)
+    cache_dir: Optional[str] = None
+    #: checkpoint root for resumable serial jobs (None disables)
+    checkpoint_dir: Optional[str] = None
+    #: steps between checkpoints
+    checkpoint_every: int = 20
+    #: same-mesh fast path policy: "auto" coalesces compatible jobs,
+    #: "require" demands one batched pass (the run_ensemble contract),
+    #: "off" forces per-job execution
+    ensemble: str = "auto"
+    #: live-lane cap for batched passes (None = all lanes in one batch;
+    #: a finite width drains longer queues through lane refill)
+    batch_width: Optional[int] = None
+    #: total tries per job before the fleet gives up on a crasher
+    max_attempts: int = 3
+    #: chaos hook: ``{job_index: step}`` SIGKILLs that job's worker at
+    #: the given step, first attempt only (needs ``workers > 0``)
+    fault_steps: Optional[Dict[int, int]] = None
+    #: merged NDJSON stream of every job's metrics rows
+    metrics_path: Optional[str] = None
+    #: merged Prometheus textfile export
+    prom_path: Optional[str] = None
+
+
+def _parse_options(options: dict) -> FleetOptions:
+    valid = {f.name for f in fields(FleetOptions)}
+    unknown = set(options) - valid
+    if unknown:
+        raise BookLeafError(
+            f"unknown fleet option(s): {', '.join(sorted(unknown))}"
+        )
+    opts = FleetOptions(**options)
+    if opts.ensemble not in ("auto", "require", "off"):
+        raise BookLeafError(
+            f"ensemble must be 'auto', 'require' or 'off', "
+            f"not {opts.ensemble!r}"
+        )
+    if opts.workers < 0:
+        raise BookLeafError("workers must be >= 0")
+    if opts.fault_steps and opts.workers < 1:
+        raise FleetError(
+            "fault injection kills worker processes; it needs "
+            "workers >= 1 (an inline fault would kill the scheduler)"
+        )
+    return opts
+
+
+def submit(configs: Sequence, *,
+           control_overrides: Optional[Sequence] = None,
+           observers: Optional[Sequence] = None,
+           **options) -> "FleetHandle":
+    """Build a :class:`Fleet` over ``configs`` and hand back its
+    :class:`FleetHandle`.  Execution is lazy — the sweep runs on the
+    first :meth:`FleetHandle.results` call and is memoised."""
+    opts = _parse_options(options)
+    if control_overrides is not None and opts.ensemble == "off":
+        raise BookLeafError(
+            "control_overrides ride the ensemble path; they cannot be "
+            "applied with ensemble='off'"
+        )
+    jobs = make_jobs(configs, control_overrides)
+    if control_overrides is not None:
+        opts.ensemble = "require"
+    return FleetHandle(Fleet(jobs, opts, observers=observers))
+
+
+class FleetHandle:
+    """The caller's view of a submitted sweep."""
+
+    def __init__(self, fleet: "Fleet"):
+        self._fleet = fleet
+
+    def results(self) -> List[Any]:
+        """One :class:`~repro.api.RunResult` per config, in submission
+        order (executes the sweep on first call)."""
+        return self._fleet.results()
+
+    def summary(self) -> dict:
+        """The sweep-level summary document (per-job keys, digests,
+        cache/scheduling counters) — the ``bookleaf compare`` "fleet"
+        input."""
+        return self._fleet.summary()
+
+    @property
+    def schedule_log(self) -> List[dict]:
+        """Every scheduling decision the engine made, in order."""
+        return self._fleet.schedule_log
+
+    def __len__(self) -> int:
+        return len(self._fleet.jobs)
+
+
+class Fleet:
+    """The scheduler proper (use :func:`submit`; this is the engine)."""
+
+    def __init__(self, jobs: List[BatchJob], options: FleetOptions,
+                 observers: Optional[Sequence] = None):
+        self.jobs = jobs
+        self.options = options
+        self.observers = list(observers) if observers else None
+        self.schedule_log: List[dict] = []
+        self.artifacts = ArtifactCache()
+        self.cache: Optional[ResultCache] = None
+        self._results: Optional[List[Any]] = None
+        self._wall: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def results(self) -> List[Any]:
+        if self._results is None:
+            start = _time.perf_counter()
+            self._results = self._execute()
+            self._wall = _time.perf_counter() - start
+        return self._results
+
+    # ------------------------------------------------------------------
+    def _key(self, job: BatchJob) -> str:
+        if "key" not in job.metadata:
+            job.metadata["key"] = job_key(job.config, job.override)
+        return job.metadata["key"]
+
+    def _log(self, event: str, **kw) -> None:
+        self.schedule_log.append({"event": event, **kw})
+
+    # ------------------------------------------------------------------
+    def _execute(self) -> List[Any]:
+        opts = self.options
+        n = len(self.jobs)
+        results: List[Any] = [None] * n
+        need_keys = bool(opts.cache_dir) or opts.workers > 0
+        if opts.cache_dir:
+            self.cache = ResultCache(opts.cache_dir)
+        if need_keys:
+            for job in self.jobs:
+                self._key(job)
+
+        # -- stage 1: serve repeats from the result cache ---------------
+        remaining: List[BatchJob] = []
+        for job in self.jobs:
+            if (self.cache is not None and not self.observers
+                    and self.cache.has(self._key(job))):
+                results[job.index] = self.cache.load(
+                    self._key(job), job.config,
+                    override=job.override, hit=True)
+                self._log("cache_hit", job=job.index,
+                          key=self._key(job))
+            else:
+                if self.cache is not None:
+                    self.cache.misses += 1
+                remaining.append(job)
+
+        # -- stage 2: route the rest ------------------------------------
+        ensemble_mode = opts.ensemble
+        if ensemble_mode != "off" and self.observers:
+            if ensemble_mode == "require":
+                raise BookLeafError(
+                    "observers are not supported on the ensemble path"
+                )
+            ensemble_mode = "off"
+
+        if remaining and ensemble_mode == "require":
+            self._run_batched(remaining, results)
+            remaining = []
+        elif remaining and ensemble_mode == "auto":
+            groups, singles = self._coalesce(remaining)
+            for group in groups:
+                self._run_batched(group, results)
+            remaining = singles
+
+        if remaining:
+            if opts.workers > 0:
+                self._run_pool(remaining, results)
+            else:
+                for job in remaining:
+                    results[job.index] = self._run_inline(job)
+
+        # -- stage 3: merged telemetry ----------------------------------
+        self._merge_outputs(results)
+        return results
+
+    # ------------------------------------------------------------------
+    def _coalesce(self, jobs: List[BatchJob]):
+        """Partition jobs into same-mesh batchable groups (>= 2 jobs)
+        and per-job singles."""
+        buckets: Dict[tuple, List[BatchJob]] = {}
+        singles: List[BatchJob] = []
+        for job in jobs:
+            c = job.config
+            eligible = (
+                c.nranks == 1
+                and c.resolved_backend() == "serial"
+                and not c.trace
+                and not c.trace_allocations
+                and not c.collect_steps
+            )
+            if not eligible:
+                singles.append(job)
+                continue
+            deck = os.path.realpath(c.deck) if c.deck else None
+            kwargs_key = tuple(sorted(
+                (k, repr(v)) for k, v in c.problem_kwargs.items()))
+            bucket = (c.problem, deck, c.nx, c.ny, kwargs_key)
+            buckets.setdefault(bucket, []).append(job)
+        groups: List[List[BatchJob]] = []
+        for bucket, members in buckets.items():
+            if len(members) < 2:
+                singles.extend(members)
+                continue
+            # Driven boundaries (e.g. Kidder's piston) advance per-lane
+            # wall-clock state the batched kernels don't model; probe
+            # one setup per bucket and keep such jobs on the per-job
+            # path.
+            probe_setup = members[0].config.build_setup()
+            if getattr(probe_setup.state.bc, "driver", None) is not None:
+                self._log("group_rejected", reason="bc_driver",
+                          jobs=[j.index for j in members])
+                singles.extend(members)
+                continue
+            groups.append(members)
+        singles.sort(key=lambda j: j.index)
+        return groups, singles
+
+    # ------------------------------------------------------------------
+    def _run_batched(self, group: List[BatchJob],
+                     results: List[Any]) -> None:
+        group_results = run_ensemble_jobs(
+            group, width=self.options.batch_width,
+            artifacts=self.artifacts,
+            schedule_log=self.schedule_log)
+        for job, result in zip(group, group_results):
+            results[job.index] = result
+            if self.cache is not None:
+                self.cache.store(self._key(job), result)
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, job: BatchJob):
+        from ..api import _execute_run
+        from .checkpoint import CheckpointWriter, restore_into
+
+        opts = self.options
+        config = job.config
+        if job.override:
+            raise FleetError(
+                f"job {job.index} carries control overrides but was "
+                "routed off the ensemble path"
+            )
+        observers = list(self.observers or [])
+        on_prepared = None
+        serial = (config.nranks == 1
+                  and config.resolved_backend() == "serial")
+        if opts.checkpoint_dir and serial:
+            key = self._key(job)
+            ckpt_path = os.path.join(opts.checkpoint_dir,
+                                     f"{key}.ckpt.npz")
+            observers.append(CheckpointWriter(
+                ckpt_path, opts.checkpoint_every, key=key))
+            if os.path.exists(ckpt_path):
+                self._log("checkpoint_resume", job=job.index,
+                          path=ckpt_path)
+
+                def on_prepared(driver, max_steps, _p=ckpt_path,
+                                _k=key):
+                    return restore_into(driver, _p, key=_k,
+                                        max_steps=max_steps)
+        self._log("job_inline", job=job.index)
+        result = _execute_run(config, observers=observers or None,
+                              artifacts=self.artifacts,
+                              on_prepared=on_prepared)
+        if self.cache is not None:
+            self.cache.store(self._key(job), result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_pool(self, jobs: List[BatchJob],
+                  results: List[Any]) -> None:
+        from .worker import WorkerPool
+
+        opts = self.options
+        if self.observers:
+            raise BookLeafError(
+                "observers need inline execution (workers=0); worker "
+                "processes cannot call back into this process"
+            )
+        spool = self.cache
+        tmp_root = None
+        if spool is None:
+            tmp_root = tempfile.mkdtemp(prefix="bookleaf-fleet-spool-")
+            spool = ResultCache(tmp_root)
+        if opts.checkpoint_dir:
+            os.makedirs(opts.checkpoint_dir, exist_ok=True)
+        pool = WorkerPool(
+            min(opts.workers, len(jobs)), spool.root,
+            checkpoint_dir=opts.checkpoint_dir,
+            checkpoint_every=opts.checkpoint_every,
+            max_attempts=opts.max_attempts,
+            schedule_log=self.schedule_log)
+        try:
+            done = pool.run(jobs, fault_steps=opts.fault_steps)
+        finally:
+            pool.shutdown()
+        self._log("pool_done", jobs=len(jobs),
+                  respawns=pool.respawns)
+        for job in jobs:
+            if job.index not in done:
+                raise FleetError(
+                    f"fleet job {job.index} has no stored outcome"
+                )
+            results[job.index] = spool.load(
+                done[job.index], job.config,
+                override=job.override, hit=False)
+
+    # ------------------------------------------------------------------
+    def _merge_outputs(self, results: List[Any]) -> None:
+        opts = self.options
+        if opts.metrics_path:
+            root = os.path.dirname(os.path.abspath(opts.metrics_path))
+            os.makedirs(root, exist_ok=True)
+            with open(opts.metrics_path, "w", encoding="utf-8") as fh:
+                for job, result in zip(self.jobs, results):
+                    for rec in (result.metrics_rows or []):
+                        fh.write(json.dumps(
+                            {"job": job.index, **rec}) + "\n")
+        if opts.prom_path:
+            from ..metrics.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            registry.counter("fleet_jobs_total").inc(len(results))
+            hits = sum(1 for r in results if r.cache_hit)
+            registry.counter("fleet_cache_hits_total").inc(hits)
+            for job, result in zip(self.jobs, results):
+                labels = {"job": str(job.index),
+                          "backend": result.backend}
+                registry.gauge("fleet_job_steps", **labels).set(
+                    result.nstep)
+                registry.gauge("fleet_job_time", **labels).set(
+                    result.time)
+                registry.gauge("fleet_job_wall_seconds",
+                               **labels).set(result.wall_seconds)
+                if result.metrics_rows:
+                    final = result.metrics_rows[-1]
+                    for name in ("mass", "total_energy", "mass_drift",
+                                 "energy_drift"):
+                        if name in final:
+                            registry.gauge(f"fleet_job_{name}",
+                                           **labels).set(final[name])
+            registry.write_prometheus(opts.prom_path)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Sweep summary: one entry per job with its canonical key and
+        outcome digest, plus scheduling/cache counters.  The "fleet"
+        document kind of ``bookleaf compare``."""
+        results = self.results()
+        job_docs = []
+        for job, result in zip(self.jobs, results):
+            job_docs.append({
+                "index": job.index,
+                "key": self._key(job),
+                "cache_hit": bool(result.cache_hit),
+                "lane": result.lane,
+                "backend": result.backend,
+                "nstep": int(result.nstep),
+                "time": float(result.time),
+                "wall_seconds": float(result.wall_seconds),
+                "digest": state_digest(result.state, result.nstep,
+                                       result.time,
+                                       result.metrics_rows),
+            })
+        counts = {
+            "jobs": len(results),
+            "cache_hits": sum(1 for r in results if r.cache_hit),
+            "ensemble_jobs": sum(1 for r in results
+                                 if r.backend == "ensemble"),
+            "events": len(self.schedule_log),
+        }
+        return {
+            "fleet_sweep": 1,
+            "schema_version": FLEET_SCHEMA_VERSION,
+            "jobs": job_docs,
+            "counts": counts,
+            "wall_seconds": self._wall,
+            "cache": self.cache.stats() if self.cache else None,
+            "artifacts": self.artifacts.stats(),
+        }

@@ -1,0 +1,242 @@
+"""The fleet's process pool: fork-per-worker with SIGKILL-safe pipes.
+
+Design constraints, in order:
+
+* **A dead worker must never wedge the fleet.**  Each worker owns a
+  private duplex :func:`multiprocessing.Pipe` — there is no shared
+  queue whose internal lock a SIGKILLed holder could leave locked.
+  The parent multiplexes worker pipes *and* process sentinels through
+  one :func:`multiprocessing.connection.wait`, so a death wakes it
+  exactly like a result would.
+* **A job outlives its worker.**  Workers persist every outcome into
+  the on-disk result store (the fleet's cache doubling as a spool,
+  written atomically) *before* reporting done; the parent
+  re-materialises results by key.  A worker killed between store and
+  report costs one cheap retry — the replacement worker finds the
+  stored entry and short-circuits.
+* **A crashed job resumes, not restarts.**  With checkpointing on,
+  serial jobs write periodic snapshots keyed by the job's cache key;
+  the retry overlays the last one (:mod:`repro.fleet.checkpoint`) and
+  continues bit-identically.
+
+Fault injection (``FleetOptions.fault_steps``) is the chaos hook the
+resume test proves itself with: the job's observer SIGKILLs its own
+worker at a chosen step — a real, uncatchable death, first attempt
+only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+from collections import deque
+from multiprocessing.connection import wait as _mp_wait
+from typing import Dict, List, Optional
+
+from ..utils.errors import FleetError
+from .batch import BatchJob
+
+
+class _FaultInjector:
+    """Observer that SIGKILLs its own process at a given step (after
+    the checkpoint writer for that step has run — attach order in
+    :func:`_run_job` guarantees it)."""
+
+    def __init__(self, at_step: int):
+        self.at_step = int(at_step)
+
+    def __call__(self, hydro) -> None:
+        if hydro.nstep >= self.at_step:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _run_job(doc: dict, store, checkpoint_dir: Optional[str],
+             checkpoint_every: int) -> None:
+    """Execute one job document inside a worker and persist the
+    outcome under its key."""
+    from ..api import _execute_run
+    from .checkpoint import CheckpointWriter, restore_into
+
+    config = doc["config"]
+    key = doc["key"]
+    if store.has(key):
+        return  # a previous attempt finished the work before dying
+    observers = []
+    on_prepared = None
+    serial = (config.nranks == 1
+              and config.resolved_backend() == "serial")
+    if checkpoint_dir and serial:
+        ckpt_path = os.path.join(checkpoint_dir, f"{key}.ckpt.npz")
+        observers.append(
+            CheckpointWriter(ckpt_path, checkpoint_every, key=key))
+        if os.path.exists(ckpt_path):
+            def on_prepared(driver, max_steps, _p=ckpt_path, _k=key):
+                return restore_into(driver, _p, key=_k,
+                                    max_steps=max_steps)
+    if doc.get("fault_step") is not None:
+        observers.append(_FaultInjector(doc["fault_step"]))
+    result = _execute_run(config, observers=observers or None)
+    store.store(key, result)
+
+
+def _worker_main(conn, store_root: str, checkpoint_dir: Optional[str],
+                 checkpoint_every: int) -> None:
+    """Worker loop: receive job documents, execute, report."""
+    from .cache import ResultCache
+
+    store = ResultCache(store_root)
+    while True:
+        try:
+            doc = conn.recv()
+        except (EOFError, KeyboardInterrupt):
+            return
+        if doc is None:
+            return
+        try:
+            _run_job(doc, store, checkpoint_dir, checkpoint_every)
+            conn.send(("done", doc["pos"], doc["key"]))
+        except BaseException as exc:  # report, keep serving
+            try:
+                conn.send(("failed", doc["pos"],
+                           f"{type(exc).__name__}: {exc}"))
+            except BrokenPipeError:
+                return
+
+
+class WorkerPool:
+    """Parent-side scheduler over N forked workers."""
+
+    def __init__(self, nworkers: int, store_root: str, *,
+                 checkpoint_dir: Optional[str] = None,
+                 checkpoint_every: int = 20,
+                 max_attempts: int = 3,
+                 schedule_log: Optional[List[dict]] = None):
+        self.ctx = mp.get_context("fork")
+        self.store_root = store_root
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.max_attempts = max(1, int(max_attempts))
+        self.schedule_log = schedule_log
+        self._next_id = 0
+        self.workers = [self._spawn() for _ in range(max(1, nworkers))]
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> dict:
+        parent, child = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(child, self.store_root, self.checkpoint_dir,
+                  self.checkpoint_every),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        wid = self._next_id
+        self._next_id += 1
+        return {"id": wid, "conn": parent, "proc": proc, "job": None}
+
+    def _log(self, event: str, **kw) -> None:
+        if self.schedule_log is not None:
+            self.schedule_log.append({"event": event, **kw})
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: List[BatchJob],
+            fault_steps: Optional[Dict[int, int]] = None) -> Dict[int, str]:
+        """Drive every job to a stored outcome; returns
+        ``{job.index: key}``.  Dead workers are respawned and their
+        in-flight job requeued (front of the queue) up to
+        ``max_attempts`` total tries."""
+        pending = deque(jobs)
+        done: Dict[int, str] = {}
+        while pending or any(w["job"] is not None for w in self.workers):
+            for i, w in enumerate(self.workers):
+                if w["job"] is None and pending:
+                    job = pending.popleft()
+                    fault = None
+                    if fault_steps and job.attempts == 0:
+                        fault = fault_steps.get(job.index)
+                    doc = {
+                        "pos": job.index,
+                        "key": job.metadata["key"],
+                        "config": job.config,
+                        "fault_step": fault,
+                    }
+                    try:
+                        w["conn"].send(doc)
+                    except (BrokenPipeError, OSError):
+                        # the worker died while idle; replace and retry
+                        pending.appendleft(job)
+                        w["proc"].join()
+                        self.workers[i] = self._spawn()
+                        self.respawns += 1
+                        continue
+                    w["job"] = job
+                    job.attempts += 1
+                    self._log("job_start", job=job.index,
+                              worker=w["id"], attempt=job.attempts,
+                              fault_step=fault)
+            busy = [w for w in self.workers if w["job"] is not None]
+            if not busy:
+                break
+            ready = _mp_wait([w["conn"] for w in busy]
+                             + [w["proc"].sentinel for w in busy])
+            for i, w in enumerate(self.workers):
+                if w["job"] is None:
+                    continue
+                got_msg = False
+                if w["conn"] in ready:
+                    try:
+                        msg = w["conn"].recv()
+                        got_msg = True
+                    except EOFError:
+                        got_msg = False
+                if got_msg:
+                    kind, pos, info = msg
+                    job = w["job"]
+                    w["job"] = None
+                    if kind == "done":
+                        done[pos] = info
+                        self._log("job_done", job=pos, worker=w["id"])
+                    else:
+                        self.shutdown()
+                        raise FleetError(
+                            f"fleet job {pos} failed in worker "
+                            f"{w['id']}: {info}"
+                        )
+                elif (w["proc"].sentinel in ready
+                      and not w["proc"].is_alive()):
+                    # Worker died mid-job (SIGKILL, OOM, segfault):
+                    # requeue the job for the front of the line and
+                    # replace the worker.
+                    job = w["job"]
+                    self._log("worker_died", job=job.index,
+                              worker=w["id"], attempt=job.attempts)
+                    if job.attempts >= self.max_attempts:
+                        self.shutdown()
+                        raise FleetError(
+                            f"fleet job {job.index} crashed "
+                            f"{job.attempts} time(s); giving up "
+                            f"(max_attempts={self.max_attempts})"
+                        )
+                    pending.appendleft(job)
+                    w["proc"].join()
+                    self.workers[i] = self._spawn()
+                    self.respawns += 1
+        self.shutdown()
+        return done
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        for w in self.workers:
+            try:
+                w["conn"].send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for w in self.workers:
+            w["proc"].join(timeout=5)
+            if w["proc"].is_alive():
+                w["proc"].terminate()
+                w["proc"].join(timeout=5)
+            w["conn"].close()

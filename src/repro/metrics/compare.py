@@ -20,6 +20,13 @@ Gating rules:
   ``comm.bytes_per_step`` IS gated — comm volume is deterministic
   (schedule-driven), so CI can fail a comm-volume regression without
   any timing-noise floor.
+* **fleet summaries** (``repro.fleet`` sweep documents, classified by
+  their ``fleet_sweep`` marker) — jobs are matched across documents by
+  canonical config key and their outcome **digests** are gated
+  bit-for-bit: the digest covers the exact final-state bytes, clocks
+  and diagnostics stream, so any mismatch is a determinism regression
+  regardless of threshold.  Wall seconds and cache-hit counts are
+  informational (a warm cache is *supposed* to change them).
 * **bench documents** — every shared numeric leaf is compared;
   ``*seconds*``/``t_*`` leaves are gated lower-is-better, ``*speedup*``
   leaves higher-is-better, anything else informational
@@ -64,7 +71,7 @@ class Row:
 
 @dataclass
 class CompareResult:
-    kind: str                       # "report" | "bench"
+    kind: str                       # "report" | "bench" | "fleet"
     rows: List[Row] = field(default_factory=list)
 
     @property
@@ -85,12 +92,15 @@ def load_document(path: str) -> dict:
 
 
 def classify(doc: dict) -> str:
+    if "fleet_sweep" in doc:
+        return "fleet"
     if "kernels" in doc and "run" in doc:
         return "report"
     if "rungs" in doc or "cases" in doc or "bench" in doc:
         return "bench"
     raise ValueError(
-        "not a run report (--report out.json) or a BENCH_*.json document"
+        "not a run report (--report out.json), a BENCH_*.json document "
+        "or a fleet sweep summary"
     )
 
 
@@ -160,6 +170,47 @@ def compare_reports(old: dict, new: dict, threshold: float,
     a, b = old.get("run", {}).get("wall_seconds"), \
         new.get("run", {}).get("wall_seconds")
     result.rows.append(Row("run.wall_seconds", a, b))
+    return result
+
+
+# ----------------------------------------------------------------------
+# fleet-summary comparison
+# ----------------------------------------------------------------------
+def compare_fleets(old: dict, new: dict) -> CompareResult:
+    """Diff two fleet sweep summaries by per-job outcome digest.
+
+    Jobs line up by canonical config key (submission order may change
+    between sweeps); a digest mismatch on a shared key is a gated
+    regression — the digest is bit-exact by construction, so no
+    threshold applies.  Jobs present in only one document, wall time
+    and cache-hit counts are informational rows.
+    """
+    result = CompareResult(kind="fleet")
+
+    def by_key(doc):
+        return {j["key"]: j for j in doc.get("jobs", [])}
+
+    jobs_old, jobs_new = by_key(old), by_key(new)
+    for key in sorted(set(jobs_old) | set(jobs_new)):
+        a, b = jobs_old.get(key), jobs_new.get(key)
+        name = f"jobs[{key[:12]}].digest"
+        if a is None or b is None:
+            result.rows.append(Row(
+                name, None if a is None else 1.0,
+                None if b is None else 1.0))
+            continue
+        match = a.get("digest") == b.get("digest")
+        result.rows.append(Row(
+            name, 1.0, 1.0 if match else 0.0, gated=True,
+            status="ok" if match else "regression"))
+        result.rows.append(Row(f"jobs[{key[:12]}].nstep",
+                               a.get("nstep"), b.get("nstep")))
+    for counter in ("jobs", "cache_hits", "ensemble_jobs"):
+        a = (old.get("counts") or {}).get(counter)
+        b = (new.get("counts") or {}).get(counter)
+        result.rows.append(Row(f"counts.{counter}", a, b))
+    result.rows.append(Row("wall_seconds", old.get("wall_seconds"),
+                           new.get("wall_seconds")))
     return result
 
 
@@ -277,6 +328,8 @@ def compare_files(path_old: str, path_new: str,
         raise ValueError(
             f"cannot compare a {kind_old} against a {kind_new}"
         )
+    if kind_old == "fleet":
+        return compare_fleets(old, new)
     if kind_old == "report":
         return compare_reports(old, new, threshold, min_seconds,
                                gate_comm=gate_comm)

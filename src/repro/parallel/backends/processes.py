@@ -132,7 +132,7 @@ class _ProcessRunContext:
         self.epoch_ns = time.perf_counter_ns()
         #: compiled packed-exchange layouts (None → legacy protocol)
         self.plans: Optional[List[CommPlan]] = (
-            compile_plans(self.subdomains) if driver.comm_plan else None
+            driver.compiled_plans() if driver.comm_plan else None
         )
         self.barrier = ctx.Barrier(self.size)
         self.failure = ctx.Event()

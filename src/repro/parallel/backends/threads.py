@@ -66,7 +66,8 @@ class ThreadsBackend:
         embedding code attach observers to ``driver.hydros[0]``.
         """
         setup = driver.setup
-        driver.context = TyphonContext(driver.subdomains)
+        driver.context = TyphonContext(driver.subdomains,
+                                       plans=driver.compiled_plans())
         if driver.trace:
             import time
 

@@ -84,7 +84,8 @@ class DistributedHydro:
                  metrics_every: int = 0,
                  watchdog_timeout: Optional[float] = None,
                  snapshot_dir: Optional[str] = None,
-                 comm_plan: Optional[str] = "packed"):
+                 comm_plan: Optional[str] = "packed",
+                 artifacts=None):
         if nranks > 1 and setup.controls.ale_on \
                 and setup.controls.ale_mode != "eulerian":
             raise BookLeafError(
@@ -121,6 +122,10 @@ class DistributedHydro:
         #: (returned as ``self.result.step_rows``)
         self.collect_step_series = False
         self.result: Optional[BackendRun] = None
+        #: optional :class:`repro.fleet.artifacts.ArtifactCache` — the
+        #: fleet attaches one so repeated same-mesh jobs reuse the
+        #: partition/subdomains/CommPlans instead of recompiling
+        self.artifacts = artifacts
         # Per-backend rank machinery, populated by prepare():
         self.hydros: List = []
         self.tracers: List = []
@@ -128,12 +133,31 @@ class DistributedHydro:
         if self.backend_name == "serial":
             self.part = None
             self.subdomains: List[Subdomain] = []
+        elif artifacts is not None:
+            self.part, self.subdomains = artifacts.decomposition(
+                self.global_mesh, nranks, method
+            )
         else:
             self.part = partition(self.global_mesh, nranks, method)
             self.subdomains = build_subdomains(
                 self.global_mesh, self.part, nranks
             )
         self._backend.prepare(self)
+
+    # ------------------------------------------------------------------
+    def compiled_plans(self):
+        """This decomposition's packed-exchange CommPlans — from the
+        artifact cache when one is attached, else compiled fresh.
+        The plans are pure functions of (mesh topology, partition), so
+        reuse across same-mesh jobs is exact."""
+        from .commplan import compile_plans
+
+        if self.artifacts is not None:
+            return self.artifacts.comm_plans(
+                self.global_mesh, self.nranks, self.method,
+                self.subdomains,
+            )
+        return compile_plans(self.subdomains)
 
     # ------------------------------------------------------------------
     def run(self, max_steps: Optional[int] = None) -> int:

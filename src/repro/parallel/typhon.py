@@ -80,7 +80,7 @@ class CommStats:
 class TyphonContext:
     """Shared coordination state for all ranks of one run."""
 
-    def __init__(self, subdomains: List[Subdomain]):
+    def __init__(self, subdomains: List[Subdomain], plans=None):
         self.subdomains = subdomains
         self.size = len(subdomains)
         self.barrier = threading.Barrier(self.size)
@@ -95,8 +95,11 @@ class TyphonContext:
         #: per-rank live state references (registered by the driver)
         self.states: List[Optional[object]] = [None] * self.size
         self.stats: List[CommStats] = [CommStats() for _ in range(self.size)]
-        #: compiled packed-exchange layouts, one per rank
-        self.plans: List[CommPlan] = compile_plans(subdomains)
+        #: compiled packed-exchange layouts, one per rank (callers with
+        #: an artifact cache hand in the precompiled set)
+        self.plans: List[CommPlan] = (
+            plans if plans is not None else compile_plans(subdomains)
+        )
         # Staging buffers live in a Workspace arena (the PR-1 allocator
         # extended into the comm layer): allocated once here, reused by
         # every exchange of the run.  Peers read each other's staging

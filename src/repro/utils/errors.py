@@ -110,6 +110,31 @@ class HealthError(BookLeafError):
         return sorted(out)
 
 
+class DeprecatedOptionError(BookLeafError):
+    """A removed option was used after its deprecation window closed.
+
+    PR 3 aliased ``ranks=``/``method=`` to ``nranks=``/``partition=``
+    with a one-release ``DeprecationWarning``; that release has passed,
+    so the aliases now fail loudly instead of silently drifting.  The
+    error is structured — ``option`` and ``replacement`` are attributes
+    — so embedding code and the CLI can render a precise fix.
+    """
+
+    def __init__(self, option, replacement, context="repro.api.run"):
+        self.option = option
+        self.replacement = replacement
+        self.context = context
+        super().__init__(
+            f"{context}: option {option!r} was removed; "
+            f"use {replacement!r} instead (see docs/FLEET.md, "
+            "'Migrating from the removed aliases')"
+        )
+
+
+class FleetError(BookLeafError):
+    """The fleet scheduler could not execute or recover a job."""
+
+
 class StalledRankWarning(UserWarning):
     """The rank watchdog saw no heartbeat from a rank within the
     configured timeout — the run was aborted instead of hanging at the

@@ -1,0 +1,5 @@
+"""The package version, in its own module so low-level layers (the
+fleet result cache keys every entry by code version) can import it
+without pulling in :mod:`repro`'s top-level re-exports."""
+
+__version__ = "1.1.0"

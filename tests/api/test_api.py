@@ -109,45 +109,53 @@ def test_config_validation_errors():
         run(_config(), problem="sod")
 
 
-def test_legacy_keywords_warn_and_map():
-    with pytest.warns(DeprecationWarning, match="ranks"):
-        result = run(problem="noh", nx=16, ny=16, max_steps=3, ranks=2)
-    assert result.nranks == 2
-    with pytest.warns(DeprecationWarning, match="method"):
-        result = run(problem="noh", nx=16, ny=16, max_steps=3,
-                     method="spectral")
-    assert result.config.partition == "spectral"
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(BookLeafError, match="deprecated"):
-            run(problem="noh", ranks=2, nranks=2)
+def test_legacy_keywords_now_raise():
+    """The ``ranks=``/``method=`` aliases completed their deprecation
+    cycle: they raise a structured error, never silently map."""
+    from repro.utils.errors import DeprecatedOptionError
+
+    with pytest.raises(DeprecatedOptionError, match="ranks"):
+        run(problem="noh", nx=16, ny=16, max_steps=3, ranks=2)
+    with pytest.raises(DeprecatedOptionError, match="method"):
+        run(problem="noh", nx=16, ny=16, max_steps=3, method="spectral")
+    with pytest.raises(DeprecatedOptionError):
+        run(problem="noh", ranks=2, nranks=2)
 
 
-def test_legacy_keyword_warning_text_names_replacement():
-    """The warning must say exactly what to type instead."""
-    with pytest.warns(DeprecationWarning,
-                      match=r"repro\.api\.run\(ranks=\.\.\.\) is "
-                            r"deprecated; use RunConfig\(nranks=\.\.\.\)"):
+def test_legacy_keyword_error_names_replacement():
+    """The error must say exactly what to type instead, and where the
+    migration notes live."""
+    from repro.utils.errors import DeprecatedOptionError
+
+    with pytest.raises(DeprecatedOptionError) as exc:
         run(problem="noh", nx=16, ny=16, max_steps=1, ranks=2)
-    with pytest.warns(DeprecationWarning,
-                      match=r"repro\.api\.run\(method=\.\.\.\) is "
-                            r"deprecated; use RunConfig\(partition=\.\.\.\)"):
+    msg = str(exc.value)
+    assert "'ranks='" in msg and "'nranks='" in msg
+    assert "docs/FLEET.md" in msg
+    with pytest.raises(DeprecatedOptionError) as exc:
         run(problem="noh", nx=16, ny=16, max_steps=1, method="rcb")
+    msg = str(exc.value)
+    assert "'method='" in msg and "'partition='" in msg
 
 
-def test_legacy_keywords_are_behavior_equivalent():
-    """Deprecated spellings must drive the exact same run — identical
-    config, identical physics, bit for bit."""
-    new = run(problem="noh", nx=16, ny=16, max_steps=5, nranks=2,
-              partition="rcb")
-    with pytest.warns(DeprecationWarning):
-        old = run(problem="noh", nx=16, ny=16, max_steps=5, ranks=2,
-                  method="rcb")
-    assert old.config == new.config
-    assert old.nstep == new.nstep and old.time == new.time
-    for name in ("x", "y", "u", "v", "rho", "e", "p"):
-        assert np.array_equal(getattr(old.state, name),
-                              getattr(new.state, name)), name
-    assert old.comm_total == new.comm_total
+def test_legacy_keyword_error_is_a_bookleaf_error():
+    """DeprecatedOptionError stays catchable as the library's base
+    error, so existing except-BookLeafError handlers keep working."""
+    from repro.utils.errors import DeprecatedOptionError
+
+    with pytest.raises(BookLeafError):
+        run(problem="noh", nx=16, ny=16, max_steps=1, ranks=2)
+    err = DeprecatedOptionError("ranks=", "nranks=")
+    assert err.option == "ranks=" and err.replacement == "nranks="
+
+
+def test_replacement_keywords_are_the_only_spelling():
+    """The replacement spellings drive the run the aliases used to."""
+    result = run(problem="noh", nx=16, ny=16, max_steps=5, nranks=2,
+                 partition="rcb")
+    assert result.nranks == 2
+    assert result.config.partition == "rcb"
+    assert result.comm_total is not None
 
 
 def test_diagnostics_keys():

@@ -1,0 +1,79 @@
+"""Result-cache round trips: a cached result is the run, bit for bit."""
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, run
+from repro.fleet import ResultCache, job_key, state_digest
+from repro.fleet.cache import STATE_FIELDS, overlay_state, state_arrays
+from repro.utils.errors import FleetError
+
+
+def _cfg(**kw):
+    base = dict(problem="sod", nx=16, ny=8, max_steps=8)
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def test_store_load_round_trip(tmp_path):
+    config = _cfg()
+    result = run(config)
+    cache = ResultCache(str(tmp_path))
+    key = job_key(config)
+    assert not cache.has(key)
+    cache.store(key, result)
+    assert cache.has(key)
+    loaded = cache.load(key, config)
+    assert loaded.cache_hit is True
+    assert loaded.nstep == result.nstep
+    assert loaded.time == result.time
+    assert loaded.backend == result.backend
+    for name in STATE_FIELDS:
+        assert np.array_equal(getattr(loaded.state, name),
+                              getattr(result.state, name)), name
+    assert state_digest(loaded.state, loaded.nstep, loaded.time,
+                        loaded.metrics_rows) == \
+        state_digest(result.state, result.nstep, result.time,
+                     result.metrics_rows)
+    assert cache.stats()["stores"] == 1
+    assert cache.stats()["hits"] == 1
+
+
+def test_loaded_result_carries_stored_report(tmp_path):
+    config = _cfg(collect_steps=True)
+    result = run(config)
+    cache = ResultCache(str(tmp_path))
+    key = job_key(config)
+    cache.store(key, result)
+    loaded = cache.load(key, config)
+    # The stored report is served verbatim (timers are not
+    # reconstructable across processes).
+    assert loaded.report_override is not None
+    assert loaded.report()["run"]["steps"] == result.report()["run"]["steps"]
+
+
+def test_digest_excludes_wall_time(tmp_path):
+    """Two executions of the same config digest identically even
+    though their wall seconds differ."""
+    config = _cfg()
+    a, b = run(config), run(config)
+    assert state_digest(a.state, a.nstep, a.time, a.metrics_rows) == \
+        state_digest(b.state, b.nstep, b.time, b.metrics_rows)
+
+
+def test_missing_key_raises(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    with pytest.raises(FleetError, match="missing"):
+        cache.load("deadbeef", _cfg())
+
+
+def test_overlay_state_round_trip():
+    setup_a = _cfg().build_setup()
+    result = run(_cfg())
+    arrays = state_arrays(result.state)
+    overlay_state(setup_a.state, arrays)
+    for name in STATE_FIELDS:
+        assert np.array_equal(getattr(setup_a.state, name),
+                              getattr(result.state, name)), name
+    # the node-mass cache was invalidated, not stale
+    assert setup_a.state.total_mass() == result.state.total_mass()

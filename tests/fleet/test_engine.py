@@ -1,0 +1,237 @@
+"""The fleet engine: submission surface, routing, caching, telemetry."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, run, run_ensemble, submit
+from repro.fleet import FleetHandle, state_digest
+from repro.utils.errors import BookLeafError, FleetError
+
+
+def _cfg(**kw):
+    base = dict(problem="sod", nx=16, ny=8, max_steps=6)
+    base.update(kw)
+    return RunConfig(**base)
+
+
+def _digest(r):
+    return state_digest(r.state, r.nstep, r.time, r.metrics_rows)
+
+
+# ----------------------------------------------------------------------
+# the submission surface
+# ----------------------------------------------------------------------
+def test_submit_returns_handle_in_order():
+    configs = [_cfg(max_steps=3 + i) for i in range(3)]
+    handle = submit(configs)
+    assert isinstance(handle, FleetHandle)
+    assert len(handle) == 3
+    results = handle.results()
+    assert [r.nstep for r in results] == [3, 4, 5]
+    assert [r.config for r in results] == configs
+    # memoised: same objects on a second call
+    assert handle.results() is results
+
+
+def test_run_is_a_thin_wrapper():
+    config = _cfg()
+    result = run(config)
+    assert result.config is config
+    assert result.lane is None
+    assert result.cache_hit is False
+    assert result.backend == "serial"
+
+
+def test_run_ensemble_is_a_thin_wrapper():
+    results = run_ensemble([_cfg(max_steps=4), _cfg(max_steps=6)])
+    assert [r.lane for r in results] == [0, 1]
+    assert all(r.backend == "ensemble" for r in results)
+
+
+def test_unknown_fleet_option_errors():
+    with pytest.raises(BookLeafError, match="unknown fleet option"):
+        submit([_cfg()], bogus=1)
+    with pytest.raises(BookLeafError, match="ensemble must be"):
+        submit([_cfg()], ensemble="sometimes")
+    with pytest.raises(BookLeafError, match="at least one"):
+        submit([])
+
+
+def test_overrides_cannot_ride_ensemble_off():
+    with pytest.raises(BookLeafError, match="ensemble"):
+        submit([_cfg()], control_overrides=[{"cq1": 0.5}],
+               ensemble="off")
+
+
+def test_fault_injection_needs_workers():
+    with pytest.raises(FleetError, match="workers"):
+        submit([_cfg()], fault_steps={0: 3})
+
+
+# ----------------------------------------------------------------------
+# routing: the same-mesh fast path and the per-job path
+# ----------------------------------------------------------------------
+def test_auto_coalesces_same_mesh_jobs():
+    configs = [_cfg(max_steps=4 + i) for i in range(4)]
+    handle = submit(configs, ensemble="auto")
+    results = handle.results()
+    assert all(r.backend == "ensemble" for r in results)
+    events = [e["event"] for e in handle.schedule_log]
+    assert "ensemble_batch" in events
+    batch = next(e for e in handle.schedule_log
+                 if e["event"] == "ensemble_batch")
+    assert batch["jobs"] == [0, 1, 2, 3]
+
+
+def test_auto_fast_path_is_bit_identical_to_serial():
+    configs = [_cfg(max_steps=4 + 2 * i) for i in range(3)]
+    serial = [run(c) for c in configs]
+    batched = submit(configs, ensemble="auto").results()
+    for s, b in zip(serial, batched):
+        assert b.backend == "ensemble"
+        assert _digest(b) == _digest(s)
+
+
+def test_auto_splits_mixed_meshes():
+    """Different mesh specs cannot share a batch; each group batches
+    separately and singletons run per-job."""
+    configs = [_cfg(max_steps=4), _cfg(max_steps=5),
+               _cfg(nx=24, max_steps=4), _cfg(nx=24, max_steps=5),
+               _cfg(nx=32, max_steps=4)]
+    handle = submit(configs, ensemble="auto")
+    results = handle.results()
+    assert [r.backend for r in results] == \
+        ["ensemble", "ensemble", "ensemble", "ensemble", "serial"]
+    batches = [e["jobs"] for e in handle.schedule_log
+               if e["event"] == "ensemble_batch"]
+    assert sorted(map(sorted, batches)) == [[0, 1], [2, 3]]
+
+
+def test_auto_keeps_distributed_jobs_per_job():
+    configs = [_cfg(max_steps=3), _cfg(max_steps=3, nranks=2)]
+    handle = submit(configs, ensemble="auto")
+    results = handle.results()
+    assert results[0].backend == "serial"  # singleton, no batch
+    assert results[1].nranks == 2
+
+
+def test_ensemble_off_forces_per_job():
+    configs = [_cfg(max_steps=4), _cfg(max_steps=5)]
+    handle = submit(configs, ensemble="off")
+    results = handle.results()
+    assert all(r.backend == "serial" for r in results)
+    assert all(e["event"] != "ensemble_batch"
+               for e in handle.schedule_log)
+
+
+def test_refill_drains_queue_bit_identically():
+    """More jobs than batch width: lanes retire and refill from the
+    queue; every result still bit-identical to its serial run."""
+    configs = [_cfg(max_steps=3 + 2 * i) for i in range(5)]
+    serial = [run(c) for c in configs]
+    handle = submit(configs, ensemble="require", batch_width=2)
+    results = handle.results()
+    for s, b in zip(serial, results):
+        assert _digest(b) == _digest(s)
+    events = [e["event"] for e in handle.schedule_log]
+    assert events.count("lane_refill") >= 1
+    assert events.count("lane_retired") == 5
+
+
+# ----------------------------------------------------------------------
+# the result cache in the loop
+# ----------------------------------------------------------------------
+def test_cache_serves_repeats(tmp_path):
+    config = _cfg(max_steps=8)
+    cold = submit([config], cache_dir=str(tmp_path),
+                  ensemble="off").results()[0]
+    assert cold.cache_hit is False
+    handle = submit([config], cache_dir=str(tmp_path), ensemble="off")
+    warm = handle.results()[0]
+    assert warm.cache_hit is True
+    assert _digest(warm) == _digest(cold)
+    assert handle.schedule_log[0]["event"] == "cache_hit"
+
+
+def test_cache_hit_recorded_in_summary(tmp_path):
+    configs = [_cfg(max_steps=4), _cfg(max_steps=5)]
+    submit(configs, cache_dir=str(tmp_path)).results()
+    handle = submit(configs + [_cfg(max_steps=6)],
+                    cache_dir=str(tmp_path))
+    handle.results()
+    summary = handle.summary()
+    assert summary["fleet_sweep"] == 1
+    assert summary["counts"]["cache_hits"] == 2
+    assert [j["cache_hit"] for j in summary["jobs"]] == \
+        [True, True, False]
+    assert all(len(j["digest"]) == 64 for j in summary["jobs"])
+
+
+def test_observers_bypass_cache(tmp_path):
+    """A submission carrying observers must execute (the observer is a
+    side effect the cache cannot replay)."""
+    config = _cfg(max_steps=4)
+    submit([config], cache_dir=str(tmp_path),
+           ensemble="off").results()
+    seen = []
+    result = submit([config], cache_dir=str(tmp_path), ensemble="off",
+                    observers=[lambda h: seen.append(h.nstep)]
+                    ).results()[0]
+    assert result.cache_hit is False
+    assert seen == [1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# merged telemetry
+# ----------------------------------------------------------------------
+def test_merged_metrics_and_prometheus(tmp_path):
+    ndjson = tmp_path / "fleet.ndjson"
+    prom = tmp_path / "fleet.prom"
+    configs = [_cfg(max_steps=4, metrics_every=2),
+               _cfg(max_steps=6, metrics_every=2)]
+    submit(configs, metrics_path=str(ndjson),
+           prom_path=str(prom)).results()
+    rows = [json.loads(line) for line in
+            ndjson.read_text().splitlines()]
+    assert {r["job"] for r in rows} == {0, 1}
+    assert [r["nstep"] for r in rows if r["job"] == 0] == [0, 2, 4]
+    assert [r["nstep"] for r in rows if r["job"] == 1] == [0, 2, 4, 6]
+    text = prom.read_text()
+    assert "bookleaf_fleet_jobs_total 2" in text
+    assert 'bookleaf_fleet_job_steps{' in text
+
+
+def test_summary_compares_clean_against_itself(tmp_path):
+    from repro.metrics.compare import compare_files
+
+    configs = [_cfg(max_steps=4), _cfg(max_steps=6)]
+    a = submit(configs)
+    a.results()
+    b = submit(configs)
+    b.results()
+    pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+    pa.write_text(json.dumps(a.summary()))
+    pb.write_text(json.dumps(b.summary()))
+    result = compare_files(str(pa), str(pb))
+    assert result.kind == "fleet"
+    assert result.exit_code == 0
+    gated = [r for r in result.rows if r.gated]
+    assert len(gated) == 2 and all(r.status == "ok" for r in gated)
+
+
+def test_summary_compare_catches_digest_drift(tmp_path):
+    from repro.metrics.compare import compare_files
+
+    handle = submit([_cfg(max_steps=4)])
+    handle.results()
+    doc_a = handle.summary()
+    doc_b = json.loads(json.dumps(doc_a))
+    doc_b["jobs"][0]["digest"] = "0" * 64
+    pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+    pa.write_text(json.dumps(doc_a))
+    pb.write_text(json.dumps(doc_b))
+    result = compare_files(str(pa), str(pb))
+    assert result.exit_code == 1
+    assert len(result.regressions) == 1

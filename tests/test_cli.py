@@ -99,7 +99,7 @@ def test_validate_bad_problem():
 
 def test_run_distributed(capsys):
     rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
-               "--max-steps", "3", "--ranks", "2"])
+               "--max-steps", "3", "--nranks", "2"])
     assert rc == 0
     out = capsys.readouterr().out
     assert "ranks: 2" in out
@@ -108,7 +108,7 @@ def test_run_distributed(capsys):
 
 def test_run_distributed_summary_includes_comm_totals(capsys):
     rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
-               "--max-steps", "3", "--ranks", "2"])
+               "--max-steps", "3", "--nranks", "2"])
     assert rc == 0
     out = capsys.readouterr().out
     assert "halo exchanges" in out
@@ -144,7 +144,7 @@ def test_run_report_and_trace_distributed(tmp_path, capsys):
     report = tmp_path / "r.json"
     trace = tmp_path / "t.trace.json"
     rc = main(["run", "--problem", "noh", "--nx", "16", "--ny", "16",
-               "--max-steps", "4", "--ranks", "2",
+               "--max-steps", "4", "--nranks", "2",
                "--report", str(report), "--trace", str(trace)])
     assert rc == 0
     rep = json.loads(report.read_text())
@@ -176,13 +176,15 @@ def test_run_nranks_flag(capsys):
     assert "threads" in out
 
 
-def test_run_ranks_alias_deprecation_notice(capsys):
+def test_run_ranks_alias_now_errors(capsys):
+    """The --ranks deprecation window has closed: the alias refuses
+    with a structured error instead of warning and mapping."""
     rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
                "--max-steps", "3", "--ranks", "2"])
-    assert rc == 0
+    assert rc == 2
     captured = capsys.readouterr()
-    assert "--ranks is deprecated" in captured.err
-    assert "ranks: 2" in captured.out
+    assert "'--ranks' was removed" in captured.err
+    assert "ranks: 2" not in captured.out
 
 
 def test_trace_allocs_non_serial_warns_and_ignores(capsys):
@@ -219,28 +221,26 @@ def test_run_metrics_prom_alone_enables_probe(tmp_path, capsys):
     assert prom.exists()
 
 
-def test_run_ranks_alias_behavior_equivalent(capsys):
-    """--ranks must drive the identical run --nranks does: same rank
-    count, same backend, same physics digits in the summary."""
-    def physics_lines(argv):
-        assert main(argv) == 0
-        out = capsys.readouterr().out
-        return [line for line in out.splitlines()
-                if line.startswith(("ranks:", "problem ", "mass=",
-                                    "comm:"))]
-
+def test_run_ranks_alias_never_runs(capsys):
+    """The removed alias must not execute any physics — only --nranks
+    drives the run."""
     base = ["run", "--problem", "sod", "--nx", "16", "--ny", "4",
             "--max-steps", "3"]
-    assert physics_lines(base + ["--ranks", "2"]) == \
-        physics_lines(base + ["--nranks", "2"])
+    assert main(base + ["--ranks", "2"]) == 2
+    captured = capsys.readouterr()
+    assert "comm:" not in captured.out
+    assert main(base + ["--nranks", "2"]) == 0
+    assert "ranks: 2" in capsys.readouterr().out
 
 
-def test_run_ranks_alias_notice_names_replacement(capsys):
+def test_run_ranks_alias_error_names_replacement(capsys):
     rc = main(["run", "--problem", "sod", "--nx", "16", "--ny", "4",
                "--max-steps", "3", "--ranks", "2"])
-    assert rc == 0
-    assert "--ranks is deprecated; use --nranks" in \
-        capsys.readouterr().err
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "'--ranks' was removed" in err
+    assert "'--nranks'" in err
+    assert "docs/FLEET.md" in err
 
 
 def test_run_ranks_and_nranks_conflict(capsys):
@@ -311,3 +311,64 @@ def test_problems_describe_unknown(capsys):
     assert main(["problems", "describe", "vortex"]) == 2
     err = capsys.readouterr().err
     assert "unknown problem" in err and "sod" in err
+
+
+# ----------------------------------------------------------------------
+# bookleaf fleet — the sweep scheduler front end
+# ----------------------------------------------------------------------
+def test_fleet_sweep_runs_and_caches(tmp_path, capsys):
+    args = ["fleet", "--problem", "sod", "--nx", "16", "--ny", "8",
+            "--max-steps", "6", "--sweep", "max_steps=6,8",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--summary", str(tmp_path / "sweep.json")]
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "job 0 (max_steps=6)" in cold
+    assert "2 job(s): 0 from cache" in cold
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert "2 from cache" in warm and "cached" in warm
+    import json
+
+    doc = json.loads((tmp_path / "sweep.json").read_text())
+    assert doc["fleet_sweep"] == 1
+    assert all(j["cache_hit"] for j in doc["jobs"])
+
+
+def test_fleet_control_sweep_batches(capsys):
+    rc = main(["fleet", "--problem", "sod", "--nx", "16", "--ny", "8",
+               "--max-steps", "5", "--sweep", "cq1=0.3,0.5,0.7"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "(cq1=0.5)" in out
+    assert "3 on the batched fast path" in out
+
+
+def test_fleet_metrics_defaults_probe_cadence(tmp_path, capsys):
+    """--metrics alone must yield a non-empty merged stream: the
+    per-job probe cadence defaults on, exactly as `run --metrics`."""
+    import json
+
+    ndjson = tmp_path / "m.ndjson"
+    prom = tmp_path / "f.prom"
+    rc = main(["fleet", "--problem", "sod", "--nx", "16", "--ny", "8",
+               "--max-steps", "12", "--sweep", "max_steps=12,14",
+               "--metrics", str(ndjson), "--prom", str(prom)])
+    assert rc == 0
+    rows = [json.loads(l) for l in ndjson.read_text().splitlines()]
+    assert rows, "merged metrics stream came out empty"
+    assert {r["job"] for r in rows} == {0, 1}
+    assert any(r["nstep"] == 10 for r in rows)  # default cadence 10
+    assert "bookleaf_fleet_jobs_total 2" in prom.read_text()
+
+
+def test_fleet_rejects_control_and_mesh_sweep(capsys):
+    rc = main(["fleet", "--problem", "sod", "--max-steps", "4",
+               "--sweep", "cq1=0.3,0.5", "--sweep", "nx=8,16"])
+    assert rc == 2
+    assert "mesh sweeps" in capsys.readouterr().err
+
+
+def test_fleet_needs_problem_or_deck(capsys):
+    rc = main(["fleet", "--sweep", "cq1=0.3,0.5"])
+    assert rc == 2

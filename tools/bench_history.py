@@ -24,6 +24,9 @@ Merge rules (per bench kind, keyed by the rung/case identity):
   packed-vs-legacy duel and the mailbox-shrink block.
 * ``ensemble-batching``: per ``(problem, nx, lanes)`` keep the fastest
   ensemble/serial seconds and the best runs/sec and speedup.
+* ``fleet-scheduler``: per ``(nx, jobs)`` keep the fastest cold/warm
+  cache sweep and fast-path duel seconds, and the best warm-cache and
+  fast-path speedups.
 * anything else: kept verbatim under ``"other"``, last-writer-wins by
   ``bench`` name (so new bench kinds flow through without code here).
 
@@ -54,6 +57,7 @@ HOTLOOP = "noh-lagstep-hotloop"
 BACKENDS = "comm-backend-comparison"
 SCALING = "commplan-scaling"
 ENSEMBLE = "ensemble-batching"
+FLEET = "fleet-scheduler"
 
 
 def _fold_min(slot: dict, row: dict, key: str) -> None:
@@ -145,6 +149,40 @@ def fold_ensemble(summary: dict, doc: dict) -> None:
     summary["runs"] = [slots[k] for k in sorted(slots)]
 
 
+def fold_fleet(summary: dict, doc: dict) -> None:
+    """Best-of per (nx, jobs) fleet-scheduler run: fastest cold/warm
+    cache sweep and fast-path duel, highest speedups."""
+    slots: Dict[tuple, dict] = {
+        (r["nx"], r["jobs"]): r for r in summary.get("runs", [])
+    }
+    cache, duel = doc.get("cache"), doc.get("duel")
+    if cache is not None:
+        key = (doc.get("nx"), cache.get("jobs"))
+        slot = slots.setdefault(key, {"nx": doc.get("nx"),
+                                      "jobs": cache.get("jobs")})
+        _fold_min(slot, cache, "cold_seconds")
+        _fold_min(slot, cache, "warm_seconds")
+        _fold_max(slot, cache, "warm_speedup")
+        if duel is not None:
+            _fold_min(slot, duel, "seconds")
+            _fold_min(slot, duel, "seconds_perjob")
+            _fold_max(slot, duel, "speedup")
+        _fold_counts(slot, cache)
+    else:
+        # a previously folded summary slot round-trips verbatim
+        for row in doc.get("runs", []):
+            key = (row.get("nx"), row.get("jobs"))
+            slot = slots.setdefault(key, {"nx": row.get("nx"),
+                                          "jobs": row.get("jobs")})
+            for field in ("cold_seconds", "warm_seconds", "seconds",
+                          "seconds_perjob"):
+                _fold_min(slot, row, field)
+            for field in ("warm_speedup", "speedup"):
+                _fold_max(slot, row, field)
+            _fold_counts(slot, row)
+    summary["runs"] = [slots[k] for k in sorted(slots)]
+
+
 def fold_scaling(summary: dict, doc: dict) -> None:
     """Best-of per (backend, nranks, comm_plan) scaling rung."""
     slots: Dict[tuple, dict] = {
@@ -207,7 +245,8 @@ def merge(documents: List[dict]) -> dict:
                 fold = {HOTLOOP: fold_hotloop,
                         BACKENDS: fold_backends,
                         SCALING: fold_scaling,
-                        ENSEMBLE: fold_ensemble}.get(name)
+                        ENSEMBLE: fold_ensemble,
+                        FLEET: fold_fleet}.get(name)
                 target = summary["benches"].setdefault(name, {})
                 if fold is None:
                     summary["other"][name] = section
@@ -221,6 +260,8 @@ def merge(documents: List[dict]) -> dict:
                     })
                 elif name == ENSEMBLE:
                     fold(target, {"cases": section.get("runs", [])})
+                elif name == FLEET:
+                    fold(target, {"runs": section.get("runs", [])})
                 else:
                     # Re-fold summary runs as one-run cases.
                     cases = [{"problem": r["problem"], "nx": r["nx"],
@@ -239,6 +280,8 @@ def merge(documents: List[dict]) -> dict:
             fold_scaling(summary["benches"].setdefault(name, {}), doc)
         elif name == ENSEMBLE:
             fold_ensemble(summary["benches"].setdefault(name, {}), doc)
+        elif name == FLEET:
+            fold_fleet(summary["benches"].setdefault(name, {}), doc)
         else:
             summary["other"][str(name)] = doc
     return summary
