@@ -94,6 +94,11 @@ class RunConfig:
     comm_plan: Optional[str] = "packed"
     trace: bool = False
     trace_allocations: bool = False
+    #: collapsed-stack flamegraph output path; setting it turns the
+    #: sampling profiler on for the run (serial/threads backends —
+    #: the sampler reads the in-process span stacks).  Pure
+    #: observability: excluded from the canonical key.
+    profile: Optional[str] = None
     collect_steps: bool = False
     log_every: int = 0
     #: NDJSON live-metrics stream path (``--metrics out.ndjson``);
@@ -327,9 +332,12 @@ def _execute_run(config: RunConfig, *,
 
     setup = config.build_setup()
     backend = config.resolved_backend()
+    # The sampling profiler attributes wall time to the open-span
+    # stack, so profiling implies tracing for the run's duration.
+    trace = config.trace or bool(config.profile)
     driver = DistributedHydro(
         setup, config.nranks, method=config.partition,
-        trace=config.trace, backend=backend,
+        trace=trace, backend=backend,
         log_every=config.log_every,
         trace_allocations=config.trace_allocations,
         metrics_path=config.metrics,
@@ -353,9 +361,33 @@ def _execute_run(config: RunConfig, *,
         adjusted = on_prepared(driver, max_steps)
         if adjusted is not None:
             max_steps = adjusted
+    profiler = None
+    if config.profile:
+        if driver.tracers:
+            from .telemetry.sampling import SamplingProfiler
+
+            profiler = SamplingProfiler(driver.tracers)
+        else:
+            import warnings
+
+            warnings.warn(
+                f"profiling needs in-process span stacks; the "
+                f"{backend!r} backend runs ranks out-of-process — "
+                f"skipping the sampler for this run"
+            )
     start = _time.perf_counter()
-    driver.run(max_steps=max_steps)
+    if profiler is not None:
+        profiler.start()
+    try:
+        driver.run(max_steps=max_steps)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     wall = _time.perf_counter() - start
+    if profiler is not None:
+        from .telemetry.sampling import write_collapsed
+
+        write_collapsed(profiler.folded(), config.profile)
     distributed = config.nranks > 1
     merged_timers = driver.merged_timers()
     metrics = driver.result.metrics if driver.result else None

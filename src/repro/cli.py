@@ -85,6 +85,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="also record per-region allocation counters "
                           "(tracemalloc; serial backend only — slows "
                           "the run, diagnosis only)")
+    run.add_argument("--profile", metavar="PATH",
+                     help="write a collapsed-stack flamegraph profile "
+                          "here (thread-based span sampler, ~5ms "
+                          "period; feed to flamegraph.pl or speedscope"
+                          "; see docs/OBSERVABILITY.md)")
     run.add_argument("--metrics", metavar="PATH",
                      help="stream live diagnostics (conservation drift, "
                           "extrema, health sentinels) to this NDJSON "
@@ -197,6 +202,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 10 when --metrics or --prom is "
                             "set; note: the cadence enters each job's "
                             "cache key)")
+    fleet.add_argument("--watch", action="store_true",
+                       help="render a live per-job status table "
+                            "(state, step rate, ETA) from the sweep's "
+                            "event stream while it runs")
+    fleet.add_argument("--events", metavar="PATH",
+                       help="stream schema-versioned lifecycle events "
+                            "(job queued/started/progress/done, cache "
+                            "hits, retries) to this NDJSON file")
+    fleet.add_argument("--trace", metavar="PATH",
+                       help="write ONE merged Perfetto trace of the "
+                            "whole sweep here: a process row per "
+                            "worker, a thread row per job, cache-hit/"
+                            "checkpoint instants and kill->resume flow "
+                            "arrows (forces per-job tracing)")
+    fleet.add_argument("--dashboard", metavar="PATH",
+                       help="write a self-contained HTML sweep "
+                            "dashboard here at end of run")
+    fleet.add_argument("--profile-dir", metavar="DIR",
+                       dest="profile_dir",
+                       help="sample every job with the low-overhead "
+                            "span profiler; per-job collapsed-stack "
+                            "files plus an aggregated sweep.folded "
+                            "land here")
+    fleet.add_argument("--heartbeat-timeout", type=float, default=None,
+                       dest="heartbeat_timeout", metavar="SECONDS",
+                       help="SIGKILL and retry a pool worker silent "
+                            "for this long (stall watchdog; needs "
+                            "--workers >= 1)")
     fleet.add_argument("--prom", metavar="PATH",
                        help="merged Prometheus textfile export")
 
@@ -220,6 +253,12 @@ def _build_parser() -> argparse.ArgumentParser:
                               "per step; bench: bytes_per_step "
                               "leaves) instead of reporting it "
                               "informationally")
+    compare.add_argument("--gate-outliers", action="store_true",
+                         dest="gate_outliers",
+                         help="fleet summaries: also fail when the new "
+                              "sweep carries harmful cross-job anomaly "
+                              "flags (a job slow/heavy against its "
+                              "siblings; see docs/OBSERVABILITY.md)")
     compare.add_argument("--gate-throughput", action="store_true",
                          dest="gate_throughput",
                          help="also gate bench throughput leaves "
@@ -394,6 +433,7 @@ def _run_config(args: argparse.Namespace):
         comm_plan=args.comm_plan,
         trace=bool(args.report or args.trace),
         trace_allocations=args.trace_allocs,
+        profile=args.profile,
         collect_steps=bool(args.report),
         log_every=args.log_every,
         metrics=args.metrics,
@@ -485,6 +525,8 @@ def _run(args: argparse.Namespace) -> int:
         write_trace(result.spans, args.trace)
         print(f"wrote Chrome trace to {args.trace} "
               f"(load in https://ui.perfetto.dev)")
+    if args.profile:
+        print(f"wrote collapsed-stack profile to {args.profile}")
     if args.metrics:
         rows = result.metrics_rows or []
         tail = (f" (final energy drift "
@@ -705,6 +747,13 @@ def _fleet_cli(args: argparse.Namespace) -> int:
 
     from .utils.errors import BookLeafError
 
+    watcher = None
+    listeners = None
+    if args.watch:
+        from .telemetry.live import WatchRenderer
+
+        watcher = WatchRenderer()
+        listeners = [watcher]
     options = dict(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -714,6 +763,12 @@ def _fleet_cli(args: argparse.Namespace) -> int:
         batch_width=args.batch_width,
         metrics_path=args.metrics,
         prom_path=args.prom,
+        events_path=args.events,
+        event_listeners=listeners,
+        trace_path=args.trace,
+        dashboard_path=args.dashboard,
+        profile_dir=args.profile_dir,
+        heartbeat_timeout=args.heartbeat_timeout,
     )
     try:
         handle = submit(
@@ -752,6 +807,24 @@ def _fleet_cli(args: argparse.Namespace) -> int:
         print(f"wrote merged metrics stream to {args.metrics}")
     if args.prom:
         print(f"wrote merged Prometheus export to {args.prom}")
+    if args.events:
+        print(f"wrote live event stream to {args.events}")
+    if args.trace:
+        print(f"wrote merged sweep trace to {args.trace} "
+              f"(load in https://ui.perfetto.dev)")
+    if args.dashboard:
+        print(f"wrote sweep dashboard to {args.dashboard}")
+    if args.profile_dir:
+        profile = summary.get("profile") or {}
+        print(f"wrote {profile.get('jobs_profiled', 0)} job profile(s) "
+              f"and the aggregate to {args.profile_dir}")
+    outliers = summary.get("anomalies") or []
+    for flag in outliers:
+        direction = "slow/heavy" if flag["harmful"] else "fast/light"
+        print(f"anomaly: job {flag['job']} {flag['metric']}="
+              f"{flag['value']:.4g} vs sweep median "
+              f"{flag['median']:.4g} (|z|={abs(flag['zscore']):.1f}, "
+              f"{direction})")
     return 0
 
 
@@ -819,6 +892,8 @@ def _compare(args: argparse.Namespace) -> int:
         kwargs["gate_comm"] = True
     if args.gate_throughput:
         kwargs["gate_throughput"] = True
+    if args.gate_outliers:
+        kwargs["gate_outliers"] = True
     try:
         result = cmp.compare_files(args.old, args.new, **kwargs)
     except (OSError, ValueError) as exc:

@@ -101,6 +101,15 @@ def run_ensemble_jobs(jobs: Sequence[BatchJob], *,
                 f"{config.resolved_backend()!r}; lanes run serially "
                 "inside the batch"
             )
+        for telemetry in ("trace", "trace_allocations", "profile"):
+            if getattr(config, telemetry, None):
+                raise BookLeafError(
+                    f"ensemble lane {i} requests {telemetry!r}; "
+                    "per-job telemetry does not thread through the "
+                    "batched kernels — run it per-job "
+                    "(ensemble='off'/'auto') instead (docs/FLEET.md, "
+                    "'Fast-path eligibility')"
+                )
     n = len(jobs)
     timers = timers if timers is not None else TimerRegistry()
     width = n if width is None else max(1, int(width))

@@ -143,6 +143,11 @@ class ResultCache:
             "report": result.report(),
             "metrics_rows": result.metrics_rows,
             "step_rows": result.step_rows,
+            # span shards ride the spool so the fleet parent can merge
+            # worker-side traces into the sweep trace (empty when the
+            # job ran untraced — the common case costs nothing)
+            "spans": ([s.as_dict() for s in result.spans]
+                      if result.spans else None),
             "comm_total": result.comm_total,
             "comm_per_rank": result.comm_per_rank,
             "comm_summary": result.comm_summary,
@@ -178,6 +183,7 @@ class ResultCache:
         reconstructable across processes — and ``cache_hit=hit``.
         """
         from ..api import RunResult
+        from ..telemetry.spans import Span
 
         npz_path, meta_path = self._paths(key)
         if not self.has(key):
@@ -202,7 +208,7 @@ class ResultCache:
             wall_seconds=meta["wall_seconds"],
             state=setup.state,
             timers=TimerRegistry(),
-            spans=[],
+            spans=[Span(**doc) for doc in (meta.get("spans") or [])],
             comm_total=meta.get("comm_total"),
             comm_per_rank=meta.get("comm_per_rank") or [],
             step_rows=meta.get("step_rows"),

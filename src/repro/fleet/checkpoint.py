@@ -92,18 +92,24 @@ class CheckpointWriter:
     happens ahead of anything that can kill the process at step N.
     """
 
-    def __init__(self, path: str, every: int, key: str = ""):
+    def __init__(self, path: str, every: int, key: str = "",
+                 on_write=None):
         if every < 1:
             raise FleetError("checkpoint cadence must be >= 1")
         self.path = path
         self.every = int(every)
         self.key = key
         self.saves = 0
+        #: optional ``on_write(step)`` hook — the fleet's live event
+        #: plane turns each save into a ``job_checkpointed`` event
+        self.on_write = on_write
 
     def __call__(self, hydro) -> None:
         if hydro.nstep % self.every == 0:
             save_checkpoint(self.path, hydro, key=self.key)
             self.saves += 1
+            if self.on_write is not None:
+                self.on_write(int(hydro.nstep))
 
 
 def restore_into(driver, path: str, key: str = "",

@@ -22,6 +22,22 @@ becomes a :class:`~repro.fleet.batch.BatchJob`; the engine then
 
 Every scheduling decision is appended to ``handle.schedule_log`` so
 tests (and curious users) can assert how work was routed.
+
+The sweep-scope observability plane threads through all of it
+(docs/OBSERVABILITY.md, "Sweep-scope observability"):
+
+* a :class:`~repro.telemetry.live.EventBus` streams lifecycle events
+  (``events_path`` NDJSON + in-process ``event_listeners`` — the
+  ``fleet --watch`` renderer is one);
+* ``trace_path`` forces per-job tracing and merges every job's span
+  shard into ONE Perfetto-loadable sweep trace
+  (:class:`~repro.telemetry.sweep_trace.SweepTraceBuilder`) — worker
+  process rows, per-job thread rows, cache-hit/checkpoint instants and
+  kill → resume flow events;
+* ``profile_dir`` attaches the sampling profiler to every job and
+  aggregates the per-job collapsed stacks into one sweep flamegraph;
+* :func:`summary` flags cross-job outliers
+  (:mod:`repro.metrics.anomaly`) for ``compare --gate-outliers``.
 """
 
 from __future__ import annotations
@@ -30,16 +46,18 @@ import json
 import os
 import tempfile
 import time as _time
+import warnings
 from dataclasses import dataclass, fields
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..utils.errors import BookLeafError, FleetError
+from ..utils.errors import (BookLeafError, EnsembleDowngradeWarning,
+                            FleetError)
 from .artifacts import ArtifactCache
 from .batch import BatchJob, make_jobs, run_ensemble_jobs
 from .cache import ResultCache, job_key, state_digest
 
 #: fleet summary document layout version
-FLEET_SCHEMA_VERSION = 1
+FLEET_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -66,10 +84,35 @@ class FleetOptions:
     #: chaos hook: ``{job_index: step}`` SIGKILLs that job's worker at
     #: the given step, first attempt only (needs ``workers > 0``)
     fault_steps: Optional[Dict[int, int]] = None
+    #: chaos hook: ``{job_index: step}`` wedges (sleeps forever) that
+    #: job's worker at the given step, first attempt only — the
+    #: failure mode only the heartbeat watchdog detects (needs
+    #: ``workers > 0`` and ``heartbeat_timeout``)
+    stall_steps: Optional[Dict[int, int]] = None
     #: merged NDJSON stream of every job's metrics rows
     metrics_path: Optional[str] = None
     #: merged Prometheus textfile export
     prom_path: Optional[str] = None
+    #: NDJSON sink for the live lifecycle event stream
+    events_path: Optional[str] = None
+    #: in-process live-event listeners (``fleet --watch`` attaches its
+    #: renderer here; tests attach plain callables)
+    event_listeners: Optional[Sequence[Callable]] = None
+    #: merged sweep-level Chrome/Perfetto trace output; setting it
+    #: forces per-job tracing (span shards ship back through the spool)
+    trace_path: Optional[str] = None
+    #: self-contained HTML sweep dashboard, written at end of run
+    dashboard_path: Optional[str] = None
+    #: per-job collapsed-stack flamegraph directory; setting it turns
+    #: the sampling profiler on for every job and writes the aggregate
+    #: ``sweep.folded`` alongside the per-job files
+    profile_dir: Optional[str] = None
+    #: SIGKILL a pool worker whose heartbeat goes silent for this many
+    #: seconds (the job retries); None disables stall monitoring
+    heartbeat_timeout: Optional[float] = None
+    #: steps between ``job_progress`` events (when the event plane is
+    #: active: ``events_path`` or ``event_listeners`` set)
+    progress_every: int = 10
 
 
 def _parse_options(options: dict) -> FleetOptions:
@@ -92,6 +135,21 @@ def _parse_options(options: dict) -> FleetOptions:
             "fault injection kills worker processes; it needs "
             "workers >= 1 (an inline fault would kill the scheduler)"
         )
+    if opts.stall_steps:
+        if opts.workers < 1:
+            raise FleetError(
+                "stall injection wedges worker processes; it needs "
+                "workers >= 1"
+            )
+        if not opts.heartbeat_timeout:
+            raise FleetError(
+                "stall injection without heartbeat_timeout would hang "
+                "the sweep forever — set a timeout"
+            )
+    if opts.heartbeat_timeout is not None and opts.heartbeat_timeout <= 0:
+        raise BookLeafError("heartbeat_timeout must be > 0 seconds")
+    if opts.progress_every < 1:
+        raise BookLeafError("progress_every must be >= 1")
     return opts
 
 
@@ -127,14 +185,19 @@ class FleetHandle:
 
     def summary(self) -> dict:
         """The sweep-level summary document (per-job keys, digests,
-        cache/scheduling counters) — the ``bookleaf compare`` "fleet"
-        input."""
+        anomaly flags, cache/scheduling counters) — the ``bookleaf
+        compare`` "fleet" input."""
         return self._fleet.summary()
 
     @property
     def schedule_log(self) -> List[dict]:
         """Every scheduling decision the engine made, in order."""
         return self._fleet.schedule_log
+
+    @property
+    def events(self) -> List[dict]:
+        """The sweep's live lifecycle event records, in emission order."""
+        return self._fleet.bus.events if self._fleet.bus else []
 
     def __len__(self) -> int:
         return len(self._fleet.jobs)
@@ -151,15 +214,27 @@ class Fleet:
         self.schedule_log: List[dict] = []
         self.artifacts = ArtifactCache()
         self.cache: Optional[ResultCache] = None
+        self.bus: Any = None
         self._results: Optional[List[Any]] = None
         self._wall: Optional[float] = None
+        self._trace_forced = False
+        #: per-job execution provenance for the sweep trace:
+        #: ``{index: {"pid": worker pid row, "start": seconds}}``
+        self._track: Dict[int, dict] = {}
+        self._pool: Any = None
+        self._profile_doc: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def results(self) -> List[Any]:
         if self._results is None:
             start = _time.perf_counter()
-            self._results = self._execute()
+            try:
+                self._results = self._execute()
+            finally:
+                if self.bus is not None:
+                    self.bus.close()
             self._wall = _time.perf_counter() - start
+            self._finalize_outputs()
         return self._results
 
     # ------------------------------------------------------------------
@@ -171,17 +246,35 @@ class Fleet:
     def _log(self, event: str, **kw) -> None:
         self.schedule_log.append({"event": event, **kw})
 
+    def _emit(self, event: str, **payload) -> None:
+        if self.bus is not None:
+            self.bus.emit(event, **payload)
+
+    @property
+    def _live(self) -> bool:
+        """True when someone is watching: progress observers attach."""
+        return bool(self.options.events_path
+                    or self.options.event_listeners)
+
     # ------------------------------------------------------------------
     def _execute(self) -> List[Any]:
+        from ..telemetry.live import EventBus
+
         opts = self.options
         n = len(self.jobs)
         results: List[Any] = [None] * n
+        self.bus = EventBus(path=opts.events_path,
+                            listeners=opts.event_listeners)
+        self._emit("sweep_started", jobs=n, workers=opts.workers)
+        self._prepare_observability()
         need_keys = bool(opts.cache_dir) or opts.workers > 0
         if opts.cache_dir:
             self.cache = ResultCache(opts.cache_dir)
         if need_keys:
             for job in self.jobs:
                 self._key(job)
+        for job in self.jobs:
+            self._emit("job_queued", job=job.index)
 
         # -- stage 1: serve repeats from the result cache ---------------
         remaining: List[BatchJob] = []
@@ -193,6 +286,11 @@ class Fleet:
                     override=job.override, hit=True)
                 self._log("cache_hit", job=job.index,
                           key=self._key(job))
+                self._emit("cache_hit", job=job.index,
+                           key=self._key(job))
+                self._track[job.index] = {"pid": 0,
+                                          "start": self.bus.elapsed,
+                                          "cache_hit": True}
             else:
                 if self.cache is not None:
                     self.cache.misses += 1
@@ -225,24 +323,76 @@ class Fleet:
 
         # -- stage 3: merged telemetry ----------------------------------
         self._merge_outputs(results)
+        self._emit("sweep_done", jobs=n,
+                   wall_seconds=round(self.bus.elapsed, 6))
         return results
+
+    # ------------------------------------------------------------------
+    def _prepare_observability(self) -> None:
+        """Force per-job telemetry the sweep-level outputs need."""
+        opts = self.options
+        if opts.trace_path:
+            forced = [j.index for j in self.jobs if not j.config.trace]
+            for job in self.jobs:
+                if not job.config.trace:
+                    job.config = job.config.replace(trace=True)
+            self._trace_forced = True
+            self._log("trace_forced", jobs=forced)
+            self._emit("trace_forced", jobs=forced)
+        if opts.profile_dir:
+            os.makedirs(opts.profile_dir, exist_ok=True)
+            for job in self.jobs:
+                if not job.config.profile:
+                    job.config = job.config.replace(
+                        profile=os.path.join(opts.profile_dir,
+                                             f"job{job.index}.folded"))
 
     # ------------------------------------------------------------------
     def _coalesce(self, jobs: List[BatchJob]):
         """Partition jobs into same-mesh batchable groups (>= 2 jobs)
-        and per-job singles."""
+        and per-job singles.
+
+        A job carrying per-job telemetry (tracing, allocation
+        tracking, profiling) is *never* batched — the vectorised
+        kernels do not thread per-lane tracers — and the downgrade is
+        announced: a ``fast_path_downgrade`` schedule-log event plus
+        an :class:`EnsembleDowngradeWarning` naming the reason (the
+        warning is suppressed when the engine itself forced tracing
+        for a sweep-level ``trace_path``; docs/FLEET.md, 'Fast-path
+        eligibility').
+        """
         buckets: Dict[tuple, List[BatchJob]] = {}
         singles: List[BatchJob] = []
         for job in jobs:
             c = job.config
-            eligible = (
-                c.nranks == 1
-                and c.resolved_backend() == "serial"
-                and not c.trace
-                and not c.trace_allocations
-                and not c.collect_steps
-            )
-            if not eligible:
+            reason = None
+            if c.nranks != 1:
+                reason = "nranks"
+            elif c.resolved_backend() != "serial":
+                reason = "backend"
+            elif c.trace:
+                reason = "trace"
+            elif c.trace_allocations:
+                reason = "trace_allocations"
+            elif c.profile:
+                reason = "profile"
+            elif c.collect_steps:
+                reason = "collect_steps"
+            if reason is not None:
+                if reason in ("trace", "trace_allocations", "profile"):
+                    self._log("fast_path_downgrade", job=job.index,
+                              reason=reason)
+                    self._emit("fast_path_downgrade", job=job.index,
+                               reason=reason)
+                    if not self._trace_forced:
+                        warnings.warn(
+                            f"fleet job {job.index} requests "
+                            f"{reason!r} and leaves the same-mesh "
+                            f"batched fast path (per-job telemetry "
+                            f"does not thread through the vectorised "
+                            f"kernels; see docs/FLEET.md)",
+                            EnsembleDowngradeWarning,
+                        )
                 singles.append(job)
                 continue
             deck = os.path.realpath(c.deck) if c.deck else None
@@ -272,18 +422,27 @@ class Fleet:
     # ------------------------------------------------------------------
     def _run_batched(self, group: List[BatchJob],
                      results: List[Any]) -> None:
+        t0 = self.bus.elapsed if self.bus else 0.0
+        self._emit("ensemble_batch", jobs=[j.index for j in group])
         group_results = run_ensemble_jobs(
             group, width=self.options.batch_width,
             artifacts=self.artifacts,
             schedule_log=self.schedule_log)
+        t1 = self.bus.elapsed if self.bus else 0.0
         for job, result in zip(group, group_results):
             results[job.index] = result
+            self._track[job.index] = {"pid": 0, "start": t0,
+                                      "batch": (t0, t1)}
+            self._emit("job_done", job=job.index,
+                       nstep=int(result.nstep),
+                       wall_seconds=round(t1 - t0, 6))
             if self.cache is not None:
                 self.cache.store(self._key(job), result)
 
     # ------------------------------------------------------------------
     def _run_inline(self, job: BatchJob):
         from ..api import _execute_run
+        from ..telemetry.live import ProgressReporter
         from .checkpoint import CheckpointWriter, restore_into
 
         opts = self.options
@@ -294,6 +453,11 @@ class Fleet:
                 "routed off the ensemble path"
             )
         observers = list(self.observers or [])
+        in_process = config.resolved_backend() in ("serial", "threads")
+        if self._live and in_process:
+            observers.append(ProgressReporter(
+                self.bus.emit, job.index, every=opts.progress_every,
+                max_steps=config.max_steps))
         on_prepared = None
         serial = (config.nranks == 1
                   and config.resolved_backend() == "serial")
@@ -301,8 +465,13 @@ class Fleet:
             key = self._key(job)
             ckpt_path = os.path.join(opts.checkpoint_dir,
                                      f"{key}.ckpt.npz")
+
+            def on_write(step, _j=job.index):
+                self._emit("job_checkpointed", job=_j, step=step)
+
             observers.append(CheckpointWriter(
-                ckpt_path, opts.checkpoint_every, key=key))
+                ckpt_path, opts.checkpoint_every, key=key,
+                on_write=on_write))
             if os.path.exists(ckpt_path):
                 self._log("checkpoint_resume", job=job.index,
                           path=ckpt_path)
@@ -312,9 +481,14 @@ class Fleet:
                     return restore_into(driver, _p, key=_k,
                                         max_steps=max_steps)
         self._log("job_inline", job=job.index)
+        t0 = self.bus.elapsed if self.bus else 0.0
+        self._emit("job_started", job=job.index, attempt=1, worker=None)
+        self._track[job.index] = {"pid": 0, "start": t0}
         result = _execute_run(config, observers=observers or None,
                               artifacts=self.artifacts,
                               on_prepared=on_prepared)
+        self._emit("job_done", job=job.index, nstep=int(result.nstep),
+                   wall_seconds=round(result.wall_seconds, 6))
         if self.cache is not None:
             self.cache.store(self._key(job), result)
         return result
@@ -342,13 +516,22 @@ class Fleet:
             checkpoint_dir=opts.checkpoint_dir,
             checkpoint_every=opts.checkpoint_every,
             max_attempts=opts.max_attempts,
-            schedule_log=self.schedule_log)
+            schedule_log=self.schedule_log,
+            events=self.bus,
+            heartbeat_timeout=opts.heartbeat_timeout,
+            progress_every=(opts.progress_every if self._live
+                            else None))
+        self._pool = pool
         try:
-            done = pool.run(jobs, fault_steps=opts.fault_steps)
+            done = pool.run(jobs, fault_steps=opts.fault_steps,
+                            stall_steps=opts.stall_steps)
         finally:
             pool.shutdown()
         self._log("pool_done", jobs=len(jobs),
                   respawns=pool.respawns)
+        job_worker = pool.job_worker()
+        starts = {a["job"]: a["t_start"] for a in pool.attempt_log
+                  if a["outcome"] == "done"}
         for job in jobs:
             if job.index not in done:
                 raise FleetError(
@@ -357,6 +540,10 @@ class Fleet:
             results[job.index] = spool.load(
                 done[job.index], job.config,
                 override=job.override, hit=False)
+            self._track[job.index] = {
+                "pid": job_worker.get(job.index, -1) + 1,
+                "start": starts.get(job.index, 0.0),
+            }
 
     # ------------------------------------------------------------------
     def _merge_outputs(self, results: List[Any]) -> None:
@@ -395,39 +582,168 @@ class Fleet:
             registry.write_prometheus(opts.prom_path)
 
     # ------------------------------------------------------------------
+    def _finalize_outputs(self) -> None:
+        """End-of-sweep artefacts: the merged trace, the aggregated
+        profile and the dashboard (needs the memoised results)."""
+        opts = self.options
+        if opts.profile_dir:
+            self._aggregate_profiles()
+        if opts.trace_path:
+            from ..telemetry.sweep_trace import write_sweep_trace
+
+            write_sweep_trace(self.build_sweep_trace(), opts.trace_path)
+        if opts.dashboard_path:
+            from ..telemetry.dashboard import write_dashboard
+
+            write_dashboard(self.summary(), self.bus.events,
+                            opts.dashboard_path)
+
+    def _aggregate_profiles(self) -> None:
+        from ..telemetry.sampling import (merge_folded, read_collapsed,
+                                          top_stacks, write_collapsed)
+
+        opts = self.options
+        profiles = []
+        for job in self.jobs:
+            path = job.config.profile
+            if path and os.path.exists(path):
+                profiles.append(read_collapsed(path))
+        merged = merge_folded(profiles)
+        sweep_path = os.path.join(opts.profile_dir, "sweep.folded")
+        write_collapsed(merged, sweep_path)
+        self._profile_doc = {
+            "jobs_profiled": len(profiles),
+            "samples": sum(merged.values()),
+            "path": sweep_path,
+            "top_stacks": [
+                {"stack": stack, "samples": count,
+                 "fraction": round(frac, 4)}
+                for stack, count, frac in top_stacks(merged, 5)
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def build_sweep_trace(self):
+        """Assemble the merged sweep trace from the recorded span
+        shards, scheduling track and live events."""
+        from ..telemetry.sweep_trace import SweepTraceBuilder
+
+        results = self.results()
+        builder = SweepTraceBuilder(epoch_ns=self.bus.epoch_ns
+                                    if self.bus else 0)
+
+        def ns(seconds: float) -> int:
+            return max(0, int(seconds * 1e9))
+
+        for job, result in zip(self.jobs, results):
+            track = self._track.get(job.index, {"pid": 0, "start": 0.0})
+            label = (job.config.problem
+                     or os.path.basename(job.config.deck or "")
+                     or "")
+            if job.config.nx:
+                label += f" {job.config.nx}x{job.config.ny or job.config.nx}"
+            builder.add_job(job.index, pid=track["pid"],
+                            start_ns=ns(track["start"]),
+                            spans=(result.spans
+                                   if not result.cache_hit else []),
+                            label=label.strip())
+            if track.get("cache_hit"):
+                builder.add_instant(job.index, "cache_hit",
+                                    ns(track["start"]),
+                                    args={"key": self._key(job)[:12]})
+            batch = track.get("batch")
+            if batch is not None and job.index == min(
+                    j.index for j in self.jobs
+                    if self._track.get(j.index, {}).get("batch") == batch):
+                batched = [j.index for j in self.jobs
+                           if self._track.get(j.index, {})
+                           .get("batch") == batch]
+                builder.add_batch(batched, ns(batch[0]),
+                                  ns(batch[1] - batch[0]))
+        for rec in (self.bus.events if self.bus else []):
+            if rec["event"] == "job_checkpointed":
+                builder.add_instant(rec["job"], "checkpoint",
+                                    ns(rec["t"]),
+                                    args={"step": rec["step"]})
+        if self._pool is not None:
+            by_job: Dict[int, List[dict]] = {}
+            for attempt in self._pool.attempt_log:
+                by_job.setdefault(attempt["job"], []).append(attempt)
+            for job_index, attempts in by_job.items():
+                attempts.sort(key=lambda a: a["t_start"])
+                for prev, nxt in zip(attempts, attempts[1:]):
+                    if prev["outcome"] != "died":
+                        continue
+                    builder.add_flow(
+                        job_index,
+                        from_pid=prev["worker"] + 1,
+                        from_ns=ns(prev["t_end"] or prev["t_start"]),
+                        to_pid=nxt["worker"] + 1,
+                        to_ns=ns(nxt["t_start"]),
+                    )
+        return builder.build()
+
+    # ------------------------------------------------------------------
     def summary(self) -> dict:
-        """Sweep summary: one entry per job with its canonical key and
-        outcome digest, plus scheduling/cache counters.  The "fleet"
-        document kind of ``bookleaf compare``."""
+        """Sweep summary: one entry per job with its canonical key,
+        outcome digest and performance metrics, plus cross-job anomaly
+        flags and scheduling/cache counters.  The "fleet" document
+        kind of ``bookleaf compare``."""
+        from ..metrics.anomaly import detect_anomalies
+
         results = self.results()
         job_docs = []
         for job, result in zip(self.jobs, results):
+            config = job.config
+            wall = float(result.wall_seconds)
+            kernel_seconds = (result.timers.total()
+                              if result.report_override is None
+                              else sum(
+                                  k.get("seconds", 0.0) for k in
+                                  (result.report_override.get("kernels")
+                                   or {}).values()))
             job_docs.append({
                 "index": job.index,
                 "key": self._key(job),
                 "cache_hit": bool(result.cache_hit),
                 "lane": result.lane,
                 "backend": result.backend,
+                "problem": config.problem,
+                "deck": (os.path.basename(config.deck)
+                         if config.deck else None),
+                "nx": config.nx,
+                "ny": config.ny,
+                "nranks": int(config.nranks),
                 "nstep": int(result.nstep),
                 "time": float(result.time),
-                "wall_seconds": float(result.wall_seconds),
+                "wall_seconds": wall,
+                "steps_per_sec": (round(result.nstep / wall, 3)
+                                  if wall > 0 else None),
+                "kernel_seconds": round(float(kernel_seconds), 6),
+                "comm_bytes": (result.comm_total or {}).get("bytes"),
                 "digest": state_digest(result.state, result.nstep,
                                        result.time,
                                        result.metrics_rows),
             })
+        anomalies = detect_anomalies(job_docs)
         counts = {
             "jobs": len(results),
             "cache_hits": sum(1 for r in results if r.cache_hit),
             "ensemble_jobs": sum(1 for r in results
                                  if r.backend == "ensemble"),
             "events": len(self.schedule_log),
+            "anomalies": len(anomalies),
         }
-        return {
+        doc = {
             "fleet_sweep": 1,
             "schema_version": FLEET_SCHEMA_VERSION,
             "jobs": job_docs,
             "counts": counts,
+            "anomalies": anomalies,
             "wall_seconds": self._wall,
             "cache": self.cache.stats() if self.cache else None,
             "artifacts": self.artifacts.stats(),
         }
+        if self._profile_doc is not None:
+            doc["profile"] = self._profile_doc
+        return doc

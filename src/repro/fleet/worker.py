@@ -18,11 +18,26 @@ Design constraints, in order:
   serial jobs write periodic snapshots keyed by the job's cache key;
   the retry overlays the last one (:mod:`repro.fleet.checkpoint`) and
   continues bit-identically.
+* **A wedged worker is detected, not waited on.**  With
+  ``heartbeat_timeout`` set, every worker slot owns one row of a
+  ``shared_memory``-backed :class:`~repro.metrics.watchdog.HeartbeatBoard`
+  (created before the fork, inherited by the children); in-process
+  ranks beat it per step, and the parent's wait loop SIGKILLs any
+  busy slot whose beat goes stale — surfacing a
+  :class:`~repro.utils.errors.StalledRankWarning` and a
+  ``worker_stalled`` live event — after which the ordinary
+  death/requeue path takes over.
+
+Workers also stream **live events** back over their pipes
+(``("event", pos, payload)`` messages interleaved with results): step
+progress with rate/ETA and checkpoint writes, forwarded to the fleet's
+:class:`~repro.telemetry.live.EventBus`.
 
 Fault injection (``FleetOptions.fault_steps``) is the chaos hook the
 resume test proves itself with: the job's observer SIGKILLs its own
 worker at a chosen step — a real, uncatchable death, first attempt
-only.
+only.  ``stall_steps`` is the watchdog's twin: the observer wedges
+(sleeps forever) instead of dying.
 """
 
 from __future__ import annotations
@@ -30,11 +45,13 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import signal
+import time
+import warnings
 from collections import deque
 from multiprocessing.connection import wait as _mp_wait
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from ..utils.errors import FleetError
+from ..utils.errors import FleetError, StalledRankWarning
 from .batch import BatchJob
 
 
@@ -51,41 +68,84 @@ class _FaultInjector:
             os.kill(os.getpid(), signal.SIGKILL)
 
 
+class _StallInjector:
+    """Observer that wedges its process at a given step — alive but
+    silent, the failure mode only the heartbeat watchdog can see."""
+
+    def __init__(self, at_step: int):
+        self.at_step = int(at_step)
+
+    def __call__(self, hydro) -> None:
+        if hydro.nstep >= self.at_step:
+            while True:  # pragma: no cover - killed by the watchdog
+                time.sleep(3600)
+
+
+def _observable(config) -> bool:
+    """True when the job's ranks run in-process (observers attach)."""
+    return config.resolved_backend() in ("serial", "threads")
+
+
 def _run_job(doc: dict, store, checkpoint_dir: Optional[str],
-             checkpoint_every: int) -> None:
+             checkpoint_every: int, emit=None,
+             heartbeat=None) -> None:
     """Execute one job document inside a worker and persist the
     outcome under its key."""
     from ..api import _execute_run
+    from ..telemetry.live import ProgressReporter
     from .checkpoint import CheckpointWriter, restore_into
 
     config = doc["config"]
     key = doc["key"]
+    pos = doc["pos"]
     if store.has(key):
         return  # a previous attempt finished the work before dying
     observers = []
     on_prepared = None
     serial = (config.nranks == 1
               and config.resolved_backend() == "serial")
+    if heartbeat is not None and _observable(config):
+        observers.append(heartbeat)
+    if emit is not None and doc.get("progress_every") and \
+            _observable(config):
+        observers.append(ProgressReporter(
+            emit, pos, every=doc["progress_every"],
+            max_steps=config.max_steps))
     if checkpoint_dir and serial:
         ckpt_path = os.path.join(checkpoint_dir, f"{key}.ckpt.npz")
+        on_write = None
+        if emit is not None:
+            def on_write(step, _pos=pos):
+                emit("job_checkpointed", job=_pos, step=step)
         observers.append(
-            CheckpointWriter(ckpt_path, checkpoint_every, key=key))
+            CheckpointWriter(ckpt_path, checkpoint_every, key=key,
+                             on_write=on_write))
         if os.path.exists(ckpt_path):
             def on_prepared(driver, max_steps, _p=ckpt_path, _k=key):
                 return restore_into(driver, _p, key=_k,
                                     max_steps=max_steps)
     if doc.get("fault_step") is not None:
         observers.append(_FaultInjector(doc["fault_step"]))
+    if doc.get("stall_step") is not None:
+        observers.append(_StallInjector(doc["stall_step"]))
     result = _execute_run(config, observers=observers or None)
     store.store(key, result)
 
 
 def _worker_main(conn, store_root: str, checkpoint_dir: Optional[str],
-                 checkpoint_every: int) -> None:
-    """Worker loop: receive job documents, execute, report."""
+                 checkpoint_every: int, board=None,
+                 slot: int = 0) -> None:
+    """Worker loop: receive job documents, execute, report.
+
+    ``board`` is the heartbeat board inherited through the fork (one
+    row per worker slot); in-process ranks beat ``slot``'s row every
+    step so the parent can tell wedged from busy.
+    """
+    from ..metrics.watchdog import Heartbeat
     from .cache import ResultCache
 
     store = ResultCache(store_root)
+    heartbeat = Heartbeat(board, slot) if board is not None else None
     while True:
         try:
             doc = conn.recv()
@@ -93,8 +153,17 @@ def _worker_main(conn, store_root: str, checkpoint_dir: Optional[str],
             return
         if doc is None:
             return
+
+        def emit(event: str, **payload) -> None:
+            try:
+                conn.send(("event", doc["pos"],
+                           {"event": event, **payload}))
+            except (BrokenPipeError, OSError):
+                pass
+
         try:
-            _run_job(doc, store, checkpoint_dir, checkpoint_every)
+            _run_job(doc, store, checkpoint_dir, checkpoint_every,
+                     emit=emit, heartbeat=heartbeat)
             conn.send(("done", doc["pos"], doc["key"]))
         except BaseException as exc:  # report, keep serving
             try:
@@ -111,57 +180,112 @@ class WorkerPool:
                  checkpoint_dir: Optional[str] = None,
                  checkpoint_every: int = 20,
                  max_attempts: int = 3,
-                 schedule_log: Optional[List[dict]] = None):
+                 schedule_log: Optional[List[dict]] = None,
+                 events: Any = None,
+                 heartbeat_timeout: Optional[float] = None,
+                 progress_every: Optional[int] = None):
         self.ctx = mp.get_context("fork")
         self.store_root = store_root
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
         self.max_attempts = max(1, int(max_attempts))
         self.schedule_log = schedule_log
+        #: the fleet's live :class:`~repro.telemetry.live.EventBus`
+        #: (None = no event plane)
+        self.events = events
+        self.heartbeat_timeout = heartbeat_timeout
+        self.progress_every = progress_every
+        #: every dispatch, for the sweep trace's flow events:
+        #: ``{"job", "worker", "t_start", "t_end", "outcome"}``
+        self.attempt_log: List[dict] = []
+        self._epoch = time.perf_counter()
         self._next_id = 0
-        self.workers = [self._spawn() for _ in range(max(1, nworkers))]
+        self._hb_seg = None
+        self.board = None
+        nslots = max(1, nworkers)
+        if heartbeat_timeout is not None:
+            self._make_board(nslots)
+        self.workers = [self._spawn(slot) for slot in range(nslots)]
         self.respawns = 0
 
     # ------------------------------------------------------------------
-    def _spawn(self) -> dict:
+    def _make_board(self, nslots: int) -> None:
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        from ..metrics.watchdog import BOARD_COLS, HeartbeatBoard
+
+        nbytes = nslots * BOARD_COLS * np.dtype(np.float64).itemsize
+        self._hb_seg = shared_memory.SharedMemory(create=True,
+                                                  size=nbytes)
+        array = np.ndarray((nslots, BOARD_COLS), dtype=np.float64,
+                           buffer=self._hb_seg.buf)
+        self.board = HeartbeatBoard(array)
+        self.board.launch()
+
+    def _now(self) -> float:
+        """Seconds on the sweep's event clock (the bus epoch when a
+        bus is attached, so attempt times line up with live events)."""
+        if self.events is not None:
+            return self.events.elapsed
+        return time.perf_counter() - self._epoch
+
+    def _spawn(self, slot: int) -> dict:
         parent, child = self.ctx.Pipe(duplex=True)
         proc = self.ctx.Process(
             target=_worker_main,
             args=(child, self.store_root, self.checkpoint_dir,
-                  self.checkpoint_every),
+                  self.checkpoint_every, self.board, slot),
             daemon=True,
         )
         proc.start()
         child.close()
         wid = self._next_id
         self._next_id += 1
-        return {"id": wid, "conn": parent, "proc": proc, "job": None}
+        return {"id": wid, "slot": slot, "conn": parent, "proc": proc,
+                "job": None, "monitor": False, "killed": False,
+                "attempt": None}
 
     def _log(self, event: str, **kw) -> None:
         if self.schedule_log is not None:
             self.schedule_log.append({"event": event, **kw})
 
+    def _emit(self, event: str, **payload) -> None:
+        if self.events is not None:
+            self.events.emit(event, **payload)
+
     # ------------------------------------------------------------------
     def run(self, jobs: List[BatchJob],
-            fault_steps: Optional[Dict[int, int]] = None) -> Dict[int, str]:
+            fault_steps: Optional[Dict[int, int]] = None,
+            stall_steps: Optional[Dict[int, int]] = None
+            ) -> Dict[int, str]:
         """Drive every job to a stored outcome; returns
         ``{job.index: key}``.  Dead workers are respawned and their
         in-flight job requeued (front of the queue) up to
         ``max_attempts`` total tries."""
         pending = deque(jobs)
         done: Dict[int, str] = {}
+        timeout = None
+        if self.board is not None and self.heartbeat_timeout:
+            timeout = min(max(self.heartbeat_timeout / 4, 0.02), 1.0)
         while pending or any(w["job"] is not None for w in self.workers):
             for i, w in enumerate(self.workers):
                 if w["job"] is None and pending:
                     job = pending.popleft()
-                    fault = None
-                    if fault_steps and job.attempts == 0:
-                        fault = fault_steps.get(job.index)
+                    fault = stall = None
+                    if job.attempts == 0:
+                        if fault_steps:
+                            fault = fault_steps.get(job.index)
+                        if stall_steps:
+                            stall = stall_steps.get(job.index)
                     doc = {
                         "pos": job.index,
                         "key": job.metadata["key"],
                         "config": job.config,
                         "fault_step": fault,
+                        "stall_step": stall,
+                        "progress_every": self.progress_every,
                     }
                     try:
                         w["conn"].send(doc)
@@ -169,19 +293,32 @@ class WorkerPool:
                         # the worker died while idle; replace and retry
                         pending.appendleft(job)
                         w["proc"].join()
-                        self.workers[i] = self._spawn()
+                        self.workers[i] = self._spawn(w["slot"])
                         self.respawns += 1
                         continue
                     w["job"] = job
+                    w["killed"] = False
+                    w["monitor"] = _observable(job.config)
                     job.attempts += 1
+                    if self.board is not None:
+                        self.board.beat(w["slot"], -1)
+                    w["attempt"] = {
+                        "job": job.index, "worker": w["id"],
+                        "t_start": self._now(), "t_end": None,
+                        "outcome": None,
+                    }
+                    self.attempt_log.append(w["attempt"])
                     self._log("job_start", job=job.index,
                               worker=w["id"], attempt=job.attempts,
                               fault_step=fault)
+                    self._emit("job_started", job=job.index,
+                               worker=w["id"], attempt=job.attempts)
             busy = [w for w in self.workers if w["job"] is not None]
             if not busy:
                 break
             ready = _mp_wait([w["conn"] for w in busy]
-                             + [w["proc"].sentinel for w in busy])
+                             + [w["proc"].sentinel for w in busy],
+                             timeout=timeout)
             for i, w in enumerate(self.workers):
                 if w["job"] is None:
                     continue
@@ -194,12 +331,25 @@ class WorkerPool:
                         got_msg = False
                 if got_msg:
                     kind, pos, info = msg
+                    if kind == "event":
+                        payload = dict(info)
+                        self._emit(payload.pop("event"), **payload)
+                        continue
                     job = w["job"]
                     w["job"] = None
+                    w["attempt"]["t_end"] = self._now()
                     if kind == "done":
+                        w["attempt"]["outcome"] = "done"
                         done[pos] = info
                         self._log("job_done", job=pos, worker=w["id"])
+                        self._emit("job_done", job=pos,
+                                   worker=w["id"], key=info,
+                                   nstep=None, wall_seconds=round(
+                                       w["attempt"]["t_end"]
+                                       - w["attempt"]["t_start"], 6))
                     else:
+                        w["attempt"]["outcome"] = "failed"
+                        self._emit("job_failed", job=pos, error=info)
                         self.shutdown()
                         raise FleetError(
                             f"fleet job {pos} failed in worker "
@@ -211,8 +361,12 @@ class WorkerPool:
                     # requeue the job for the front of the line and
                     # replace the worker.
                     job = w["job"]
+                    w["attempt"]["t_end"] = self._now()
+                    w["attempt"]["outcome"] = "died"
                     self._log("worker_died", job=job.index,
                               worker=w["id"], attempt=job.attempts)
+                    self._emit("worker_died", job=job.index,
+                               worker=w["id"], attempt=job.attempts)
                     if job.attempts >= self.max_attempts:
                         self.shutdown()
                         raise FleetError(
@@ -221,13 +375,53 @@ class WorkerPool:
                             f"(max_attempts={self.max_attempts})"
                         )
                     pending.appendleft(job)
+                    self._emit("job_retried", job=job.index,
+                               attempt=job.attempts + 1)
                     w["proc"].join()
-                    self.workers[i] = self._spawn()
+                    self.workers[i] = self._spawn(w["slot"])
                     self.respawns += 1
+            self._check_stalls()
         self.shutdown()
         return done
 
     # ------------------------------------------------------------------
+    def _check_stalls(self) -> None:
+        """SIGKILL any busy, monitorable worker whose heartbeat went
+        stale; the death then takes the ordinary requeue path."""
+        if self.board is None or not self.heartbeat_timeout:
+            return
+        stale = self.board.stalled(self.heartbeat_timeout)
+        for w in self.workers:
+            if (w["slot"] not in stale or w["job"] is None
+                    or w["killed"] or not w["monitor"]):
+                continue
+            info = stale[w["slot"]]
+            message = (
+                f"fleet watchdog: worker {w['id']} (job "
+                f"{w['job'].index}) sent no heartbeat within "
+                f"{self.heartbeat_timeout:.1f}s (last step "
+                f"{info['step']}, {info['age_seconds']:.1f}s ago); "
+                f"killing it so the job can retry"
+            )
+            self._log("worker_stalled", job=w["job"].index,
+                      worker=w["id"], age_seconds=info["age_seconds"])
+            self._emit("worker_stalled", worker=w["id"],
+                       job=w["job"].index,
+                       age_seconds=round(info["age_seconds"], 3))
+            warnings.warn(message, StalledRankWarning)
+            try:
+                os.kill(w["proc"].pid, signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+            w["killed"] = True
+
+    # ------------------------------------------------------------------
+    def job_worker(self) -> Dict[int, int]:
+        """``{job index: worker id}`` of each job's *completing*
+        attempt (the sweep trace's process-row assignment)."""
+        return {a["job"]: a["worker"] for a in self.attempt_log
+                if a["outcome"] == "done"}
+
     def shutdown(self) -> None:
         for w in self.workers:
             try:
@@ -240,3 +434,11 @@ class WorkerPool:
                 w["proc"].terminate()
                 w["proc"].join(timeout=5)
             w["conn"].close()
+        if self._hb_seg is not None:
+            self.board = None
+            try:
+                self._hb_seg.close()
+                self._hb_seg.unlink()
+            except (FileNotFoundError, BufferError):
+                pass
+            self._hb_seg = None

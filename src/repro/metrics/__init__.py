@@ -22,6 +22,9 @@ while the run executes.
 * :mod:`~repro.metrics.compare` — the ``repro compare`` CLI: diff two
   run reports or two ``BENCH_*.json`` files with a regression
   threshold, for CI gating.
+* :mod:`~repro.metrics.anomaly` — cross-job outlier detection for
+  fleet sweeps (robust modified z-scores over kernel seconds, comm
+  bytes and step rate; ``compare --gate-outliers``).
 
 Everything here is opt-in: with no probe attached the step loop pays
 one ``is None`` check per step and stays bit-identical.
@@ -31,6 +34,7 @@ from .probe import METRICS_SCHEMA_VERSION, DiagnosticsProbe
 from .registry import MetricsRegistry
 from .health import dump_snapshot, load_snapshot
 from .watchdog import HeartbeatBoard, Heartbeat, Watchdog
+from .anomaly import detect_anomalies, robust_zscores
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
@@ -41,4 +45,6 @@ __all__ = [
     "Watchdog",
     "dump_snapshot",
     "load_snapshot",
+    "detect_anomalies",
+    "robust_zscores",
 ]

@@ -1,0 +1,149 @@
+"""Cross-job anomaly detection for fleet sweeps.
+
+A sweep's jobs are mostly siblings — same problem family, same mesh,
+different controls — so their performance metrics should cluster.  A
+job whose kernel seconds, comm bytes or step rate sits far outside the
+sweep's distribution is worth a flag: a thermally-throttled worker, a
+pathological parameter corner, a NUMA-unlucky placement.
+
+The statistic is the **modified z-score** (Iglewicz & Hoaglin):
+``0.6745 * (x - median) / MAD`` — median/MAD instead of mean/stddev so
+one wild outlier cannot mask itself by inflating the spread.  When the
+MAD is zero (half the sweep identical) the mean absolute deviation
+takes over with the standard 1.253314 consistency factor; when that is
+zero too the metric is constant and nothing is flagged.  The default
+threshold is the conventional 3.5.
+
+Jobs are grouped by config *family* — (problem, deck, nx, ny, nranks,
+backend) — before scoring: a 32² job is not an outlier for being
+faster than 128² siblings.  Direction matters for gating: only the
+*harmful* direction (slow, heavy) fails ``compare --gate-outliers``;
+a surprisingly fast job is reported but never fails CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+#: |modified z| beyond this flags a job (Iglewicz & Hoaglin's 3.5)
+DEFAULT_THRESHOLD = 3.5
+
+#: groups smaller than this are never scored (median/MAD of 3 jobs is
+#: not a distribution)
+MIN_GROUP = 4
+
+#: metric name -> True when larger values are the harmful direction
+METRIC_DIRECTIONS = {
+    "wall_seconds": True,
+    "kernel_seconds": True,
+    "comm_bytes": True,
+    "steps_per_sec": False,
+}
+
+#: metrics that scale with step count: scored per step when the group's
+#: step budgets differ, so a job is not an "outlier" for running longer
+STEP_SCALED = ("wall_seconds", "kernel_seconds", "comm_bytes")
+
+#: job-doc fields defining the comparison family
+FAMILY_FIELDS = ("problem", "deck", "nx", "ny", "nranks", "backend")
+
+
+#: spread below this fraction of the median is float noise, not signal
+#: (a derived per-step quantity can be "identical" to 1 ulp)
+REL_SPREAD_FLOOR = 1e-9
+
+
+def robust_zscores(values: Sequence[float]) -> List[float]:
+    """Modified z-scores of ``values`` (0.6745*(x-median)/MAD, with
+    the meanAD fallback when the MAD degenerates).  A spread below
+    :data:`REL_SPREAD_FLOOR` of the median is treated as constant —
+    dividing by a 1-ulp MAD would flag rounding noise as a 10^9-sigma
+    event."""
+    vals = [float(v) for v in values]
+    n = len(vals)
+    if n == 0:
+        return []
+    ordered = sorted(vals)
+    mid = n // 2
+    median = (ordered[mid] if n % 2
+              else 0.5 * (ordered[mid - 1] + ordered[mid]))
+    floor = abs(median) * REL_SPREAD_FLOOR
+    abs_dev = [abs(v - median) for v in vals]
+    ordered_dev = sorted(abs_dev)
+    mad = (ordered_dev[mid] if n % 2
+           else 0.5 * (ordered_dev[mid - 1] + ordered_dev[mid]))
+    if mad > floor:
+        return [0.6745 * (v - median) / mad for v in vals]
+    mean_ad = sum(abs_dev) / n
+    if mean_ad > floor:
+        return [(v - median) / (1.253314 * mean_ad) for v in vals]
+    return [0.0] * n
+
+
+def _family(doc: dict) -> tuple:
+    return tuple(doc.get(f) for f in FAMILY_FIELDS)
+
+
+def detect_anomalies(job_docs: Sequence[dict],
+                     threshold: float = DEFAULT_THRESHOLD,
+                     min_group: int = MIN_GROUP,
+                     metrics: Optional[Sequence[str]] = None
+                     ) -> List[dict]:
+    """Flag outlier jobs across a sweep's job documents.
+
+    Returns one record per (job, metric) flag::
+
+        {"job": 3, "metric": "wall_seconds", "value": 9.1,
+         "median": 1.2, "basis": "raw", "zscore": 7.8, "harmful": True}
+
+    sorted by job then metric.  Cache hits are excluded from timing
+    metrics (a served result's wall time measures the disk, not the
+    run).  When a group's step budgets differ, step-scaled metrics are
+    scored per step (``basis="per_step"``; value and median are then
+    per-step quantities) — a job is not an outlier for running longer.
+    """
+    metrics = tuple(metrics) if metrics else tuple(METRIC_DIRECTIONS)
+    groups: Dict[tuple, List[dict]] = {}
+    for doc in job_docs:
+        groups.setdefault(_family(doc), []).append(doc)
+    flags: List[dict] = []
+    for members in groups.values():
+        for metric in metrics:
+            higher_is_bad = METRIC_DIRECTIONS.get(metric, True)
+            rows = [d for d in members
+                    if d.get(metric) is not None
+                    and not (d.get("cache_hit")
+                             and metric != "comm_bytes")]
+            if len(rows) < max(2, int(min_group)):
+                continue
+            values = [float(d[metric]) for d in rows]
+            basis = "raw"
+            if metric in STEP_SCALED:
+                steps = [d.get("nstep") for d in rows]
+                if (all(isinstance(s, (int, float)) and s > 0
+                        for s in steps)
+                        and len(set(steps)) > 1):
+                    values = [v / float(s)
+                              for v, s in zip(values, steps)]
+                    basis = "per_step"
+            zscores = robust_zscores(values)
+            ordered = sorted(values)
+            mid = len(ordered) // 2
+            median = (ordered[mid] if len(ordered) % 2
+                      else 0.5 * (ordered[mid - 1] + ordered[mid]))
+            for doc, value, z in zip(rows, values, zscores):
+                if abs(z) <= threshold:
+                    continue
+                harmful = (z > 0) == higher_is_bad
+                flags.append({
+                    "job": doc.get("index"),
+                    "metric": metric,
+                    "value": value,
+                    "median": median,
+                    "basis": basis,
+                    "zscore": round(z, 3),
+                    "harmful": harmful,
+                })
+    flags.sort(key=lambda f: (f["job"] if f["job"] is not None else -1,
+                              f["metric"]))
+    return flags

@@ -22,11 +22,16 @@ Gating rules:
   any timing-noise floor.
 * **fleet summaries** (``repro.fleet`` sweep documents, classified by
   their ``fleet_sweep`` marker) — jobs are matched across documents by
-  canonical config key and their outcome **digests** are gated
-  bit-for-bit: the digest covers the exact final-state bytes, clocks
-  and diagnostics stream, so any mismatch is a determinism regression
-  regardless of threshold.  Wall seconds and cache-hit counts are
-  informational (a warm cache is *supposed* to change them).
+  ``(canonical config key, occurrence)`` and the *intersection's*
+  outcome **digests** are gated bit-for-bit: the digest covers the
+  exact final-state bytes, clocks and diagnostics stream, so any
+  mismatch is a determinism regression regardless of threshold.  Jobs
+  present in only one document surface as explicit added/removed rows
+  (a grown sweep is not a regression); wall seconds and cache-hit
+  counts are informational (a warm cache is *supposed* to change
+  them).  ``--gate-outliers`` additionally fails the comparison when
+  the new sweep carries harmful cross-job anomaly flags
+  (:mod:`repro.metrics.anomaly`).
 * **bench documents** — every shared numeric leaf is compared;
   ``*seconds*``/``t_*`` leaves are gated lower-is-better, ``*speedup*``
   leaves higher-is-better, anything else informational
@@ -176,39 +181,90 @@ def compare_reports(old: dict, new: dict, threshold: float,
 # ----------------------------------------------------------------------
 # fleet-summary comparison
 # ----------------------------------------------------------------------
-def compare_fleets(old: dict, new: dict) -> CompareResult:
+def _jobs_by_occurrence(doc: dict) -> Dict[Tuple[str, int], dict]:
+    """Index a summary's jobs by ``(key, occurrence)``.
+
+    Submitting the same config twice in one sweep is legal (the second
+    is a cache hit), so the canonical key alone is not unique; the
+    occurrence counter disambiguates repeats while still lining jobs up
+    across documents regardless of submission order.
+    """
+    seen: Dict[str, int] = {}
+    out: Dict[Tuple[str, int], dict] = {}
+    for job in doc.get("jobs", []):
+        n = seen.get(job["key"], 0)
+        seen[job["key"]] = n + 1
+        out[(job["key"], n)] = job
+    return out
+
+
+def compare_fleets(old: dict, new: dict,
+                   gate_outliers: bool = False) -> CompareResult:
     """Diff two fleet sweep summaries by per-job outcome digest.
 
-    Jobs line up by canonical config key (submission order may change
-    between sweeps); a digest mismatch on a shared key is a gated
-    regression — the digest is bit-exact by construction, so no
-    threshold applies.  Jobs present in only one document, wall time
-    and cache-hit counts are informational rows.
+    Jobs line up by ``(canonical config key, occurrence)`` — submission
+    order may change between sweeps, and the two documents may cover
+    *different* job lists (a grown or shrunk sweep).  Only the
+    intersection is gated: a digest mismatch on a shared job is a
+    bit-exactness regression (no threshold applies); jobs present in
+    only one document are reported as explicit ``added``/``removed``
+    rows, never gated.  Wall time and cache-hit counts are
+    informational.
+
+    ``gate_outliers=True`` additionally gates the *new* document's
+    harmful anomaly flags (:mod:`repro.metrics.anomaly`): a job flagged
+    slow/heavy against its sweep siblings fails the comparison even
+    when its digest matches (bit-identical but 10x slower is still a
+    regression).
     """
     result = CompareResult(kind="fleet")
+    jobs_old = _jobs_by_occurrence(old)
+    jobs_new = _jobs_by_occurrence(new)
 
-    def by_key(doc):
-        return {j["key"]: j for j in doc.get("jobs", [])}
+    def name_of(key: str, n: int) -> str:
+        return (f"jobs[{key[:12]}].digest" if n == 0
+                else f"jobs[{key[:12]}#{n}].digest")
 
-    jobs_old, jobs_new = by_key(old), by_key(new)
-    for key in sorted(set(jobs_old) | set(jobs_new)):
-        a, b = jobs_old.get(key), jobs_new.get(key)
-        name = f"jobs[{key[:12]}].digest"
-        if a is None or b is None:
-            result.rows.append(Row(
-                name, None if a is None else 1.0,
-                None if b is None else 1.0))
-            continue
+    shared = sorted(set(jobs_old) & set(jobs_new))
+    removed = sorted(set(jobs_old) - set(jobs_new))
+    added = sorted(set(jobs_new) - set(jobs_old))
+    for key, n in shared:
+        a, b = jobs_old[(key, n)], jobs_new[(key, n)]
         match = a.get("digest") == b.get("digest")
         result.rows.append(Row(
-            name, 1.0, 1.0 if match else 0.0, gated=True,
+            name_of(key, n), 1.0, 1.0 if match else 0.0, gated=True,
             status="ok" if match else "regression"))
-        result.rows.append(Row(f"jobs[{key[:12]}].nstep",
-                               a.get("nstep"), b.get("nstep")))
-    for counter in ("jobs", "cache_hits", "ensemble_jobs"):
+        result.rows.append(Row(name_of(key, n).replace(
+            ".digest", ".nstep"), a.get("nstep"), b.get("nstep")))
+    for key, n in removed:
+        result.rows.append(Row(
+            name_of(key, n).replace(".digest", ".removed"), 1.0, None))
+    for key, n in added:
+        result.rows.append(Row(
+            name_of(key, n).replace(".digest", ".added"), None, 1.0))
+    if removed or added:
+        result.rows.append(Row("jobs.shared", float(len(shared)),
+                               float(len(shared))))
+    if gate_outliers:
+        anomalies = new.get("anomalies")
+        if anomalies is None:
+            from .anomaly import detect_anomalies
+
+            anomalies = detect_anomalies(new.get("jobs", []))
+        harmful = [f for f in anomalies if f.get("harmful")]
+        result.rows.append(Row(
+            "anomalies.harmful", 0.0, float(len(harmful)), gated=True,
+            status="ok" if not harmful else "regression"))
+        for flag in harmful:
+            result.rows.append(Row(
+                f"anomalies.job{flag['job']}.{flag['metric']}.zscore",
+                None, flag.get("zscore")))
+    for counter in ("jobs", "cache_hits", "ensemble_jobs",
+                    "anomalies"):
         a = (old.get("counts") or {}).get(counter)
         b = (new.get("counts") or {}).get(counter)
-        result.rows.append(Row(f"counts.{counter}", a, b))
+        if a is not None or b is not None:
+            result.rows.append(Row(f"counts.{counter}", a, b))
     result.rows.append(Row("wall_seconds", old.get("wall_seconds"),
                            new.get("wall_seconds")))
     return result
@@ -321,7 +377,8 @@ def compare_files(path_old: str, path_new: str,
                   threshold: float = DEFAULT_THRESHOLD,
                   min_seconds: float = DEFAULT_MIN_SECONDS,
                   gate_comm: bool = False,
-                  gate_throughput: bool = False) -> CompareResult:
+                  gate_throughput: bool = False,
+                  gate_outliers: bool = False) -> CompareResult:
     old, new = load_document(path_old), load_document(path_new)
     kind_old, kind_new = classify(old), classify(new)
     if kind_old != kind_new:
@@ -329,7 +386,7 @@ def compare_files(path_old: str, path_new: str,
             f"cannot compare a {kind_old} against a {kind_new}"
         )
     if kind_old == "fleet":
-        return compare_fleets(old, new)
+        return compare_fleets(old, new, gate_outliers=gate_outliers)
     if kind_old == "report":
         return compare_reports(old, new, threshold, min_seconds,
                                gate_comm=gate_comm)

@@ -14,7 +14,15 @@ observability artefacts:
 * :mod:`repro.telemetry.trace` — the Chrome trace-event file loadable
   in Perfetto (``bookleaf run --trace out.trace.json``),
 * :mod:`repro.telemetry.table2` — the measured-vs-modeled Table II
-  (``bookleaf model table2-measured``).
+  (``bookleaf model table2-measured``),
+* :mod:`repro.telemetry.live` — the fleet's schema-versioned lifecycle
+  event bus (NDJSON stream, ``fleet --watch`` renderer, progress/ETA),
+* :mod:`repro.telemetry.sweep_trace` — ONE merged Perfetto trace for a
+  whole sweep (worker process rows, per-job thread rows, flow events),
+* :mod:`repro.telemetry.sampling` — the low-overhead collapsed-stack
+  sampling profiler (``run --profile``, ``fleet --profile-dir``),
+* :mod:`repro.telemetry.dashboard` — the self-contained HTML sweep
+  dashboard.
 
 Telemetry is off by default and adds nothing to the hot loop beyond a
 ``tracer is None`` check per timer region; see docs/OBSERVABILITY.md.
@@ -28,7 +36,27 @@ from .report import (  # noqa: F401
     validate_report,
     write_report,
 )
+from .live import (  # noqa: F401
+    LIVE_SCHEMA_VERSION,
+    EventBus,
+    ProgressReporter,
+    WatchRenderer,
+    read_events,
+    validate_live_event,
+    validate_live_stream,
+)
+from .sampling import (  # noqa: F401
+    SamplingProfiler,
+    merge_folded,
+    read_collapsed,
+    write_collapsed,
+)
 from .spans import Span, Tracer, merge_spans  # noqa: F401
+from .sweep_trace import (  # noqa: F401
+    SweepTraceBuilder,
+    strip_nondeterminism,
+    write_sweep_trace,
+)
 from .table2 import (  # noqa: F401
     format_measured_vs_modeled,
     measured_vs_modeled,

@@ -24,6 +24,11 @@ from .spans import CATEGORIES, Span
 
 PROCESS_NAME = "bookleaf"
 
+#: categories legal in a trace file: the span hierarchy plus the
+#: sweep-level rows (``fleet`` scheduler facts, ``flow`` arrows
+#: linking a killed attempt to its resumed retry)
+TRACE_CATEGORIES = CATEGORIES + ("fleet", "flow")
+
 
 def trace_events(spans: Iterable[Span]) -> dict:
     """Build the trace-event JSON object from a merged span stream."""
@@ -83,17 +88,23 @@ def validate_trace(trace: dict) -> None:
     for event in events:
         need(isinstance(event.get("name"), str), "event without a name")
         ph = event.get("ph")
-        need(ph in ("X", "i", "M"), f"unsupported phase {ph!r}")
+        need(ph in ("X", "i", "M", "s", "f"), f"unsupported phase {ph!r}")
         need(isinstance(event.get("pid"), int), "event without pid")
         need(isinstance(event.get("tid"), int), "event without tid")
         if ph == "M":
             continue
         need(isinstance(event.get("ts"), (int, float)) and event["ts"] >= 0,
              "event with negative/missing ts")
-        need(event.get("cat") in CATEGORIES,
+        need(event.get("cat") in TRACE_CATEGORIES,
              f"unknown category {event.get('cat')!r}")
         if ph == "X":
             need(isinstance(event.get("dur"), (int, float))
                  and event["dur"] >= 0, "X event with bad dur")
         if ph == "i":
             need(event.get("s") in ("t", "p", "g"), "i event without scope")
+        if ph in ("s", "f"):
+            need(isinstance(event.get("id"), int),
+                 f"{ph} flow event without an id")
+        if ph == "f":
+            need(event.get("bp") == "e",
+                 "f flow event without bp='e' (binds to enclosing slice)")

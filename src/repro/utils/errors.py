@@ -139,3 +139,14 @@ class StalledRankWarning(UserWarning):
     """The rank watchdog saw no heartbeat from a rank within the
     configured timeout — the run was aborted instead of hanging at the
     next collective.  The message carries every rank's last-seen step."""
+
+
+class EnsembleDowngradeWarning(UserWarning):
+    """A fleet job was routed off the same-mesh batched fast path.
+
+    Tracing, allocation tracking and profiling are per-job telemetry
+    the vectorised ensemble kernels do not thread through, so a job
+    requesting them under ``ensemble="auto"`` silently losing the fast
+    path would be a surprise slowdown.  The warning (and the paired
+    ``fast_path_downgrade`` schedule-log event) names the job and the
+    reason; see docs/FLEET.md, 'Fast-path eligibility'."""

@@ -70,9 +70,10 @@ def test_repeat_crasher_exhausts_attempts(tmp_path):
 
     original = worker_mod._run_job
 
-    def always_die(doc, store, checkpoint_dir, checkpoint_every):
+    def always_die(doc, store, checkpoint_dir, checkpoint_every, **kw):
         doc = dict(doc, fault_step=1)
-        return original(doc, store, checkpoint_dir, checkpoint_every)
+        return original(doc, store, checkpoint_dir, checkpoint_every,
+                        **kw)
 
     worker_mod._run_job = always_die
     try:

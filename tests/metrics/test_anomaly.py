@@ -1,0 +1,182 @@
+"""Cross-job anomaly detection and the compare-side outlier gate."""
+
+import json
+
+import pytest
+
+from repro.metrics.anomaly import (detect_anomalies, robust_zscores)
+from repro.metrics.compare import compare_files, compare_fleets
+
+
+def _doc(index, wall=1.0, rate=10.0, nstep=10, **kw):
+    base = {
+        "index": index, "key": f"key{index}", "cache_hit": False,
+        "problem": "noh", "deck": None, "nx": 64, "ny": 64,
+        "nranks": 1, "backend": "serial", "nstep": nstep,
+        "wall_seconds": wall, "steps_per_sec": rate,
+        "kernel_seconds": wall * 0.8, "comm_bytes": None,
+        "digest": f"{index:064x}",
+    }
+    base.update(kw)
+    return base
+
+
+# ----------------------------------------------------------------------
+# the statistic
+# ----------------------------------------------------------------------
+def test_robust_zscores_flag_the_outlier_not_the_crowd():
+    z = robust_zscores([1.0, 1.1, 0.9, 1.0, 1.05, 10.0])
+    assert abs(z[-1]) > 3.5
+    assert all(abs(v) < 3.5 for v in z[:-1])
+
+
+def test_robust_zscores_mad_zero_falls_back_to_meanad():
+    # over half identical -> MAD = 0; meanAD still scores the outlier
+    z = robust_zscores([1.0, 1.0, 1.0, 1.0, 8.0])
+    assert abs(z[-1]) > 3.5
+
+
+def test_constant_values_score_zero():
+    assert robust_zscores([2.0] * 6) == [0.0] * 6
+    assert robust_zscores([]) == []
+
+
+# ----------------------------------------------------------------------
+# detection over job documents
+# ----------------------------------------------------------------------
+def test_detects_slow_job_as_harmful():
+    docs = [_doc(i) for i in range(5)] + [_doc(5, wall=50.0, rate=0.2)]
+    flags = detect_anomalies(docs)
+    slow = [f for f in flags if f["job"] == 5]
+    assert {f["metric"] for f in slow} >= {"wall_seconds",
+                                           "steps_per_sec"}
+    assert all(f["harmful"] for f in slow)
+    assert all(abs(f["zscore"]) > 3.5 for f in slow)
+
+
+def test_fast_job_flagged_but_not_harmful():
+    docs = [_doc(i) for i in range(5)] + [_doc(5, wall=0.02, rate=500)]
+    flags = detect_anomalies(docs)
+    assert flags
+    assert not any(f["harmful"] for f in flags)
+
+
+def test_small_groups_are_never_scored():
+    docs = [_doc(0), _doc(1), _doc(2, wall=100.0)]
+    assert detect_anomalies(docs) == []
+
+
+def test_families_score_separately():
+    """A 128x128 job is not an outlier for being slower than 32x32
+    siblings."""
+    small = [_doc(i, wall=0.1, nx=32, ny=32) for i in range(4)]
+    big = [_doc(4 + i, wall=10.0, nx=128, ny=128) for i in range(4)]
+    assert detect_anomalies(small + big) == []
+
+
+def test_step_scaled_metrics_normalise_per_step():
+    """Twice the steps is twice the wall time, not an anomaly."""
+    docs = [_doc(i, wall=0.1 * (i + 1), nstep=10 * (i + 1),
+                 rate=100.0) for i in range(6)]
+    assert detect_anomalies(docs) == []
+    # but a per-step outlier still surfaces
+    docs.append(_doc(6, wall=60.0, nstep=10, rate=100.0))
+    flags = detect_anomalies(docs)
+    assert any(f["job"] == 6 and f["metric"] == "wall_seconds"
+               and f["basis"] == "per_step" for f in flags)
+
+
+def test_cache_hits_excluded_from_timing():
+    docs = [_doc(i) for i in range(5)]
+    docs.append(_doc(5, wall=0.0001, rate=99999.0, cache_hit=True))
+    assert detect_anomalies(docs) == []
+
+
+# ----------------------------------------------------------------------
+# the compare-side fleet fixes
+# ----------------------------------------------------------------------
+def _summary(jobs, anomalies=None):
+    return {
+        "fleet_sweep": 1, "schema_version": 2, "jobs": jobs,
+        "counts": {"jobs": len(jobs), "cache_hits": 0,
+                   "ensemble_jobs": 0,
+                   "anomalies": len(anomalies or [])},
+        "anomalies": anomalies if anomalies is not None else [],
+        "wall_seconds": 1.0, "cache": None, "artifacts": {},
+    }
+
+
+def test_differing_job_lists_report_set_difference():
+    """A grown sweep gates the intersection and reports the additions
+    explicitly instead of failing or silently collapsing."""
+    old = _summary([_doc(0), _doc(1)])
+    new = _summary([_doc(0), _doc(1), _doc(2), _doc(3)])
+    result = compare_fleets(old, new)
+    assert result.exit_code == 0
+    gated = [r for r in result.rows if r.gated]
+    assert len(gated) == 2 and all(r.status == "ok" for r in gated)
+    added = [r for r in result.rows if r.name.endswith(".added")]
+    assert len(added) == 2
+    removed = [r for r in result.rows if r.name.endswith(".removed")]
+    assert removed == []
+
+
+def test_shrunk_sweep_reports_removed_jobs():
+    old = _summary([_doc(0), _doc(1), _doc(2)])
+    new = _summary([_doc(0)])
+    result = compare_fleets(old, new)
+    assert result.exit_code == 0
+    assert len([r for r in result.rows
+                if r.name.endswith(".removed")]) == 2
+
+
+def test_duplicate_keys_match_by_occurrence():
+    """Submitting the same config twice is legal; occurrences pair up
+    instead of collapsing into one dict entry."""
+    twin_a = _doc(0, key="samekey")
+    twin_b = _doc(1, key="samekey", digest="f" * 64)
+    old = _summary([twin_a, twin_b])
+    new = _summary([twin_a, twin_b])
+    result = compare_fleets(old, new)
+    gated = [r for r in result.rows if r.gated]
+    assert len(gated) == 2
+    assert result.exit_code == 0
+    # a digest drift on the SECOND occurrence is caught
+    drifted = _summary([twin_a, dict(twin_b, digest="0" * 64)])
+    assert compare_fleets(old, drifted).exit_code == 1
+
+
+def test_gate_outliers_fails_on_injected_slow_job(tmp_path):
+    jobs = [_doc(i) for i in range(5)]
+    clean = _summary(list(jobs))
+    slow = _summary(jobs[:-1] + [dict(jobs[-1], wall_seconds=80.0,
+                                      steps_per_sec=0.1,
+                                      kernel_seconds=64.0)])
+    # flags recomputed from the job docs when the document has none
+    del slow["anomalies"]
+    pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+    pa.write_text(json.dumps(clean))
+    pb.write_text(json.dumps(slow))
+    ungated = compare_files(str(pa), str(pb))
+    assert ungated.exit_code == 0
+    gated = compare_files(str(pa), str(pb), gate_outliers=True)
+    assert gated.exit_code == 1
+    (row,) = [r for r in gated.rows if r.name == "anomalies.harmful"]
+    assert row.status == "regression"
+    # and a clean pair passes under the gate
+    pb.write_text(json.dumps(clean))
+    assert compare_files(str(pa), str(pb),
+                         gate_outliers=True).exit_code == 0
+
+
+def test_gate_outliers_ignores_benign_fast_jobs(tmp_path):
+    jobs = [_doc(i) for i in range(5)]
+    fast = _summary(jobs[:-1] + [dict(jobs[-1], wall_seconds=0.01,
+                                      steps_per_sec=900.0,
+                                      kernel_seconds=0.008)])
+    del fast["anomalies"]
+    pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+    pa.write_text(json.dumps(_summary(list(jobs))))
+    pb.write_text(json.dumps(fast))
+    result = compare_files(str(pa), str(pb), gate_outliers=True)
+    assert result.exit_code == 0

@@ -64,6 +64,23 @@ def _scaling(comm_seconds, nranks=4, bytes_per_step=21962.0):
     }
 
 
+def _observability(t_off, t_profile, nx=64, samples=3):
+    def rung(mode, seconds):
+        row = {"mode": mode, "seconds": seconds, "samples": samples,
+               "sample_seconds": [seconds] * samples, "nstep": 40}
+        if mode != "off":
+            row["overhead_frac"] = (seconds - t_off) / t_off
+        return row
+    return {
+        "bench": "sweep-observability",
+        "problem": "noh", "nx": nx, "max_steps": 40,
+        "target_profile_overhead": 0.05,
+        "rungs": [rung("off", t_off),
+                  rung("trace", t_off * 1.1),
+                  rung("profile", t_profile)],
+    }
+
+
 def test_hotloop_fold_keeps_best():
     summary = bench_history.merge([
         _hotloop(0.010, 1.3),
@@ -157,6 +174,36 @@ def test_ensemble_summary_composes():
     assert folded["documents_merged"] == direct["documents_merged"] == 2
 
 
+def test_observability_fold_keeps_best_overhead():
+    summary = bench_history.merge([
+        _observability(0.50, 0.52),   # 4% profiler overhead
+        _observability(0.48, 0.485),  # ~1% — the better claim
+    ])
+    runs = summary["benches"]["sweep-observability"]["runs"]
+    by_mode = {r["mode"]: r for r in runs}
+    assert by_mode["off"]["seconds"] == 0.48
+    assert by_mode["profile"]["overhead_frac"] == pytest.approx(
+        (0.485 - 0.48) / 0.48)
+    assert by_mode["profile"]["documents"] == 2
+    assert by_mode["profile"]["samples"] == 6
+    section = summary["benches"]["sweep-observability"]
+    assert section["target_profile_overhead"] == 0.05
+
+
+def test_observability_summary_composes():
+    first = bench_history.merge([_observability(0.50, 0.52)])
+    folded = bench_history.merge([first, _observability(0.48, 0.485)])
+    direct = bench_history.merge([_observability(0.50, 0.52),
+                                  _observability(0.48, 0.485)])
+    f = {r["mode"]: r
+         for r in folded["benches"]["sweep-observability"]["runs"]}
+    d = {r["mode"]: r
+         for r in direct["benches"]["sweep-observability"]["runs"]}
+    assert f["profile"]["seconds"] == d["profile"]["seconds"] == 0.485
+    assert f["profile"]["documents"] == d["profile"]["documents"] == 2
+    assert folded["documents_merged"] == direct["documents_merged"] == 2
+
+
 def test_v1_summary_migrates_samples_to_documents():
     """A schema-v1 summary's ``samples`` counter (which really counted
     documents) becomes ``documents`` on refold; true sample totals
@@ -225,7 +272,8 @@ def test_repo_artifacts_fold(tmp_path):
     root = Path(__file__).resolve().parents[2]
     docs = [json.loads((root / name).read_text())
             for name in ("BENCH_hotloop.json", "BENCH_backends.json",
-                         "BENCH_scaling.json", "BENCH_ensemble.json")]
+                         "BENCH_scaling.json", "BENCH_ensemble.json",
+                         "BENCH_observability.json")]
     summary = bench_history.merge(docs)
-    assert len(summary["benches"]) == 4
+    assert len(summary["benches"]) == 5
     assert summary["other"] == {}

@@ -1,0 +1,140 @@
+"""The live status plane: event bus, stream schema, progress/ETA."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.live import (LIVE_SCHEMA_VERSION, EventBus,
+                                  ProgressReporter, WatchRenderer,
+                                  read_events, validate_live_event,
+                                  validate_live_stream)
+
+
+def test_emit_stamps_envelope():
+    bus = EventBus()
+    rec = bus.emit("job_queued", job=3)
+    assert rec["schema_version"] == LIVE_SCHEMA_VERSION
+    assert rec["event"] == "job_queued"
+    assert rec["seq"] == 0
+    assert rec["t"] >= 0
+    assert rec["job"] == 3
+    assert bus.emit("job_started", job=3, attempt=1)["seq"] == 1
+
+
+def test_ndjson_sink_flushes_per_record(tmp_path):
+    path = tmp_path / "events.ndjson"
+    bus = EventBus(path=str(path))
+    bus.emit("sweep_started", jobs=2, workers=0)
+    # readable mid-sweep, before close — a crash leaves a valid prefix
+    assert len(read_events(str(path))) == 1
+    bus.emit("sweep_done", jobs=2, wall_seconds=0.1)
+    bus.close()
+    stream = read_events(str(path))
+    validate_live_stream(stream)
+    assert [r["event"] for r in stream] == ["sweep_started",
+                                           "sweep_done"]
+
+
+def test_listener_receives_and_detaches_on_error():
+    seen, bus = [], EventBus(listeners=[lambda r: seen.append(r)])
+    bus.emit("job_queued", job=0)
+    assert seen[0]["job"] == 0
+
+    def boom(rec):
+        raise RuntimeError("listener bug")
+
+    bus.listeners.append(boom)
+    bus.emit("job_queued", job=1)  # must not raise
+    assert boom not in bus.listeners
+    assert len(seen) == 2
+
+
+def test_validate_rejects_malformed_events():
+    bus = EventBus()
+    good = bus.emit("job_done", job=0, nstep=4, wall_seconds=0.1)
+    validate_live_event(good)
+    with pytest.raises(ValueError, match="unknown event"):
+        validate_live_event(dict(good, event="job_exploded"))
+    with pytest.raises(ValueError, match="missing"):
+        bad = dict(good)
+        del bad["nstep"]
+        validate_live_event(bad)
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_live_event(dict(good, schema_version=99))
+
+
+def test_validate_stream_catches_seq_gaps():
+    bus = EventBus()
+    recs = [bus.emit("job_queued", job=0), bus.emit("job_queued", job=1)]
+    validate_live_stream(recs)
+    with pytest.raises(ValueError, match="gapless"):
+        validate_live_stream([recs[1]])
+
+
+class _Controls:
+    time_end = 1.0
+
+
+class _FakeHydro:
+    def __init__(self, nstep, time=0.0):
+        self.nstep = nstep
+        self.time = time
+        self.controls = _Controls()
+
+
+def test_progress_reporter_cadence_and_eta():
+    events = []
+    bus = EventBus(listeners=[events.append])
+    reporter = ProgressReporter(bus.emit, job=7, every=5, max_steps=20)
+    for step in range(1, 16):
+        reporter(_FakeHydro(step))
+    progress = [e for e in events if e["event"] == "job_progress"]
+    assert [p["step"] for p in progress] == [5, 10, 15]
+    for p in progress:
+        assert p["job"] == 7
+        assert p["steps_per_sec"] is None or p["steps_per_sec"] > 0
+    # 15 of 20 steps done at a finite rate -> a finite ETA
+    last = progress[-1]
+    if last["steps_per_sec"]:
+        assert last["eta_seconds"] >= 0
+
+
+def test_watch_renderer_tracks_job_states():
+    out = io.StringIO()  # not a TTY -> transition lines, no redraw
+    watch = WatchRenderer(out=out)
+    bus = EventBus(listeners=[watch])
+    bus.emit("sweep_started", jobs=2, workers=0)
+    bus.emit("job_queued", job=0)
+    bus.emit("job_queued", job=1)
+    bus.emit("job_started", job=0, attempt=1)
+    bus.emit("cache_hit", job=1, key="abc123")
+    bus.emit("job_done", job=0, nstep=8, wall_seconds=0.2)
+    bus.emit("sweep_done", jobs=2, wall_seconds=0.3)
+    table = watch.render()
+    assert "job" in table
+    assert "done" in table
+    assert "cached" in table
+    text = out.getvalue()
+    assert "job 0" in text
+
+
+def test_fleet_emits_valid_stream_end_to_end(tmp_path):
+    from repro.api import RunConfig, submit
+
+    path = tmp_path / "events.ndjson"
+    listened = []
+    configs = [RunConfig(problem="sod", nx=24, ny=8, max_steps=4 + i)
+               for i in range(3)]
+    submit(configs, ensemble="off", events_path=str(path),
+           event_listeners=[listened.append]).results()
+    stream = read_events(str(path))
+    validate_live_stream(stream)
+    kinds = [r["event"] for r in stream]
+    assert kinds[0] == "sweep_started"
+    assert kinds[-1] == "sweep_done"
+    assert kinds.count("job_queued") == 3
+    assert kinds.count("job_started") == 3
+    assert kinds.count("job_done") == 3
+    # the in-process listeners saw the identical records
+    assert listened == stream

@@ -372,3 +372,73 @@ def test_fleet_rejects_control_and_mesh_sweep(capsys):
 def test_fleet_needs_problem_or_deck(capsys):
     rc = main(["fleet", "--sweep", "cq1=0.3,0.5"])
     assert rc == 2
+
+
+def test_fleet_observability_flags(tmp_path, capsys):
+    """--events/--trace/--dashboard/--watch produce their artefacts
+    and the stream/trace validate."""
+    import json
+
+    from repro.telemetry.live import read_events, validate_live_stream
+    from repro.telemetry.trace import validate_trace
+
+    events = tmp_path / "events.ndjson"
+    trace = tmp_path / "sweep.trace.json"
+    dash = tmp_path / "sweep.html"
+    rc = main(["fleet", "--problem", "sod", "--nx", "16", "--ny", "8",
+               "--max-steps", "6", "--sweep", "max_steps=6,8,10",
+               "--no-ensemble", "--watch",
+               "--events", str(events), "--trace", str(trace),
+               "--dashboard", str(dash)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote live event stream" in out
+    assert "wrote merged sweep trace" in out
+    assert "wrote sweep dashboard" in out
+    stream = read_events(str(events))
+    validate_live_stream(stream)
+    assert [r["event"] for r in stream][0] == "sweep_started"
+    validate_trace(json.loads(trace.read_text()))
+    assert dash.read_text().lstrip().lower().startswith("<!doctype")
+
+
+def test_fleet_profile_dir(tmp_path, capsys):
+    rc = main(["fleet", "--problem", "sod", "--nx", "16", "--ny", "8",
+               "--max-steps", "30", "--lanes", "2", "--no-ensemble",
+               "--profile-dir", str(tmp_path / "prof")])
+    assert rc == 0
+    assert "job profile(s)" in capsys.readouterr().out
+    assert (tmp_path / "prof" / "sweep.folded").exists()
+
+
+def test_run_profile_flag(tmp_path, capsys):
+    rc = main(["run", "--problem", "sod", "--max-steps", "20",
+               "--profile", str(tmp_path / "run.folded")])
+    assert rc == 0
+    assert "wrote collapsed-stack profile" in capsys.readouterr().out
+    assert (tmp_path / "run.folded").exists()
+
+
+def test_compare_gate_outliers_flag(tmp_path, capsys):
+    import json
+
+    jobs = [{"index": i, "key": f"k{i}", "cache_hit": False,
+             "problem": "sod", "deck": None, "nx": 16, "ny": 8,
+             "nranks": 1, "backend": "serial", "nstep": 10,
+             "wall_seconds": 1.0, "steps_per_sec": 10.0,
+             "kernel_seconds": 0.8, "comm_bytes": None,
+             "digest": "d" * 64} for i in range(5)]
+    clean = {"fleet_sweep": 1, "jobs": jobs,
+             "counts": {"jobs": 5, "cache_hits": 0,
+                        "ensemble_jobs": 0}, "wall_seconds": 5.0}
+    slow = json.loads(json.dumps(clean))
+    slow["jobs"][4]["wall_seconds"] = 90.0
+    slow["jobs"][4]["steps_per_sec"] = 0.1
+    pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+    pa.write_text(json.dumps(clean))
+    pb.write_text(json.dumps(slow))
+    assert main(["compare", str(pa), str(pb)]) == 0
+    capsys.readouterr()
+    assert main(["compare", str(pa), str(pb),
+                 "--gate-outliers"]) == 1
+    assert "anomalies.harmful" in capsys.readouterr().out

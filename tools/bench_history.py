@@ -27,6 +27,9 @@ Merge rules (per bench kind, keyed by the rung/case identity):
 * ``fleet-scheduler``: per ``(nx, jobs)`` keep the fastest cold/warm
   cache sweep and fast-path duel seconds, and the best warm-cache and
   fast-path speedups.
+* ``sweep-observability``: per ``(nx, max_steps, mode)`` rung keep the
+  minimum ``seconds`` and the minimum ``overhead_frac`` ever observed
+  (the overhead claim, like the timings, improves monotonically).
 * anything else: kept verbatim under ``"other"``, last-writer-wins by
   ``bench`` name (so new bench kinds flow through without code here).
 
@@ -58,6 +61,7 @@ BACKENDS = "comm-backend-comparison"
 SCALING = "commplan-scaling"
 ENSEMBLE = "ensemble-batching"
 FLEET = "fleet-scheduler"
+OBSERVABILITY = "sweep-observability"
 
 
 def _fold_min(slot: dict, row: dict, key: str) -> None:
@@ -183,6 +187,31 @@ def fold_fleet(summary: dict, doc: dict) -> None:
     summary["runs"] = [slots[k] for k in sorted(slots)]
 
 
+def fold_observability(summary: dict, doc: dict) -> None:
+    """Best-of per (nx, max_steps, mode) telemetry-overhead rung."""
+    slots: Dict[tuple, dict] = {
+        (r["nx"], r["max_steps"], r["mode"]): r
+        for r in summary.get("runs", [])
+    }
+    nx = doc.get("nx")
+    max_steps = doc.get("max_steps")
+    for rung in doc.get("rungs", []):
+        row_nx = rung.get("nx", nx)
+        row_steps = rung.get("max_steps", max_steps)
+        key = (row_nx, row_steps, rung["mode"])
+        slot = slots.setdefault(key, {
+            "nx": row_nx, "max_steps": row_steps,
+            "mode": rung["mode"],
+        })
+        _fold_min(slot, rung, "seconds")
+        _fold_min(slot, rung, "overhead_frac")
+        _fold_counts(slot, rung)
+    summary["runs"] = [slots[k] for k in sorted(
+        slots, key=lambda k: (k[0] or 0, k[1] or 0, k[2]))]
+    if doc.get("target_profile_overhead") is not None:
+        summary["target_profile_overhead"] = doc["target_profile_overhead"]
+
+
 def fold_scaling(summary: dict, doc: dict) -> None:
     """Best-of per (backend, nranks, comm_plan) scaling rung."""
     slots: Dict[tuple, dict] = {
@@ -246,7 +275,8 @@ def merge(documents: List[dict]) -> dict:
                         BACKENDS: fold_backends,
                         SCALING: fold_scaling,
                         ENSEMBLE: fold_ensemble,
-                        FLEET: fold_fleet}.get(name)
+                        FLEET: fold_fleet,
+                        OBSERVABILITY: fold_observability}.get(name)
                 target = summary["benches"].setdefault(name, {})
                 if fold is None:
                     summary["other"][name] = section
@@ -262,6 +292,12 @@ def merge(documents: List[dict]) -> dict:
                     fold(target, {"cases": section.get("runs", [])})
                 elif name == FLEET:
                     fold(target, {"runs": section.get("runs", [])})
+                elif name == OBSERVABILITY:
+                    fold(target, {
+                        "rungs": section.get("runs", []),
+                        "target_profile_overhead":
+                            section.get("target_profile_overhead"),
+                    })
                 else:
                     # Re-fold summary runs as one-run cases.
                     cases = [{"problem": r["problem"], "nx": r["nx"],
@@ -282,6 +318,9 @@ def merge(documents: List[dict]) -> dict:
             fold_ensemble(summary["benches"].setdefault(name, {}), doc)
         elif name == FLEET:
             fold_fleet(summary["benches"].setdefault(name, {}), doc)
+        elif name == OBSERVABILITY:
+            fold_observability(summary["benches"].setdefault(name, {}),
+                               doc)
         else:
             summary["other"][str(name)] = doc
     return summary
