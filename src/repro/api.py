@@ -56,7 +56,7 @@ _LEGACY_ALIASES = {"ranks": "nranks", "method": "partition"}
 
 #: bump when the canonical-key layout changes — cache entries written
 #: under an older layout must miss, never alias
-CANONICAL_KEY_VERSION = 1
+CANONICAL_KEY_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -87,11 +87,13 @@ class RunConfig:
     nranks: int = 1
     backend: str = "auto"
     partition: str = "rcb"
-    #: ``"packed"`` (default) runs the compiled-CommPlan coalesced
-    #: single-sync exchanges; ``"legacy"``/``None`` keeps the historic
-    #: per-field protocol (bit-identical; kept one release as the
-    #: equivalence reference — docs/PARALLEL.md)
-    comm_plan: Optional[str] = "packed"
+    #: ``"overlap"`` (default) runs the split-phase exchanges with
+    #: interior/boundary compute overlap and the binomial-tree dt
+    #: reduction; ``"packed"`` keeps the single-barrier collectives —
+    #: bit-identical, retained as the equivalence baseline
+    #: (docs/PARALLEL.md).  The pre-plan ``"legacy"`` protocol was
+    #: removed and now raises ``DeprecatedOptionError``.
+    comm_plan: str = "overlap"
     trace: bool = False
     trace_allocations: bool = False
     #: collapsed-stack flamegraph output path; setting it turns the
@@ -149,19 +151,15 @@ class RunConfig:
         Two configs that would produce the same physics and the same
         result payload canonicalise identically: ``backend="auto"``
         resolves, a deck path is replaced by the deck *content* hash,
-        ``comm_plan`` collapses its two legacy spellings, and pure
-        observability knobs (output paths, tracing, log cadence, the
-        watchdog) are excluded — they never change what a run computes.
-        The layout is pinned by a golden test; bump
+        and pure observability knobs (output paths, tracing, log
+        cadence, the watchdog) are excluded — they never change what a
+        run computes.  The layout is pinned by a golden test; bump
         ``CANONICAL_KEY_VERSION`` on any deliberate change.
         """
         deck_sha = None
         if self.deck:
             with open(self.deck, "rb") as fh:
                 deck_sha = hashlib.sha256(fh.read()).hexdigest()
-        comm_plan = self.comm_plan
-        if comm_plan in (None, "legacy"):
-            comm_plan = "legacy"
         return {
             "key_version": CANONICAL_KEY_VERSION,
             "code_version": _CODE_VERSION,
@@ -174,7 +172,7 @@ class RunConfig:
             "nranks": int(self.nranks),
             "backend": self.resolved_backend(),
             "partition": self.partition,
-            "comm_plan": comm_plan,
+            "comm_plan": self.comm_plan,
             "metrics_every": self.resolved_metrics_every(),
             "collect_steps": bool(self.collect_steps),
             "problem_kwargs": {

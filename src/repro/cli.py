@@ -62,12 +62,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           "serial for 1 rank, threads otherwise)")
     run.add_argument("--partition", choices=("rcb", "spectral"),
                      default="rcb")
-    run.add_argument("--comm-plan", choices=("packed", "legacy"),
-                     default="packed", dest="comm_plan",
-                     help="halo exchange protocol: 'packed' (compiled "
-                          "comm plans — coalesced one-message-per-"
-                          "neighbour, single-sync; default) or "
-                          "'legacy' (historic per-field protocol, "
+    run.add_argument("--comm-plan", choices=("overlap", "packed"),
+                     default="overlap", dest="comm_plan",
+                     help="halo exchange protocol: 'overlap' (split-"
+                          "phase post/complete with interior compute "
+                          "overlap and tree dt reduction; default) or "
+                          "'packed' (single-barrier collectives, "
                           "bit-identical; see docs/PARALLEL.md)")
     run.add_argument("--max-steps", type=int, dest="max_steps")
     run.add_argument("--log-every", type=int, default=0,

@@ -7,19 +7,23 @@ genuinely execute in parallel, and reimplements the Typhon exchange
 semantics over three primitives:
 
 * **mailboxes** — one ``multiprocessing.shared_memory`` segment per
-  rank, sized for the largest publication that rank ever makes.  At
-  every exchange point each rank *publishes* (copies) the arrays the
-  seam call names into its own mailbox, waits on the barrier, then
-  index-copies the windows it needs out of its peers' mailboxes and
-  waits again — exactly the ``slots`` protocol of the threads backend,
-  with the same ascending-rank summation order, so a processes run is
-  **bit-identical** to a threads run of the same problem.
-* **a barrier** — ``multiprocessing.Barrier`` replaces the
-  ``threading.Barrier``; a failure event + ``Barrier.abort()`` give the
-  same fail-fast collective semantics.
-* **pipes** — the global dt reduction (and the remap's collective skip
-  decision) is a gather/broadcast over per-rank ``Pipe`` pairs rooted
-  at rank 0, in ascending rank order.
+  rank, holding the rank's double-buffered packed staging (the
+  compiled CommPlan's layout).  At every exchange point each rank
+  packs its send blocks into its own mailbox and index-copies the
+  blocks it needs out of its peers' — with the same ascending-rank
+  summation order as the threads backend, so a processes run is
+  **bit-identical** to a threads run of the same problem.  In
+  ``packed`` mode one ``multiprocessing.Barrier`` frames each
+  exchange; in ``overlap`` mode the split-phase protocol synchronises
+  on per-(rank, section) post/complete counters in a small shared
+  segment instead — no global rendezvous on the halo path.
+* **combining cells** — the per-step dt reduction runs the binomial
+  tree over a shared segment of generation-guarded cells (up-sweep
+  candidates, down-sweep result), O(log P) hops on the critical path.
+* **pipes** — the remaining scalar collectives (the remap's collective
+  skip decision, the metrics probe's sums/minima) stay a
+  gather/broadcast over per-rank ``Pipe`` pairs rooted at rank 0, in
+  ascending rank order.
 
 Per-rank :class:`~repro.parallel.typhon.CommStats`, kernel timers and
 trace spans are marshalled back over a result queue when the ranks
@@ -53,13 +57,25 @@ from ...metrics.watchdog import (
 )
 from ...utils.errors import BookLeafError, CommError, StalledRankWarning
 from ...utils.timers import TimerRegistry
-from ..commplan import CommPlan, _widths, compile_plans
+from ..commplan import SECTIONS, CommPlan, _widths, compile_plans
 from ..halo import Subdomain, local_state
 from ..interface import BackendRun
-from ..typhon import DT_REDUCE_VALUES, CommStats
+from ..typhon import (
+    COMM_MODES, DT_REASONS, DT_REDUCE_VALUES, SPIN_TIMEOUT, CommStats,
+    spin_backoff,
+    tree_children, tree_parent,
+)
 from .threads import pick_primary_failure, raise_rank_failure
 
 _FLOAT_BYTES = 8
+
+#: column index of each section in the shared post/complete counter
+#: board (one float64 pair per (rank, section), single writer)
+_SECTION_COL = {name: i for i, name in enumerate(SECTIONS)}
+
+#: one dt combining cell: (generation, dt, reason code, global cell,
+#: source rank) — generation guards reuse, the rest is the candidate
+_DT_CELL = 5
 
 #: shared no-op context for untraced comm calls (mirrors typhon.py)
 _NULL_SPAN = nullcontext()
@@ -94,21 +110,12 @@ class RemoteRankError(BookLeafError):
         super().__init__(message)
 
 
-def _mailbox_doubles(sub: Subdomain,
-                     plan: Optional[CommPlan] = None) -> int:
-    """Mailbox capacity (float64 slots) for one rank.
-
-    With a compiled plan the mailbox is exactly the plan's
-    double-buffered packed staging — halo-proportional, typically
-    O(√ncell) — because final states travel over the result queue.
-    On the legacy path the mailbox holds full-array publications: the
-    largest is the final state (4·nnode + 15·ncell) with a margin of
-    one nodal field set guarding future seam growth.
-    """
-    if plan is not None:
-        return plan.staging_doubles()
-    nnode, ncell = sub.mesh.nnode, sub.mesh.ncell
-    return 8 * nnode + 15 * ncell
+def _mailbox_doubles(sub: Subdomain, plan: CommPlan) -> int:
+    """Mailbox capacity (float64 slots) for one rank: exactly the
+    plan's double-buffered packed staging — halo-proportional,
+    typically O(√ncell) — because final states travel over the result
+    queue."""
+    return plan.staging_doubles()
 
 
 class _ProcessRunContext:
@@ -130,10 +137,10 @@ class _ProcessRunContext:
         self.build_probe = driver.build_probe
         self.watchdog_timeout = driver.watchdog_timeout
         self.epoch_ns = time.perf_counter_ns()
-        #: compiled packed-exchange layouts (None → legacy protocol)
-        self.plans: Optional[List[CommPlan]] = (
-            driver.compiled_plans() if driver.comm_plan else None
-        )
+        #: compiled packed-exchange layouts (both modes run on them)
+        self.plans: List[CommPlan] = driver.compiled_plans()
+        #: exchange mode every rank endpoint runs ("packed"/"overlap")
+        self.comm_mode: str = driver.comm_plan
         self.barrier = ctx.Barrier(self.size)
         self.failure = ctx.Event()
         #: SimpleQueue: the put is synchronous, so a failing child can
@@ -151,11 +158,25 @@ class _ProcessRunContext:
             shared_memory.SharedMemory(
                 create=True,
                 size=_mailbox_doubles(
-                    sub, self.plans[sub.rank] if self.plans else None
+                    sub, self.plans[sub.rank]
                 ) * _FLOAT_BYTES,
             )
             for sub in self.subdomains
         ]
+        # Split-phase neighbour-sync counters: (size, nsections, 2)
+        # float64 — cumulative posts and completes, single writer per
+        # row.  Zero-initialised by SharedMemory; the overlap protocol
+        # spins on these instead of the barrier.
+        self.sync_seg = shared_memory.SharedMemory(
+            create=True,
+            size=self.size * len(SECTIONS) * 2 * _FLOAT_BYTES,
+        )
+        # dt combining cells: (size, 2, _DT_CELL) float64 — row r holds
+        # rank r's up-sweep candidate and down-sweep result, each
+        # generation-stamped so reuse across reductions is unambiguous.
+        self.dt_seg = shared_memory.SharedMemory(
+            create=True, size=self.size * 2 * _DT_CELL * _FLOAT_BYTES,
+        )
         # Heartbeat board: one shared (nranks, 2) float64 segment the
         # ranks beat into and the parent's stall monitor polls
         # (CLOCK_MONOTONIC is system-wide, so the stamps compare across
@@ -171,6 +192,22 @@ class _ProcessRunContext:
         seg = self.segments[rank]
         return np.ndarray(
             (seg.size // _FLOAT_BYTES,), dtype=np.float64, buffer=seg.buf
+        )
+
+    def sync_board(self) -> np.ndarray:
+        """(size, nsections, 2) post/complete counter view (caller
+        drops the view before interpreter teardown)."""
+        return np.ndarray(
+            (self.size, len(SECTIONS), 2), dtype=np.float64,
+            buffer=self.sync_seg.buf,
+        )
+
+    def dt_cells(self) -> np.ndarray:
+        """(size, 2, _DT_CELL) dt combining-cell view (0 = up-sweep
+        candidate, 1 = down-sweep result)."""
+        return np.ndarray(
+            (self.size, 2, _DT_CELL), dtype=np.float64,
+            buffer=self.dt_seg.buf,
         )
 
     def heartbeat_board(self) -> HeartbeatBoard:
@@ -245,7 +282,8 @@ class _ProcessRunContext:
                 conn.close()
             except Exception:
                 pass
-        for seg in self.segments + [self.heartbeat_seg]:
+        for seg in self.segments + [self.sync_seg, self.dt_seg,
+                                    self.heartbeat_seg]:
             try:
                 seg.close()
             except Exception:
@@ -269,7 +307,10 @@ class ProcessComms:
     __comm_endpoint__ = True
 
     def __init__(self, ctx: _ProcessRunContext, sub: Subdomain, tracer=None,
-                 plan: Optional[CommPlan] = None):
+                 plan: Optional[CommPlan] = None, mode: str = "packed"):
+        if mode not in COMM_MODES:
+            raise CommError(f"unknown comm mode {mode!r}; "
+                            f"expected one of {COMM_MODES}")
         self.ctx = ctx
         self.sub = sub
         self.rank = sub.rank
@@ -277,27 +318,41 @@ class ProcessComms:
         self.stats = CommStats()
         self.tracer = tracer
         self._mailbox = ctx.mailbox(self.rank)
-        self.plan = plan
-        #: collective-phase counter — advanced once per collective op,
-        #: mirroring TyphonComms, so parity schedules agree rank-wide
+        self.plan = plan if plan is not None else ctx.plans[sub.rank]
+        self.mode = mode
+        #: collective-phase counter — advanced once per barrier
+        #: collective, mirroring TyphonComms, so parity schedules agree
         self._phase = 0
+        #: per-section split-phase op counts and in-flight bookkeeping
+        self._ops: Dict[str, int] = dict.fromkeys(SECTIONS, 0)
+        self._pending: Dict[str, int] = {}
+        self._pending_sums: Optional[tuple] = None
+        #: shared neighbour-sync counter board and dt combining cells
+        self._sync = ctx.sync_board()
+        self._dt = ctx.dt_cells()
+        self._dt_gen = 0
         #: cached peer-mailbox views (one ndarray export per peer, not
         #: one per exchange) — dropped with the own view at teardown
         self._views: Dict[int, np.ndarray] = {}
-        if plan is not None:
-            from ...perf.workspace import Workspace
+        from ...perf.workspace import Workspace
 
-            #: arena for the reusable nodal-sum totals buffers
-            self._ws = Workspace()
+        #: arena for the reusable nodal-sum totals buffers
+        self._ws = Workspace()
 
     def comm_plan(self) -> Optional[CommPlan]:
-        """This endpoint's compiled plan (None on the legacy path)."""
+        """This endpoint's compiled plan."""
         return self.plan
+
+    def overlap_enabled(self) -> bool:
+        """True when the split-phase (overlapped) protocol is active."""
+        return self.mode == "overlap"
 
     def drop_segment_views(self) -> None:
         """Release every shared-segment export before interpreter
         teardown (an mmap cannot close while a numpy view is alive)."""
         self._mailbox = None
+        self._sync = None
+        self._dt = None
         self._views.clear()
 
     def _span(self, name: str):
@@ -316,52 +371,90 @@ class ProcessComms:
             self._views[peer] = buf
         return buf
 
-    def _my_region(self, section: str) -> np.ndarray:
-        return self.plan.region(self._mailbox, section, self._phase & 1)
+    def _my_region(self, section: str, parity: int) -> np.ndarray:
+        return self.plan.region(self._mailbox, section, parity)
 
-    def _peer_region(self, peer: int, section: str) -> np.ndarray:
+    def _peer_region(self, peer: int, section: str,
+                     parity: int) -> np.ndarray:
         return self.ctx.plans[peer].region(
-            self._peer_mail(peer), section, self._phase & 1
+            self._peer_mail(peer), section, parity
         )
 
     # ------------------------------------------------------------------
-    # mailbox publish/read protocol
+    # split-phase neighbour synchronisation (mirrors TyphonComms; the
+    # counters live in a shared float64 board instead of Python ints)
     # ------------------------------------------------------------------
-    def _publish(self, arrays) -> None:
-        """Copy this rank's arrays into its mailbox, in call order.
-
-        No header is needed: the seam is SPMD, so at any exchange point
-        every rank publishes the same field list — readers derive their
-        peers' offsets from the peer mesh sizes they already hold.
-        """
-        buf = self._mailbox
-        offset = 0
-        for array in arrays:
-            flat = np.ascontiguousarray(array, dtype=np.float64).ravel()
-            end = offset + flat.size
-            if end > buf.size:
+    def _spin(self, ready, what: str) -> None:
+        """Wait until ``ready()`` — sleeping with backoff, never a
+        global barrier (and never busy-polling: on an oversubscribed
+        host every burned quantum starves the awaited peer)."""
+        if ready():
+            return
+        deadline = time.monotonic() + SPIN_TIMEOUT
+        spins = 0
+        while not ready():
+            if self.ctx.failure.is_set():
+                raise CommError("a peer rank failed; aborting collective")
+            spins += 1
+            time.sleep(spin_backoff(spins))
+            if spins % 64 == 0 and time.monotonic() > deadline:
                 raise CommError(
-                    f"rank {self.rank} mailbox overflow: publishing "
-                    f"{end} doubles into {buf.size}"
+                    f"rank {self.rank} timed out waiting for {what}"
                 )
-            buf[offset:end] = flat
-            offset = end
 
-    def _peer_arrays(self, peer: int,
-                     specs: List[Tuple[str, int]]) -> List[np.ndarray]:
-        """Views of a peer's published arrays (``specs`` = the SPMD
-        field list as (kind, trailing-dim) pairs)."""
-        mesh = self.ctx.subdomains[peer].mesh
-        sizes = {"node": mesh.nnode, "cell": mesh.ncell}
-        buf = self.ctx.mailbox(peer)
-        views: List[np.ndarray] = []
-        offset = 0
-        for kind, trailing in specs:
-            n = sizes[kind]
-            flat = buf[offset:offset + n * trailing]
-            views.append(flat.reshape(n, trailing) if trailing > 1 else flat)
-            offset += n * trailing
-        return views
+    def _post_section(self, name: str, arrays) -> int:
+        """Pack op k of ``name`` and publish the post counter (same
+        guards as TyphonComms._post_section: one in-flight post per
+        section, parity half reclaimed only after every reader's k−2
+        complete)."""
+        if self.mode != "overlap":
+            raise CommError(
+                "split-phase exchange requires comm_plan='overlap' "
+                f"(this endpoint runs {self.mode!r})"
+            )
+        if name in self._pending:
+            raise CommError(
+                f"rank {self.rank}: {name} exchange already posted — "
+                "a second same-parity post must wait for complete"
+            )
+        k = self._ops[name]
+        sec = self.plan.section(name)
+        col = _SECTION_COL[name]
+        for peer in sec.send_peers:
+            self._spin(
+                lambda p=peer: self._sync[p, col, 1] >= k - 1,
+                f"rank {peer} to finish reading {name} op {k - 2}",
+            )
+        sec.pack(self._my_region(name, k & 1), arrays)
+        self._sync[self.rank, col, 0] = k + 1
+        self._pending[name] = k
+        return k
+
+    def _begin_complete(self, name: str) -> int:
+        """Wait for every source neighbour's op-k post; return k."""
+        if self.mode != "overlap":
+            raise CommError(
+                "split-phase exchange requires comm_plan='overlap' "
+                f"(this endpoint runs {self.mode!r})"
+            )
+        k = self._pending.get(name)
+        if k is None:
+            raise CommError(
+                f"rank {self.rank}: complete_{name} without a post"
+            )
+        sec = self.plan.section(name)
+        col = _SECTION_COL[name]
+        for peer in sec.recv_peers:
+            self._spin(
+                lambda p=peer: self._sync[p, col, 0] >= k + 1,
+                f"rank {peer} to post {name} op {k}",
+            )
+        return k
+
+    def _end_complete(self, name: str, k: int) -> None:
+        self._sync[self.rank, _SECTION_COL[name], 1] = k + 1
+        del self._pending[name]
+        self._ops[name] = k + 1
 
     # ------------------------------------------------------------------
     # kinematic halo exchange (before the viscosity kernel)
@@ -372,37 +465,26 @@ class ProcessComms:
             self._exchange_kinematics(state)
 
     def _exchange_kinematics(self, state) -> None:
-        ctx = self.ctx
-        if self.plan is None:
-            # Legacy path: full-array publications, two syncs, one
-            # indexed copy per field per neighbour.
-            self._publish((state.x, state.y, state.u, state.v))
-            ctx.sync()  # all kinematics published and quiescent at t^n
-            specs = [("node", 1)] * 4
-            for src_rank, local_idx in self.sub.recv_nodes.items():
-                src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
-                if src_idx.size != local_idx.size:
-                    raise CommError(
-                        f"halo schedule mismatch between ranks "
-                        f"{self.rank} and {src_rank}"
-                    )
-                px, py, pu, pv = self._peer_arrays(src_rank, specs)
-                state.x[local_idx] = px[src_idx]
-                state.y[local_idx] = py[src_idx]
-                state.u[local_idx] = pu[src_idx]
-                state.v[local_idx] = pv[src_idx]
-                self.stats.account(4 * src_idx.size, messages=4)
-            self.stats.halo_exchanges += 1
-            ctx.sync()  # copies complete before anyone republishes
+        if self.mode == "overlap":
+            self._post_kinematics(state)
+            self._complete_kinematics(state)
             return
         # Packed path: one (4, n) coalesced message per neighbour,
         # one sync (the next collective writes the opposite parity).
         sec = self.plan.kin
-        sec.pack(self._my_region("kin"), (state.x, state.y, state.u, state.v))
-        ctx.sync()  # every rank's halo block staged
+        sec.pack(self._my_region("kin", self._phase & 1),
+                 (state.x, state.y, state.u, state.v))
+        self.ctx.sync()  # every rank's halo block staged
+        self._unpack_kinematics(state, self._phase & 1)
+        self._phase += 1
+
+    def _unpack_kinematics(self, state, parity: int) -> None:
+        """Scatter every source neighbour's staged (4, n) block."""
+        sec = self.plan.kin
         for src_rank, local_idx in self.sub.recv_nodes.items():
             bx, by, bu, bv = sec.peer_blocks(
-                src_rank, self._peer_region(src_rank, "kin"), (1, 1, 1, 1)
+                src_rank, self._peer_region(src_rank, "kin", parity),
+                (1, 1, 1, 1)
             )
             state.x[local_idx] = bx
             state.y[local_idx] = by
@@ -410,7 +492,27 @@ class ProcessComms:
             state.v[local_idx] = bv
             self.stats.account(4 * local_idx.size)
         self.stats.halo_exchanges += 1
-        self._phase += 1
+
+    def post_kinematics(self, state) -> None:
+        """Start the kinematic halo refresh (overlap mode): pack this
+        rank's send blocks and publish — the caller may now compute
+        the interior partition (``plan.interior_cells``)."""
+        with self._span("typhon.post_kinematics"):
+            self._post_kinematics(state)
+
+    def _post_kinematics(self, state) -> None:
+        self._post_section("kin", (state.x, state.y, state.u, state.v))
+
+    def complete_kinematics(self, state) -> None:
+        """Finish a posted kinematic refresh: wait for the source
+        neighbours' posts, scatter the ghost rows."""
+        with self._span("typhon.complete_kinematics"):
+            self._complete_kinematics(state)
+
+    def _complete_kinematics(self, state) -> None:
+        k = self._begin_complete("kin")
+        self._unpack_kinematics(state, k & 1)
+        self._end_complete("kin", k)
 
     # ------------------------------------------------------------------
     # nodal sum completion (inside the acceleration kernel)
@@ -424,39 +526,18 @@ class ProcessComms:
 
     def _complete_node_arrays(self, state, *partials: np.ndarray
                               ) -> Tuple[np.ndarray, ...]:
-        ctx = self.ctx
-        if self.plan is None:
-            # Legacy path: full partial arrays into the mailbox, fresh
-            # zero totals, two syncs.
-            self._publish(partials)
-            ctx.sync()
-            totals = tuple(np.zeros_like(p) for p in partials)
-            specs = [("node", 1)] * len(partials)
-            ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
-            for r in ranks:
-                if r == self.rank:
-                    for total, p in zip(totals, partials):
-                        total += p
-                else:
-                    theirs = ctx.subdomains[r].shared_nodes[self.rank]
-                    mine = self.sub.shared_nodes[r]
-                    for total, p in zip(totals, self._peer_arrays(r, specs)):
-                        total[mine] += p[theirs]
-                    self.stats.account(len(partials) * mine.size)
-            self.stats.halo_exchanges += 1
-            ctx.sync()  # mailboxes free for reuse
-            return totals
+        if self.mode == "overlap":
+            self._post_node_sums(state, *partials)
+            return self._complete_node_sums(state)
         # Packed path: stage shared-node values only, one sync, fold
         # into reused arena totals in the identical ascending order.
         parity = self._phase & 1
         sec = self.plan.nodesum
-        sec.pack(self._my_region("nodesum"), partials)
-        ctx.sync()  # every rank's shared-node block staged
-        nf = len(partials)
-        buf = self._ws.zeros(f"commplan.totals{nf}.{parity}",
-                             (nf, partials[0].shape[0]))
-        totals = tuple(buf[i] for i in range(nf))
+        sec.pack(self._my_region("nodesum", parity), partials)
+        self.ctx.sync()  # every rank's shared-node block staged
+        totals = self._totals_buffer(partials, parity)
         widths = _widths(partials)
+        nf = len(partials)
         ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
         for r in ranks:
             if r == self.rank:
@@ -465,13 +546,79 @@ class ProcessComms:
             else:
                 mine = self.sub.shared_nodes[r]
                 blocks = sec.peer_blocks(
-                    r, self._peer_region(r, "nodesum"), widths
+                    r, self._peer_region(r, "nodesum", parity), widths
                 )
                 for total, block in zip(totals, blocks):
                     total[mine] += block
                 self.stats.account(nf * mine.size)
         self.stats.halo_exchanges += 1
         self._phase += 1
+        return totals
+
+    def _totals_buffer(self, partials, parity: int
+                       ) -> Tuple[np.ndarray, ...]:
+        """Zeroed arena rows for the completed totals, double-buffered
+        by parity (valid until the next-but-one same-width completion)."""
+        nf = len(partials)
+        buf = self._ws.zeros(f"commplan.totals{nf}.{parity}",
+                             (nf, partials[0].shape[0]))
+        return tuple(buf[i] for i in range(nf))
+
+    def post_node_sums(self, state, *partials: np.ndarray) -> None:
+        """Start a nodal-sum completion (overlap mode): stage this
+        rank's shared-node blocks and pre-fill the totals with the
+        local partials — every node *not* shared with a peer is final
+        immediately; ``complete_node_sums`` re-folds only the shared
+        union strip."""
+        with self._span("typhon.post_node_sums"):
+            self._post_node_sums(state, *partials)
+
+    def _post_node_sums(self, state, *partials: np.ndarray) -> None:
+        k = self._post_section("nodesum", partials)
+        totals = self._totals_buffer(partials, k & 1)
+        # 0 + p elementwise — identical to the blocking fold's first
+        # visit, so interior (unshared) nodes are already bit-final
+        for total, p in zip(totals, partials):
+            total += p
+        self._pending_sums = (partials, totals)
+
+    def complete_node_sums(self, state) -> Tuple[np.ndarray, ...]:
+        """Finish a posted nodal-sum completion: wait for the peers'
+        posts, then replay the exact ascending-rank fold over the
+        shared-node union (re-zeroed first), keeping shared totals
+        bit-identical to the blocking path."""
+        with self._span("typhon.complete_node_sums"):
+            return self._complete_node_sums(state)
+
+    def _complete_node_sums(self, state) -> Tuple[np.ndarray, ...]:
+        k = self._begin_complete("nodesum")
+        if self._pending_sums is None:
+            raise CommError(
+                f"rank {self.rank}: complete_node_sums without a post"
+            )
+        partials, totals = self._pending_sums
+        self._pending_sums = None
+        sec = self.plan.nodesum
+        union = self.plan.shared_union
+        widths = _widths(partials)
+        nf = len(partials)
+        for total in totals:
+            total[union] = 0.0
+        ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
+        for r in ranks:
+            if r == self.rank:
+                for total, p in zip(totals, partials):
+                    total[union] += p[union]
+            else:
+                mine = self.sub.shared_nodes[r]
+                blocks = sec.peer_blocks(
+                    r, self._peer_region(r, "nodesum", k & 1), widths
+                )
+                for total, block in zip(totals, blocks):
+                    total[mine] += block
+                self.stats.account(nf * mine.size)
+        self.stats.halo_exchanges += 1
+        self._end_complete("nodesum", k)
         return totals
 
     def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
@@ -486,24 +633,72 @@ class ProcessComms:
         return self.complete_node_arrays(state, node_fx, node_fy, mass)
 
     # ------------------------------------------------------------------
-    # the single global reduction (getdt) — gather/broadcast over pipes
+    # the single global reduction (getdt) — binomial combining cells
     # ------------------------------------------------------------------
     def reduce_dt(self, candidates: List[Candidate]) -> Candidate:
         """Global minimum-dt candidate, with the cell id globalised."""
         with self._span("typhon.reduce_dt"):
             return self._reduce_dt(candidates)
 
+    def _write_dt_cell(self, row: int, g: int, cand: tuple) -> None:
+        """Publish a candidate into this rank's combining cell: payload
+        first, generation stamp last (x86 stores are not reordered, so
+        a reader that observes the stamp observes the payload)."""
+        dt, reason, gcell, src = cand
+        try:
+            code = DT_REASONS.index(reason)
+        except ValueError:
+            raise CommError(
+                f"unencodable dt reason {reason!r}; expected one of "
+                f"{DT_REASONS}"
+            ) from None
+        cell = self._dt[self.rank, row]
+        cell[1] = dt
+        cell[2] = float(code)
+        cell[3] = float(gcell)
+        cell[4] = float(src)
+        cell[0] = float(g)
+
+    def _read_dt_cell(self, rank: int, row: int) -> tuple:
+        cell = self._dt[rank, row]
+        return (float(cell[1]), DT_REASONS[int(cell[2])],
+                int(cell[3]), int(cell[4]))
+
     def _reduce_dt(self, candidates: List[Candidate]) -> Candidate:
+        """Binomial-tree combining reduction over shared cells (both
+        modes) — same topology and combine key as TyphonComms, so a
+        processes run's dt stream and CommStats match the threads
+        backend exactly.  O(log P) hops on the critical path."""
         dt, reason, cell = min(candidates, key=lambda c: c[0])
         gcell = int(self.sub.cell_global[cell]) if cell >= 0 else -1
-        best = self._root_reduce(
-            (dt, reason, gcell, self.rank),
-            lambda entries: min(entries, key=lambda c: (c[0], c[3])),
-        )
+        self._dt_gen += 1
+        g = self._dt_gen
+        best = (dt, reason, gcell, self.rank)
+        hops = 0
+        for child in tree_children(self.rank, self.size):
+            self._spin(
+                lambda c=child: self._dt[c, 0, 0] >= g,
+                f"dt candidate from child rank {child} (gen {g})",
+            )
+            entry = self._read_dt_cell(child, 0)
+            best = min(best, entry, key=lambda c: (c[0], c[3]))
+            hops += 1
+        if self.rank == 0:
+            result = best
+        else:
+            self._write_dt_cell(0, g, best)
+            parent = tree_parent(self.rank)
+            self._spin(
+                lambda: self._dt[parent, 1, 0] >= g,
+                f"dt result from parent rank {parent} (gen {g})",
+            )
+            result = self._read_dt_cell(parent, 1)
+        self._write_dt_cell(1, g, result)
         self.stats.reductions += 1
+        self.stats.dt_reductions += 1
+        self.stats.dt_hops += hops
         self.stats.account(DT_REDUCE_VALUES)
-        self._phase += 1
-        return (best[0], best[1], best[2])
+        return (result[0], result[1], result[2])
 
     def allreduce_max(self, value: float) -> float:
         """Global maximum of a scalar across ranks."""
@@ -573,36 +768,25 @@ class ProcessComms:
             self._exchange_cell_arrays(*arrays)
 
     def _exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
-        ctx = self.ctx
-        if self.plan is None:
-            # Legacy path: whole-array publications, two syncs.
-            self._publish(arrays)
-            ctx.sync()
-            specs = [
-                ("cell", 1 if a.ndim == 1 else a.shape[1]) for a in arrays
-            ]
-            for src_rank, local_idx in self.sub.recv_cells.items():
-                src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
-                src_arrays = self._peer_arrays(src_rank, specs)
-                nvalues = 0
-                for mine, theirs in zip(arrays, src_arrays):
-                    mine[local_idx] = theirs[src_idx]
-                    nvalues += local_idx.size * (
-                        1 if mine.ndim == 1 else mine.shape[1]
-                    )
-                self.stats.account(nvalues, messages=len(arrays))
-            self.stats.halo_exchanges += 1
-            ctx.sync()
+        if self.mode == "overlap":
+            self._post_cell_arrays(*arrays)
+            self._complete_cell_arrays(*arrays)
             return
         # Packed path: all cell fields coalesce into one block per
         # neighbour, one sync.
         sec = self.plan.cell
-        sec.pack(self._my_region("cell"), arrays)
-        ctx.sync()  # every rank's ghost-cell block staged
+        sec.pack(self._my_region("cell", self._phase & 1), arrays)
+        self.ctx.sync()  # every rank's ghost-cell block staged
+        self._unpack_cell_arrays(arrays, self._phase & 1)
+        self._phase += 1
+
+    def _unpack_cell_arrays(self, arrays, parity: int) -> None:
+        sec = self.plan.cell
         widths = _widths(arrays)
         for src_rank, local_idx in self.sub.recv_cells.items():
             blocks = sec.peer_blocks(
-                src_rank, self._peer_region(src_rank, "cell"), widths
+                src_rank, self._peer_region(src_rank, "cell", parity),
+                widths
             )
             nvalues = 0
             for mine, block in zip(arrays, blocks):
@@ -610,11 +794,41 @@ class ProcessComms:
                 nvalues += block.size
             self.stats.account(nvalues)
         self.stats.halo_exchanges += 1
-        self._phase += 1
+
+    def post_cell_arrays(self, *arrays: np.ndarray) -> None:
+        """Start a ghost-cell refresh (overlap mode): pack and publish
+        this rank's owned-cell blocks."""
+        with self._span("typhon.post_cell_arrays"):
+            self._post_cell_arrays(*arrays)
+
+    def _post_cell_arrays(self, *arrays: np.ndarray) -> None:
+        self._post_section("cell", arrays)
+
+    def complete_cell_arrays(self, *arrays: np.ndarray) -> None:
+        """Finish a posted ghost-cell refresh (pass the same arrays)."""
+        with self._span("typhon.complete_cell_arrays"):
+            self._complete_cell_arrays(*arrays)
+
+    def _complete_cell_arrays(self, *arrays: np.ndarray) -> None:
+        k = self._begin_complete("cell")
+        self._unpack_cell_arrays(arrays, k & 1)
+        self._end_complete("cell", k)
 
     def exchange_cell_fields(self, state) -> None:
         """Refresh ghost thermodynamics and masses before a remap."""
         self.exchange_cell_arrays(
+            state.rho, state.e, state.cell_mass, state.corner_mass
+        )
+
+    def post_cell_fields(self, state) -> None:
+        """Start the ghost thermodynamic/mass refresh (overlap mode)."""
+        self.post_cell_arrays(
+            state.rho, state.e, state.cell_mass, state.corner_mass
+        )
+
+    def complete_cell_fields(self, state) -> None:
+        """Finish the posted ghost thermodynamic/mass refresh."""
+        self.complete_cell_arrays(
             state.rho, state.e, state.cell_mass, state.corner_mass
         )
 
@@ -623,38 +837,6 @@ class ProcessComms:
 
     def physical_boundary_side_mask(self, state) -> Optional[np.ndarray]:
         return self.sub.physical_boundary_mask
-
-    # ------------------------------------------------------------------
-    def publish_final_state(self, state) -> None:
-        """Legacy path only: write every field ``gather`` reads into
-        the full-array mailbox (called after the collective end-of-run
-        barrier; the parent reads it back out once the process has
-        exited).  The packed path's mailboxes are halo-sized, so its
-        final states travel over the result queue instead."""
-        self._publish(tuple(
-            getattr(state, name) for name, _, _ in STATE_FIELDS
-        ))
-
-
-def _read_final_state(rc: _ProcessRunContext, rank: int):
-    """Parent side: rebuild one rank's final local state from its
-    mailbox (mat and boundary flags are invariants of the run, so they
-    come from restricting the initial state)."""
-    sub = rc.subdomains[rank]
-    state = local_state(sub, rc.setup.state)
-    mesh = sub.mesh
-    sizes = {"node": mesh.nnode, "cell": mesh.ncell}
-    buf = rc.mailbox(rank)
-    offset = 0
-    for name, kind, trailing in STATE_FIELDS:
-        n = sizes[kind]
-        flat = buf[offset:offset + n * trailing]
-        value = np.array(flat, dtype=np.float64)  # copy out of the segment
-        setattr(state, name,
-                value.reshape(n, trailing) if trailing > 1 else value)
-        offset += n * trailing
-    state.invalidate_node_mass()
-    return state
 
 
 def _state_from_payload(rc: _ProcessRunContext, rank: int,
@@ -680,10 +862,8 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
             from ...telemetry.spans import Tracer
 
             tracer = Tracer(rank=rank, epoch_ns=rc.epoch_ns)
-        comms = ProcessComms(
-            rc, sub, tracer=tracer,
-            plan=rc.plans[rank] if rc.plans is not None else None,
-        )
+        comms = ProcessComms(rc, sub, tracer=tracer, plan=rc.plans[rank],
+                             mode=rc.comm_mode)
         timers = TimerRegistry()
         timers.tracer = tracer
         probe = rc.build_probe(rank, cell_global=sub.cell_global)
@@ -699,19 +879,14 @@ def _rank_main(rc: _ProcessRunContext, rank: int) -> None:
             hydro.observers.append(series)
         hydro.run(max_steps=rc.max_steps)
         # Collective end-of-run point: every rank is past its last
-        # mailbox read before anyone overwrites a mailbox with the
-        # final-state publication (legacy) or exits (packed).
+        # staging read before anyone tears its mailbox views down.
         rc.sync()
-        final_state = None
-        if comms.plan is None:
-            comms.publish_final_state(hydro.state)
-        else:
-            # Halo-sized mailboxes cannot carry the final state; ship
-            # it over the result queue (one pickle at end of run).
-            final_state = {
-                name: np.ascontiguousarray(getattr(hydro.state, name))
-                for name, _, _ in STATE_FIELDS
-            }
+        # Halo-sized mailboxes cannot carry the final state; ship it
+        # over the result queue (one pickle at end of run).
+        final_state = {
+            name: np.ascontiguousarray(getattr(hydro.state, name))
+            for name, _, _ in STATE_FIELDS
+        }
         timers.tracer = None  # tracer spans travel separately
         rc.results.put((rank, {
             "nstep": hydro.nstep,
@@ -866,8 +1041,6 @@ class ProcessesBackend:
             )
         states = [
             _state_from_payload(rc, r, results[r]["state"])
-            if results[r].get("state") is not None
-            else _read_final_state(rc, r)
             for r in range(rc.size)
         ]
         return BackendRun(

@@ -79,10 +79,9 @@ class ThreadsBackend:
         for sub in driver.subdomains:
             state = local_state(sub, setup.state)
             tracer = driver.tracers[sub.rank] if driver.tracers else None
-            plan = (driver.context.plans[sub.rank]
-                    if driver.comm_plan else None)
             comms = TyphonComms(driver.context, sub, tracer=tracer,
-                                plan=plan)
+                                plan=driver.context.plans[sub.rank],
+                                mode=driver.comm_plan)
             driver.context.register_state(sub.rank, state)
             timers = TimerRegistry()
             timers.tracer = tracer

@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core.state import HydroState
 from ..problems.base import ProblemSetup
-from ..utils.errors import BookLeafError
+from ..utils.errors import BookLeafError, DeprecatedOptionError
 from ..utils.timers import TimerRegistry
 from .backends import get_backend
 from .halo import Subdomain, build_subdomains
@@ -38,7 +38,8 @@ from .interface import BackendRun
 from .partition.interface import partition
 
 #: counters every per-rank comm entry carries
-_COMM_FIELDS = ("messages", "bytes", "halo_exchanges", "reductions")
+_COMM_FIELDS = ("messages", "bytes", "halo_exchanges", "reductions",
+                "dt_reductions", "dt_hops")
 
 
 class DistributedHydro:
@@ -61,13 +62,17 @@ class DistributedHydro:
         Execution backend name (``serial``, ``threads`` or
         ``processes`` — see :mod:`repro.parallel.backends`).
     comm_plan:
-        ``"packed"`` (default) drives the distributed exchanges
-        through compiled :class:`~repro.parallel.commplan.CommPlan`
-        layouts — coalesced one-message-per-neighbour halos, one sync
-        per exchange, zero warm-path allocations.  ``None`` (or
-        ``"legacy"``) keeps the historical per-field/whole-array
-        protocol; it is bit-identical to the packed one and retained
-        for one release as the equivalence reference.
+        ``"overlap"`` (default) runs the split-phase exchanges — the
+        kernels post a halo, compute their interior partition, and
+        complete it against the *neighbouring* ranks' counters only
+        (no global barrier); the dt reduction is a binomial combining
+        tree.  ``"packed"`` keeps PR 5's single-barrier collectives —
+        bit-identical to ``overlap`` and retained as the equivalence
+        baseline.  Both run over the same compiled
+        :class:`~repro.parallel.commplan.CommPlan` layouts.  The
+        pre-plan ``"legacy"`` protocol was removed; requesting it (or
+        passing ``None``) raises
+        :class:`~repro.utils.errors.DeprecatedOptionError`.
 
     For the in-process backends the per-rank ``hydros`` (and, for
     ``threads``, the shared ``context``) are live attributes that
@@ -84,7 +89,7 @@ class DistributedHydro:
                  metrics_every: int = 0,
                  watchdog_timeout: Optional[float] = None,
                  snapshot_dir: Optional[str] = None,
-                 comm_plan: Optional[str] = "packed",
+                 comm_plan: str = "overlap",
                  artifacts=None):
         if nranks > 1 and setup.controls.ale_on \
                 and setup.controls.ale_mode != "eulerian":
@@ -107,14 +112,18 @@ class DistributedHydro:
         self.metrics_every = int(metrics_every or 0)
         self.watchdog_timeout = watchdog_timeout
         self.snapshot_dir = snapshot_dir
-        if comm_plan not in (None, "legacy", "packed"):
+        if comm_plan in (None, "legacy"):
+            raise DeprecatedOptionError(
+                "comm_plan='legacy'", "comm_plan='packed'",
+                context="repro.parallel.DistributedHydro",
+            )
+        if comm_plan not in ("packed", "overlap"):
             raise BookLeafError(
                 f"unknown comm plan {comm_plan!r} "
-                "(expected 'packed', 'legacy' or None)"
+                "(expected 'overlap' or 'packed')"
             )
-        #: truthy → backends hand each endpoint its compiled CommPlan
-        self.comm_plan: Optional[str] = \
-            None if comm_plan == "legacy" else comm_plan
+        #: exchange mode the backends hand every endpoint
+        self.comm_plan: str = comm_plan
         self.global_mesh = setup.state.mesh
         self._backend = get_backend(backend)
         self.backend_name = self._backend.name
@@ -289,7 +298,7 @@ class DistributedHydro:
             "nranks": self.nranks,
             "steps": steps,
             "backend": self.backend_name,
-            "comm_plan": self.comm_plan or "legacy",
+            "comm_plan": self.comm_plan,
             **total,
             "bytes_per_step": total["bytes"] / steps if steps else 0.0,
             "messages_per_step": (total["messages"] / steps

@@ -20,11 +20,30 @@ Determinism: partial nodal sums are combined in ascending rank order
 on every rank, so shared interface nodes receive *bit-identical*
 values everywhere and a decomposed run tracks the serial one to
 floating-point round-off only.
+
+Two exchange modes share the compiled CommPlans (docs/PARALLEL.md):
+
+* ``packed`` — every exchange is a single-barrier collective (PR 5's
+  protocol, the equivalence baseline);
+* ``overlap`` — split-phase: ``post_*`` packs and publishes, the
+  caller computes its interior partition, ``complete_*`` waits only on
+  the *neighbouring* ranks' post counters (no global barrier) and
+  finishes the boundary strip.  Bit-identical to ``packed`` because
+  packing is a pure reorder and the nodal-sum completion replays the
+  exact ascending-rank fold over the shared-node union.
+
+The per-step dt reduction runs a **binomial-tree combining reduction**
+in both modes (min is exact, so the tree result is bitwise equal to a
+root gather): each rank combines its children's candidates, forwards
+one candidate to its parent, and the root's result flows back down —
+O(log P) hops on the critical path instead of the O(P) rank-0 serial
+gather, visible in ``CommStats.dt_hops``.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -33,7 +52,7 @@ import numpy as np
 
 from ..core.timestep import Candidate
 from ..utils.errors import CommError
-from .commplan import CommPlan, _widths, compile_plans
+from .commplan import CommPlan, SECTIONS, _widths, compile_plans
 from .halo import Subdomain
 
 _FLOAT_BYTES = 8
@@ -42,8 +61,58 @@ _FLOAT_BYTES = 8
 #: ``(dt, reason, cell, rank)`` tuple — four values, not one scalar
 DT_REDUCE_VALUES = 4
 
+#: the only dt-limiter reasons that cross the seam (``getdt``'s local
+#: candidates); the processes backend encodes them as small ints
+DT_REASONS = ("cfl", "div")
+
+#: exchange modes an endpoint can run (the ``comm_plan`` values)
+COMM_MODES = ("packed", "overlap")
+
+#: seconds a split-phase/tree spin-wait may starve before declaring
+#: the run wedged (the backends' watchdogs normally fire first)
+SPIN_TIMEOUT = 120.0
+
+#: spin-wait backoff ceiling.  Virtual ranks oversubscribe the host,
+#: so a waiter must *sleep*, not yield: every quantum it burns polling
+#: is a quantum stolen from the very peer it is waiting on (the packed
+#: mode's Barrier sleeps on a condition variable and sets the bar).
+#: A handful of free polls catch the already-arrived case; after that
+#: the sleep doubles from 2 µs up to this ceiling.
+SPIN_MAX_SLEEP = 500e-6
+
+
+def spin_backoff(spins: int) -> float:
+    """Sleep duration for the ``spins``-th unsuccessful poll."""
+    if spins < 4:
+        return 0.0
+    return min(SPIN_MAX_SLEEP, 2e-6 * (1 << min(spins - 4, 10)))
+
 #: shared no-op context for untraced comm calls (stateless, reusable)
 _NULL_SPAN = nullcontext()
+
+
+def tree_parent(rank: int) -> int:
+    """Parent of ``rank`` in the binomial reduction tree (root 0):
+    clear the lowest set bit."""
+    return rank & (rank - 1)
+
+
+def tree_children(rank: int, size: int) -> List[int]:
+    """Children of ``rank`` in the binomial tree over ``size`` ranks,
+    ascending.  Rank r owns r + 2^k for every k with r's low k+1 bits
+    zero — the root's child count is ⌈log2 P⌉, the tree's depth bound."""
+    children: List[int] = []
+    k = 0
+    while True:
+        bit = 1 << k
+        if rank & ((bit << 1) - 1):
+            break
+        child = rank + bit
+        if child >= size:
+            break
+        children.append(child)
+        k += 1
+    return children
 
 
 @dataclass
@@ -54,11 +123,18 @@ class CommStats:
     bytes_sent: int = 0
     halo_exchanges: int = 0
     reductions: int = 0
+    #: dt reductions performed (each charges DT_REDUCE_VALUES once,
+    #: whatever the tree shape — topology honesty lives in dt_hops)
+    dt_reductions: int = 0
+    #: combining messages *received* during dt up-sweeps: this rank's
+    #: child count summed over reductions.  The per-reduction maximum
+    #: over ranks is the tree's critical-path fan-in — ⌈log2 P⌉ for
+    #: the binomial tree vs. P−1 for the old rank-0 root gather.
+    dt_hops: int = 0
 
     def account(self, nvalues: int, messages: int = 1) -> None:
         """Charge ``nvalues`` float64 payload carried by ``messages``
-        logical messages (1 for a packed block, one per field on the
-        legacy per-field exchange path)."""
+        logical messages (1 per packed block per neighbour)."""
         self.messages += messages
         self.bytes_sent += nvalues * _FLOAT_BYTES
 
@@ -74,6 +150,8 @@ class CommStats:
             "bytes": self.bytes_sent,
             "halo_exchanges": self.halo_exchanges,
             "reductions": self.reductions,
+            "dt_reductions": self.dt_reductions,
+            "dt_hops": self.dt_hops,
         }
 
 
@@ -84,14 +162,36 @@ class TyphonContext:
         self.subdomains = subdomains
         self.size = len(subdomains)
         self.barrier = threading.Barrier(self.size)
-        #: per-rank published data for the current collective phase
-        #: (legacy two-sync protocol)
-        self.slots: List[Optional[object]] = [None] * self.size
         #: phase-parity slots for the packed single-sync protocol:
         #: consecutive collectives publish into alternating halves
         self.pslots: List[List[Optional[object]]] = [
             [None] * self.size, [None] * self.size,
         ]
+        #: split-phase neighbour-sync counters, one pair per (rank,
+        #: section): cumulative posts and completes.  Single writer
+        #: (the owning rank), GIL-atomic int stores — the overlap mode
+        #: synchronises on these instead of the global barrier.
+        self.posted: List[Dict[str, int]] = [
+            dict.fromkeys(SECTIONS, 0) for _ in range(self.size)
+        ]
+        self.completed: List[Dict[str, int]] = [
+            dict.fromkeys(SECTIONS, 0) for _ in range(self.size)
+        ]
+        #: binomial-tree dt combining cells: ``dt_up[r]`` holds rank
+        #: r's combined candidate for its parent, ``dt_down[r]`` the
+        #: broadcast result for r's children — each a ``(generation,
+        #: candidate)`` tuple, single writer, generation-guarded reads.
+        self.dt_up: List[Optional[tuple]] = [None] * self.size
+        self.dt_down: List[Optional[tuple]] = [None] * self.size
+        #: per-rank wake-up conditions for the split-phase/tree waits:
+        #: a publisher notifies exactly the ranks whose predicates
+        #: watch the advanced counter, so waiters sleep event-driven
+        #: (like the packed Barrier) instead of burning the quantum the
+        #: awaited peer needs — on an oversubscribed host a polling
+        #: waiter pays either stolen CPU or wake-up latency; a
+        #: condition variable pays neither, and per-rank conditions
+        #: avoid the thundering herd a single shared one would wake
+        self.rank_cv = [threading.Condition() for _ in range(self.size)]
         #: per-rank live state references (registered by the driver)
         self.states: List[Optional[object]] = [None] * self.size
         self.stats: List[CommStats] = [CommStats() for _ in range(self.size)]
@@ -127,9 +227,13 @@ class TyphonContext:
             raise CommError("a peer rank failed; aborting collective") from None
 
     def abort(self) -> None:
-        """Mark the run failed and release everyone stuck in a barrier."""
+        """Mark the run failed and release everyone stuck in a barrier
+        or a split-phase wait."""
         self._failure.set()
         self.barrier.abort()
+        for cv in self.rank_cv:
+            with cv:
+                cv.notify_all()
 
     def total_stats(self) -> CommStats:
         total = CommStats()
@@ -138,6 +242,8 @@ class TyphonContext:
             total.bytes_sent += s.bytes_sent
             total.halo_exchanges += s.halo_exchanges
             total.reductions += s.reductions
+            total.dt_reductions += s.dt_reductions
+            total.dt_hops += s.dt_hops
         return total
 
     def per_rank_stats(self) -> List[dict]:
@@ -162,18 +268,24 @@ class TyphonContext:
 class TyphonComms:
     """One rank's communication endpoint (plugs into the comms seam).
 
-    With a compiled :class:`~repro.parallel.commplan.CommPlan` (the
-    default wiring — ``DistributedHydro(comm_plan="packed")``) every
-    exchange runs the packed single-sync protocol: gather the halo
-    values into this rank's preallocated staging buffer, one barrier,
-    read the peers' packed blocks.  ``plan=None`` keeps the legacy
-    per-field/whole-array two-sync protocol (retained for one release
-    as the bit-identity reference — see docs/PARALLEL.md).
+    Every exchange runs over the compiled
+    :class:`~repro.parallel.commplan.CommPlan`.  In ``packed`` mode it
+    is the single-sync protocol: gather the halo values into this
+    rank's preallocated staging buffer, one barrier, read the peers'
+    packed blocks.  In ``overlap`` mode the same staging carries the
+    split-phase protocol: ``post_*`` packs at parity ``k & 1`` of the
+    per-section op counter and publishes the rank's post counter;
+    ``complete_*`` spins only on the *source* neighbours' post
+    counters, and a post may only reuse a parity half once every
+    *reader* neighbour's complete counter shows the k−2 read finished.
+    No global barrier is involved, so ranks slide past each other by
+    up to one exchange — and the blocking seam methods degrade to
+    post + complete back to back.
 
     Packed nodal-sum totals are returned as rows of a reused arena
     buffer: they stay valid until the *next-but-one* completion with
-    the same field count (double-buffered by phase parity), which
-    covers every caller in the step loop — long-lived results must be
+    the same field count (double-buffered by parity), which covers
+    every caller in the step loop — long-lived results must be
     committed by copy, the same contract as the PR-1 kernel arena.
     """
 
@@ -181,7 +293,10 @@ class TyphonComms:
     __comm_endpoint__ = True
 
     def __init__(self, ctx: TyphonContext, sub: Subdomain, tracer=None,
-                 plan: Optional[CommPlan] = None):
+                 plan: Optional[CommPlan] = None, mode: str = "packed"):
+        if mode not in COMM_MODES:
+            raise CommError(f"unknown comm mode {mode!r}; "
+                            f"expected one of {COMM_MODES}")
         self.ctx = ctx
         self.sub = sub
         self.rank = sub.rank
@@ -192,20 +307,32 @@ class TyphonComms:
         #: rank's stream (the span covers the barrier waits too — in a
         #: trace, load imbalance shows up as long comm spans)
         self.tracer = tracer
-        self.plan = plan
-        #: collective-phase counter: parity selects the staging half /
-        #: pslot row.  Advanced once per collective op on every rank —
-        #: the op sequence is SPMD, so the counters agree globally.
+        self.plan = plan if plan is not None else ctx.plans[self.rank]
+        self.mode = mode
+        #: collective-phase counter: parity selects the pslot row (and,
+        #: in packed mode, the staging half).  Advanced once per
+        #: barrier collective on every rank — the op sequence is SPMD,
+        #: so the counters agree globally.
         self._phase = 0
-        if plan is not None:
-            from ..perf.workspace import Workspace
+        #: per-section split-phase op counts (parity source in overlap
+        #: mode) and the in-flight post bookkeeping
+        self._ops: Dict[str, int] = dict.fromkeys(SECTIONS, 0)
+        self._pending: Dict[str, int] = {}
+        self._pending_sums: Optional[tuple] = None
+        #: dt-reduction generation (guards the combining cells' reuse)
+        self._dt_gen = 0
+        from ..perf.workspace import Workspace
 
-            #: arena for the reusable nodal-sum totals buffers
-            self._ws = Workspace()
+        #: arena for the reusable nodal-sum totals buffers
+        self._ws = Workspace()
 
     def comm_plan(self) -> Optional[CommPlan]:
-        """This endpoint's compiled plan (None on the legacy path)."""
+        """This endpoint's compiled plan."""
         return self.plan
+
+    def overlap_enabled(self) -> bool:
+        """True when the split-phase (overlapped) protocol is active."""
+        return self.mode == "overlap"
 
     def _span(self, name: str):
         tracer = self.tracer
@@ -216,31 +343,116 @@ class TyphonComms:
     # ------------------------------------------------------------------
     # packed-protocol helpers
     # ------------------------------------------------------------------
-    def _my_region(self, section: str) -> np.ndarray:
+    def _my_region(self, section: str, parity: int) -> np.ndarray:
         plan = self.plan
-        return plan.region(self.ctx.staging[self.rank], section,
-                           self._phase & 1)
+        return plan.region(self.ctx.staging[self.rank], section, parity)
 
-    def _peer_region(self, peer: int, section: str) -> np.ndarray:
+    def _peer_region(self, peer: int, section: str,
+                     parity: int) -> np.ndarray:
         plan = self.ctx.plans[peer]
-        return plan.region(self.ctx.staging[peer], section,
-                           self._phase & 1)
+        return plan.region(self.ctx.staging[peer], section, parity)
 
     def _slots(self) -> List[Optional[object]]:
         """Publication slots for a scalar collective: the phase-parity
-        row on the packed path (single sync), the shared legacy row
-        (framed by two syncs) otherwise."""
-        if self.plan is None:
-            return self.ctx.slots
+        pslot row (single sync; double-buffered like the staging)."""
         return self.ctx.pslots[self._phase & 1]
 
     def _finish_collective(self) -> None:
-        """Close a scalar collective: advance the parity phase (packed)
-        or drain the legacy barrier (slots free for reuse)."""
-        if self.plan is None:
-            self.ctx.sync()
-        else:
-            self._phase += 1
+        """Close a scalar collective: advance the parity phase."""
+        self._phase += 1
+
+    # ------------------------------------------------------------------
+    # split-phase neighbour synchronisation (overlap mode)
+    # ------------------------------------------------------------------
+    def _spin(self, ready, what: str) -> None:
+        """Wait until ``ready()`` — event-driven, never a global
+        barrier.  The fast path (already satisfied) takes no lock;
+        otherwise the wait sleeps on this rank's wake-up condition,
+        re-checking the predicate whenever a watched peer publishes.
+        The 100 ms guard timeout only serves the failure/deadline
+        checks."""
+        if ready():
+            return
+        ctx = self.ctx
+        deadline = time.monotonic() + SPIN_TIMEOUT
+        cv = ctx.rank_cv[self.rank]
+        with cv:
+            while not cv.wait_for(ready, timeout=0.1):
+                if ctx._failure.is_set():
+                    raise CommError(
+                        "a peer rank failed; aborting collective")
+                if time.monotonic() > deadline:
+                    raise CommError(
+                        f"rank {self.rank} timed out waiting for {what}"
+                    )
+
+    def _announce(self, ranks) -> None:
+        """Wake the ranks whose ``_spin`` predicates watch a counter
+        this rank just advanced (and nobody else)."""
+        for r in ranks:
+            cv = self.ctx.rank_cv[r]
+            with cv:
+                cv.notify_all()
+
+    def _post_section(self, name: str, arrays) -> int:
+        """Pack op k of ``name`` and publish the post counter.
+
+        Guards: at most one in-flight post per section (a same-parity
+        double post would overwrite the half a peer may still read),
+        and the parity half of op k is only reclaimed once every
+        reader's complete counter proves the op k−2 read finished.
+        """
+        if self.mode != "overlap":
+            raise CommError(
+                "split-phase exchange requires comm_plan='overlap' "
+                f"(this endpoint runs {self.mode!r})"
+            )
+        if name in self._pending:
+            raise CommError(
+                f"rank {self.rank}: {name} exchange already posted — "
+                "a second same-parity post must wait for complete"
+            )
+        k = self._ops[name]
+        sec = self.plan.section(name)
+        for peer in sec.send_peers:
+            self._spin(
+                lambda p=peer: self.ctx.completed[p][name] >= k - 1,
+                f"rank {peer} to finish reading {name} op {k - 2}",
+            )
+        sec.pack(self._my_region(name, k & 1), arrays)
+        self.ctx.posted[self.rank][name] = k + 1
+        # readers of this staging block spin on the post counter
+        self._announce(sec.send_peers)
+        self._pending[name] = k
+        return k
+
+    def _begin_complete(self, name: str) -> int:
+        """Wait for every source neighbour's op-k post; return k."""
+        if self.mode != "overlap":
+            raise CommError(
+                "split-phase exchange requires comm_plan='overlap' "
+                f"(this endpoint runs {self.mode!r})"
+            )
+        k = self._pending.get(name)
+        if k is None:
+            raise CommError(
+                f"rank {self.rank}: complete_{name} without a post"
+            )
+        sec = self.plan.section(name)
+        for peer in sec.recv_peers:
+            self._spin(
+                lambda p=peer: self.ctx.posted[p][name] >= k + 1,
+                f"rank {peer} to post {name} op {k}",
+            )
+        return k
+
+    def _end_complete(self, name: str, k: int) -> None:
+        self.ctx.completed[self.rank][name] = k + 1
+        # ranks that send to us spin on the complete counter before
+        # reclaiming the parity half we just finished reading
+        self._announce(self.plan.section(name).recv_peers)
+        del self._pending[name]
+        self._ops[name] = k + 1
 
     # ------------------------------------------------------------------
     # kinematic halo exchange (before the viscosity kernel)
@@ -251,39 +463,28 @@ class TyphonComms:
             self._exchange_kinematics(state)
 
     def _exchange_kinematics(self, state) -> None:
-        ctx = self.ctx
-        if self.plan is None:
-            # Legacy path: publish state references, two syncs, one
-            # fancy-indexed copy *per field* per neighbour.
-            ctx.register_state(self.rank, state)
-            ctx.sync()  # all states published and quiescent at t^n
-            for src_rank, local_idx in self.sub.recv_nodes.items():
-                src_state = ctx.states[src_rank]
-                src_idx = ctx.subdomains[src_rank].send_nodes[self.rank]
-                if src_idx.size != local_idx.size:
-                    raise CommError(
-                        f"halo schedule mismatch between ranks "
-                        f"{self.rank} and {src_rank}"
-                    )
-                state.x[local_idx] = src_state.x[src_idx]
-                state.y[local_idx] = src_state.y[src_idx]
-                state.u[local_idx] = src_state.u[src_idx]
-                state.v[local_idx] = src_state.v[src_idx]
-                # Traffic is charged to the receiving rank's counters
-                # (thread-safe: each rank only writes its own stats).
-                self.stats.account(4 * src_idx.size, messages=4)
-            self.stats.halo_exchanges += 1
-            ctx.sync()  # copies complete before anyone advances
+        if self.mode == "overlap":
+            self._post_kinematics(state)
+            self._complete_kinematics(state)
             return
-        # Packed path: one (4, n) coalesced message per neighbour,
+        # Packed mode: one (4, n) coalesced message per neighbour,
         # one sync.  The trailing barrier is unnecessary because the
         # next collective writes the opposite parity half.
+        ctx = self.ctx
         sec = self.plan.kin
-        sec.pack(self._my_region("kin"), (state.x, state.y, state.u, state.v))
+        sec.pack(self._my_region("kin", self._phase & 1),
+                 (state.x, state.y, state.u, state.v))
         ctx.sync()  # every rank's halo block staged
+        self._unpack_kinematics(state, self._phase & 1)
+        self._phase += 1
+
+    def _unpack_kinematics(self, state, parity: int) -> None:
+        """Scatter every source neighbour's staged (4, n) block."""
+        sec = self.plan.kin
         for src_rank, local_idx in self.sub.recv_nodes.items():
             bx, by, bu, bv = sec.peer_blocks(
-                src_rank, self._peer_region(src_rank, "kin"), (1, 1, 1, 1)
+                src_rank, self._peer_region(src_rank, "kin", parity),
+                (1, 1, 1, 1)
             )
             state.x[local_idx] = bx
             state.y[local_idx] = by
@@ -291,7 +492,27 @@ class TyphonComms:
             state.v[local_idx] = bv
             self.stats.account(4 * local_idx.size)
         self.stats.halo_exchanges += 1
-        self._phase += 1
+
+    def post_kinematics(self, state) -> None:
+        """Start the kinematic halo refresh (overlap mode): pack this
+        rank's send blocks and publish — the caller may now compute
+        the interior partition (``plan.interior_cells``)."""
+        with self._span("typhon.post_kinematics"):
+            self._post_kinematics(state)
+
+    def _post_kinematics(self, state) -> None:
+        self._post_section("kin", (state.x, state.y, state.u, state.v))
+
+    def complete_kinematics(self, state) -> None:
+        """Finish a posted kinematic refresh: wait for the source
+        neighbours' posts, scatter the ghost rows."""
+        with self._span("typhon.complete_kinematics"):
+            self._complete_kinematics(state)
+
+    def _complete_kinematics(self, state) -> None:
+        k = self._begin_complete("kin")
+        self._unpack_kinematics(state, k & 1)
+        self._end_complete("kin", k)
 
     # ------------------------------------------------------------------
     # nodal sum completion (inside the acceleration kernel)
@@ -310,41 +531,22 @@ class TyphonComms:
 
     def _complete_node_arrays(self, state, *partials: np.ndarray
                               ) -> Tuple[np.ndarray, ...]:
-        ctx = self.ctx
-        if self.plan is None:
-            # Legacy path: full-array partial copies into the shared
-            # slots, fresh zero totals every call, two syncs.
-            ctx.slots[self.rank] = tuple(p.copy() for p in partials)
-            ctx.sync()
-            totals = tuple(np.zeros_like(p) for p in partials)
-            ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
-            for r in ranks:
-                if r == self.rank:
-                    for total, p in zip(totals, ctx.slots[self.rank]):
-                        total += p
-                else:
-                    theirs = ctx.subdomains[r].shared_nodes[self.rank]
-                    mine = self.sub.shared_nodes[r]
-                    for total, p in zip(totals, ctx.slots[r]):
-                        total[mine] += p[theirs]
-                    self.stats.account(len(partials) * mine.size)
-            self.stats.halo_exchanges += 1
-            ctx.sync()  # slots free for reuse
-            return totals
-        # Packed path: stage only the *shared-node* values (one
+        if self.mode == "overlap":
+            self._post_node_sums(state, *partials)
+            return self._complete_node_sums(state)
+        # Packed mode: stage only the *shared-node* values (one
         # coalesced message per peer), one sync, fold into reused
-        # arena totals.  The fold visits the identical ascending rank
-        # sequence with this rank's own partial in its sorted position,
-        # so shared nodes accumulate in the legacy order bit for bit.
+        # arena totals.  The fold visits the ascending rank sequence
+        # with this rank's own partial in its sorted position, so
+        # shared nodes accumulate in a fixed order bit for bit.
+        ctx = self.ctx
         parity = self._phase & 1
         sec = self.plan.nodesum
-        sec.pack(self._my_region("nodesum"), partials)
+        sec.pack(self._my_region("nodesum", parity), partials)
         ctx.sync()  # every rank's shared-node block staged
-        nf = len(partials)
-        buf = self._ws.zeros(f"commplan.totals{nf}.{parity}",
-                             (nf, partials[0].shape[0]))
-        totals = tuple(buf[i] for i in range(nf))
+        totals = self._totals_buffer(partials, parity)
         widths = _widths(partials)
+        nf = len(partials)
         ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
         for r in ranks:
             if r == self.rank:
@@ -353,13 +555,79 @@ class TyphonComms:
             else:
                 mine = self.sub.shared_nodes[r]
                 blocks = sec.peer_blocks(
-                    r, self._peer_region(r, "nodesum"), widths
+                    r, self._peer_region(r, "nodesum", parity), widths
                 )
                 for total, block in zip(totals, blocks):
                     total[mine] += block
                 self.stats.account(nf * mine.size)
         self.stats.halo_exchanges += 1
         self._phase += 1
+        return totals
+
+    def _totals_buffer(self, partials, parity: int
+                       ) -> Tuple[np.ndarray, ...]:
+        """Zeroed arena rows for the completed totals, double-buffered
+        by parity (valid until the next-but-one same-width completion)."""
+        nf = len(partials)
+        buf = self._ws.zeros(f"commplan.totals{nf}.{parity}",
+                             (nf, partials[0].shape[0]))
+        return tuple(buf[i] for i in range(nf))
+
+    def post_node_sums(self, state, *partials: np.ndarray) -> None:
+        """Start a nodal-sum completion (overlap mode): stage this
+        rank's shared-node blocks and pre-fill the totals with the
+        local partials — every node *not* shared with a peer is final
+        immediately; ``complete_node_sums`` re-folds only the shared
+        union strip."""
+        with self._span("typhon.post_node_sums"):
+            self._post_node_sums(state, *partials)
+
+    def _post_node_sums(self, state, *partials: np.ndarray) -> None:
+        k = self._post_section("nodesum", partials)
+        totals = self._totals_buffer(partials, k & 1)
+        # 0 + p elementwise — identical to the blocking fold's first
+        # visit, so interior (unshared) nodes are already bit-final
+        for total, p in zip(totals, partials):
+            total += p
+        self._pending_sums = (partials, totals)
+
+    def complete_node_sums(self, state) -> Tuple[np.ndarray, ...]:
+        """Finish a posted nodal-sum completion: wait for the peers'
+        posts, then replay the exact ascending-rank fold over the
+        shared-node union (re-zeroed first), keeping shared totals
+        bit-identical to the blocking path."""
+        with self._span("typhon.complete_node_sums"):
+            return self._complete_node_sums(state)
+
+    def _complete_node_sums(self, state) -> Tuple[np.ndarray, ...]:
+        k = self._begin_complete("nodesum")
+        if self._pending_sums is None:
+            raise CommError(
+                f"rank {self.rank}: complete_node_sums without a post"
+            )
+        partials, totals = self._pending_sums
+        self._pending_sums = None
+        sec = self.plan.nodesum
+        union = self.plan.shared_union
+        widths = _widths(partials)
+        nf = len(partials)
+        for total in totals:
+            total[union] = 0.0
+        ranks = sorted(set(self.sub.shared_nodes) | {self.rank})
+        for r in ranks:
+            if r == self.rank:
+                for total, p in zip(totals, partials):
+                    total[union] += p[union]
+            else:
+                mine = self.sub.shared_nodes[r]
+                blocks = sec.peer_blocks(
+                    r, self._peer_region(r, "nodesum", k & 1), widths
+                )
+                for total, block in zip(totals, blocks):
+                    total[mine] += block
+                self.stats.account(nf * mine.size)
+        self.stats.halo_exchanges += 1
+        self._end_complete("nodesum", k)
         return totals
 
     def assemble_node_sums(self, state, fx: np.ndarray, fy: np.ndarray
@@ -382,17 +650,54 @@ class TyphonComms:
             return self._reduce_dt(candidates)
 
     def _reduce_dt(self, candidates: List[Candidate]) -> Candidate:
+        """Binomial-tree combining reduction (both modes).
+
+        Up-sweep: combine the children's candidates into this rank's
+        local best and hand one candidate to the parent; down-sweep:
+        the root's winner flows back along the same edges.  min over
+        the ``(dt, src_rank)`` key is exact and associative, so the
+        result is bitwise equal to a flat gather — but the critical
+        path is ⌈log2 P⌉ combining messages instead of the old rank-0
+        root's P−1.  Fully synchronising (no rank can leave before
+        every rank has entered), which is what the parity-slot reuse
+        invariant requires of every collective.
+        """
         dt, reason, cell = min(candidates, key=lambda c: c[0])
         gcell = int(self.sub.cell_global[cell]) if cell >= 0 else -1
         ctx = self.ctx
-        slots = self._slots()
-        slots[self.rank] = (dt, reason, gcell, self.rank)
-        ctx.sync()
-        best = min(slots, key=lambda c: (c[0], c[3]))  # type: ignore[index]
+        self._dt_gen += 1
+        g = self._dt_gen
+        best = (dt, reason, gcell, self.rank)
+        hops = 0
+        children = tree_children(self.rank, self.size)
+        for child in children:
+            self._spin(
+                lambda c=child: (ctx.dt_up[c] is not None
+                                 and ctx.dt_up[c][0] == g),
+                f"dt candidate from child rank {child} (gen {g})",
+            )
+            entry = ctx.dt_up[child][1]
+            best = min(best, entry, key=lambda c: (c[0], c[3]))
+            hops += 1
+        if self.rank == 0:
+            result = best
+        else:
+            parent = tree_parent(self.rank)
+            ctx.dt_up[self.rank] = (g, best)
+            self._announce((parent,))
+            self._spin(
+                lambda: (ctx.dt_down[parent] is not None
+                         and ctx.dt_down[parent][0] == g),
+                f"dt result from parent rank {parent} (gen {g})",
+            )
+            result = ctx.dt_down[parent][1]
+        ctx.dt_down[self.rank] = (g, result)
+        self._announce(children)
         self.stats.reductions += 1
+        self.stats.dt_reductions += 1
+        self.stats.dt_hops += hops
         self.stats.account(DT_REDUCE_VALUES)
-        self._finish_collective()
-        return (best[0], best[1], best[2])  # type: ignore[index]
+        return (result[0], result[1], result[2])
 
     def allreduce_max(self, value: float) -> float:
         """Global maximum of a scalar across ranks."""
@@ -450,35 +755,27 @@ class TyphonComms:
             self._exchange_cell_arrays(*arrays)
 
     def _exchange_cell_arrays(self, *arrays: np.ndarray) -> None:
-        ctx = self.ctx
-        if self.plan is None:
-            # Legacy path: publish whole-array references, two syncs,
-            # one fancy-indexed copy per array per neighbour.
-            ctx.slots[self.rank] = arrays
-            ctx.sync()
-            for src_rank, local_idx in self.sub.recv_cells.items():
-                src_idx = ctx.subdomains[src_rank].send_cells[self.rank]
-                src_arrays = ctx.slots[src_rank]
-                nvalues = 0
-                for mine, theirs in zip(arrays, src_arrays):
-                    mine[local_idx] = theirs[src_idx]
-                    nvalues += local_idx.size * (
-                        1 if mine.ndim == 1 else mine.shape[1]
-                    )
-                self.stats.account(nvalues, messages=len(arrays))
-            self.stats.halo_exchanges += 1
-            ctx.sync()
+        if self.mode == "overlap":
+            self._post_cell_arrays(*arrays)
+            self._complete_cell_arrays(*arrays)
             return
-        # Packed path: all cell fields coalesce into one block per
+        # Packed mode: all cell fields coalesce into one block per
         # neighbour (scalars and (n, 4) corner fields interleaved by
         # the plan's per-array widths), one sync.
+        ctx = self.ctx
         sec = self.plan.cell
-        sec.pack(self._my_region("cell"), arrays)
+        sec.pack(self._my_region("cell", self._phase & 1), arrays)
         ctx.sync()  # every rank's ghost-cell block staged
+        self._unpack_cell_arrays(arrays, self._phase & 1)
+        self._phase += 1
+
+    def _unpack_cell_arrays(self, arrays, parity: int) -> None:
+        sec = self.plan.cell
         widths = _widths(arrays)
         for src_rank, local_idx in self.sub.recv_cells.items():
             blocks = sec.peer_blocks(
-                src_rank, self._peer_region(src_rank, "cell"), widths
+                src_rank, self._peer_region(src_rank, "cell", parity),
+                widths
             )
             nvalues = 0
             for mine, block in zip(arrays, blocks):
@@ -486,11 +783,41 @@ class TyphonComms:
                 nvalues += block.size
             self.stats.account(nvalues)
         self.stats.halo_exchanges += 1
-        self._phase += 1
+
+    def post_cell_arrays(self, *arrays: np.ndarray) -> None:
+        """Start a ghost-cell refresh (overlap mode): pack and publish
+        this rank's owned-cell blocks."""
+        with self._span("typhon.post_cell_arrays"):
+            self._post_cell_arrays(*arrays)
+
+    def _post_cell_arrays(self, *arrays: np.ndarray) -> None:
+        self._post_section("cell", arrays)
+
+    def complete_cell_arrays(self, *arrays: np.ndarray) -> None:
+        """Finish a posted ghost-cell refresh (pass the same arrays)."""
+        with self._span("typhon.complete_cell_arrays"):
+            self._complete_cell_arrays(*arrays)
+
+    def _complete_cell_arrays(self, *arrays: np.ndarray) -> None:
+        k = self._begin_complete("cell")
+        self._unpack_cell_arrays(arrays, k & 1)
+        self._end_complete("cell", k)
 
     def exchange_cell_fields(self, state) -> None:
         """Refresh ghost thermodynamics and masses before a remap."""
         self.exchange_cell_arrays(
+            state.rho, state.e, state.cell_mass, state.corner_mass
+        )
+
+    def post_cell_fields(self, state) -> None:
+        """Start the ghost thermodynamic/mass refresh (overlap mode)."""
+        self.post_cell_arrays(
+            state.rho, state.e, state.cell_mass, state.corner_mass
+        )
+
+    def complete_cell_fields(self, state) -> None:
+        """Finish the posted ghost thermodynamic/mass refresh."""
+        self.complete_cell_arrays(
             state.rho, state.e, state.cell_mass, state.corner_mass
         )
 

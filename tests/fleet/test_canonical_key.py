@@ -17,11 +17,11 @@ from repro.api import CANONICAL_KEY_VERSION, RunConfig
 from repro.fleet import job_key
 
 GOLDEN_KEY = \
-    "29be0f48f28fcf4e9cf25b4d3b3ad8adf475bf03aa637e4845d13f3637f25cd6"
+    "483a0e7f3f70f4c5b7891fff764be9aa83fb88bd03497f4e99fba6358eadd91a"
 
 
 def test_golden_key_is_pinned():
-    assert CANONICAL_KEY_VERSION == 1
+    assert CANONICAL_KEY_VERSION == 2
     assert __version__ == "1.1.0", (
         "version bump: recompute GOLDEN_KEY (the code version enters "
         "the cache key so stale caches self-invalidate)")

@@ -1,12 +1,14 @@
 """Compiled comm plans: layout invariants, bit-identity, reconciliation.
 
-The packed exchange protocol (:mod:`repro.parallel.commplan`) must be a
-pure reorder of the legacy per-field protocol — same bytes, same
-summation order, bit-identical physics — while sending one coalesced
-message per neighbour per exchange out of preallocated staging.  These
-tests hold the compiler's layout algebra, the endpoints on both
-distributed backends, the static-vs-measured traffic reconciliation and
-the processes backend's halo-sized mailbox shrink to that contract.
+The packed exchange protocol (:mod:`repro.parallel.commplan`) sends
+one coalesced message per neighbour per exchange out of preallocated
+staging; the overlapped split-phase protocol must be a pure reorder of
+it — same bytes, same messages, same summation order, bit-identical
+physics.  These tests hold the compiler's layout algebra (including
+the interior/boundary classification), the endpoints on both
+distributed backends, the static-vs-measured traffic reconciliation
+and the processes backend's halo-sized mailbox sizing to that
+contract.
 """
 
 import numpy as np
@@ -109,28 +111,24 @@ def test_pack_peer_blocks_roundtrip_matches_fancy_indexing():
     np.testing.assert_array_equal(blocks[2], arrays[2][src_idx])
 
 
-def test_kinematic_messages_per_step_reduced_4x():
-    """The headline message coalescing: the legacy protocol sends one
-    message per field (4) per neighbour link; the packed one sends 1."""
-    def run(comm_plan):
-        setup = load_problem("sod", nx=24, ny=4)
-        driver = DistributedHydro(setup, 2, backend="threads",
-                                  comm_plan=comm_plan)
-        driver.run(max_steps=10)
-        return driver
-
-    packed, legacy = run("packed"), run("legacy")
-    assert packed.nstep == legacy.nstep
-    assert packed.comm_totals()["bytes"] == legacy.comm_totals()["bytes"]
-    # 2 ranks, 1 link each way, 1 kinematic exchange/step: legacy
-    # charges 4 messages per link, packed 1 (the nodal-sum completion
-    # counts 1 per link on both paths).
-    saved = legacy.comm_totals()["messages"] - packed.comm_totals()["messages"]
-    assert saved == (KIN_FIELDS - 1) * 2 * packed.nstep
+def test_kinematic_messages_are_coalesced_per_link():
+    """The headline message coalescing: one message per neighbour link
+    per exchange, whatever the field count (KIN_FIELDS = 4 travel in
+    one block).  Pinned exactly from the counters: 2 ranks, 1 link
+    each way, per step one kinematic halo + one nodal-sum completion,
+    plus one dt-reduction message per rank per reduction (step 0 takes
+    dt_initial without a reduction)."""
+    assert KIN_FIELDS == 4  # x, y, u, v — would be 4x the messages unpacked
+    setup = load_problem("sod", nx=24, ny=4)
+    driver = DistributedHydro(setup, 2, backend="threads",
+                              comm_plan="packed")
+    steps = driver.run(max_steps=10)
+    total = driver.comm_totals()
+    assert total["messages"] == 2 * (2 * steps + (steps - 1))
 
 
 # ----------------------------------------------------------------------
-# bit-identity: packed vs legacy, both distributed backends
+# bit-identity: overlap vs packed, both distributed backends
 # ----------------------------------------------------------------------
 def _gathered(problem, nranks, backend, comm_plan, ale_on=False,
               **kwargs):
@@ -144,26 +142,38 @@ def _gathered(problem, nranks, backend, comm_plan, ale_on=False,
 @pytest.mark.parametrize("nranks", [2, 4])
 @pytest.mark.parametrize("ale_on", [False, True],
                          ids=["lagrangian", "eulerian"])
-def test_threads_packed_bit_identical_to_legacy(nranks, ale_on):
+def test_threads_overlap_bit_identical_to_packed(nranks, ale_on):
+    overlap = _gathered("sod", nranks, "threads", "overlap",
+                        ale_on=ale_on, nx=32, ny=6)
     packed = _gathered("sod", nranks, "threads", "packed",
                        ale_on=ale_on, nx=32, ny=6)
-    legacy = _gathered("sod", nranks, "threads", "legacy",
-                       ale_on=ale_on, nx=32, ny=6)
-    assert packed.nstep == legacy.nstep
-    gp, gl = packed.gather(), legacy.gather()
+    assert overlap.nstep == packed.nstep
+    go, gp = overlap.gather(), packed.gather()
     for name in FIELDS:
-        assert np.array_equal(getattr(gp, name), getattr(gl, name)), name
-    assert packed.comm_totals()["bytes"] == legacy.comm_totals()["bytes"]
+        assert np.array_equal(getattr(go, name), getattr(gp, name)), name
+    # The split-phase reorder changes no accounting at all.
+    assert overlap.per_rank_comm() == packed.per_rank_comm()
 
 
-def test_processes_packed_bit_identical_to_legacy():
+def test_processes_overlap_bit_identical_to_packed():
+    overlap = _gathered("sod", 2, "processes", "overlap", nx=24, ny=4)
     packed = _gathered("sod", 2, "processes", "packed", nx=24, ny=4)
-    legacy = _gathered("sod", 2, "processes", "legacy", nx=24, ny=4)
-    gp, gl = packed.gather(), legacy.gather()
+    go, gp = overlap.gather(), packed.gather()
     for name in FIELDS:
-        assert np.array_equal(getattr(gp, name), getattr(gl, name)), name
-    assert packed.per_rank_comm() != legacy.per_rank_comm()  # messages
-    assert packed.comm_totals()["bytes"] == legacy.comm_totals()["bytes"]
+        assert np.array_equal(getattr(go, name), getattr(gp, name)), name
+    assert overlap.per_rank_comm() == packed.per_rank_comm()
+
+
+def test_legacy_comm_plan_raises_structured_error():
+    from repro.utils.errors import DeprecatedOptionError
+
+    setup = load_problem("sod", nx=16, ny=4)
+    for spelling in ("legacy", None):
+        with pytest.raises(DeprecatedOptionError) as err:
+            DistributedHydro(setup, 2, backend="threads",
+                             comm_plan=spelling)
+        assert err.value.option == "comm_plan='legacy'"
+        assert err.value.replacement == "comm_plan='packed'"
 
 
 def test_packed_counters_identical_across_backends():
@@ -178,7 +188,7 @@ def test_packed_counters_identical_across_backends():
 # ----------------------------------------------------------------------
 # reconciliation: static traffic estimate vs measured counters
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("comm_plan", ["packed", "legacy"])
+@pytest.mark.parametrize("comm_plan", ["packed", "overlap"])
 def test_traffic_matrix_reconciles_with_measured_bytes(comm_plan):
     """For a pure-Lagrangian run, every rank's *measured* CommStats
     bytes must equal the static per-step estimate
@@ -201,18 +211,15 @@ def test_traffic_matrix_reconciles_with_measured_bytes(comm_plan):
 # processes mailbox sizing
 # ----------------------------------------------------------------------
 def test_packed_mailboxes_are_halo_proportional():
-    """The shared-memory windows shrink from full-array size
-    (8·nnode + 15·ncell) to the plan's packed staging — for a 2-D
-    domain the halo is O(√ncell), so the ratio grows with the mesh."""
+    """The shared-memory windows are the plan's packed staging, not
+    full-array size (8·nnode + 15·ncell) — for a 2-D domain the halo
+    is O(√ncell), so the ratio grows with the mesh."""
     small = _subdomains(4, nx=16, ny=16, problem="noh")
     big = _subdomains(4, nx=64, ny=64, problem="noh")
     for subs in (small, big):
         plans = compile_plans(subs)
         for sub, plan in zip(subs, plans):
-            packed = _mailbox_doubles(sub, plan)
-            legacy = _mailbox_doubles(sub, None)
-            assert packed == plan.staging_doubles()
-            assert packed < legacy
+            assert _mailbox_doubles(sub, plan) == plan.staging_doubles()
     ratio_small = mailbox_ratio(small, compile_plans(small))["ratio"]
     ratio_big = mailbox_ratio(big, compile_plans(big))["ratio"]
     assert ratio_small > 3    # measured 3.8x at 16x16

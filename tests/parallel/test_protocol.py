@@ -74,9 +74,28 @@ def test_seam_table_matches_protocol_definition():
 
 def test_comm_plan_is_part_of_the_seam():
     """The plan accessor is seam API: kernels and telemetry may ask
-    any endpoint for its compiled plan (None on serial/legacy)."""
+    any endpoint for its compiled plan (None on serial)."""
     assert "comm_plan" in SEAM_METHODS
     assert NullComms().comm_plan() is None
+
+
+def test_split_phase_methods_are_part_of_the_seam():
+    """The overlapped protocol's post/complete halves are seam API on
+    every endpoint — serial degenerates them to no-ops, the distributed
+    endpoints keep them in signature lockstep via PLAN_METHODS."""
+    for name in ("post_kinematics", "complete_kinematics",
+                 "post_cell_fields", "complete_cell_fields",
+                 "post_node_sums", "complete_node_sums",
+                 "post_cell_arrays", "complete_cell_arrays",
+                 "overlap_enabled"):
+        assert name in SEAM_METHODS, name
+    for name in ("_post_kinematics", "_complete_kinematics",
+                 "_post_node_sums", "_complete_node_sums",
+                 "_post_cell_arrays", "_complete_cell_arrays",
+                 "_reduce_dt"):
+        assert name in PLAN_METHODS, name
+    serial = NullComms()
+    assert serial.overlap_enabled() is False
 
 
 @pytest.mark.parametrize("cls", [TyphonComms, ProcessComms],
@@ -93,14 +112,14 @@ def test_live_endpoints_return_their_plan():
     from repro.problems import load_problem
 
     setup = load_problem("sod", nx=12, ny=4)
-    packed = DistributedHydro(setup, 2, backend="threads")
-    for hydro in packed.hydros:
-        plan = hydro.comms.comm_plan()
-        assert plan is not None
-        assert plan.rank == hydro.comms.rank
-    legacy = DistributedHydro(setup, 2, backend="threads", comm_plan=None)
-    for hydro in legacy.hydros:
-        assert hydro.comms.comm_plan() is None
+    for mode, enabled in (("packed", False), ("overlap", True)):
+        driver = DistributedHydro(setup, 2, backend="threads",
+                                  comm_plan=mode)
+        for hydro in driver.hydros:
+            plan = hydro.comms.comm_plan()
+            assert plan is not None
+            assert plan.rank == hydro.comms.rank
+            assert hydro.comms.overlap_enabled() is enabled
 
 
 def test_seam_checker_catches_drift():
